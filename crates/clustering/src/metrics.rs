@@ -1,0 +1,234 @@
+//! Clustering quality metrics: silhouette coefficient and Davies–Bouldin
+//! index.
+//!
+//! The elbow method (the paper's K-selection procedure) looks only at WSS;
+//! these two metrics add the standard external checks used in the ablation
+//! harness to validate that the K the elbow picks is also reasonable by
+//! separation/compactness criteria:
+//!
+//! * **Silhouette** ∈ [-1, 1], higher is better: per-sample
+//!   `(b - a) / max(a, b)` where `a` is mean intra-cluster distance and
+//!   `b` the mean distance to the nearest other cluster.
+//! * **Davies–Bouldin** ≥ 0, lower is better: average over clusters of the
+//!   worst ratio `(σᵢ + σⱼ) / d(cᵢ, cⱼ)` of within-cluster scatter to
+//!   between-center separation.
+//!
+//! Both are `O(n²)` / `O(n·k)` respectively and parallelized over samples
+//! with rayon.
+
+use crate::kmeans::KMeans;
+use fairdms_tensor::{ops::sq_dist, Tensor};
+use rayon::prelude::*;
+
+/// Mean silhouette coefficient of `data` under `assignments`.
+///
+/// Returns 0.0 when every sample sits in one cluster (the coefficient is
+/// undefined there; 0 is the conventional "no structure" score). Samples
+/// that are alone in their cluster contribute 0, per the standard
+/// definition.
+///
+/// Panics when `assignments.len()` differs from the number of rows or when
+/// an assignment is `>= k`.
+pub fn silhouette(data: &Tensor, assignments: &[usize], k: usize) -> f64 {
+    assert_eq!(data.rank(), 2, "silhouette expects [n, d] data");
+    let n = data.shape()[0];
+    let d = data.shape()[1];
+    assert_eq!(assignments.len(), n, "assignment/sample count mismatch");
+    assert!(
+        assignments.iter().all(|&a| a < k),
+        "assignment out of range for k={k}"
+    );
+    let mut counts = vec![0usize; k];
+    for &a in assignments {
+        counts[a] += 1;
+    }
+    if counts.iter().filter(|&&c| c > 0).count() < 2 {
+        return 0.0;
+    }
+
+    let raw = data.data();
+    let total: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            if counts[assignments[i]] <= 1 {
+                return 0.0;
+            }
+            // Mean distance from sample i to every cluster.
+            let mut sums = vec![0.0f64; k];
+            let xi = &raw[i * d..(i + 1) * d];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dist = sq_dist(xi, &raw[j * d..(j + 1) * d]).sqrt() as f64;
+                sums[assignments[j]] += dist;
+            }
+            let own = assignments[i];
+            let a = sums[own] / (counts[own] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != own && counts[c] > 0)
+                .map(|c| sums[c] / counts[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if a.max(b) == 0.0 {
+                0.0
+            } else {
+                (b - a) / a.max(b)
+            }
+        })
+        .sum();
+    total / n as f64
+}
+
+/// Davies–Bouldin index of a fitted model on `data`.
+///
+/// Lower is better; 0 means perfectly compact, well-separated clusters.
+/// Clusters that receive no samples are excluded. Returns 0.0 when fewer
+/// than two clusters are populated.
+pub fn davies_bouldin(data: &Tensor, model: &KMeans) -> f64 {
+    assert_eq!(data.rank(), 2, "davies_bouldin expects [n, d] data");
+    let n = data.shape()[0];
+    let d = data.shape()[1];
+    let k = model.k();
+    let assignments = model.predict(data);
+
+    // Per-cluster mean distance to center (scatter σ).
+    let raw = data.data();
+    let mut scatter = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    for i in 0..n {
+        let a = assignments[i];
+        scatter[a] += sq_dist(&raw[i * d..(i + 1) * d], model.centers().row(a)).sqrt() as f64;
+        counts[a] += 1;
+    }
+    let populated: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+    if populated.len() < 2 {
+        return 0.0;
+    }
+    for &c in &populated {
+        scatter[c] /= counts[c] as f64;
+    }
+
+    let db: f64 = populated
+        .par_iter()
+        .map(|&i| {
+            populated
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| {
+                    let sep =
+                        sq_dist(model.centers().row(i), model.centers().row(j)).sqrt() as f64;
+                    if sep == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        (scatter[i] + scatter[j]) / sep
+                    }
+                })
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .sum();
+    db / populated.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeansConfig;
+    use fairdms_tensor::rng::TensorRng;
+
+    fn blobs(n_per: usize, spread: f32, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = TensorRng::seeded(seed);
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                data.push(c[0] + rng.next_normal_with(0.0, spread));
+                data.push(c[1] + rng.next_normal_with(0.0, spread));
+                labels.push(ci);
+            }
+        }
+        (Tensor::from_vec(data, &[n_per * 3, 2]), labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (data, labels) = blobs(30, 0.3, 0);
+        let s = silhouette(&data, &labels, 3);
+        assert!(s > 0.8, "tight separated blobs should score near 1: {s}");
+    }
+
+    #[test]
+    fn silhouette_degrades_with_overlap() {
+        let (tight, lt) = blobs(30, 0.3, 1);
+        let (loose, ll) = blobs(30, 4.0, 1);
+        let st = silhouette(&tight, &lt, 3);
+        let sl = silhouette(&loose, &ll, 3);
+        assert!(st > sl, "tight {st} should beat loose {sl}");
+    }
+
+    #[test]
+    fn silhouette_is_invariant_under_label_permutation() {
+        let (data, labels) = blobs(20, 0.3, 2);
+        let rotated: Vec<usize> = labels.iter().map(|&l| (l + 1) % 3).collect();
+        let a = silhouette(&data, &labels, 3);
+        let b = silhouette(&data, &rotated, 3);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn silhouette_negative_for_clusters_that_mix_blobs() {
+        let (data, _) = blobs(20, 0.3, 2);
+        // Interleave assignments so every "cluster" spans all three blobs:
+        // intra-cluster distances dwarf nearest-cluster distances.
+        let wrong: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let s = silhouette(&data, &wrong, 3);
+        assert!(s < 0.0, "blob-mixing clusters should be negative: {s}");
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        let (data, _) = blobs(10, 0.3, 3);
+        // One cluster: undefined → 0.
+        assert_eq!(silhouette(&data, &vec![0; 30], 1), 0.0);
+        // Singleton clusters contribute 0, not NaN.
+        let mut labels = vec![0usize; 30];
+        labels[0] = 1;
+        let s = silhouette(&data, &labels, 2);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_correct_k() {
+        let (data, _) = blobs(40, 0.4, 4);
+        let db = |k: usize| {
+            let model = KMeans::fit(&data, &KMeansConfig::new(k));
+            davies_bouldin(&data, &model)
+        };
+        let at3 = db(3);
+        assert!(at3 < db(2), "k=3 ({at3}) should beat k=2");
+        assert!(at3 < db(7), "k=3 ({at3}) should beat k=7");
+    }
+
+    #[test]
+    fn davies_bouldin_improves_with_separation() {
+        let (tight, _) = blobs(30, 0.3, 5);
+        let (loose, _) = blobs(30, 3.0, 5);
+        let m_tight = KMeans::fit(&tight, &KMeansConfig::new(3));
+        let m_loose = KMeans::fit(&loose, &KMeansConfig::new(3));
+        assert!(davies_bouldin(&tight, &m_tight) < davies_bouldin(&loose, &m_loose));
+    }
+
+    #[test]
+    fn davies_bouldin_single_cluster_is_zero() {
+        let (data, _) = blobs(10, 0.3, 6);
+        let model = KMeans::fit(&data, &KMeansConfig::new(1));
+        assert_eq!(davies_bouldin(&data, &model), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn silhouette_rejects_wrong_lengths() {
+        let (data, _) = blobs(5, 0.3, 7);
+        silhouette(&data, &[0, 1], 2);
+    }
+}

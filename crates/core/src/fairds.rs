@@ -1,0 +1,579 @@
+//! fairDS: the FAIR data service (paper §II-A and Fig 3).
+//!
+//! The pipeline: a self-supervised [`Embedder`] turns bulky images into
+//! compact representations; K-means groups them into clusters (K chosen by
+//! the elbow method when not fixed); the data store keeps every labeled
+//! historical sample together with its embedding and cluster id, indexed
+//! by cluster for two-level hierarchical search (first the cluster, then
+//! the nearest sample within it). On top of that sit the service
+//! operations the rest of fairDMS consumes:
+//!
+//! * [`FairDS::dataset_pdf`] — the cluster-occupancy distribution of a
+//!   dataset (the representation that indexes both data and models);
+//! * [`FairDS::lookup_matching`] — PDF-matched retrieval of labeled
+//!   historical data ("the same number of labeled images as are in the
+//!   input data, selected randomly from each cluster based on the PDF");
+//! * [`FairDS::pseudo_label`] — per-sample label reuse with a distance
+//!   threshold and an expensive-labeler fallback (§III-E's `BO`
+//!   construction);
+//! * [`FairDS::certainty`] / [`FairDS::needs_system_update`] — the fuzzy
+//!   clustering staleness monitor behind the Fig 16 retraining trigger.
+
+use crate::embedding::{EmbedTrainConfig, Embedder};
+use fairdms_clustering::{assignments_to_pdf, elbow, fuzzy, KMeans, KMeansConfig};
+use fairdms_datastore::{Collection, DocId, Document, RawCodec};
+use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// fairDS configuration.
+#[derive(Clone, Debug)]
+pub struct FairDsConfig {
+    /// Fixed cluster count, or `None` to select K by the elbow method.
+    pub k: Option<usize>,
+    /// Elbow sweep range (inclusive) when `k` is `None`.
+    pub k_range: (usize, usize),
+    /// Fuzzy-membership confidence defining a "certain" assignment
+    /// (paper: 0.5).
+    pub confidence: f32,
+    /// Fuzzy c-means fuzzifier for the certainty monitor. The metric's
+    /// operating point: m = 2 is conventional but scores diffusely at
+    /// large K; smaller values sharpen memberships toward hard assignment.
+    pub fuzzifier: f32,
+    /// Certainty fraction below which the system plane must retrain
+    /// (paper: 0.8).
+    pub certainty_threshold: f64,
+    /// Seed for clustering and PDF-matched sampling.
+    pub seed: u64,
+}
+
+impl Default for FairDsConfig {
+    fn default() -> Self {
+        FairDsConfig {
+            k: Some(15), // the paper's Bragg configuration (Fig 12)
+            k_range: (4, 20),
+            confidence: 0.5,
+            fuzzifier: 2.0,
+            certainty_threshold: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome statistics of a pseudo-labeling pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PseudoLabelStats {
+    /// Labels reused from historical data (embedding distance < threshold).
+    pub reused: usize,
+    /// Labels computed with the expensive fallback labeler.
+    pub computed: usize,
+}
+
+impl PseudoLabelStats {
+    /// Fraction of labels served from history.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.reused + self.computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+}
+
+/// The FAIR data service.
+pub struct FairDS {
+    embedder: Box<dyn Embedder>,
+    kmeans: Option<KMeans>,
+    store: Arc<Collection>,
+    cfg: FairDsConfig,
+    rng: TensorRng,
+}
+
+impl FairDS {
+    /// Creates a fairDS over an embedding method and a backing collection.
+    /// The collection gets a `cluster` index (the paper's "building data
+    /// indexes as data are written").
+    pub fn new(embedder: Box<dyn Embedder>, store: Arc<Collection>, cfg: FairDsConfig) -> Self {
+        store.create_index("cluster");
+        let rng = TensorRng::seeded(cfg.seed ^ 0xDA7A);
+        FairDS {
+            embedder,
+            kmeans: None,
+            store,
+            cfg,
+            rng,
+        }
+    }
+
+    /// Convenience: a fairDS over a fresh in-memory raw-codec collection.
+    pub fn in_memory(embedder: Box<dyn Embedder>, cfg: FairDsConfig) -> Self {
+        let store = Arc::new(Collection::new("fairds", Arc::new(RawCodec)));
+        Self::new(embedder, store, cfg)
+    }
+
+    /// The backing collection.
+    pub fn store(&self) -> &Arc<Collection> {
+        &self.store
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &FairDsConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the configuration — deployments calibrate the
+    /// certainty threshold against a measured baseline (absolute fuzzy
+    /// certainty depends on K and the embedding geometry, so a fixed
+    /// constant does not transfer across workloads).
+    pub fn config_mut(&mut self) -> &mut FairDsConfig {
+        &mut self.cfg
+    }
+
+    /// The number of clusters currently fitted (0 before training).
+    pub fn k(&self) -> usize {
+        self.kmeans.as_ref().map(|m| m.k()).unwrap_or(0)
+    }
+
+    /// Whether the system plane has been trained.
+    pub fn is_ready(&self) -> bool {
+        self.kmeans.is_some()
+    }
+
+    /// System-plane training (Fig 5, yellow): fits the embedding model on
+    /// historical images, then the clustering model on their embeddings.
+    /// Returns the selected K.
+    pub fn train_system(&mut self, images: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
+        assert!(images.shape()[0] >= 4, "need at least a handful of samples");
+        self.embedder.fit(images, embed_cfg);
+        let z = self.embedder.embed(images);
+        let k = match self.cfg.k {
+            Some(k) => k.min(z.shape()[0]),
+            None => {
+                let (lo, hi) = self.cfg.k_range;
+                let hi = hi.min(z.shape()[0]);
+                elbow::select_k(&z, lo.min(hi), hi, self.cfg.seed).best_k
+            }
+        };
+        let mut km_cfg = KMeansConfig::new(k);
+        km_cfg.seed = self.cfg.seed;
+        self.kmeans = Some(KMeans::fit(&z, &km_cfg));
+        k
+    }
+
+    /// Re-fits embedding + clustering on the full historical store plus
+    /// `fresh` images (the uncertainty-triggered system update of Fig 16).
+    pub fn retrain_system(&mut self, fresh: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
+        let mut rows: Vec<f32> = Vec::new();
+        let dim = self.embedder.input_dim();
+        for id in self.store.ids() {
+            if let Some(doc) = self.store.get(id) {
+                if let Some(pixels) = doc.get_f32s("pixels") {
+                    if pixels.len() == dim {
+                        rows.extend_from_slice(pixels);
+                    }
+                }
+            }
+        }
+        rows.extend_from_slice(fresh.data());
+        let n = rows.len() / dim;
+        let all = Tensor::from_vec(rows, &[n, dim]);
+        let k = self.train_system(&all, embed_cfg);
+        self.reindex();
+        k
+    }
+
+    /// Recomputes embeddings and cluster assignments of every stored
+    /// document under the current system models.
+    pub fn reindex(&mut self) {
+        let ids = self.store.ids();
+        for id in ids {
+            if let Some(mut doc) = self.store.get(id) {
+                if let Some(pixels) = doc.get_f32s("pixels") {
+                    let x = Tensor::from_vec(pixels.to_vec(), &[1, pixels.len()]);
+                    let z = self.embedder.embed(&x);
+                    let (cluster, _) = self
+                        .kmeans
+                        .as_ref()
+                        .expect("reindex before system training")
+                        .predict_one(z.row(0));
+                    doc.set("embedding", z.row(0).to_vec());
+                    doc.set("cluster", cluster as i64);
+                    self.store.update(id, &doc);
+                }
+            }
+        }
+    }
+
+    /// Ingests labeled samples: embeds, assigns clusters, stores documents
+    /// carrying pixels, embedding, cluster id, label, and scan index.
+    pub fn ingest_labeled(&mut self, images: &Tensor, labels: &Tensor, scan: usize) -> Vec<DocId> {
+        let km = self.kmeans.as_ref().expect("ingest before system training");
+        assert_eq!(images.shape()[0], labels.shape()[0], "image/label mismatch");
+        let z = self.embedder.embed(images);
+        let n = images.shape()[0];
+        let label_w = labels.row_size();
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let (cluster, _) = km.predict_one(z.row(i));
+            let doc = Document::new()
+                .with("pixels", images.row(i).to_vec())
+                .with("embedding", z.row(i).to_vec())
+                .with("cluster", cluster as i64)
+                .with("scan", scan as i64)
+                .with(
+                    "label",
+                    labels.data()[i * label_w..(i + 1) * label_w].to_vec(),
+                );
+            ids.push(self.store.insert(&doc));
+        }
+        ids
+    }
+
+    /// Embeds a dataset and returns its per-sample cluster assignments.
+    pub fn assign(&mut self, images: &Tensor) -> Vec<usize> {
+        let km = self.kmeans.as_ref().expect("assign before system training");
+        let z = self.embedder.embed(images);
+        km.predict(&z)
+    }
+
+    /// The cluster-occupancy PDF of a dataset — fairDS's dataset
+    /// representation, consumed by fairMS for model indexing.
+    pub fn dataset_pdf(&mut self, images: &Tensor) -> Vec<f64> {
+        let k = self.k();
+        let assignments = self.assign(images);
+        assignments_to_pdf(&assignments, k)
+    }
+
+    /// PDF-matched retrieval: draws `count` labeled documents from the
+    /// store, cluster-sampled according to `pdf` (the paper's data-store
+    /// query). Clusters with no stored members fall back to the global
+    /// pool so the requested count is always served when the store is
+    /// non-empty.
+    pub fn lookup_matching(&mut self, pdf: &[f64], count: usize) -> Vec<Document> {
+        assert_eq!(pdf.len(), self.k(), "pdf length must equal k");
+        let mut out = Vec::with_capacity(count);
+        if self.store.is_empty() {
+            return out;
+        }
+        let all_ids = self.store.ids();
+        let weights: Vec<f32> = pdf.iter().map(|&p| p as f32).collect();
+        for _ in 0..count {
+            let cluster = self.rng.next_weighted(&weights);
+            let ids = self.store.find_by("cluster", cluster as i64);
+            let pick = if ids.is_empty() {
+                all_ids[self.rng.next_index(all_ids.len())]
+            } else {
+                ids[self.rng.next_index(ids.len())]
+            };
+            if let Some(doc) = self.store.get(pick) {
+                out.push(doc);
+            }
+        }
+        out
+    }
+
+    /// Pseudo-labels a dataset (§III-E): for each sample, the nearest
+    /// stored embedding within its cluster is consulted; when closer than
+    /// `threshold` its label is reused, otherwise `fallback` computes one.
+    /// Returns the label matrix plus reuse statistics.
+    ///
+    /// The nearest-neighbor search runs in parallel over samples (the
+    /// store supports parallel reads); only the fallback labeler runs
+    /// sequentially, since it is an arbitrary `FnMut`.
+    pub fn pseudo_label(
+        &mut self,
+        images: &Tensor,
+        threshold: f32,
+        mut fallback: impl FnMut(&[f32]) -> Vec<f32>,
+    ) -> (Tensor, PseudoLabelStats) {
+        let n = images.shape()[0];
+        let nearest = self.nearest_labels_parallel(images);
+        let mut stats = PseudoLabelStats::default();
+        let mut labels: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (i, candidate) in nearest.into_iter().enumerate() {
+            match candidate {
+                Some((dist, label)) if dist < threshold => {
+                    stats.reused += 1;
+                    labels.push(label);
+                }
+                _ => {
+                    stats.computed += 1;
+                    labels.push(fallback(images.row(i)));
+                }
+            }
+        }
+        let width = labels.first().map(|l| l.len()).unwrap_or(0);
+        assert!(
+            labels.iter().all(|l| l.len() == width),
+            "fallback produced inconsistent label widths"
+        );
+        let flat: Vec<f32> = labels.into_iter().flatten().collect();
+        (Tensor::from_vec(flat, &[n, width]), stats)
+    }
+
+    /// Parallel per-sample nearest-stored-label search: `(distance, label)`
+    /// for each input row, `None` when its cluster holds no labeled docs.
+    fn nearest_labels_parallel(&mut self, images: &Tensor) -> Vec<Option<(f32, Vec<f32>)>> {
+        let z = self.embedder.embed(images);
+        let km = self.kmeans.as_ref().expect("lookup before system training");
+        let n = images.shape()[0];
+        let store = &self.store;
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let (cluster, _) = km.predict_one(z.row(i));
+                let mut best: Option<(f32, Vec<f32>)> = None;
+                for id in store.find_by("cluster", cluster as i64) {
+                    let Some(doc) = store.get(id) else { continue };
+                    let Some(emb) = doc.get_f32s("embedding") else { continue };
+                    if emb.len() != z.row(i).len() {
+                        continue;
+                    }
+                    let dist = sq_dist(z.row(i), emb).sqrt();
+                    let better = best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true);
+                    if better {
+                        if let Some(label) = doc.get_f32s("label") {
+                            best = Some((dist, label.to_vec()));
+                        }
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// For each input sample, the nearest stored document in its cluster
+    /// together with the embedding distance — the §III-E `BO` construction
+    /// uses the *stored* `{p, l(p)}` pair when the distance is below the
+    /// threshold. Parallel over samples.
+    pub fn nearest_labeled(&mut self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
+        let z = self.embedder.embed(images);
+        let km = self.kmeans.as_ref().expect("nearest_labeled before system training");
+        let n = images.shape()[0];
+        let store = &self.store;
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let (cluster, _) = km.predict_one(z.row(i));
+                let mut best: Option<(f32, Document)> = None;
+                for id in store.find_by("cluster", cluster as i64) {
+                    let Some(doc) = store.get(id) else { continue };
+                    let Some(emb) = doc.get_f32s("embedding") else { continue };
+                    if emb.len() != z.row(i).len() {
+                        continue;
+                    }
+                    let dist = sq_dist(z.row(i), emb).sqrt();
+                    if best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true) {
+                        best = Some((dist, doc));
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Fuzzy-clustering certainty of a dataset under the current system
+    /// models (the Fig 16 metric).
+    pub fn certainty(&mut self, images: &Tensor) -> f64 {
+        let km = self.kmeans.as_ref().expect("certainty before system training");
+        let z = self.embedder.embed(images);
+        fuzzy::certainty_with_fuzzifier(&z, km, self.cfg.confidence, self.cfg.fuzzifier)
+    }
+
+    /// Whether the staleness monitor demands a system-plane retrain
+    /// (certainty below the configured threshold).
+    pub fn needs_system_update(&mut self, images: &Tensor) -> bool {
+        self.certainty(images) < self.cfg.certainty_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::AutoencoderEmbedder;
+
+    const SIDE: usize = 8;
+
+    /// Images of bright blobs at `n_modes` distinct locations.
+    fn blob_images(per_mode: usize, n_modes: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = TensorRng::seeded(seed);
+        let centers = [(2.0f32, 2.0f32), (5.0, 5.0), (2.0, 5.0), (5.0, 2.0)];
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for m in 0..n_modes {
+            let (cy, cx) = centers[m % centers.len()];
+            for _ in 0..per_mode {
+                for y in 0..SIDE {
+                    for x in 0..SIDE {
+                        let r2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
+                        data.push(8.0 * (-r2 / 2.0).exp() + rng.next_normal_with(0.0, 0.1));
+                    }
+                }
+                labels.push(cx / SIDE as f32);
+                labels.push(cy / SIDE as f32);
+            }
+        }
+        (
+            Tensor::from_vec(data, &[per_mode * n_modes, SIDE * SIDE]),
+            Tensor::from_vec(labels, &[per_mode * n_modes, 2]),
+        )
+    }
+
+    fn quick_embed_cfg() -> EmbedTrainConfig {
+        EmbedTrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            lr: 2e-3,
+            ..EmbedTrainConfig::default()
+        }
+    }
+
+    fn fairds_with_k(k: usize) -> FairDS {
+        let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 0);
+        FairDS::in_memory(
+            Box::new(embedder),
+            FairDsConfig {
+                k: Some(k),
+                ..FairDsConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn train_ingest_and_pdf_roundtrip() {
+        let (x, y) = blob_images(20, 2, 0);
+        let mut ds = fairds_with_k(2);
+        assert!(!ds.is_ready());
+        let k = ds.train_system(&x, &quick_embed_cfg());
+        assert_eq!(k, 2);
+        assert!(ds.is_ready());
+        ds.ingest_labeled(&x, &y, 0);
+        assert_eq!(ds.store().len(), 40);
+
+        let pdf = ds.dataset_pdf(&x);
+        assert_eq!(pdf.len(), 2);
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Two balanced modes ⇒ roughly balanced PDF.
+        assert!(pdf.iter().all(|&p| p > 0.3), "{pdf:?}");
+    }
+
+    #[test]
+    fn elbow_mode_selects_a_k_in_range() {
+        let (x, _) = blob_images(15, 3, 1);
+        let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 2);
+        let mut ds = FairDS::in_memory(
+            Box::new(embedder),
+            FairDsConfig {
+                k: None,
+                k_range: (2, 8),
+                ..FairDsConfig::default()
+            },
+        );
+        let k = ds.train_system(&x, &quick_embed_cfg());
+        assert!((2..=8).contains(&k), "selected k={k}");
+        assert_eq!(ds.k(), k);
+    }
+
+    #[test]
+    fn lookup_matching_respects_the_pdf() {
+        let (x, y) = blob_images(30, 2, 3);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        // Request only cluster 0.
+        let docs = ds.lookup_matching(&[1.0, 0.0], 40);
+        assert_eq!(docs.len(), 40);
+        assert!(docs.iter().all(|d| d.get_i64("cluster") == Some(0)));
+    }
+
+    #[test]
+    fn lookup_with_empty_store_returns_nothing() {
+        let (x, _) = blob_images(10, 2, 4);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        assert!(ds.lookup_matching(&[0.5, 0.5], 5).is_empty());
+    }
+
+    #[test]
+    fn pseudo_label_reuses_history_for_similar_data() {
+        let (x, y) = blob_images(25, 2, 5);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+
+        // New data from the same distribution: labels mostly reused.
+        let (x_new, _) = blob_images(10, 2, 6);
+        let (labels, stats) = ds.pseudo_label(&x_new, 0.8, |_| vec![9.9, 9.9]);
+        assert_eq!(labels.shape(), &[20, 2]);
+        assert!(
+            stats.reuse_fraction() > 0.8,
+            "reuse fraction {} (stats {stats:?})",
+            stats.reuse_fraction()
+        );
+        // Reused labels are plausible normalized coordinates, not 9.9.
+        assert!(labels.max() <= 1.5);
+    }
+
+    #[test]
+    fn pseudo_label_falls_back_when_threshold_is_tiny() {
+        let (x, y) = blob_images(15, 2, 7);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        let (x_new, _) = blob_images(5, 2, 8);
+        let (labels, stats) = ds.pseudo_label(&x_new, 1e-9, |_| vec![7.0, 7.0]);
+        assert_eq!(stats.reused, 0);
+        assert_eq!(stats.computed, 10);
+        assert!(labels.data().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn drifted_data_triggers_system_update() {
+        let (x, _) = blob_images(30, 2, 9);
+        let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 10);
+        let mut ds = FairDS::in_memory(
+            Box::new(embedder),
+            FairDsConfig {
+                k: Some(3),
+                certainty_threshold: 0.8,
+                ..FairDsConfig::default()
+            },
+        );
+        ds.train_system(&x, &quick_embed_cfg());
+        let c_in = ds.certainty(&x);
+        // Uniform-noise images: far from any training cluster.
+        let noise = TensorRng::seeded(11).uniform(&[40, SIDE * SIDE], -1.0, 1.0);
+        let c_out = ds.certainty(&noise);
+        assert!(
+            c_out < c_in,
+            "drifted certainty {c_out} should drop below in-distribution {c_in}"
+        );
+    }
+
+    #[test]
+    fn reindex_keeps_index_consistent() {
+        let (x, y) = blob_images(12, 2, 12);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        ds.reindex();
+        // After reindex, every stored cluster id matches a fresh assignment.
+        let ids = ds.store().ids();
+        for id in ids {
+            let doc = ds.store().get(id).unwrap();
+            let pixels = doc.get_f32s("pixels").unwrap().to_vec();
+            let x1 = Tensor::from_vec(pixels, &[1, SIDE * SIDE]);
+            let fresh = ds.assign(&x1)[0] as i64;
+            assert_eq!(doc.get_i64("cluster"), Some(fresh));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before system training")]
+    fn ingest_requires_training() {
+        let (x, y) = blob_images(4, 1, 13);
+        let mut ds = fairds_with_k(2);
+        ds.ingest_labeled(&x, &y, 0);
+    }
+}

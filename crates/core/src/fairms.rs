@@ -1,0 +1,430 @@
+//! fairMS: the FAIR model service (paper §II-B and Fig 4).
+//!
+//! The Zoo accumulates checkpoints of the same architecture trained on
+//! different datasets; each entry is indexed by *the learned distribution
+//! of its training dataset* (the fairDS cluster PDF). Given a new
+//! dataset's PDF, the [`ModelManager`] ranks the Zoo by Jensen–Shannon
+//! divergence and recommends the closest model as the fine-tuning
+//! foundation — or training from scratch when nothing in the Zoo is within
+//! the user-defined distance threshold (§II-C).
+
+use crate::jsd::jsd;
+use crate::models::ArchSpec;
+use bytes::Bytes;
+use fairdms_datastore::{Collection, Document};
+use fairdms_nn::checkpoint;
+use fairdms_nn::layers::Sequential;
+
+/// One model in the Zoo.
+#[derive(Clone, Debug)]
+pub struct ZooEntry {
+    /// Human-readable name (e.g. "braggnn-scan21").
+    pub name: String,
+    /// The architecture recipe the checkpoint loads into.
+    pub arch: ArchSpec,
+    /// Serialized parameters ([`fairdms_nn::checkpoint`] format).
+    pub checkpoint: Vec<u8>,
+    /// Cluster PDF of the training dataset (the index key).
+    pub train_pdf: Vec<f64>,
+    /// Scan index (or other provenance marker) of the training data.
+    pub scan: usize,
+}
+
+/// The model Zoo: an append-only registry of trained models.
+#[derive(Default)]
+pub struct ModelZoo {
+    entries: Vec<ZooEntry>,
+}
+
+impl ModelZoo {
+    /// An empty zoo.
+    pub fn new() -> Self {
+        ModelZoo::default()
+    }
+
+    /// Registers a trained model, returning its zoo id.
+    pub fn add(&mut self, entry: ZooEntry) -> usize {
+        assert!(
+            !entry.train_pdf.is_empty(),
+            "zoo entries must carry a training-data PDF"
+        );
+        self.entries.push(entry);
+        self.entries.len() - 1
+    }
+
+    /// Registers a model directly from a live network.
+    pub fn add_model(
+        &mut self,
+        name: &str,
+        arch: ArchSpec,
+        net: &Sequential,
+        train_pdf: Vec<f64>,
+        scan: usize,
+    ) -> usize {
+        self.add(ZooEntry {
+            name: name.to_string(),
+            arch,
+            checkpoint: checkpoint::save(net),
+            train_pdf,
+            scan,
+        })
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the zoo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: usize) -> Option<&ZooEntry> {
+        self.entries.get(id)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ZooEntry] {
+        &self.entries
+    }
+
+    /// Rebuilds the network of an entry (architecture + checkpoint).
+    pub fn instantiate(&self, id: usize, seed: u64) -> Option<Sequential> {
+        let entry = self.entries.get(id)?;
+        let mut net = entry.arch.build(seed);
+        checkpoint::load(&mut net, &entry.checkpoint)
+            .expect("zoo checkpoint does not match its architecture");
+        Some(net)
+    }
+}
+
+impl ZooEntry {
+    /// Serializes the entry into a store [`Document`] (the paper's "model
+    /// Zoo tracks for each model its training data distribution": the PDF
+    /// rides along as an indexable field set).
+    pub fn to_document(&self, zoo_id: usize) -> Document {
+        Document::new()
+            .with("zoo_id", zoo_id as i64)
+            .with("name", self.name.as_str())
+            .with("arch", self.arch.name())
+            .with("arch_param", self.arch.param() as i64)
+            .with("checkpoint", Bytes::from(self.checkpoint.clone()))
+            .with(
+                "train_pdf",
+                self.train_pdf.iter().map(|&p| p as f32).collect::<Vec<f32>>(),
+            )
+            .with("scan", self.scan as i64)
+    }
+
+    /// Rebuilds an entry from a document written by
+    /// [`ZooEntry::to_document`]. Returns `None` on missing/invalid fields.
+    pub fn from_document(doc: &Document) -> Option<ZooEntry> {
+        let arch = ArchSpec::from_parts(
+            doc.get_str("arch")?,
+            usize::try_from(doc.get_i64("arch_param")?).ok()?,
+        )?;
+        Some(ZooEntry {
+            name: doc.get_str("name")?.to_string(),
+            arch,
+            checkpoint: doc.get_bytes("checkpoint")?.to_vec(),
+            train_pdf: doc.get_f32s("train_pdf")?.iter().map(|&p| p as f64).collect(),
+            scan: usize::try_from(doc.get_i64("scan")?).ok()?,
+        })
+    }
+}
+
+impl ModelZoo {
+    /// Persists every entry into a collection (cleared first so ids in the
+    /// store mirror zoo ids). Combine with
+    /// [`Collection::snapshot`](fairdms_datastore::Collection::snapshot)
+    /// for on-disk durability.
+    pub fn save_to_collection(&self, coll: &Collection) {
+        for id in coll.ids() {
+            coll.delete(id);
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            coll.insert(&entry.to_document(i));
+        }
+    }
+
+    /// Rebuilds a zoo from a collection written by
+    /// [`ModelZoo::save_to_collection`]. Entries are restored in `zoo_id`
+    /// order so ids are preserved; malformed documents are skipped.
+    pub fn load_from_collection(coll: &Collection) -> ModelZoo {
+        let mut entries: Vec<(i64, ZooEntry)> = coll
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let doc = coll.get(id)?;
+                let zoo_id = doc.get_i64("zoo_id")?;
+                Some((zoo_id, ZooEntry::from_document(&doc)?))
+            })
+            .collect();
+        entries.sort_by_key(|(id, _)| *id);
+        ModelZoo {
+            entries: entries.into_iter().map(|(_, e)| e).collect(),
+        }
+    }
+}
+
+/// A ranked recommendation over the Zoo.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// `(zoo id, JSD to the input PDF)`, ascending by divergence.
+    pub ranked: Vec<(usize, f64)>,
+}
+
+impl Recommendation {
+    /// Best (lowest-divergence) entry.
+    pub fn best(&self) -> (usize, f64) {
+        self.ranked[0]
+    }
+
+    /// Median-ranked entry (the paper's FineTune-M baseline).
+    pub fn median(&self) -> (usize, f64) {
+        self.ranked[self.ranked.len() / 2]
+    }
+
+    /// Worst-ranked entry (the paper's FineTune-W baseline).
+    pub fn worst(&self) -> (usize, f64) {
+        *self.ranked.last().unwrap()
+    }
+}
+
+/// What the manager tells the workflow to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelDecision {
+    /// Fine-tune the given zoo entry (divergence within threshold).
+    FineTune {
+        /// Zoo id of the recommended foundation model.
+        zoo_id: usize,
+        /// Its JSD to the input dataset.
+        divergence: f64,
+    },
+    /// Nothing in the Zoo is close enough (or the Zoo is empty).
+    TrainFromScratch,
+}
+
+/// The model manager: JSD ranking plus the distance-threshold policy.
+pub struct ModelManager {
+    /// JSD above which fine-tuning is not attempted (paper: user-defined).
+    pub distance_threshold: f64,
+}
+
+impl Default for ModelManager {
+    fn default() -> Self {
+        ModelManager {
+            distance_threshold: 0.5,
+        }
+    }
+}
+
+impl ModelManager {
+    /// A manager with an explicit threshold.
+    pub fn new(distance_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&distance_threshold),
+            "JSD threshold must be in [0, 1]"
+        );
+        ModelManager { distance_threshold }
+    }
+
+    /// Ranks every zoo entry by JSD to `input_pdf`. Returns `None` when
+    /// the zoo is empty. Entries whose PDF length differs from the input
+    /// (stale cluster count) are skipped.
+    pub fn rank(&self, zoo: &ModelZoo, input_pdf: &[f64]) -> Option<Recommendation> {
+        let mut ranked: Vec<(usize, f64)> = zoo
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.train_pdf.len() == input_pdf.len())
+            .map(|(i, e)| (i, jsd(input_pdf, &e.train_pdf)))
+            .collect();
+        if ranked.is_empty() {
+            return None;
+        }
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        Some(Recommendation { ranked })
+    }
+
+    /// The full decision: fine-tune the best entry when it is within the
+    /// threshold, otherwise train from scratch.
+    pub fn decide(&self, zoo: &ModelZoo, input_pdf: &[f64]) -> ModelDecision {
+        match self.rank(zoo, input_pdf) {
+            Some(rec) => {
+                let (zoo_id, divergence) = rec.best();
+                if divergence <= self.distance_threshold {
+                    ModelDecision::FineTune { zoo_id, divergence }
+                } else {
+                    ModelDecision::TrainFromScratch
+                }
+            }
+            None => ModelDecision::TrainFromScratch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairdms_nn::layers::Mode;
+    use fairdms_tensor::rng::TensorRng;
+
+    fn bragg_entry(name: &str, pdf: Vec<f64>, seed: u64) -> ZooEntry {
+        let arch = ArchSpec::BraggNN { patch: 15 };
+        let net = arch.build(seed);
+        ZooEntry {
+            name: name.to_string(),
+            arch,
+            checkpoint: checkpoint::save(&net),
+            train_pdf: pdf,
+            scan: seed as usize,
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_divergence() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("far", vec![0.0, 0.0, 1.0], 0));
+        zoo.add(bragg_entry("near", vec![0.5, 0.4, 0.1], 1));
+        zoo.add(bragg_entry("exact", vec![0.6, 0.3, 0.1], 2));
+        let mgr = ModelManager::default();
+        let rec = mgr.rank(&zoo, &[0.6, 0.3, 0.1]).unwrap();
+        assert_eq!(rec.best().0, 2);
+        assert_eq!(rec.worst().0, 0);
+        assert_eq!(rec.median().0, 1);
+        assert!(rec.best().1 < rec.median().1);
+        assert!(rec.median().1 < rec.worst().1);
+    }
+
+    #[test]
+    fn decision_respects_threshold() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("only", vec![1.0, 0.0], 0));
+        let near = ModelManager::new(0.9).decide(&zoo, &[0.9, 0.1]);
+        assert!(matches!(near, ModelDecision::FineTune { zoo_id: 0, .. }));
+        let far = ModelManager::new(0.1).decide(&zoo, &[0.0, 1.0]);
+        assert_eq!(far, ModelDecision::TrainFromScratch);
+    }
+
+    #[test]
+    fn empty_zoo_means_scratch() {
+        let zoo = ModelZoo::new();
+        assert_eq!(
+            ModelManager::default().decide(&zoo, &[0.5, 0.5]),
+            ModelDecision::TrainFromScratch
+        );
+        assert!(ModelManager::default().rank(&zoo, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn stale_pdf_lengths_are_skipped() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("old-k", vec![0.5, 0.5], 0)); // k=2 era
+        zoo.add(bragg_entry("new-k", vec![0.3, 0.3, 0.4], 1)); // k=3 era
+        let rec = ModelManager::default().rank(&zoo, &[0.3, 0.3, 0.4]).unwrap();
+        assert_eq!(rec.ranked.len(), 1);
+        assert_eq!(rec.best().0, 1);
+    }
+
+    #[test]
+    fn instantiate_restores_exact_outputs() {
+        let arch = ArchSpec::BraggNN { patch: 15 };
+        let mut original = arch.build(42);
+        let mut zoo = ModelZoo::new();
+        let id = zoo.add_model("m", arch, &original, vec![1.0], 0);
+        let mut rebuilt = zoo.instantiate(id, 999).unwrap();
+        let x = TensorRng::seeded(5).uniform(&[3, 1, 15, 15], 0.0, 1.0);
+        let a = original.forward(&x, Mode::Eval);
+        let b = rebuilt.forward(&x, Mode::Eval);
+        assert!(fairdms_tensor::allclose(&a, &b, 1e-6));
+    }
+
+    #[test]
+    fn zoo_ids_are_stable() {
+        let mut zoo = ModelZoo::new();
+        let a = zoo.add(bragg_entry("a", vec![1.0], 0));
+        let b = zoo.add(bragg_entry("b", vec![1.0], 1));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(zoo.get(a).unwrap().name, "a");
+        assert_eq!(zoo.len(), 2);
+        assert!(zoo.instantiate(99, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "training-data PDF")]
+    fn empty_pdf_rejected() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("bad", vec![], 0));
+    }
+
+    #[test]
+    fn zoo_entry_document_roundtrip() {
+        let entry = bragg_entry("rt", vec![0.25, 0.75], 3);
+        let doc = entry.to_document(9);
+        assert_eq!(doc.get_i64("zoo_id"), Some(9));
+        let back = ZooEntry::from_document(&doc).unwrap();
+        assert_eq!(back.name, entry.name);
+        assert_eq!(back.arch, entry.arch);
+        assert_eq!(back.checkpoint, entry.checkpoint);
+        assert_eq!(back.scan, entry.scan);
+        // f32 round-trip of the PDF is lossy only below 1e-7.
+        for (a, b) in back.train_pdf.iter().zip(&entry.train_pdf) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zoo_collection_roundtrip_preserves_behaviour() {
+        use fairdms_datastore::RawCodec;
+        use std::sync::Arc;
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("a", vec![0.9, 0.1], 0));
+        zoo.add(bragg_entry("b", vec![0.1, 0.9], 1));
+        zoo.add(bragg_entry("c", vec![0.5, 0.5], 2));
+
+        let coll = Collection::new("zoo", Arc::new(RawCodec));
+        zoo.save_to_collection(&coll);
+        assert_eq!(coll.len(), 3);
+        // Saving again replaces rather than duplicates.
+        zoo.save_to_collection(&coll);
+        assert_eq!(coll.len(), 3);
+
+        let restored = ModelZoo::load_from_collection(&coll);
+        assert_eq!(restored.len(), 3);
+        let mgr = ModelManager::default();
+        let before = mgr.rank(&zoo, &[0.85, 0.15]).unwrap().ranked;
+        let after = mgr.rank(&restored, &[0.85, 0.15]).unwrap().ranked;
+        assert_eq!(before.len(), after.len());
+        for ((ia, da), (ib, db)) in before.iter().zip(&after) {
+            assert_eq!(ia, ib);
+            assert!((da - db).abs() < 1e-6);
+        }
+        // Checkpoints still instantiate.
+        assert!(restored.instantiate(0, 0).is_some());
+    }
+
+    #[test]
+    fn malformed_zoo_documents_are_skipped() {
+        use fairdms_datastore::RawCodec;
+        use std::sync::Arc;
+        let coll = Collection::new("zoo", Arc::new(RawCodec));
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("good", vec![1.0], 0));
+        zoo.save_to_collection(&coll);
+        coll.insert(&Document::new().with("zoo_id", 1i64).with("name", "broken"));
+        coll.insert(&Document::new().with("unrelated", 5i64));
+        let restored = ModelZoo::load_from_collection(&coll);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.get(0).unwrap().name, "good");
+    }
+
+    #[test]
+    fn from_document_rejects_unknown_arch() {
+        let mut doc = bragg_entry("x", vec![1.0], 0).to_document(0);
+        doc.set("arch", "NotANetwork");
+        assert!(ZooEntry::from_document(&doc).is_none());
+    }
+}

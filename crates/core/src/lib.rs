@@ -1,0 +1,40 @@
+//! # fairdms-core
+//!
+//! The paper's primary contribution: **fairDMS**, a FAIR data-and-model
+//! service for rapid ML model training at high-data-rate instruments.
+//!
+//! The crate wires the workspace substrates into the architecture of the
+//! paper's Figs 3–5:
+//!
+//! * [`embedding`] — self-supervised embedding models (autoencoder,
+//!   SimCLR-style contrastive, BYOL) behind a pluggable [`embedding::Embedder`]
+//!   interface, plus the physics-inspired augmentations of §IV;
+//! * [`fairds`] — the data service: embed → cluster → index → PDF-matched
+//!   retrieval and nearest-embedding pseudo-labeling, with the fuzzy-
+//!   certainty staleness monitor that triggers system-plane retraining;
+//! * [`fairms`] — the model service: a Zoo of checkpoints indexed by their
+//!   training-set cluster PDFs, ranked by Jensen–Shannon divergence;
+//! * [`workflow`] — the rapid model-update workflow combining both
+//!   services, with the legacy (Voigt + train-from-scratch) baselines and
+//!   the timing attribution used in the paper's case study (Fig 15);
+//! * [`models`] — BraggNN and CookieNetAE, the paper's two benchmark
+//!   applications (§III-A);
+//! * [`jsd`] — the divergence measure; [`uncertainty`] — MC-dropout
+//!   degradation monitoring (Fig 2).
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod fairds;
+pub mod fairms;
+pub mod jsd;
+pub mod models;
+pub mod uncertainty;
+pub mod workflow;
+
+pub use embedding::{AutoencoderEmbedder, ByolEmbedder, ContrastiveEmbedder, Embedder};
+pub use fairds::{FairDS, FairDsConfig, PseudoLabelStats};
+pub use fairms::{ModelManager, ModelZoo, Recommendation, ZooEntry};
+pub use jsd::jsd;
+pub use models::ArchSpec;
+pub use workflow::{RapidTrainer, TrainStrategy, UpdateReport};

@@ -1,0 +1,152 @@
+//! Model-degradation monitoring: prediction error and MC-dropout
+//! uncertainty over an experiment series (the paper's Fig 2).
+
+use fairdms_nn::layers::{Mode, Sequential};
+use fairdms_nn::mc_dropout;
+use fairdms_tensor::Tensor;
+
+/// Error + uncertainty of one dataset in a series.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationPoint {
+    /// Scan (dataset) index.
+    pub scan: usize,
+    /// Mean prediction error (task metric, e.g. center distance in px).
+    pub error: f32,
+    /// Mean MC-dropout predictive standard deviation.
+    pub uncertainty: f32,
+}
+
+/// Mean Euclidean distance between predicted and true rows — the
+/// "prediction error (px)" metric when rows are (cx, cy) in pixels.
+pub fn mean_row_distance(pred: &Tensor, truth: &Tensor, scale: f32) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "shape mismatch");
+    let (n, d) = (pred.shape()[0], pred.shape()[1]);
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f32;
+    for i in 0..n {
+        let mut s = 0.0f32;
+        for k in 0..d {
+            let diff = (pred.at(&[i, k]) - truth.at(&[i, k])) * scale;
+            s += diff * diff;
+        }
+        acc += s.sqrt();
+    }
+    acc / n as f32
+}
+
+/// Evaluates a model across a scan series, producing the Fig 2 curves:
+/// per-scan prediction error and MC-dropout uncertainty.
+///
+/// `scale` converts normalized predictions back to task units (e.g. the
+/// patch size in pixels); `mc_samples` is the number of stochastic passes.
+pub fn degradation_series(
+    net: &mut Sequential,
+    series: &[(usize, Tensor, Tensor)],
+    scale: f32,
+    mc_samples: usize,
+) -> Vec<DegradationPoint> {
+    series
+        .iter()
+        .map(|(scan, x, y)| {
+            let pred = net.forward(x, Mode::Eval);
+            let error = mean_row_distance(&pred, y, scale);
+            let est = mc_dropout::predict(net, x, mc_samples);
+            DegradationPoint {
+                scan: *scan,
+                error,
+                uncertainty: est.mean_uncertainty(),
+            }
+        })
+        .collect()
+}
+
+/// First scan index at which the error exceeds `baseline × factor`, where
+/// `baseline` is the mean error over the first `warmup` points — a simple
+/// degradation detector for the workflow tests.
+pub fn detect_degradation(points: &[DegradationPoint], warmup: usize, factor: f32) -> Option<usize> {
+    if points.len() <= warmup || warmup == 0 {
+        return None;
+    }
+    let baseline: f32 =
+        points[..warmup].iter().map(|p| p.error).sum::<f32>() / warmup as f32;
+    points[warmup..]
+        .iter()
+        .find(|p| p.error > baseline * factor)
+        .map(|p| p.scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairdms_nn::layers::{Activation, Dense, Dropout};
+    use fairdms_tensor::rng::TensorRng;
+
+    #[test]
+    fn mean_row_distance_matches_hand_computation() {
+        let pred = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let truth = Tensor::from_vec(vec![3.0, 4.0, 1.0, 1.0], &[2, 2]);
+        // Distances 5 and 0, mean 2.5; scale doubles it.
+        assert!((mean_row_distance(&pred, &truth, 1.0) - 2.5).abs() < 1e-6);
+        assert!((mean_row_distance(&pred, &truth, 2.0) - 5.0).abs() < 1e-6);
+    }
+
+    fn toy_net(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seeded(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 16, &mut rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dropout::new(0.3, seed)),
+            Box::new(Dense::new(16, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn series_reports_one_point_per_scan() {
+        let mut net = toy_net(0);
+        let mut rng = TensorRng::seeded(1);
+        let series: Vec<(usize, Tensor, Tensor)> = (0..4)
+            .map(|s| {
+                (
+                    s * 2,
+                    rng.uniform(&[6, 4], -1.0, 1.0),
+                    rng.uniform(&[6, 2], -1.0, 1.0),
+                )
+            })
+            .collect();
+        let points = degradation_series(&mut net, &series, 1.0, 8);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[2].scan, 4);
+        assert!(points.iter().all(|p| p.error >= 0.0 && p.uncertainty >= 0.0));
+        // Dropout present ⇒ nonzero uncertainty.
+        assert!(points.iter().any(|p| p.uncertainty > 0.0));
+    }
+
+    #[test]
+    fn detector_fires_on_error_growth() {
+        let points: Vec<DegradationPoint> = [0.1f32, 0.11, 0.09, 0.1, 0.12, 0.35, 0.4]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| DegradationPoint {
+                scan: 400 + i,
+                error: e,
+                uncertainty: 0.0,
+            })
+            .collect();
+        assert_eq!(detect_degradation(&points, 4, 2.0), Some(405));
+    }
+
+    #[test]
+    fn detector_stays_quiet_on_stable_series() {
+        let points: Vec<DegradationPoint> = (0..10)
+            .map(|i| DegradationPoint {
+                scan: i,
+                error: 0.1,
+                uncertainty: 0.0,
+            })
+            .collect();
+        assert_eq!(detect_degradation(&points, 4, 2.0), None);
+        assert_eq!(detect_degradation(&points[..2], 4, 2.0), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! # fairdms-dataloader
+//!
+//! The data-loading substrate behind the paper's training experiments.
+//! §III-D describes the stack precisely: "Dataset returns a data item
+//! corresponding to a given index. Sampler creates random permutations of
+//! indices … DataLoader fetches one mini-batch worth of indices from the
+//! sampler … worker processes consume these indices, and fetch data items
+//! from Dataset." The paper extends that loader to fetch from MongoDB with
+//! multiple concurrent clients; [`DataLoader`] reproduces the same
+//! architecture with worker threads and bounded prefetch.
+//!
+//! [`pipesim`] is the companion discrete-event model used to regenerate the
+//! epoch-time and I/O-time sweeps of Figs 6–8 from measured per-sample
+//! costs (see DESIGN.md for the substitution rationale).
+
+#![warn(missing_docs)]
+
+pub mod loader;
+pub mod pipesim;
+pub mod sampler;
+
+pub use loader::{DataLoader, DataLoaderConfig};
+pub use sampler::{BatchIndices, RandomSampler, Sampler, SequentialSampler};
+
+/// A random-access dataset: the `torch.utils.data.Dataset` contract.
+pub trait Dataset: Send + Sync {
+    /// The item type produced per index.
+    type Item: Send + 'static;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches the item at `index` (0-based, `< len()`).
+    fn get(&self, index: usize) -> Self::Item;
+}
+
+/// Blanket implementation so `Arc<D>` is itself a dataset.
+impl<D: Dataset + ?Sized> Dataset for std::sync::Arc<D> {
+    type Item = D::Item;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn get(&self, index: usize) -> Self::Item {
+        (**self).get(index)
+    }
+}
+
+/// An in-memory dataset over a vector of cloneable items — handy in tests
+/// and for pre-materialized tensors.
+pub struct VecDataset<T: Clone + Send + Sync + 'static> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync + 'static> VecDataset<T> {
+    /// Wraps a vector of items.
+    pub fn new(items: Vec<T>) -> Self {
+        VecDataset { items }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Dataset for VecDataset<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn vec_dataset_serves_items() {
+        let ds = VecDataset::new(vec![10, 20, 30]);
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.get(1), 20);
+    }
+
+    #[test]
+    fn arc_of_dataset_is_a_dataset() {
+        let ds = Arc::new(VecDataset::new(vec![1u8, 2]));
+        assert_eq!(Dataset::len(&ds), 2);
+        assert_eq!(Dataset::get(&ds, 0), 1);
+    }
+}

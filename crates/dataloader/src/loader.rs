@@ -1,0 +1,369 @@
+//! The multi-worker prefetching loader.
+//!
+//! Architecture (mirroring the PyTorch DataLoader the paper extends):
+//! batches of indices flow through a bounded channel to `num_workers`
+//! fetch threads; each worker materializes its batch by calling
+//! [`Dataset::get`] per index and sends the result to a reorder stage that
+//! restores batch order. The bounded channels implement prefetch
+//! back-pressure: workers stay at most `prefetch_batches` ahead of the
+//! consumer, exactly like `torch`'s `prefetch_factor`.
+
+use crate::sampler::BatchIndices;
+use crate::Dataset;
+use crossbeam_channel::{bounded, Receiver};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Loader configuration.
+#[derive(Clone, Debug)]
+pub struct DataLoaderConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of fetch threads. `0` fetches synchronously on the consumer
+    /// thread (like `num_workers=0` in torch).
+    pub num_workers: usize,
+    /// How many batches may be in flight ahead of the consumer.
+    pub prefetch_batches: usize,
+    /// Whether to drop a trailing partial batch.
+    pub drop_last: bool,
+}
+
+impl Default for DataLoaderConfig {
+    fn default() -> Self {
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 4,
+            prefetch_batches: 2,
+            drop_last: false,
+        }
+    }
+}
+
+/// A multi-worker batch loader over a [`Dataset`].
+pub struct DataLoader<D: Dataset + 'static> {
+    dataset: Arc<D>,
+    cfg: DataLoaderConfig,
+}
+
+impl<D: Dataset + 'static> DataLoader<D> {
+    /// Creates a loader over a shared dataset.
+    pub fn new(dataset: Arc<D>, cfg: DataLoaderConfig) -> Self {
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        DataLoader { dataset, cfg }
+    }
+
+    /// The loader configuration.
+    pub fn config(&self) -> &DataLoaderConfig {
+        &self.cfg
+    }
+
+    /// Runs one epoch in the given index order, yielding batches of items
+    /// in order.
+    pub fn epoch(&self, order: Vec<usize>) -> BatchStream<D::Item> {
+        let batches = BatchIndices::new(order, self.cfg.batch_size, self.cfg.drop_last);
+        if self.cfg.num_workers == 0 {
+            // Synchronous path: materialize lazily on `next()`.
+            return BatchStream::sync(Arc::clone(&self.dataset), batches);
+        }
+
+        let n_batches = batches.num_batches();
+        let capacity = self.cfg.prefetch_batches.max(1);
+        let (idx_tx, idx_rx) = bounded::<(usize, Vec<usize>)>(capacity);
+        let (out_tx, out_rx) = bounded::<(usize, Vec<D::Item>)>(capacity);
+
+        // Feeder: enumerates batches into the bounded index queue.
+        let feeder = std::thread::spawn(move || {
+            for (seq, batch) in batches.enumerate() {
+                if idx_tx.send((seq, batch)).is_err() {
+                    break; // consumer hung up
+                }
+            }
+        });
+
+        // Workers: fetch every item of the batch, forward with its sequence.
+        let mut workers = Vec::with_capacity(self.cfg.num_workers);
+        for _ in 0..self.cfg.num_workers {
+            let rx = idx_rx.clone();
+            let tx = out_tx.clone();
+            let ds = Arc::clone(&self.dataset);
+            workers.push(std::thread::spawn(move || {
+                while let Ok((seq, indices)) = rx.recv() {
+                    let items: Vec<D::Item> = indices.iter().map(|&i| ds.get(i)).collect();
+                    if tx.send((seq, items)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(out_tx);
+        drop(idx_rx);
+
+        BatchStream::threaded(out_rx, n_batches, feeder, workers)
+    }
+}
+
+enum StreamImpl<T: Send + 'static> {
+    Sync {
+        fetch: Box<dyn FnMut(&[usize]) -> Vec<T> + Send>,
+        batches: BatchIndices,
+    },
+    Threaded {
+        rx: Receiver<(usize, Vec<T>)>,
+        next_seq: usize,
+        total: usize,
+        pending: BinaryHeap<SeqEntry<T>>,
+        threads: Vec<JoinHandle<()>>,
+    },
+}
+
+/// An in-order stream of materialized batches.
+pub struct BatchStream<T: Send + 'static> {
+    inner: StreamImpl<T>,
+}
+
+impl<T: Send + 'static> BatchStream<T> {
+    fn sync<D: Dataset<Item = T> + 'static>(ds: Arc<D>, batches: BatchIndices) -> Self {
+        BatchStream {
+            inner: StreamImpl::Sync {
+                fetch: Box::new(move |indices| indices.iter().map(|&i| ds.get(i)).collect()),
+                batches,
+            },
+        }
+    }
+
+    fn threaded(
+        rx: Receiver<(usize, Vec<T>)>,
+        total: usize,
+        feeder: JoinHandle<()>,
+        mut workers: Vec<JoinHandle<()>>,
+    ) -> Self {
+        workers.push(feeder);
+        BatchStream {
+            inner: StreamImpl::Threaded {
+                rx,
+                next_seq: 0,
+                total,
+                pending: BinaryHeap::new(),
+                threads: workers,
+            },
+        }
+    }
+}
+
+/// Min-heap entry by sequence number.
+struct SeqEntry<T>(usize, Vec<T>);
+
+impl<T> PartialEq for SeqEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<T> Eq for SeqEntry<T> {}
+impl<T> PartialOrd for SeqEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for SeqEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0) // reversed: BinaryHeap is a max-heap
+    }
+}
+
+impl<T: Send + 'static> Iterator for BatchStream<T> {
+    type Item = Vec<T>;
+
+    fn next(&mut self) -> Option<Vec<T>> {
+        match &mut self.inner {
+            StreamImpl::Sync { fetch, batches } => batches.next().map(|idx| fetch(&idx)),
+            StreamImpl::Threaded {
+                rx,
+                next_seq,
+                total,
+                pending,
+                ..
+            } => {
+                if *next_seq >= *total {
+                    return None;
+                }
+                loop {
+                    if let Some(entry) = pending.peek() {
+                        if entry.0 == *next_seq {
+                            let SeqEntry(_, items) = pending.pop().unwrap();
+                            *next_seq += 1;
+                            return Some(items);
+                        }
+                    }
+                    match rx.recv() {
+                        Ok((seq, items)) => pending.push(SeqEntry(seq, items)),
+                        Err(_) => {
+                            // Workers done: drain whatever is buffered.
+                            if let Some(entry) = pending.peek() {
+                                if entry.0 == *next_seq {
+                                    let SeqEntry(_, items) = pending.pop().unwrap();
+                                    *next_seq += 1;
+                                    return Some(items);
+                                }
+                            }
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for BatchStream<T> {
+    fn drop(&mut self) {
+        if let StreamImpl::Threaded { rx, threads, .. } = &mut self.inner {
+            // Disconnect the output channel *before* joining: draining with
+            // `try_recv` is not enough, because a worker blocked on the full
+            // bounded channel would refill it and block again, deadlocking
+            // the join. Dropping the receiver makes every in-flight and
+            // future `send` fail, so workers exit, their index-queue clones
+            // drop, and the feeder's `send` fails in turn.
+            let (_tx, disconnected) = bounded(0);
+            drop(std::mem::replace(rx, disconnected));
+            for t in threads.drain(..) {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RandomSampler, Sampler, VecDataset};
+    use std::time::Duration;
+
+    fn loader(n: usize, cfg: DataLoaderConfig) -> DataLoader<VecDataset<usize>> {
+        DataLoader::new(Arc::new(VecDataset::new((0..n).collect())), cfg)
+    }
+
+    #[test]
+    fn sync_and_threaded_paths_agree() {
+        let order: Vec<usize> = (0..97).rev().collect();
+        let sync_batches: Vec<Vec<usize>> = loader(
+            97,
+            DataLoaderConfig {
+                num_workers: 0,
+                batch_size: 10,
+                ..Default::default()
+            },
+        )
+        .epoch(order.clone())
+        .collect();
+        let threaded_batches: Vec<Vec<usize>> = loader(
+            97,
+            DataLoaderConfig {
+                num_workers: 4,
+                batch_size: 10,
+                ..Default::default()
+            },
+        )
+        .epoch(order)
+        .collect();
+        assert_eq!(sync_batches, threaded_batches);
+        assert_eq!(threaded_batches.len(), 10);
+    }
+
+    #[test]
+    fn every_item_seen_exactly_once_per_epoch() {
+        let mut sampler = RandomSampler::seeded(3);
+        let dl = loader(
+            200,
+            DataLoaderConfig {
+                num_workers: 3,
+                batch_size: 16,
+                prefetch_batches: 2,
+                drop_last: false,
+            },
+        );
+        for _ in 0..3 {
+            let mut seen = vec![0u8; 200];
+            for batch in dl.epoch(sampler.epoch_order(200)) {
+                for item in batch {
+                    seen[item] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        }
+    }
+
+    #[test]
+    fn workers_overlap_slow_fetches() {
+        struct SlowDs;
+        impl Dataset for SlowDs {
+            type Item = usize;
+            fn len(&self) -> usize {
+                32
+            }
+            fn get(&self, index: usize) -> usize {
+                std::thread::sleep(Duration::from_millis(2));
+                index
+            }
+        }
+        let run = |workers: usize| {
+            let dl = DataLoader::new(
+                Arc::new(SlowDs),
+                DataLoaderConfig {
+                    num_workers: workers,
+                    batch_size: 4,
+                    prefetch_batches: 4,
+                    drop_last: false,
+                },
+            );
+            let t0 = std::time::Instant::now();
+            let count: usize = dl.epoch((0..32).collect()).map(|b| b.len()).sum();
+            assert_eq!(count, 32);
+            t0.elapsed()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert!(
+            parallel < serial,
+            "8 workers ({parallel:?}) should beat 1 worker ({serial:?})"
+        );
+    }
+
+    #[test]
+    fn dropping_mid_epoch_does_not_hang() {
+        let dl = loader(
+            1000,
+            DataLoaderConfig {
+                num_workers: 4,
+                batch_size: 8,
+                prefetch_batches: 2,
+                drop_last: false,
+            },
+        );
+        let mut stream = dl.epoch((0..1000).collect());
+        let _ = stream.next();
+        drop(stream); // must join workers without deadlock
+    }
+
+    #[test]
+    fn empty_epoch_yields_nothing() {
+        let dl = loader(0, DataLoaderConfig::default());
+        assert_eq!(dl.epoch(vec![]).count(), 0);
+    }
+
+    #[test]
+    fn drop_last_respected_in_threaded_mode() {
+        let dl = loader(
+            10,
+            DataLoaderConfig {
+                num_workers: 2,
+                batch_size: 4,
+                prefetch_batches: 2,
+                drop_last: true,
+            },
+        );
+        let batches: Vec<Vec<usize>> = dl.epoch((0..10).collect()).collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 4));
+    }
+}

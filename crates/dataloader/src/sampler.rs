@@ -1,0 +1,146 @@
+//! Index samplers: the epoch-ordering policies of the loader.
+
+use fairdms_tensor::rng::TensorRng;
+
+/// Produces the index order for one epoch.
+pub trait Sampler: Send {
+    /// The index sequence for the next epoch over `n` items.
+    fn epoch_order(&mut self, n: usize) -> Vec<usize>;
+}
+
+/// Uniform random permutation per epoch (the default training sampler).
+pub struct RandomSampler {
+    rng: TensorRng,
+}
+
+impl RandomSampler {
+    /// A seeded random sampler: the same seed yields the same sequence of
+    /// epoch permutations.
+    pub fn seeded(seed: u64) -> Self {
+        RandomSampler {
+            rng: TensorRng::seeded(seed),
+        }
+    }
+}
+
+impl Sampler for RandomSampler {
+    fn epoch_order(&mut self, n: usize) -> Vec<usize> {
+        self.rng.permutation(n)
+    }
+}
+
+/// In-order traversal (evaluation / deterministic replay).
+#[derive(Default)]
+pub struct SequentialSampler;
+
+impl Sampler for SequentialSampler {
+    fn epoch_order(&mut self, n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+}
+
+/// Splits an epoch order into batch index lists. The final batch may be
+/// smaller unless `drop_last` is set.
+pub struct BatchIndices {
+    order: Vec<usize>,
+    batch_size: usize,
+    drop_last: bool,
+    cursor: usize,
+}
+
+impl BatchIndices {
+    /// Creates a batch iterator over an epoch order.
+    pub fn new(order: Vec<usize>, batch_size: usize, drop_last: bool) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchIndices {
+            order,
+            batch_size,
+            drop_last,
+            cursor: 0,
+        }
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        let n = self.order.len();
+        if self.drop_last {
+            n / self.batch_size
+        } else {
+            n.div_ceil(self.batch_size)
+        }
+    }
+}
+
+impl Iterator for BatchIndices {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        if self.drop_last && end - self.cursor < self.batch_size {
+            return None;
+        }
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sampler_is_a_permutation() {
+        let mut s = RandomSampler::seeded(0);
+        let order = s.epoch_order(100);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_sampler_differs_across_epochs_but_reproduces_with_seed() {
+        let mut a = RandomSampler::seeded(7);
+        let e1 = a.epoch_order(50);
+        let e2 = a.epoch_order(50);
+        assert_ne!(e1, e2, "epochs should reshuffle");
+        let mut b = RandomSampler::seeded(7);
+        assert_eq!(b.epoch_order(50), e1);
+    }
+
+    #[test]
+    fn sequential_sampler_is_identity() {
+        let mut s = SequentialSampler;
+        assert_eq!(s.epoch_order(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batching_covers_all_indices() {
+        let batches: Vec<Vec<usize>> = BatchIndices::new((0..10).collect(), 4, false).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2], vec![8, 9]);
+        let flat: Vec<usize> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_last_discards_partial_batch() {
+        let it = BatchIndices::new((0..10).collect(), 4, true);
+        assert_eq!(it.num_batches(), 2);
+        let batches: Vec<Vec<usize>> = it.collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 4));
+    }
+
+    #[test]
+    fn num_batches_matches_iteration() {
+        for (n, bs, drop) in [(10, 3, false), (10, 3, true), (9, 3, true), (0, 4, false)] {
+            let it = BatchIndices::new((0..n).collect(), bs, drop);
+            let expected = it.num_batches();
+            assert_eq!(it.count(), expected, "n={n} bs={bs} drop={drop}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Synthetic BraggPeaks: patch generation plus the experiment-series drift
+//! model that drives the paper's degradation experiments.
+//!
+//! The paper's HEDM narrative: a model trained on early scans performs well
+//! until *sample deformation* changes peak shapes (Fig 2, degradation after
+//! scan ~444), and separately a *configuration change* mid-experiment
+//! produces a bimodal data distribution (Fig 10). [`DriftModel`] encodes
+//! both effects as smooth shifts of the peak-parameter distribution over
+//! the scan index.
+
+use crate::voigt::{render, PeakParams};
+use fairdms_datastore::Document;
+use fairdms_tensor::{rng::TensorRng, Tensor};
+
+/// One labeled Bragg-peak patch.
+#[derive(Clone, Debug)]
+pub struct BraggPatch {
+    /// Row-major pixel intensities (`size × size`).
+    pub pixels: Vec<f32>,
+    /// Patch edge length in pixels.
+    pub size: usize,
+    /// Ground-truth center (the label BraggNN regresses).
+    pub center: (f32, f32),
+    /// Scan index this patch came from.
+    pub scan: usize,
+    /// Generating parameters (withheld from models; used by tests).
+    pub params: PeakParams,
+}
+
+impl BraggPatch {
+    /// Pixels as a `[1, size, size]`-shaped tensor row (flattened image).
+    pub fn to_tensor_row(&self) -> Vec<f32> {
+        self.pixels.clone()
+    }
+
+    /// Normalized label in `[0, 1]²` (what BraggNN trains against).
+    pub fn normalized_center(&self) -> (f32, f32) {
+        (
+            self.center.0 / (self.size as f32 - 1.0),
+            self.center.1 / (self.size as f32 - 1.0),
+        )
+    }
+
+    /// Serializes to a storage document.
+    pub fn to_document(&self) -> Document {
+        Document::new()
+            .with("kind", "bragg")
+            .with("size", self.size as i64)
+            .with("scan", self.scan as i64)
+            .with("cx", self.center.0 as f64)
+            .with("cy", self.center.1 as f64)
+            .with("pixels", self.pixels.clone())
+    }
+
+    /// Deserializes from a storage document (inverse of
+    /// [`BraggPatch::to_document`]; generator parameters are not persisted).
+    pub fn from_document(doc: &Document) -> Option<BraggPatch> {
+        let size = doc.get_i64("size")? as usize;
+        let pixels = doc.get_f32s("pixels")?.to_vec();
+        if pixels.len() != size * size {
+            return None;
+        }
+        let cx = doc.get_f64("cx")? as f32;
+        let cy = doc.get_f64("cy")? as f32;
+        let scan = doc.get_i64("scan")? as usize;
+        Some(BraggPatch {
+            pixels,
+            size,
+            center: (cx, cy),
+            scan,
+            params: PeakParams {
+                amplitude: 0.0,
+                cx,
+                cy,
+                width: 0.0,
+                eta: 0.0,
+                background: 0.0,
+            },
+        })
+    }
+}
+
+/// Converts a set of patches into training tensors `(x, y)`:
+/// `x` is `[n, 1, size, size]`, `y` is `[n, 2]` normalized centers.
+///
+/// Pixels are standardized per patch (zero mean, unit variance), matching
+/// the preprocessing the real BraggNN pipeline applies — raw detector
+/// counts span orders of magnitude and saturate an unnormalized network.
+/// The pseudo-Voigt fitter is affine-invariant in intensity, so labels
+/// derived from standardized pixels are identical to raw-pixel labels.
+pub fn to_training_tensors(patches: &[BraggPatch]) -> (Tensor, Tensor) {
+    assert!(!patches.is_empty(), "empty patch set");
+    let size = patches[0].size;
+    let mut x = Vec::with_capacity(patches.len() * size * size);
+    let mut y = Vec::with_capacity(patches.len() * 2);
+    for p in patches {
+        assert_eq!(p.size, size, "mixed patch sizes");
+        let n = p.pixels.len() as f32;
+        let mean: f32 = p.pixels.iter().sum::<f32>() / n;
+        let var: f32 = p.pixels.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var.sqrt() + 1e-6);
+        x.extend(p.pixels.iter().map(|&v| (v - mean) * inv));
+        let (cx, cy) = p.normalized_center();
+        y.push(cx);
+        y.push(cy);
+    }
+    (
+        Tensor::from_vec(x, &[patches.len(), 1, size, size]),
+        Tensor::from_vec(y, &[patches.len(), 2]),
+    )
+}
+
+/// How the experiment's data distribution evolves over scans.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftModel {
+    /// Scan index at which sample deformation begins (Fig 2's knee).
+    pub deform_start: usize,
+    /// Per-scan fractional growth of peak width after `deform_start`.
+    pub deform_rate: f32,
+    /// Scan index of the configuration change (Fig 10's bimodality);
+    /// `usize::MAX` disables it.
+    pub config_change: usize,
+}
+
+impl DriftModel {
+    /// A stable experiment (no drift).
+    pub fn none() -> Self {
+        DriftModel {
+            deform_start: usize::MAX,
+            deform_rate: 0.0,
+            config_change: usize::MAX,
+        }
+    }
+
+    /// The paper-like scenario: deformation after `deform_start`, config
+    /// change at `config_change`.
+    pub fn paper_like(deform_start: usize, config_change: usize) -> Self {
+        DriftModel {
+            deform_start,
+            deform_rate: 0.035,
+            config_change,
+        }
+    }
+
+    /// Width multiplier for a scan.
+    fn width_factor(&self, scan: usize) -> f32 {
+        if scan <= self.deform_start {
+            1.0
+        } else {
+            1.0 + self.deform_rate * (scan - self.deform_start) as f32
+        }
+    }
+
+    /// Whether the scan is past the configuration change.
+    fn second_mode(&self, scan: usize) -> bool {
+        scan >= self.config_change
+    }
+}
+
+/// Generates per-scan patch sets under a drift model.
+pub struct BraggSimulator {
+    /// Patch edge length (the paper uses 15×15).
+    pub patch_size: usize,
+    /// Drift model applied across scans.
+    pub drift: DriftModel,
+    /// Pixel-noise standard deviation.
+    pub noise_std: f32,
+    seed: u64,
+}
+
+impl BraggSimulator {
+    /// A simulator with the paper's 15×15 patches.
+    pub fn new(drift: DriftModel, seed: u64) -> Self {
+        BraggSimulator {
+            patch_size: 15,
+            drift,
+            noise_std: 1.5,
+            seed,
+        }
+    }
+
+    /// Generates the patches of one scan. Deterministic in
+    /// `(seed, scan, n)`.
+    pub fn scan(&self, scan: usize, n: usize) -> Vec<BraggPatch> {
+        self.scan_shot(scan, 0, n)
+    }
+
+    /// Generates an independent *shot* of a scan: the drift model sees
+    /// `scan` (so the physics — deformation, configuration mode — is that
+    /// scan's), while the sampling noise is keyed on `(scan, shot)`.
+    /// `shot > 0` yields held-out data from the same distribution as
+    /// [`BraggSimulator::scan`] — use this for evaluation sets instead of
+    /// offsetting the scan index, which would silently change the physics.
+    pub fn scan_shot(&self, scan: usize, shot: u64, n: usize) -> Vec<BraggPatch> {
+        let mut rng = TensorRng::seeded(
+            self.seed
+                ^ (scan as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ shot.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let size = self.patch_size as f32;
+        let wf = self.drift.width_factor(scan);
+        let second = self.drift.second_mode(scan);
+        (0..n)
+            .map(|_| {
+                // Centers near the middle (peaks are pre-cropped patches).
+                let cx = size / 2.0 + rng.next_normal_with(0.0, 1.3);
+                let cy = size / 2.0 + rng.next_normal_with(0.0, 1.3);
+                let cx = cx.clamp(2.0, size - 3.0);
+                let cy = cy.clamp(2.0, size - 3.0);
+                // Base shape distribution; the config change moves the
+                // whole distribution (second mode): wider, more Lorentzian,
+                // brighter background. The second mode's amplitude is
+                // raised so its per-peak SNR matches the first mode —
+                // the paper's modes are *different*, not *harder*, and an
+                // intrinsically harder second phase would confound model
+                // quality with distribution distance in the Fig 10 scatter.
+                let (base_width, base_eta, base_bg, base_amp) = if second {
+                    (2.2, 0.75, 18.0, 130.0)
+                } else {
+                    (1.6, 0.35, 10.0, 60.0)
+                };
+                let params = PeakParams {
+                    amplitude: base_amp + rng.next_uniform(0.0, 80.0),
+                    cx,
+                    cy,
+                    width: (base_width + rng.next_normal_with(0.0, 0.15)) * wf,
+                    eta: (base_eta + rng.next_normal_with(0.0, 0.05)).clamp(0.0, 1.0),
+                    background: base_bg + rng.next_uniform(0.0, 5.0),
+                };
+                let pixels = render(&params, self.patch_size, self.noise_std, &mut rng);
+                BraggPatch {
+                    pixels,
+                    size: self.patch_size,
+                    center: (params.cx, params.cy),
+                    scan,
+                    params,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates a series of scans: `(scan index, patches)` for scans
+    /// `0..n_scans`, each with `per_scan` patches.
+    pub fn series(&self, n_scans: usize, per_scan: usize) -> Vec<(usize, Vec<BraggPatch>)> {
+        (0..n_scans).map(|s| (s, self.scan(s, per_scan))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_is_deterministic_per_seed() {
+        let sim = BraggSimulator::new(DriftModel::none(), 42);
+        let a = sim.scan(3, 5);
+        let b = sim.scan(3, 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0].pixels, b[0].pixels);
+        let sim2 = BraggSimulator::new(DriftModel::none(), 43);
+        assert_ne!(a[0].pixels, sim2.scan(3, 5)[0].pixels);
+    }
+
+    #[test]
+    fn deformation_widens_peaks_after_onset() {
+        let drift = DriftModel {
+            deform_start: 10,
+            deform_rate: 0.05,
+            config_change: usize::MAX,
+        };
+        let sim = BraggSimulator::new(drift, 0);
+        let early: f32 = sim.scan(5, 40).iter().map(|p| p.params.width).sum::<f32>() / 40.0;
+        let late: f32 = sim.scan(30, 40).iter().map(|p| p.params.width).sum::<f32>() / 40.0;
+        assert!(late > early * 1.5, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn config_change_creates_a_second_mode() {
+        let drift = DriftModel::paper_like(usize::MAX - 1, 20);
+        let sim = BraggSimulator::new(drift, 1);
+        let before: f32 = sim.scan(10, 40).iter().map(|p| p.params.eta).sum::<f32>() / 40.0;
+        let after: f32 = sim.scan(25, 40).iter().map(|p| p.params.eta).sum::<f32>() / 40.0;
+        assert!(after > before + 0.2, "eta before {before}, after {after}");
+    }
+
+    #[test]
+    fn document_roundtrip_preserves_pixels_and_label() {
+        let sim = BraggSimulator::new(DriftModel::none(), 7);
+        let patch = &sim.scan(2, 1)[0];
+        let doc = patch.to_document();
+        let back = BraggPatch::from_document(&doc).unwrap();
+        assert_eq!(back.pixels, patch.pixels);
+        assert_eq!(back.size, patch.size);
+        assert_eq!(back.scan, patch.scan);
+        assert!((back.center.0 - patch.center.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_document_rejects_inconsistent_sizes() {
+        let doc = Document::new()
+            .with("kind", "bragg")
+            .with("size", 15i64)
+            .with("scan", 0i64)
+            .with("cx", 7.0f64)
+            .with("cy", 7.0f64)
+            .with("pixels", vec![0.0f32; 10]);
+        assert!(BraggPatch::from_document(&doc).is_none());
+    }
+
+    #[test]
+    fn training_tensors_have_matching_shapes() {
+        let sim = BraggSimulator::new(DriftModel::none(), 3);
+        let patches = sim.scan(0, 6);
+        let (x, y) = to_training_tensors(&patches);
+        assert_eq!(x.shape(), &[6, 1, 15, 15]);
+        assert_eq!(y.shape(), &[6, 2]);
+        // Labels normalized to [0, 1].
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn series_covers_all_scans() {
+        let sim = BraggSimulator::new(DriftModel::none(), 5);
+        let series = sim.series(4, 3);
+        assert_eq!(series.len(), 4);
+        for (i, (scan, patches)) in series.iter().enumerate() {
+            assert_eq!(*scan, i);
+            assert_eq!(patches.len(), 3);
+            assert!(patches.iter().all(|p| p.scan == i));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! CookieBox detector simulator.
+//!
+//! The CookieBox (paper §III-A) is an angular array of 16 electron
+//! time-of-flight spectrometers; CookieNetAE maps a 128×128 image — one
+//! energy histogram per row, rows grouped by channel — to the underlying
+//! energy-angle probability density. The paper's CookieBox dataset is
+//! itself produced by a computational simulation, so this module follows
+//! the same generative recipe: per-angle energy PDFs (Gaussian mixtures
+//! whose amplitude is modulated by a circularly polarized field,
+//! `cos²(θ−φ)`), Poisson-sampled into count histograms.
+
+use fairdms_datastore::Document;
+use fairdms_tensor::{rng::TensorRng, Tensor};
+
+/// Number of spectrometer channels in the CookieBox array.
+pub const CHANNELS: usize = 16;
+
+/// One simulated CookieBox acquisition: noisy histogram image plus the
+/// ground-truth PDF image (the regression target of CookieNetAE).
+#[derive(Clone, Debug)]
+pub struct CookieBoxImage {
+    /// Row-major `size × size` count histogram (the model input).
+    pub histogram: Vec<f32>,
+    /// Row-major `size × size` ground-truth probability density.
+    pub pdf: Vec<f32>,
+    /// Image edge length (paper: 128; scaled variants supported).
+    pub size: usize,
+    /// Scan index (drift bookkeeping).
+    pub scan: usize,
+}
+
+impl CookieBoxImage {
+    /// Serializes to a storage document.
+    pub fn to_document(&self) -> Document {
+        Document::new()
+            .with("kind", "cookiebox")
+            .with("size", self.size as i64)
+            .with("scan", self.scan as i64)
+            .with("histogram", self.histogram.clone())
+            .with("pdf", self.pdf.clone())
+    }
+
+    /// Deserializes from a storage document.
+    pub fn from_document(doc: &Document) -> Option<CookieBoxImage> {
+        let size = doc.get_i64("size")? as usize;
+        let histogram = doc.get_f32s("histogram")?.to_vec();
+        let pdf = doc.get_f32s("pdf")?.to_vec();
+        if histogram.len() != size * size || pdf.len() != size * size {
+            return None;
+        }
+        Some(CookieBoxImage {
+            histogram,
+            pdf,
+            size,
+            scan: doc.get_i64("scan")? as usize,
+        })
+    }
+}
+
+/// Converts acquisitions into `(x, y)` training tensors of shape
+/// `[n, 1, size, size]` each (histogram → PDF regression).
+///
+/// Histograms are standardized per image (zero mean, unit variance) and
+/// PDF targets are scaled by `size` so both sides of the regression have
+/// O(1) dynamic range — raw counts and raw densities differ by orders of
+/// magnitude, which stalls an unnormalized network.
+pub fn to_training_tensors(images: &[CookieBoxImage]) -> (Tensor, Tensor) {
+    assert!(!images.is_empty(), "empty image set");
+    let size = images[0].size;
+    let mut x = Vec::with_capacity(images.len() * size * size);
+    let mut y = Vec::with_capacity(images.len() * size * size);
+    for img in images {
+        assert_eq!(img.size, size, "mixed image sizes");
+        let n = img.histogram.len() as f32;
+        let mean: f32 = img.histogram.iter().sum::<f32>() / n;
+        let var: f32 =
+            img.histogram.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var.sqrt() + 1e-6);
+        x.extend(img.histogram.iter().map(|&v| (v - mean) * inv));
+        y.extend(img.pdf.iter().map(|&v| v * size as f32));
+    }
+    (
+        Tensor::from_vec(x, &[images.len(), 1, size, size]),
+        Tensor::from_vec(y, &[images.len(), 1, size, size]),
+    )
+}
+
+/// Generates CookieBox acquisitions with slow per-scan drift of the photon
+/// line (the gradual distribution shift behind the monotone Fig 11 trend).
+pub struct CookieBoxSimulator {
+    /// Image edge length.
+    pub size: usize,
+    /// Mean photon counts per row (Poisson intensity scale). Lower counts
+    /// make the inverse problem harder (the paper's "number of detected
+    /// electrons is low" regime).
+    pub counts_per_row: f32,
+    /// Per-scan drift of the central line position, in units of the image
+    /// width (gradual experiment drift).
+    pub drift_per_scan: f32,
+    seed: u64,
+}
+
+impl CookieBoxSimulator {
+    /// A simulator at the given resolution.
+    pub fn new(size: usize, seed: u64) -> Self {
+        assert!(size >= CHANNELS, "image must have at least one row per channel");
+        CookieBoxSimulator {
+            size,
+            counts_per_row: 220.0,
+            drift_per_scan: 0.004,
+            seed,
+        }
+    }
+
+    /// The noiseless energy PDF for a given scan and polarization phase.
+    fn pdf_image(&self, scan: usize, phase: f32) -> Vec<f32> {
+        let s = self.size;
+        let drift = self.drift_per_scan * scan as f32;
+        let mut pdf = vec![0.0f32; s * s];
+        for row in 0..s {
+            let channel = row * CHANNELS / s;
+            let theta = channel as f32 / CHANNELS as f32 * std::f32::consts::TAU;
+            // Circular polarization: dipole-like modulation per channel.
+            let modulation = 0.25 + 0.75 * (theta - phase).cos().powi(2);
+            // Two photo-lines whose positions shift with channel angle and
+            // drift with the scan index.
+            let mu1 = (0.35 + drift + 0.05 * (theta).sin()) * s as f32;
+            let mu2 = (0.65 + drift + 0.04 * (theta + phase).cos()) * s as f32;
+            let (s1, s2) = (0.035 * s as f32, 0.05 * s as f32);
+            let row_buf = &mut pdf[row * s..(row + 1) * s];
+            let mut total = 0.0f32;
+            for (e, v) in row_buf.iter_mut().enumerate() {
+                let x = e as f32;
+                let g1 = (-(x - mu1).powi(2) / (2.0 * s1 * s1)).exp();
+                let g2 = 0.6 * (-(x - mu2).powi(2) / (2.0 * s2 * s2)).exp();
+                *v = modulation * (g1 + g2) + 1e-4;
+                total += *v;
+            }
+            // Normalize each row into a probability density.
+            for v in row_buf.iter_mut() {
+                *v /= total;
+            }
+        }
+        pdf
+    }
+
+    /// Generates one acquisition. Deterministic in `(seed, scan, shot)`.
+    pub fn acquire(&self, scan: usize, shot: usize) -> CookieBoxImage {
+        let mut rng = TensorRng::seeded(
+            self.seed ^ (scan as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ (shot as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        );
+        let phase = rng.next_uniform(0.0, std::f32::consts::TAU);
+        let pdf = self.pdf_image(scan, phase);
+        let s = self.size;
+        let mut histogram = vec![0.0f32; s * s];
+        for row in 0..s {
+            for e in 0..s {
+                let lambda = pdf[row * s + e] * self.counts_per_row;
+                histogram[row * s + e] = rng.next_poisson(lambda) as f32;
+            }
+        }
+        CookieBoxImage {
+            histogram,
+            pdf,
+            size: s,
+            scan,
+        }
+    }
+
+    /// Generates a batch of acquisitions for one scan.
+    pub fn scan(&self, scan: usize, n: usize) -> Vec<CookieBoxImage> {
+        (0..n).map(|shot| self.acquire(scan, shot)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_probability_densities() {
+        let sim = CookieBoxSimulator::new(64, 0);
+        let img = sim.acquire(0, 0);
+        for row in 0..64 {
+            let sum: f32 = img.pdf[row * 64..(row + 1) * 64].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "row {row} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_track_pdf() {
+        let sim = CookieBoxSimulator::new(64, 1);
+        let img = sim.acquire(0, 0);
+        // Aggregate counts should land near counts_per_row per row.
+        let total: f32 = img.histogram.iter().sum();
+        let expected = sim.counts_per_row * 64.0;
+        assert!(
+            (total - expected).abs() < expected * 0.1,
+            "total {total} vs expected {expected}"
+        );
+        // Zero-probability regions stay near zero counts.
+        assert!(img.histogram.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn acquisitions_are_deterministic() {
+        let sim = CookieBoxSimulator::new(32, 9);
+        assert_eq!(sim.acquire(2, 3).histogram, sim.acquire(2, 3).histogram);
+        assert_ne!(sim.acquire(2, 3).histogram, sim.acquire(2, 4).histogram);
+    }
+
+    #[test]
+    fn drift_moves_the_photo_line() {
+        let sim = CookieBoxSimulator::new(64, 2);
+        // Compare mean energy (per-row expectation) across distant scans.
+        let mean_energy = |img: &CookieBoxImage| {
+            let mut acc = 0.0f32;
+            for row in 0..img.size {
+                for e in 0..img.size {
+                    acc += img.pdf[row * img.size + e] * e as f32;
+                }
+            }
+            acc / img.size as f32
+        };
+        let early = mean_energy(&sim.acquire(0, 0));
+        let late = mean_energy(&sim.acquire(60, 0));
+        assert!(late > early + 2.0, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let sim = CookieBoxSimulator::new(32, 3);
+        let img = sim.acquire(1, 0);
+        let back = CookieBoxImage::from_document(&img.to_document()).unwrap();
+        assert_eq!(back.histogram, img.histogram);
+        assert_eq!(back.pdf, img.pdf);
+        assert_eq!(back.scan, 1);
+    }
+
+    #[test]
+    fn training_tensors_shapes() {
+        let sim = CookieBoxSimulator::new(32, 4);
+        let imgs = sim.scan(0, 3);
+        let (x, y) = to_training_tensors(&imgs);
+        assert_eq!(x.shape(), &[3, 1, 32, 32]);
+        assert_eq!(y.shape(), &[3, 1, 32, 32]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # fairdms-datasets
+//!
+//! Synthetic equivalents of the paper's three benchmark datasets (§III-B)
+//! plus the conventional labeling method they are annotated with:
+//!
+//! * [`bragg`] — 15×15 Bragg-peak patches rendered from the pseudo-Voigt
+//!   profile, with an experiment-series simulator whose *drift model*
+//!   reproduces the sample-deformation and configuration-change effects the
+//!   paper's Figs 2, 10 and 16 rely on. The real BraggPeaks data (1.87 M
+//!   patches from 27 APS experiments) is proprietary; the pseudo-Voigt
+//!   profile is the very model the paper's conventional labeler fits, so
+//!   synthetic peaks exercise identical code paths.
+//! * [`voigt`] — the pseudo-Voigt profile itself, a Gauss–Newton fitter
+//!   standing in for the MIDAS labeling code, and a cluster-scaling model
+//!   that extrapolates measured per-peak cost to the paper's 80-core and
+//!   1440-core configurations (Fig 15).
+//! * [`cookiebox`] — a 16-channel electron time-of-flight simulator in the
+//!   spirit of the paper's own CookieBox simulation (their dataset is also
+//!   synthetic), producing energy-histogram images and ground-truth PDFs.
+//! * [`tomo`] — ellipse-phantom tomography frames (16-bit), used purely as
+//!   a storage workload in Fig 6.
+//!
+//! Every generator is seed-deterministic, and each sample type converts
+//! to/from [`fairdms_datastore::Document`] for storage experiments.
+
+#![warn(missing_docs)]
+
+pub mod bragg;
+pub mod cookiebox;
+pub mod tomo;
+pub mod voigt;
+
+pub use bragg::{BraggPatch, BraggSimulator, DriftModel};
+pub use cookiebox::{CookieBoxImage, CookieBoxSimulator};
+pub use tomo::{TomoFrame, TomoSimulator};
+pub use voigt::{fit_peak, FitConfig, FittedPeak, PeakParams};

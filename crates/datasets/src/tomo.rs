@@ -1,0 +1,198 @@
+//! Tomography frames: ellipse phantoms at synchrotron-CT scale.
+//!
+//! The Tomography dataset only appears in the paper as a *storage workload*
+//! (Fig 6: 2048×2048 16-bit samples read from MongoDB/NFS during TomoGAN
+//! training), so what matters here is producing frames with realistic size
+//! and entropy. A Shepp-Logan-style superposition of random ellipses plus
+//! Poisson-like detector noise gives both: smooth structure (compressible,
+//! so Blosc has something to chew on) and noise floor (so it is not
+//! trivially compressible).
+
+use fairdms_datastore::Document;
+use fairdms_tensor::rng::TensorRng;
+
+/// One tomography frame: `size × size` 16-bit detector counts.
+#[derive(Clone, Debug)]
+pub struct TomoFrame {
+    /// Row-major pixel counts.
+    pub pixels: Vec<u16>,
+    /// Frame edge length.
+    pub size: usize,
+    /// Frame index within the scan.
+    pub index: usize,
+}
+
+impl TomoFrame {
+    /// Serializes to a storage document.
+    pub fn to_document(&self) -> Document {
+        Document::new()
+            .with("kind", "tomo")
+            .with("size", self.size as i64)
+            .with("index", self.index as i64)
+            .with("pixels", self.pixels.clone())
+    }
+
+    /// Deserializes from a storage document.
+    pub fn from_document(doc: &Document) -> Option<TomoFrame> {
+        let size = doc.get_i64("size")? as usize;
+        let pixels = doc.get_u16s("pixels")?.to_vec();
+        if pixels.len() != size * size {
+            return None;
+        }
+        Some(TomoFrame {
+            pixels,
+            size,
+            index: doc.get_i64("index")? as usize,
+        })
+    }
+
+    /// Pixels as normalized f32 in `[0, 1]` (for denoiser training).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.pixels.iter().map(|&p| p as f32 / 65535.0).collect()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Ellipse {
+    cx: f32,
+    cy: f32,
+    a: f32,
+    b: f32,
+    cos_t: f32,
+    sin_t: f32,
+    intensity: f32,
+}
+
+impl Ellipse {
+    #[inline]
+    fn contains(&self, x: f32, y: f32) -> bool {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let u = (dx * self.cos_t + dy * self.sin_t) / self.a;
+        let v = (-dx * self.sin_t + dy * self.cos_t) / self.b;
+        u * u + v * v <= 1.0
+    }
+}
+
+/// Phantom-based tomography frame generator.
+pub struct TomoSimulator {
+    /// Frame edge length (paper scale: 2048; default workload scale: 512).
+    pub size: usize,
+    /// Number of random ellipses per phantom.
+    pub n_ellipses: usize,
+    /// Detector noise standard deviation, in raw counts.
+    pub noise_counts: f32,
+    seed: u64,
+}
+
+impl TomoSimulator {
+    /// A simulator at the given frame size.
+    pub fn new(size: usize, seed: u64) -> Self {
+        assert!(size >= 16, "frame too small to be meaningful");
+        TomoSimulator {
+            size,
+            n_ellipses: 12,
+            noise_counts: 300.0,
+            seed,
+        }
+    }
+
+    /// Generates one frame. Deterministic in `(seed, index)`.
+    pub fn frame(&self, index: usize) -> TomoFrame {
+        let mut rng =
+            TensorRng::seeded(self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let s = self.size as f32;
+
+        let ellipses: Vec<Ellipse> = (0..self.n_ellipses)
+            .map(|_| {
+                let theta = rng.next_uniform(0.0, std::f32::consts::PI);
+                Ellipse {
+                    cx: rng.next_uniform(0.2 * s, 0.8 * s),
+                    cy: rng.next_uniform(0.2 * s, 0.8 * s),
+                    a: rng.next_uniform(0.05 * s, 0.3 * s),
+                    b: rng.next_uniform(0.05 * s, 0.3 * s),
+                    cos_t: theta.cos(),
+                    sin_t: theta.sin(),
+                    intensity: rng.next_uniform(2_000.0, 9_000.0),
+                }
+            })
+            .collect();
+
+        let mut pixels = Vec::with_capacity(self.size * self.size);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let (xf, yf) = (x as f32, y as f32);
+                let mut v = 12_000.0f32; // flat-field level
+                for e in &ellipses {
+                    if e.contains(xf, yf) {
+                        v += e.intensity;
+                    }
+                }
+                v += rng.next_normal_with(0.0, self.noise_counts);
+                pixels.push(v.clamp(0.0, 65_535.0) as u16);
+            }
+        }
+        TomoFrame {
+            pixels,
+            size: self.size,
+            index,
+        }
+    }
+
+    /// Generates `n` consecutive frames.
+    pub fn frames(&self, n: usize) -> Vec<TomoFrame> {
+        (0..n).map(|i| self.frame(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_deterministic_and_distinct() {
+        let sim = TomoSimulator::new(64, 0);
+        assert_eq!(sim.frame(3).pixels, sim.frame(3).pixels);
+        assert_ne!(sim.frame(3).pixels, sim.frame(4).pixels);
+    }
+
+    #[test]
+    fn pixel_values_are_plausible_counts() {
+        let sim = TomoSimulator::new(64, 1);
+        let f = sim.frame(0);
+        let mean: f64 = f.pixels.iter().map(|&p| p as f64).sum::<f64>() / f.pixels.len() as f64;
+        // Flat field 12k plus some ellipse mass.
+        assert!(mean > 10_000.0 && mean < 40_000.0, "mean {mean}");
+        // Structure exists: the frame is not constant.
+        let min = *f.pixels.iter().min().unwrap();
+        let max = *f.pixels.iter().max().unwrap();
+        assert!(max > min + 1_000);
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let sim = TomoSimulator::new(32, 2);
+        let f = sim.frame(5);
+        let back = TomoFrame::from_document(&f.to_document()).unwrap();
+        assert_eq!(back.pixels, f.pixels);
+        assert_eq!(back.index, 5);
+    }
+
+    #[test]
+    fn normalized_view_is_unit_range() {
+        let sim = TomoSimulator::new(32, 3);
+        let f = sim.frame(0).to_f32();
+        assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn paper_scale_frame_has_paper_scale_payload() {
+        // 2048×2048 u16 = 8 MiB — the Fig 6 sample size (constructed only
+        // at reduced resolution here; we verify the arithmetic instead).
+        let sim = TomoSimulator::new(128, 4);
+        let f = sim.frame(0);
+        assert_eq!(f.pixels.len() * 2, 128 * 128 * 2);
+        let doc = f.to_document();
+        assert!(doc.approx_size() >= 128 * 128 * 2);
+    }
+}

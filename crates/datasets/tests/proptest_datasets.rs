@@ -1,0 +1,114 @@
+//! Property tests for the synthetic instruments and the pseudo-Voigt
+//! labeling pipeline.
+
+use fairdms_datasets::bragg::{BraggPatch, BraggSimulator, DriftModel};
+use fairdms_datasets::cookiebox::{CookieBoxImage, CookieBoxSimulator};
+use fairdms_datasets::tomo::{TomoFrame, TomoSimulator};
+use fairdms_datasets::voigt::{fit_peak, render, FitConfig, PeakParams};
+use fairdms_tensor::rng::TensorRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn voigt_fit_recovers_random_centers(
+        cx_off in -2.5f32..2.5,
+        cy_off in -2.5f32..2.5,
+        width in 1.0f32..2.6,
+        eta in 0.0f32..1.0,
+        seed in 0u64..300,
+    ) {
+        let params = PeakParams {
+            amplitude: 90.0,
+            cx: 7.0 + cx_off,
+            cy: 7.0 + cy_off,
+            width,
+            eta,
+            background: 12.0,
+        };
+        let mut rng = TensorRng::seeded(seed);
+        let img = render(&params, 15, 0.8, &mut rng);
+        let fit = fit_peak(&img, 15, &FitConfig::QUICK);
+        let (fx, fy) = fit.center();
+        let err = ((fx - params.cx).powi(2) + (fy - params.cy).powi(2)).sqrt();
+        prop_assert!(err < 0.35, "center error {err} px (true {:?})", (params.cx, params.cy));
+    }
+
+    #[test]
+    fn bragg_documents_roundtrip(scan in 0usize..100, n in 1usize..6, seed in 0u64..300) {
+        let sim = BraggSimulator::new(DriftModel::none(), seed);
+        for p in sim.scan(scan, n) {
+            let back = BraggPatch::from_document(&p.to_document()).unwrap();
+            prop_assert_eq!(back.pixels, p.pixels);
+            prop_assert_eq!(back.scan, p.scan);
+            prop_assert!((back.center.0 - p.center.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cookiebox_documents_roundtrip(scan in 0usize..50, seed in 0u64..200) {
+        let sim = CookieBoxSimulator::new(32, seed);
+        let img = sim.acquire(scan, 0);
+        let back = CookieBoxImage::from_document(&img.to_document()).unwrap();
+        prop_assert_eq!(back.histogram, img.histogram);
+        prop_assert_eq!(back.pdf, img.pdf);
+    }
+
+    #[test]
+    fn tomo_documents_roundtrip(index in 0usize..50, seed in 0u64..200) {
+        let sim = TomoSimulator::new(32, seed);
+        let f = sim.frame(index);
+        let back = TomoFrame::from_document(&f.to_document()).unwrap();
+        prop_assert_eq!(back.pixels, f.pixels);
+        prop_assert_eq!(back.index, f.index);
+    }
+
+    #[test]
+    fn drift_width_is_monotone_after_onset(
+        deform_start in 2usize..10,
+        rate_pct in 1u32..12,
+        seed in 0u64..200,
+    ) {
+        let drift = DriftModel {
+            deform_start,
+            deform_rate: rate_pct as f32 / 100.0,
+            config_change: usize::MAX,
+        };
+        let sim = BraggSimulator::new(drift, seed);
+        let mean_width = |scan: usize| -> f32 {
+            let ps = sim.scan(scan, 30);
+            ps.iter().map(|p| p.params.width).sum::<f32>() / ps.len() as f32
+        };
+        // Before the onset, width is stationary (same distribution).
+        let w0 = mean_width(0);
+        let w_at = mean_width(deform_start);
+        prop_assert!((w0 - w_at).abs() < 0.35, "pre-onset drift: {w0} vs {w_at}");
+        // After onset, width increases with scan index.
+        let w_late = mean_width(deform_start + 10);
+        let w_later = mean_width(deform_start + 20);
+        prop_assert!(w_late > w_at, "{w_late} !> {w_at}");
+        prop_assert!(w_later > w_late, "{w_later} !> {w_late}");
+    }
+
+    #[test]
+    fn cookiebox_pdf_rows_always_normalize(scan in 0usize..80, shot in 0usize..5, seed in 0u64..100) {
+        let sim = CookieBoxSimulator::new(32, seed);
+        let img = sim.acquire(scan, shot);
+        for row in 0..32 {
+            let s: f32 = img.pdf[row * 32..(row + 1) * 32].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-3, "row {row} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn patch_labels_stay_inside_the_patch(scan in 0usize..40, seed in 0u64..200) {
+        let sim = BraggSimulator::new(DriftModel::paper_like(5, 20), seed);
+        for p in sim.scan(scan, 20) {
+            prop_assert!(p.center.0 >= 0.0 && p.center.0 <= 14.0);
+            prop_assert!(p.center.1 >= 0.0 && p.center.1 <= 14.0);
+            let (nx, ny) = p.normalized_center();
+            prop_assert!((0.0..=1.0).contains(&nx) && (0.0..=1.0).contains(&ny));
+        }
+    }
+}

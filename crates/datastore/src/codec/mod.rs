@@ -1,0 +1,308 @@
+//! Serialization codecs — the storage-format axis of the paper's Figs 6–8.
+//!
+//! Three codecs with deliberately different cost profiles:
+//!
+//! | codec | stands in for | payload | encode CPU | decode CPU |
+//! |---|---|---|---|---|
+//! | [`RawCodec`] | H5 direct read over NFS | tight | memcpy | memcpy |
+//! | [`PickleCodec`] | Python pickle in MongoDB | ~2.2× (f64 promotion + tags) | slow | slow |
+//! | [`BloscCodec`] | Blosc in MongoDB | compressed | shuffle+RLE | unshuffle+RLE |
+//!
+//! All three round-trip every [`Document`] exactly (property-tested).
+
+mod blosc;
+mod pickle;
+
+pub use blosc::{packbits_decode, packbits_encode, shuffle, unshuffle, BloscCodec};
+pub use pickle::PickleCodec;
+
+use crate::value::{Document, Value};
+use crate::wire::{OutOfBounds, Reader, WriteExt};
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended prematurely.
+    Truncated,
+    /// Unknown value tag byte.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Compressed block failed to decompress to the declared size.
+    BadCompression,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t:#04x}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            CodecError::BadCompression => write!(f, "corrupt compressed block"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<OutOfBounds> for CodecError {
+    fn from(_: OutOfBounds) -> Self {
+        CodecError::Truncated
+    }
+}
+
+/// A document serializer/deserializer.
+pub trait Codec: Send + Sync {
+    /// Codec name, used in benchmark output (matches the paper's legends).
+    fn name(&self) -> &'static str;
+    /// Serializes a document.
+    fn encode(&self, doc: &Document) -> Vec<u8>;
+    /// Deserializes a document.
+    fn decode(&self, bytes: &[u8]) -> Result<Document, CodecError>;
+}
+
+// Value tags shared by RawCodec (and reused structurally by the others).
+pub(crate) const TAG_NULL: u8 = 0;
+pub(crate) const TAG_BOOL: u8 = 1;
+pub(crate) const TAG_I64: u8 = 2;
+pub(crate) const TAG_F64: u8 = 3;
+pub(crate) const TAG_STR: u8 = 4;
+pub(crate) const TAG_BYTES: u8 = 5;
+pub(crate) const TAG_F32ARR: u8 = 6;
+pub(crate) const TAG_U16ARR: u8 = 7;
+pub(crate) const TAG_ARRAY: u8 = 8;
+pub(crate) const TAG_DOC: u8 = 9;
+
+/// Tight little-endian layout: arrays are written as contiguous raw bytes.
+/// This is the "just read the bytes" baseline standing in for direct
+/// H5-over-NFS reads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RawCodec;
+
+impl RawCodec {
+    pub(crate) fn write_doc(out: &mut Vec<u8>, doc: &Document) {
+        out.put_u32(doc.len() as u32);
+        for (k, v) in doc.fields() {
+            out.put_u16(k.len() as u16);
+            out.extend_from_slice(k.as_bytes());
+            Self::write_value(out, v);
+        }
+    }
+
+    fn write_value(out: &mut Vec<u8>, v: &Value) {
+        match v {
+            Value::Null => out.put_u8(TAG_NULL),
+            Value::Bool(b) => {
+                out.put_u8(TAG_BOOL);
+                out.put_u8(*b as u8);
+            }
+            Value::I64(i) => {
+                out.put_u8(TAG_I64);
+                out.put_i64(*i);
+            }
+            Value::F64(x) => {
+                out.put_u8(TAG_F64);
+                out.put_f64(*x);
+            }
+            Value::Str(s) => {
+                out.put_u8(TAG_STR);
+                out.put_u32(s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.put_u8(TAG_BYTES);
+                out.put_u32(b.len() as u32);
+                out.extend_from_slice(b);
+            }
+            Value::F32Array(a) => {
+                out.put_u8(TAG_F32ARR);
+                out.put_u32(a.len() as u32);
+                for &x in a {
+                    out.put_f32(x);
+                }
+            }
+            Value::U16Array(a) => {
+                out.put_u8(TAG_U16ARR);
+                out.put_u32(a.len() as u32);
+                for &x in a {
+                    out.put_u16(x);
+                }
+            }
+            Value::Array(items) => {
+                out.put_u8(TAG_ARRAY);
+                out.put_u32(items.len() as u32);
+                for item in items {
+                    Self::write_value(out, item);
+                }
+            }
+            Value::Doc(d) => {
+                out.put_u8(TAG_DOC);
+                Self::write_doc(out, d);
+            }
+        }
+    }
+
+    pub(crate) fn read_doc(r: &mut Reader<'_>) -> Result<Document, CodecError> {
+        let n = r.u32()? as usize;
+        let mut doc = Document::new();
+        for _ in 0..n {
+            let klen = r.u16()? as usize;
+            let key = std::str::from_utf8(r.take(klen)?)
+                .map_err(|_| CodecError::BadUtf8)?
+                .to_string();
+            let value = Self::read_value(r)?;
+            doc.set(&key, ValueWrapper(value));
+        }
+        Ok(doc)
+    }
+
+    fn read_value(r: &mut Reader<'_>) -> Result<Value, CodecError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => Value::Bool(r.u8()? != 0),
+            TAG_I64 => Value::I64(r.i64()?),
+            TAG_F64 => Value::F64(r.f64()?),
+            TAG_STR => {
+                let len = r.u32()? as usize;
+                Value::Str(
+                    std::str::from_utf8(r.take(len)?)
+                        .map_err(|_| CodecError::BadUtf8)?
+                        .to_string(),
+                )
+            }
+            TAG_BYTES => {
+                let len = r.u32()? as usize;
+                Value::Bytes(bytes::Bytes::copy_from_slice(r.take(len)?))
+            }
+            TAG_F32ARR => {
+                let n = r.u32()? as usize;
+                let raw = r.take(n * 4)?;
+                let mut a = Vec::with_capacity(n);
+                for chunk in raw.chunks_exact(4) {
+                    a.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+                }
+                Value::F32Array(a)
+            }
+            TAG_U16ARR => {
+                let n = r.u32()? as usize;
+                let raw = r.take(n * 2)?;
+                let mut a = Vec::with_capacity(n);
+                for chunk in raw.chunks_exact(2) {
+                    a.push(u16::from_le_bytes(chunk.try_into().unwrap()));
+                }
+                Value::U16Array(a)
+            }
+            TAG_ARRAY => {
+                let n = r.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push(Self::read_value(r)?);
+                }
+                Value::Array(items)
+            }
+            TAG_DOC => Value::Doc(Self::read_doc(r)?),
+            other => return Err(CodecError::BadTag(other)),
+        })
+    }
+}
+
+/// Adapter so `Document::set` (which takes `impl Into<Value>`) accepts a
+/// decoded `Value` directly.
+struct ValueWrapper(Value);
+
+impl From<ValueWrapper> for Value {
+    fn from(w: ValueWrapper) -> Value {
+        w.0
+    }
+}
+
+impl Codec for RawCodec {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn encode(&self, doc: &Document) -> Vec<u8> {
+        let mut out = Vec::with_capacity(doc.approx_size() + 16);
+        Self::write_doc(&mut out, doc);
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Document, CodecError> {
+        let mut r = Reader::new(bytes);
+        let doc = Self::read_doc(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn sample_doc() -> Document {
+    Document::new()
+        .with("id", 17i64)
+        .with("flag", true)
+        .with("score", -0.75f64)
+        .with("name", "bragg-peak")
+        .with("pixels", vec![1.5f32, -2.25, 0.0, 1e-7])
+        .with("frame", vec![0u16, 65535, 1024])
+        .with("blob", bytes::Bytes::from_static(b"\x00\x01\x02"))
+        .with(
+            "nested",
+            Value::Doc(Document::new().with("inner", 3i64)),
+        )
+        .with(
+            "list",
+            Value::Array(vec![Value::I64(1), Value::Str("two".into()), Value::Null]),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip_preserves_everything() {
+        let doc = sample_doc();
+        let codec = RawCodec;
+        let bytes = codec.encode(&doc);
+        let back = codec.decode(&bytes).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn raw_rejects_truncated_input() {
+        let doc = sample_doc();
+        let bytes = RawCodec.encode(&doc);
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(RawCodec.decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn raw_rejects_trailing_garbage() {
+        let mut bytes = RawCodec.encode(&sample_doc());
+        bytes.push(0xFF);
+        assert_eq!(RawCodec.decode(&bytes), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn raw_rejects_unknown_tag() {
+        // Document with 1 field whose value tag is invalid.
+        let mut bytes = Vec::new();
+        bytes.put_u32(1);
+        bytes.put_u16(1);
+        bytes.push(b'x');
+        bytes.push(0xAB);
+        assert_eq!(RawCodec.decode(&bytes), Err(CodecError::BadTag(0xAB)));
+    }
+
+    #[test]
+    fn f32_array_layout_is_tight() {
+        let doc = Document::new().with("a", vec![0.0f32; 100]);
+        let bytes = RawCodec.encode(&doc);
+        // 4 (nfields) + 2+1 (key) + 1 (tag) + 4 (len) + 400 (data) = 412.
+        assert_eq!(bytes.len(), 412);
+    }
+}

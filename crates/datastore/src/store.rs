@@ -1,0 +1,490 @@
+//! The embedded document store: the MongoDB stand-in behind fairDS.
+//!
+//! The paper's Data Store requirements (§II-A): (i) scale to large data,
+//! (ii) efficient lookup via embedding/cluster indexing, (iii) data updates,
+//! (iv) parallel reads during training, (v) parallel writes during update.
+//! [`Collection`] covers all five: documents live in hash shards guarded by
+//! independent `parking_lot::RwLock`s (parallel reads and writes), integer
+//! secondary indexes provide the indexed lookups, and documents are stored
+//! *encoded* (through the collection's [`Codec`]) so read paths pay the same
+//! deserialization cost the paper measures.
+
+use crate::codec::{Codec, RawCodec};
+use crate::value::Document;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Stable identifier of a stored document.
+pub type DocId = u64;
+
+const DEFAULT_SHARDS: usize = 16;
+
+struct Shard {
+    docs: HashMap<DocId, Bytes>,
+}
+
+/// A secondary index over a single integer field.
+struct Index {
+    field: String,
+    map: HashMap<i64, BTreeSet<DocId>>,
+}
+
+/// A named set of documents with shared codec, shards and indexes.
+pub struct Collection {
+    name: String,
+    codec: Arc<dyn Codec>,
+    shards: Vec<RwLock<Shard>>,
+    indexes: RwLock<Vec<Index>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection")
+            .field("name", &self.name)
+            .field("codec", &self.codec.name())
+            .field("len", &self.len())
+            .field("indexes", &self.index_fields())
+            .finish()
+    }
+}
+
+impl Collection {
+    /// Creates an empty collection using `codec` for the stored payloads.
+    pub fn new(name: &str, codec: Arc<dyn Codec>) -> Self {
+        let shards = (0..DEFAULT_SHARDS)
+            .map(|_| {
+                RwLock::new(Shard {
+                    docs: HashMap::new(),
+                })
+            })
+            .collect();
+        Collection {
+            name: name.to_string(),
+            codec,
+            shards,
+            indexes: RwLock::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The codec documents are stored with.
+    pub fn codec(&self) -> &dyn Codec {
+        self.codec.as_ref()
+    }
+
+    #[inline]
+    fn shard_of(&self, id: DocId) -> &RwLock<Shard> {
+        &self.shards[(id as usize) % self.shards.len()]
+    }
+
+    /// Inserts a document, returning its id. Encoding happens on the insert
+    /// path (the paper's "building data indexes as data are written").
+    pub fn insert(&self, doc: &Document) -> DocId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let encoded = Bytes::from(self.codec.encode(doc));
+        self.shard_of(id).write().docs.insert(id, encoded);
+        let mut indexes = self.indexes.write();
+        for index in indexes.iter_mut() {
+            if let Some(v) = doc.get_i64(&index.field) {
+                index.map.entry(v).or_default().insert(id);
+            }
+        }
+        id
+    }
+
+    /// Inserts many documents, returning their ids in order.
+    pub fn insert_many(&self, docs: &[Document]) -> Vec<DocId> {
+        docs.iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Fetches and decodes a document.
+    pub fn get(&self, id: DocId) -> Option<Document> {
+        let raw = self.get_raw(id)?;
+        Some(
+            self.codec
+                .decode(&raw)
+                .expect("stored document failed to decode: codec mismatch or corruption"),
+        )
+    }
+
+    /// Fetches the stored (encoded) payload without decoding.
+    pub fn get_raw(&self, id: DocId) -> Option<Bytes> {
+        self.shard_of(id).read().docs.get(&id).cloned()
+    }
+
+    /// Replaces a document in place, keeping its id. Returns false when the
+    /// id does not exist.
+    pub fn update(&self, id: DocId, doc: &Document) -> bool {
+        let old = match self.get(id) {
+            Some(d) => d,
+            None => return false,
+        };
+        let encoded = Bytes::from(self.codec.encode(doc));
+        self.shard_of(id).write().docs.insert(id, encoded);
+        let mut indexes = self.indexes.write();
+        for index in indexes.iter_mut() {
+            let old_v = old.get_i64(&index.field);
+            let new_v = doc.get_i64(&index.field);
+            if old_v != new_v {
+                if let Some(v) = old_v {
+                    if let Some(set) = index.map.get_mut(&v) {
+                        set.remove(&id);
+                    }
+                }
+                if let Some(v) = new_v {
+                    index.map.entry(v).or_default().insert(id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Deletes a document. Returns false when the id does not exist.
+    pub fn delete(&self, id: DocId) -> bool {
+        let old = match self.get(id) {
+            Some(d) => d,
+            None => return false,
+        };
+        self.shard_of(id).write().docs.remove(&id);
+        let mut indexes = self.indexes.write();
+        for index in indexes.iter_mut() {
+            if let Some(v) = old.get_i64(&index.field) {
+                if let Some(set) = index.map.get_mut(&v) {
+                    set.remove(&id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().docs.len()).sum()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All document ids, ascending.
+    pub fn ids(&self) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().docs.keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total stored (encoded) bytes.
+    pub fn stored_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().docs.values().map(|b| b.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// The id the next insert will be assigned (snapshot metadata).
+    pub fn next_id(&self) -> DocId {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Names of the secondary indexes, sorted.
+    pub fn index_fields(&self) -> Vec<String> {
+        let mut fields: Vec<String> = self
+            .indexes
+            .read()
+            .iter()
+            .map(|i| i.field.clone())
+            .collect();
+        fields.sort();
+        fields
+    }
+
+    /// Restores an already-encoded payload under a specific id (snapshot
+    /// restore path — bypasses re-encoding; indexes must be rebuilt with
+    /// [`Collection::create_index`] afterwards).
+    pub(crate) fn insert_raw_with_id(&self, id: DocId, payload: Bytes) {
+        self.shard_of(id).write().docs.insert(id, payload);
+    }
+
+    /// Forces the id counter (snapshot restore path).
+    pub(crate) fn set_next_id(&self, v: DocId) {
+        self.next_id.store(v, Ordering::Relaxed);
+    }
+
+    /// Creates (or rebuilds) a secondary index over an integer field,
+    /// back-filling from existing documents.
+    pub fn create_index(&self, field: &str) {
+        let mut map: HashMap<i64, BTreeSet<DocId>> = HashMap::new();
+        for id in self.ids() {
+            if let Some(doc) = self.get(id) {
+                if let Some(v) = doc.get_i64(field) {
+                    map.entry(v).or_default().insert(id);
+                }
+            }
+        }
+        let mut indexes = self.indexes.write();
+        indexes.retain(|i| i.field != field);
+        indexes.push(Index {
+            field: field.to_string(),
+            map,
+        });
+    }
+
+    /// Whether an index exists on `field`.
+    pub fn has_index(&self, field: &str) -> bool {
+        self.indexes.read().iter().any(|i| i.field == field)
+    }
+
+    /// Ids whose `field` equals `value`. Uses the secondary index when one
+    /// exists, otherwise falls back to a full scan (decoding every
+    /// document — the cost the index exists to avoid).
+    pub fn find_by(&self, field: &str, value: i64) -> Vec<DocId> {
+        {
+            let indexes = self.indexes.read();
+            if let Some(index) = indexes.iter().find(|i| i.field == field) {
+                return index
+                    .map
+                    .get(&value)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+            }
+        }
+        self.scan(|doc| doc.get_i64(field) == Some(value))
+    }
+
+    /// Full scan with a decoded-document predicate; returns matching ids in
+    /// ascending order.
+    pub fn scan(&self, pred: impl Fn(&Document) -> bool) -> Vec<DocId> {
+        let mut out: Vec<DocId> = self
+            .ids()
+            .into_iter()
+            .filter(|&id| self.get(id).map(|d| pred(&d)).unwrap_or(false))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Distinct values of an indexed integer field with their cardinality,
+    /// ascending by value. Panics when the field is not indexed.
+    pub fn index_histogram(&self, field: &str) -> Vec<(i64, usize)> {
+        let indexes = self.indexes.read();
+        let index = indexes
+            .iter()
+            .find(|i| i.field == field)
+            .unwrap_or_else(|| panic!("no index on field '{field}'"));
+        let mut entries: Vec<(i64, usize)> = index
+            .map
+            .iter()
+            .filter(|(_, ids)| !ids.is_empty())
+            .map(|(&v, ids)| (v, ids.len()))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        entries
+    }
+}
+
+/// A named group of collections (the "database").
+#[derive(Default)]
+pub struct DocStore {
+    collections: RwLock<HashMap<String, Arc<Collection>>>,
+}
+
+impl DocStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        DocStore::default()
+    }
+
+    /// Creates a collection with the given codec, replacing any existing
+    /// collection with the same name.
+    pub fn create_collection(&self, name: &str, codec: Arc<dyn Codec>) -> Arc<Collection> {
+        let coll = Arc::new(Collection::new(name, codec));
+        self.collections
+            .write()
+            .insert(name.to_string(), Arc::clone(&coll));
+        coll
+    }
+
+    /// Creates a collection with the default raw codec.
+    pub fn create_collection_raw(&self, name: &str) -> Arc<Collection> {
+        self.create_collection(name, Arc::new(RawCodec))
+    }
+
+    /// Looks up a collection.
+    pub fn collection(&self, name: &str) -> Option<Arc<Collection>> {
+        self.collections.read().get(name).cloned()
+    }
+
+    /// Drops a collection, returning whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{BloscCodec, PickleCodec};
+    use std::thread;
+
+    fn doc(cluster: i64, scan: i64) -> Document {
+        Document::new()
+            .with("cluster", cluster)
+            .with("scan", scan)
+            .with("pixels", vec![cluster as f32; 16])
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        let id = coll.insert(&doc(1, 10));
+        assert_eq!(coll.len(), 1);
+        let got = coll.get(id).unwrap();
+        assert_eq!(got.get_i64("cluster"), Some(1));
+        assert!(coll.update(id, &doc(2, 10)));
+        assert_eq!(coll.get(id).unwrap().get_i64("cluster"), Some(2));
+        assert!(coll.delete(id));
+        assert!(coll.get(id).is_none());
+        assert!(!coll.delete(id));
+        assert!(!coll.update(id, &doc(0, 0)));
+    }
+
+    #[test]
+    fn indexed_lookup_matches_scan() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        for i in 0..100 {
+            coll.insert(&doc(i % 7, i));
+        }
+        coll.create_index("cluster");
+        for c in 0..7 {
+            let via_index = coll.find_by("cluster", c);
+            let via_scan = coll.scan(|d| d.get_i64("cluster") == Some(c));
+            assert_eq!(via_index, via_scan, "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn index_tracks_updates_and_deletes() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        coll.create_index("cluster");
+        let id = coll.insert(&doc(3, 0));
+        assert_eq!(coll.find_by("cluster", 3), vec![id]);
+        coll.update(id, &doc(5, 0));
+        assert!(coll.find_by("cluster", 3).is_empty());
+        assert_eq!(coll.find_by("cluster", 5), vec![id]);
+        coll.delete(id);
+        assert!(coll.find_by("cluster", 5).is_empty());
+    }
+
+    #[test]
+    fn index_histogram_counts_values() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        for i in 0..10 {
+            coll.insert(&doc(i % 3, i));
+        }
+        coll.create_index("cluster");
+        let hist = coll.index_histogram("cluster");
+        assert_eq!(hist, vec![(0, 4), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn parallel_writers_do_not_lose_documents() {
+        let coll = Arc::new(Collection::new("t", Arc::new(RawCodec)));
+        coll.create_index("cluster");
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&coll);
+            handles.push(thread::spawn(move || {
+                for i in 0..200 {
+                    c.insert(&doc(t as i64, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(coll.len(), 1600);
+        for t in 0..8 {
+            assert_eq!(coll.find_by("cluster", t).len(), 200);
+        }
+    }
+
+    #[test]
+    fn parallel_readers_see_consistent_data() {
+        let coll = Arc::new(Collection::new("t", Arc::new(BloscCodec::default())));
+        let ids: Vec<DocId> = (0..100).map(|i| coll.insert(&doc(i % 5, i))).collect();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&coll);
+            let ids = ids.clone();
+            handles.push(thread::spawn(move || {
+                for &id in &ids {
+                    let d = c.get(id).unwrap();
+                    assert_eq!(d.get_f32s("pixels").unwrap().len(), 16);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn codecs_change_stored_footprint() {
+        let mk = |codec: Arc<dyn Codec>| {
+            let coll = Collection::new("t", codec);
+            // Smooth data compresses; pickle inflates.
+            let img: Vec<f32> = (0..1024).map(|i| 10.0 + i as f32 * 1e-3).collect();
+            coll.insert(&Document::new().with("img", img));
+            coll.stored_bytes()
+        };
+        let raw = mk(Arc::new(RawCodec));
+        let pickle = mk(Arc::new(PickleCodec));
+        let blosc = mk(Arc::new(BloscCodec::default()));
+        assert!(pickle > raw, "pickle {pickle} !> raw {raw}");
+        assert!(blosc < raw, "blosc {blosc} !< raw {raw}");
+    }
+
+    #[test]
+    fn docstore_manages_collections() {
+        let store = DocStore::new();
+        store.create_collection_raw("a");
+        store.create_collection("b", Arc::new(PickleCodec));
+        assert_eq!(store.collection_names(), vec!["a", "b"]);
+        assert!(store.collection("a").is_some());
+        assert!(store.collection("c").is_none());
+        assert!(store.drop_collection("a"));
+        assert!(!store.drop_collection("a"));
+        assert_eq!(store.collection_names(), vec!["b"]);
+    }
+
+    #[test]
+    fn find_without_index_falls_back_to_scan() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        for i in 0..20 {
+            coll.insert(&doc(i % 2, i));
+        }
+        assert!(!coll.has_index("cluster"));
+        assert_eq!(coll.find_by("cluster", 0).len(), 10);
+    }
+}

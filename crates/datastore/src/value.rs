@@ -1,0 +1,250 @@
+//! The document model: JSON-like values with first-class binary and
+//! numeric-array payloads (the shapes scientific samples actually take).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A field value in a [`Document`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent/placeholder value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (ids, cluster assignments, scan indexes).
+    I64(i64),
+    /// 64-bit float (timestamps, metrics).
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque binary blob. `Bytes` makes cross-thread sharing allocation-free.
+    Bytes(Bytes),
+    /// Packed `f32` array (images, embeddings) — the dominant payload type.
+    F32Array(Vec<f32>),
+    /// Packed `u16` array (raw detector frames, e.g. tomography).
+    U16Array(Vec<u16>),
+    /// Heterogeneous list.
+    Array(Vec<Value>),
+    /// Nested document.
+    Doc(Document),
+}
+
+impl Value {
+    /// A rough payload size in bytes (used for wire-time modeling).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 8,
+            Value::F64(_) => 8,
+            Value::Str(s) => s.len() + 4,
+            Value::Bytes(b) => b.len() + 4,
+            Value::F32Array(v) => v.len() * 4 + 4,
+            Value::U16Array(v) => v.len() * 2 + 4,
+            Value::Array(v) => v.iter().map(Value::approx_size).sum::<usize>() + 4,
+            Value::Doc(d) => d.approx_size(),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($ty:ty, $variant:ident) => {
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::$variant(v.into())
+            }
+        }
+    };
+}
+
+value_from!(bool, Bool);
+value_from!(i64, I64);
+value_from!(i32, I64);
+value_from!(u32, I64);
+value_from!(f64, F64);
+value_from!(f32, F64);
+value_from!(String, Str);
+value_from!(&str, Str);
+value_from!(Vec<f32>, F32Array);
+value_from!(Vec<u16>, U16Array);
+value_from!(Bytes, Bytes);
+
+/// An ordered map of named fields — the unit the store persists.
+///
+/// Fields are kept in a `BTreeMap` so serialization is deterministic, which
+/// the codec round-trip property tests rely on.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Document {
+    fields: BTreeMap<String, Value>,
+}
+
+impl Document {
+    /// An empty document.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Builder-style field insertion.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Inserts or replaces a field.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) {
+        self.fields.insert(key.to_string(), value.into());
+    }
+
+    /// Looks up a field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.get(key)
+    }
+
+    /// Removes a field, returning it.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.fields.remove(key)
+    }
+
+    /// The field map, in key order.
+    pub fn fields(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.fields.iter()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the document has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Typed accessor: integer field.
+    pub fn get_i64(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Value::I64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: float field.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Value::F64(v)) => Some(*v),
+            Some(Value::I64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: string field.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: f32 array field.
+    pub fn get_f32s(&self, key: &str) -> Option<&[f32]> {
+        match self.get(key) {
+            Some(Value::F32Array(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: u16 array field.
+    pub fn get_u16s(&self, key: &str) -> Option<&[u16]> {
+        match self.get(key) {
+            Some(Value::U16Array(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: binary field.
+    pub fn get_bytes(&self, key: &str) -> Option<&Bytes> {
+        match self.get(key) {
+            Some(Value::Bytes(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A rough total payload size in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size())
+            .sum::<usize>()
+            + 4
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v {
+                Value::F32Array(a) => write!(f, "{k}: f32[{}]", a.len())?,
+                Value::U16Array(a) => write!(f, "{k}: u16[{}]", a.len())?,
+                Value::Bytes(b) => write!(f, "{k}: bytes[{}]", b.len())?,
+                other => write!(f, "{k}: {other:?}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_and_gets_typed_fields() {
+        let doc = Document::new()
+            .with("scan", 42i64)
+            .with("error", 0.25f64)
+            .with("name", "bragg")
+            .with("pixels", vec![1.0f32, 2.0, 3.0]);
+        assert_eq!(doc.get_i64("scan"), Some(42));
+        assert_eq!(doc.get_f64("error"), Some(0.25));
+        assert_eq!(doc.get_str("name"), Some("bragg"));
+        assert_eq!(doc.get_f32s("pixels"), Some(&[1.0f32, 2.0, 3.0][..]));
+        assert_eq!(doc.len(), 4);
+        assert!(doc.get_i64("missing").is_none());
+    }
+
+    #[test]
+    fn i64_coerces_to_f64_but_not_vice_versa() {
+        let doc = Document::new().with("n", 3i64).with("x", 1.5f64);
+        assert_eq!(doc.get_f64("n"), Some(3.0));
+        assert_eq!(doc.get_i64("x"), None);
+    }
+
+    #[test]
+    fn set_replaces_and_remove_deletes() {
+        let mut doc = Document::new().with("a", 1i64);
+        doc.set("a", 2i64);
+        assert_eq!(doc.get_i64("a"), Some(2));
+        assert_eq!(doc.remove("a"), Some(Value::I64(2)));
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn approx_size_tracks_payload() {
+        let small = Document::new().with("x", 1i64);
+        let big = Document::new().with("x", vec![0.0f32; 1000]);
+        assert!(big.approx_size() > small.approx_size() + 3900);
+    }
+
+    #[test]
+    fn display_summarizes_arrays() {
+        let doc = Document::new().with("img", vec![0.0f32; 9]).with("id", 7i64);
+        let s = format!("{doc}");
+        assert!(s.contains("f32[9]"), "{s}");
+        assert!(s.contains("id"), "{s}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared little-endian binary read/write helpers for the codecs.
+
+/// Incremental reader over a byte slice with bounds-checked primitives.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Error raised when a reader runs off the end of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OutOfBounds;
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], OutOfBounds> {
+        if self.pos + n > self.bytes.len() {
+            return Err(OutOfBounds);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, OutOfBounds> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, OutOfBounds> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, OutOfBounds> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    #[allow(dead_code)] // kept for wire-format completeness
+    pub fn u64(&mut self) -> Result<u64, OutOfBounds> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, OutOfBounds> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    #[allow(dead_code)] // kept for wire-format completeness
+    pub fn f32(&mut self) -> Result<f32, OutOfBounds> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, OutOfBounds> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Write helpers over a growable buffer.
+pub(crate) trait WriteExt {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    #[allow(dead_code)] // kept for wire-format completeness
+    fn put_u64(&mut self, v: u64);
+    fn put_i64(&mut self, v: i64);
+    fn put_f32(&mut self, v: f32);
+    fn put_f64(&mut self, v: f64);
+}
+
+impl WriteExt for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16(513);
+        buf.put_u32(70_000);
+        buf.put_u64(1 << 40);
+        buf.put_i64(-12);
+        buf.put_f32(1.5);
+        buf.put_f64(-2.25);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -12);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_detects_truncation() {
+        let buf = vec![1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), Err(OutOfBounds));
+        // Position unchanged after a failed read.
+        assert_eq!(r.u16().unwrap(), 513);
+    }
+}

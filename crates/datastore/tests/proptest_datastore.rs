@@ -1,0 +1,196 @@
+//! Property tests: codec round-trips over arbitrary documents, compression
+//! losslessness, and store/index consistency under random operation
+//! sequences.
+
+use bytes::Bytes;
+use fairdms_datastore::codec::{packbits_decode, packbits_encode, shuffle, unshuffle};
+use fairdms_datastore::{BloscCodec, Codec, Collection, Document, PickleCodec, RawCodec, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        // Finite floats only: NaN breaks equality-based roundtrip checks.
+        (-1e12f64..1e12).prop_map(Value::F64),
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| Value::Bytes(Bytes::from(v))),
+        proptest::collection::vec(-1e6f32..1e6, 0..128).prop_map(Value::F32Array),
+        proptest::collection::vec(any::<u16>(), 0..128).prop_map(Value::U16Array),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..4).prop_map(|m| {
+                let mut d = Document::new();
+                for (k, v) in m {
+                    d.set(&k, v);
+                }
+                Value::Doc(d)
+            }),
+        ]
+    })
+}
+
+fn arb_document() -> impl Strategy<Value = Document> {
+    proptest::collection::btree_map("[a-z_]{1,10}", arb_value(), 0..8).prop_map(|m| {
+        let mut d = Document::new();
+        for (k, v) in m {
+            d.set(&k, v);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_codec_roundtrips(doc in arb_document()) {
+        let bytes = RawCodec.encode(&doc);
+        prop_assert_eq!(RawCodec.decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn pickle_codec_roundtrips(doc in arb_document()) {
+        let bytes = PickleCodec.encode(&doc);
+        prop_assert_eq!(PickleCodec.decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn blosc_codec_roundtrips(doc in arb_document()) {
+        let codec = BloscCodec::default();
+        let bytes = codec.encode(&doc);
+        prop_assert_eq!(codec.decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn blosc_roundtrips_at_any_element_size(
+        doc in arb_document(),
+        elem in 1usize..16,
+    ) {
+        let codec = BloscCodec::with_element_size(elem);
+        let bytes = codec.encode(&doc);
+        prop_assert_eq!(codec.decode(&bytes).unwrap(), doc);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation(data in proptest::collection::vec(any::<u8>(), 0..512), elem in 1usize..9) {
+        let s = shuffle(&data, elem);
+        prop_assert_eq!(s.len(), data.len());
+        let mut a = s.clone();
+        let mut b = data.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b); // same multiset of bytes
+        prop_assert_eq!(unshuffle(&s, elem), data);
+    }
+
+    #[test]
+    fn packbits_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let enc = packbits_encode(&data);
+        prop_assert_eq!(packbits_decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_raw_never_roundtrips_silently(doc in arb_document()) {
+        let bytes = RawCodec.encode(&doc);
+        prop_assume!(bytes.len() > 5);
+        let cut = bytes.len() - 1;
+        match RawCodec.decode(&bytes[..cut]) {
+            // Either an error, or (rarely) a structurally valid prefix —
+            // but never equal to the original.
+            Ok(d) => prop_assert_ne!(d, doc),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn store_index_consistent_after_random_ops(
+        ops in proptest::collection::vec((0u8..4, 0i64..5, 0usize..32), 1..64),
+    ) {
+        let coll = Collection::new("p", Arc::new(RawCodec));
+        coll.create_index("cluster");
+        let mut live: Vec<u64> = Vec::new();
+        for (op, cluster, pick) in ops {
+            match op {
+                0 | 1 => {
+                    let id = coll.insert(&Document::new().with("cluster", cluster));
+                    live.push(id);
+                }
+                2 if !live.is_empty() => {
+                    let id = live[pick % live.len()];
+                    coll.update(id, &Document::new().with("cluster", cluster));
+                }
+                3 if !live.is_empty() => {
+                    let id = live.remove(pick % live.len());
+                    coll.delete(id);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(coll.len(), live.len());
+        for c in 0..5 {
+            let via_index = coll.find_by("cluster", c);
+            let via_scan = coll.scan(|d| d.get_i64("cluster") == Some(c));
+            prop_assert_eq!(via_index, via_scan, "cluster {}", c);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_under_random_ops(
+        ops in proptest::collection::vec((0u8..4, 0i64..5, 0usize..32), 1..64),
+    ) {
+        let coll = Collection::new("p", Arc::new(RawCodec));
+        coll.create_index("cluster");
+        let mut live: Vec<u64> = Vec::new();
+        for (op, cluster, pick) in ops {
+            match op {
+                0 | 1 => live.push(coll.insert(&Document::new().with("cluster", cluster))),
+                2 if !live.is_empty() => {
+                    let id = live[pick % live.len()];
+                    coll.update(id, &Document::new().with("cluster", cluster));
+                }
+                3 if !live.is_empty() => {
+                    let id = live.remove(pick % live.len());
+                    coll.delete(id);
+                }
+                _ => {}
+            }
+        }
+        let back = Collection::restore(Arc::new(RawCodec), &coll.snapshot()).unwrap();
+        prop_assert_eq!(back.len(), coll.len());
+        prop_assert_eq!(back.ids(), coll.ids());
+        prop_assert_eq!(back.next_id(), coll.next_id());
+        for id in coll.ids() {
+            prop_assert_eq!(back.get(id), coll.get(id));
+        }
+        for c in 0..5 {
+            prop_assert_eq!(back.find_by("cluster", c), coll.find_by("cluster", c));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_never_panics_on_corruption(
+        doc_count in 1usize..8,
+        flip_at in 0usize..512,
+        flip_to in any::<u8>(),
+    ) {
+        let coll = Collection::new("p", Arc::new(RawCodec));
+        for i in 0..doc_count {
+            coll.insert(&Document::new().with("x", i as i64));
+        }
+        let mut snap = coll.snapshot();
+        if flip_at < snap.len() {
+            snap[flip_at] = flip_to;
+        }
+        // Must return Ok or a structured error, never panic.
+        let _ = Collection::restore(Arc::new(RawCodec), &snap);
+    }
+}

@@ -1,0 +1,217 @@
+//! A serverless-style function executor: the funcX stand-in.
+//!
+//! Functions are registered under string names (funcX registers function
+//! ids) and submitted with an `f64` argument vector; submission returns a
+//! [`TaskHandle`] future. A fixed pool of worker threads drains the task
+//! queue, so concurrent submissions execute in parallel up to the pool
+//! width — the property the paper relies on for "optimal resource
+//! allocation" of user/system plane functions.
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A function runnable by the executor.
+pub type Func = Arc<dyn Fn(&[f64]) -> Result<Vec<f64>, String> + Send + Sync>;
+
+struct TaskSlot {
+    result: Mutex<Option<Result<Vec<f64>, String>>>,
+    ready: Condvar,
+}
+
+/// A future for a submitted task.
+pub struct TaskHandle {
+    slot: Arc<TaskSlot>,
+}
+
+impl TaskHandle {
+    /// Blocks until the task completes and returns its result.
+    pub fn wait(self) -> Result<Vec<f64>, String> {
+        let mut guard = self.slot.result.lock();
+        while guard.is_none() {
+            self.slot.ready.wait(&mut guard);
+        }
+        guard.take().unwrap()
+    }
+
+    /// Non-blocking poll; `None` while the task is still running.
+    pub fn try_take(&self) -> Option<Result<Vec<f64>, String>> {
+        self.slot.result.lock().take()
+    }
+}
+
+enum Job {
+    Run {
+        func: Func,
+        args: Vec<f64>,
+        slot: Arc<TaskSlot>,
+    },
+    Shutdown,
+}
+
+/// The executor: a function registry plus a worker pool.
+pub struct FuncExecutor {
+    registry: RwLock<HashMap<String, Func>>,
+    queue: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FuncExecutor {
+    /// Creates an executor with `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "executor needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Run { func, args, slot } => {
+                                let result = func(&args);
+                                *slot.result.lock() = Some(result);
+                                slot.ready.notify_all();
+                            }
+                            Job::Shutdown => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        FuncExecutor {
+            registry: RwLock::new(HashMap::new()),
+            queue: tx,
+            workers: handles,
+        }
+    }
+
+    /// Registers a function under a name, replacing any previous one.
+    pub fn register(&self, name: &str, func: impl Fn(&[f64]) -> Result<Vec<f64>, String> + Send + Sync + 'static) {
+        self.registry.write().insert(name.to_string(), Arc::new(func));
+    }
+
+    /// Whether a function name is registered.
+    pub fn has(&self, name: &str) -> bool {
+        self.registry.read().contains_key(name)
+    }
+
+    /// Submits a named function for asynchronous execution.
+    ///
+    /// Returns an error immediately when the name is unknown.
+    pub fn submit(&self, name: &str, args: &[f64]) -> Result<TaskHandle, String> {
+        let func = self
+            .registry
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("unknown function '{name}'"))?;
+        let slot = Arc::new(TaskSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        self.queue
+            .send(Job::Run {
+                func,
+                args: args.to_vec(),
+                slot: Arc::clone(&slot),
+            })
+            .map_err(|_| "executor is shut down".to_string())?;
+        Ok(TaskHandle { slot })
+    }
+
+    /// Convenience: submit and wait.
+    pub fn call(&self, name: &str, args: &[f64]) -> Result<Vec<f64>, String> {
+        self.submit(name, args)?.wait()
+    }
+}
+
+impl Drop for FuncExecutor {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.queue.send(Job::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn registered_function_executes() {
+        let ex = FuncExecutor::new(2);
+        ex.register("sum", |args| Ok(vec![args.iter().sum()]));
+        assert!(ex.has("sum"));
+        assert_eq!(ex.call("sum", &[1.0, 2.0, 3.0]).unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn unknown_function_is_an_immediate_error() {
+        let ex = FuncExecutor::new(1);
+        assert!(ex.submit("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn function_errors_propagate() {
+        let ex = FuncExecutor::new(1);
+        ex.register("fail", |_| Err("boom".to_string()));
+        assert_eq!(ex.call("fail", &[]).unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn tasks_run_concurrently_across_workers() {
+        let ex = FuncExecutor::new(4);
+        ex.register("sleepy", |_| {
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(vec![1.0])
+        });
+        let t0 = Instant::now();
+        let handles: Vec<TaskHandle> =
+            (0..4).map(|_| ex.submit("sleepy", &[]).unwrap()).collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        // 4 × 30 ms serial; parallel should land well under 2×.
+        assert!(
+            t0.elapsed() < Duration::from_millis(70),
+            "took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let ex = FuncExecutor::new(1);
+        ex.register("slow", |_| {
+            std::thread::sleep(Duration::from_millis(40));
+            Ok(vec![])
+        });
+        let h = ex.submit("slow", &[]).unwrap();
+        // Either still running (None) or already done; never a hang.
+        let _ = h.try_take();
+        // Eventually completes.
+        let t0 = Instant::now();
+        loop {
+            if let Some(r) = h.try_take() {
+                r.unwrap();
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(2), "task never finished");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn reregistration_replaces_function() {
+        let ex = FuncExecutor::new(1);
+        ex.register("f", |_| Ok(vec![1.0]));
+        ex.register("f", |_| Ok(vec![2.0]));
+        assert_eq!(ex.call("f", &[]).unwrap(), vec![2.0]);
+    }
+}

@@ -1,0 +1,420 @@
+//! DAG flow definitions and the wave-parallel runner: the Globus Flows
+//! stand-in.
+//!
+//! A [`Flow`] is a set of named steps with dependencies. The runner
+//! topologically sorts the DAG into *waves* of mutually independent steps,
+//! executes each wave in parallel (scoped threads), retries failed steps up
+//! to a per-flow budget, and reports per-step wall time plus any virtual
+//! seconds the step attributes to modeled resources (transfers, remote
+//! compute). The fairDMS case study (Fig 15) uses these reports for its
+//! end-to-end time accounting.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// What a step reports back on success.
+#[derive(Clone, Debug, Default)]
+pub struct StepOutcome {
+    /// Modeled (virtual) seconds consumed — e.g. transfer time.
+    pub virtual_secs: f64,
+    /// Free-form scalar outputs, merged into the flow context.
+    pub outputs: HashMap<String, f64>,
+}
+
+impl StepOutcome {
+    /// An empty outcome.
+    pub fn none() -> Self {
+        StepOutcome::default()
+    }
+
+    /// An outcome carrying only virtual time.
+    pub fn virtual_time(secs: f64) -> Self {
+        StepOutcome {
+            virtual_secs: secs,
+            outputs: HashMap::new(),
+        }
+    }
+
+    /// Builder-style scalar output.
+    pub fn with_output(mut self, key: &str, value: f64) -> Self {
+        self.outputs.insert(key.to_string(), value);
+        self
+    }
+}
+
+type StepFn = Box<dyn Fn(&HashMap<String, f64>) -> Result<StepOutcome, String> + Send + Sync>;
+
+struct Step {
+    name: String,
+    deps: Vec<String>,
+    run: StepFn,
+}
+
+/// Errors raised when building or running a flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// A step names a dependency that does not exist.
+    UnknownDependency {
+        /// The step declaring the dependency.
+        step: String,
+        /// The missing dependency name.
+        dependency: String,
+    },
+    /// The dependency graph has a cycle (no runnable order exists).
+    Cycle,
+    /// A step failed after exhausting its retry budget.
+    StepFailed {
+        /// The failing step.
+        step: String,
+        /// Its final error message.
+        error: String,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// Two steps share a name.
+    DuplicateStep(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::UnknownDependency { step, dependency } => {
+                write!(f, "step '{step}' depends on unknown step '{dependency}'")
+            }
+            FlowError::Cycle => write!(f, "flow dependency graph has a cycle"),
+            FlowError::StepFailed {
+                step,
+                error,
+                attempts,
+            } => write!(f, "step '{step}' failed after {attempts} attempts: {error}"),
+            FlowError::DuplicateStep(s) => write!(f, "duplicate step name '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Per-step execution report.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Step name.
+    pub name: String,
+    /// Measured wall seconds of the successful attempt.
+    pub wall_secs: f64,
+    /// Virtual seconds the step attributed to modeled resources.
+    pub virtual_secs: f64,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: usize,
+    /// Wave index the step ran in.
+    pub wave: usize,
+}
+
+/// Whole-flow execution report.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Per-step reports in execution order.
+    pub steps: Vec<StepReport>,
+    /// Final scalar context (all step outputs merged).
+    pub context: HashMap<String, f64>,
+    /// Total measured wall seconds of the run.
+    pub total_wall_secs: f64,
+}
+
+impl FlowReport {
+    /// Sum of wall + virtual seconds along the executed waves (each wave
+    /// costs its slowest step) — the end-to-end latency a user of the
+    /// hosted services would observe.
+    pub fn end_to_end_secs(&self) -> f64 {
+        let max_wave = self.steps.iter().map(|s| s.wave).max().unwrap_or(0);
+        (0..=max_wave)
+            .map(|w| {
+                self.steps
+                    .iter()
+                    .filter(|s| s.wave == w)
+                    .map(|s| s.wall_secs + s.virtual_secs)
+                    .fold(0.0f64, f64::max)
+            })
+            .sum()
+    }
+
+    /// Report for a named step.
+    pub fn step(&self, name: &str) -> Option<&StepReport> {
+        self.steps.iter().find(|s| s.name == name)
+    }
+}
+
+/// A DAG of named steps.
+#[derive(Default)]
+pub struct Flow {
+    steps: Vec<Step>,
+    max_retries: usize,
+}
+
+impl Flow {
+    /// An empty flow with no retries.
+    pub fn new() -> Self {
+        Flow {
+            steps: Vec::new(),
+            max_retries: 0,
+        }
+    }
+
+    /// Sets the per-step retry budget (total attempts = retries + 1).
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Adds a step with dependencies. The step function receives the
+    /// merged scalar context of all completed steps.
+    pub fn step(
+        mut self,
+        name: &str,
+        deps: &[&str],
+        run: impl Fn(&HashMap<String, f64>) -> Result<StepOutcome, String> + Send + Sync + 'static,
+    ) -> Self {
+        self.steps.push(Step {
+            name: name.to_string(),
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+            run: Box::new(run),
+        });
+        self
+    }
+
+    /// Validates the DAG and computes the execution waves.
+    fn waves(&self) -> Result<Vec<Vec<usize>>, FlowError> {
+        let mut names = HashSet::new();
+        for s in &self.steps {
+            if !names.insert(s.name.as_str()) {
+                return Err(FlowError::DuplicateStep(s.name.clone()));
+            }
+        }
+        let index: HashMap<&str, usize> = self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.as_str(), i))
+            .collect();
+        for s in &self.steps {
+            for d in &s.deps {
+                if !index.contains_key(d.as_str()) {
+                    return Err(FlowError::UnknownDependency {
+                        step: s.name.clone(),
+                        dependency: d.clone(),
+                    });
+                }
+            }
+        }
+
+        let mut remaining: HashSet<usize> = (0..self.steps.len()).collect();
+        let mut done: HashSet<usize> = HashSet::new();
+        let mut waves = Vec::new();
+        while !remaining.is_empty() {
+            let mut wave: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    self.steps[i]
+                        .deps
+                        .iter()
+                        .all(|d| done.contains(&index[d.as_str()]))
+                })
+                .collect();
+            if wave.is_empty() {
+                return Err(FlowError::Cycle);
+            }
+            wave.sort_unstable();
+            for &i in &wave {
+                remaining.remove(&i);
+                done.insert(i);
+            }
+            waves.push(wave);
+        }
+        Ok(waves)
+    }
+
+    /// Executes the flow: waves in order, steps within a wave in parallel,
+    /// each step retried up to the flow's budget.
+    pub fn run(&self) -> Result<FlowReport, FlowError> {
+        let waves = self.waves()?;
+        let t0 = Instant::now();
+        let mut context: HashMap<String, f64> = HashMap::new();
+        let mut reports: Vec<StepReport> = Vec::with_capacity(self.steps.len());
+
+        for (wave_idx, wave) in waves.iter().enumerate() {
+            let ctx_snapshot = context.clone();
+            let max_attempts = self.max_retries + 1;
+
+            let results: Vec<(usize, Result<(StepOutcome, f64, usize), String>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&i| {
+                            let step = &self.steps[i];
+                            let ctx = &ctx_snapshot;
+                            scope.spawn(move || {
+                                let mut last_err = String::new();
+                                for attempt in 1..=max_attempts {
+                                    let t = Instant::now();
+                                    match (step.run)(ctx) {
+                                        Ok(outcome) => {
+                                            return (
+                                                i,
+                                                Ok((outcome, t.elapsed().as_secs_f64(), attempt)),
+                                            )
+                                        }
+                                        Err(e) => last_err = e,
+                                    }
+                                }
+                                (i, Err(last_err))
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+
+            for (i, result) in results {
+                let step = &self.steps[i];
+                match result {
+                    Ok((outcome, wall, attempts)) => {
+                        for (k, v) in &outcome.outputs {
+                            context.insert(k.clone(), *v);
+                        }
+                        reports.push(StepReport {
+                            name: step.name.clone(),
+                            wall_secs: wall,
+                            virtual_secs: outcome.virtual_secs,
+                            attempts,
+                            wave: wave_idx,
+                        });
+                    }
+                    Err(error) => {
+                        return Err(FlowError::StepFailed {
+                            step: step.name.clone(),
+                            error,
+                            attempts: max_attempts,
+                        })
+                    }
+                }
+            }
+        }
+
+        Ok(FlowReport {
+            steps: reports,
+            context,
+            total_wall_secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn linear_flow_threads_context() {
+        let flow = Flow::new()
+            .step("a", &[], |_| Ok(StepOutcome::none().with_output("x", 2.0)))
+            .step("b", &["a"], |ctx| {
+                Ok(StepOutcome::none().with_output("y", ctx["x"] * 3.0))
+            })
+            .step("c", &["b"], |ctx| {
+                Ok(StepOutcome::none().with_output("z", ctx["y"] + 1.0))
+            });
+        let report = flow.run().unwrap();
+        assert_eq!(report.context["z"], 7.0);
+        assert_eq!(report.steps.len(), 3);
+        assert_eq!(report.step("c").unwrap().wave, 2);
+    }
+
+    #[test]
+    fn independent_steps_share_a_wave_and_run_parallel() {
+        let flow = Flow::new()
+            .step("a", &[], |_| {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                Ok(StepOutcome::none())
+            })
+            .step("b", &[], |_| {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                Ok(StepOutcome::none())
+            })
+            .step("join", &["a", "b"], |_| Ok(StepOutcome::none()));
+        let t0 = Instant::now();
+        let report = flow.run().unwrap();
+        assert!(t0.elapsed().as_millis() < 45, "waves did not parallelize");
+        assert_eq!(report.step("a").unwrap().wave, 0);
+        assert_eq!(report.step("b").unwrap().wave, 0);
+        assert_eq!(report.step("join").unwrap().wave, 1);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let flow = Flow::new()
+            .step("a", &["b"], |_| Ok(StepOutcome::none()))
+            .step("b", &["a"], |_| Ok(StepOutcome::none()));
+        assert_eq!(flow.run().unwrap_err(), FlowError::Cycle);
+    }
+
+    #[test]
+    fn unknown_dependency_is_rejected() {
+        let flow = Flow::new().step("a", &["ghost"], |_| Ok(StepOutcome::none()));
+        match flow.run().unwrap_err() {
+            FlowError::UnknownDependency { step, dependency } => {
+                assert_eq!(step, "a");
+                assert_eq!(dependency, "ghost");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let flow = Flow::new()
+            .step("a", &[], |_| Ok(StepOutcome::none()))
+            .step("a", &[], |_| Ok(StepOutcome::none()));
+        assert_eq!(flow.run().unwrap_err(), FlowError::DuplicateStep("a".into()));
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let flow = Flow::new().with_retries(3).step("flaky", &[], move |_| {
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".to_string())
+            } else {
+                Ok(StepOutcome::none())
+            }
+        });
+        let report = flow.run().unwrap();
+        assert_eq!(report.step("flaky").unwrap().attempts, 3);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_flow() {
+        let flow = Flow::new()
+            .with_retries(1)
+            .step("doomed", &[], |_| Err("always".to_string()));
+        match flow.run().unwrap_err() {
+            FlowError::StepFailed { step, attempts, .. } => {
+                assert_eq!(step, "doomed");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_includes_virtual_time() {
+        let flow = Flow::new()
+            .step("transfer", &[], |_| Ok(StepOutcome::virtual_time(5.0)))
+            .step("compute", &["transfer"], |_| {
+                Ok(StepOutcome::virtual_time(2.0))
+            });
+        let report = flow.run().unwrap();
+        assert!(report.end_to_end_secs() >= 7.0);
+        assert!(report.total_wall_secs < 1.0, "virtual time must not sleep");
+    }
+}

@@ -1,0 +1,26 @@
+//! # fairdms-flows
+//!
+//! The orchestration substrate. The paper's end-to-end workflow (§III-C)
+//! "uses the Globus Flows service to orchestrate funcX and Globus transfer
+//! tasks": Flows sequences the steps, funcX executes user/system-plane
+//! functions serverlessly, and Globus transfer moves data and models
+//! between facility and compute cluster. Those are hosted services; this
+//! crate provides local equivalents with the same roles:
+//!
+//! * [`executor::FuncExecutor`] — a registry + thread pool executing named
+//!   functions asynchronously with futures (funcX stand-in);
+//! * [`transfer::TransferService`] — endpoint-to-endpoint transfers with
+//!   modeled latency/bandwidth and per-transfer records (Globus transfer
+//!   stand-in; wire time is virtual, consistent with DESIGN.md);
+//! * [`flow::Flow`] — DAG flow definitions executed wave-parallel with
+//!   retries and per-step timing attribution (Globus Flows stand-in).
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod flow;
+pub mod transfer;
+
+pub use executor::{FuncExecutor, TaskHandle};
+pub use flow::{Flow, FlowError, FlowReport, StepOutcome, StepReport};
+pub use transfer::{Endpoint, TransferRecord, TransferService};

@@ -1,0 +1,140 @@
+//! Property tests for the flow runner: random layered DAGs must execute
+//! every step exactly once, in dependency order, with correct context
+//! propagation.
+
+use fairdms_flows::{Flow, StepOutcome};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Builds a random layered DAG: `layers` layers of up to `width` steps;
+/// each step depends on a random subset of the previous layer.
+fn layered_flow(
+    layer_sizes: &[usize],
+    dep_mask: &[u8],
+    log: Arc<Mutex<Vec<String>>>,
+) -> (Flow, Vec<(String, Vec<String>)>) {
+    let mut flow = Flow::new();
+    let mut structure = Vec::new();
+    let mut mask_idx = 0usize;
+    let mut prev_layer: Vec<String> = Vec::new();
+    for (li, &sz) in layer_sizes.iter().enumerate() {
+        let mut this_layer = Vec::new();
+        for s in 0..sz {
+            let name = format!("L{li}S{s}");
+            let mut deps: Vec<String> = Vec::new();
+            for p in &prev_layer {
+                let bit = dep_mask.get(mask_idx).copied().unwrap_or(0);
+                mask_idx += 1;
+                if bit % 2 == 1 {
+                    deps.push(p.clone());
+                }
+            }
+            // Keep the DAG connected layer-to-layer.
+            if deps.is_empty() && !prev_layer.is_empty() {
+                deps.push(prev_layer[0].clone());
+            }
+            let log2 = Arc::clone(&log);
+            let name2 = name.clone();
+            let dep_refs: Vec<&str> = deps.iter().map(|d| d.as_str()).collect();
+            flow = flow.step(&name, &dep_refs, move |_| {
+                log2.lock().unwrap().push(name2.clone());
+                Ok(StepOutcome::none())
+            });
+            structure.push((name.clone(), deps));
+            this_layer.push(name);
+        }
+        prev_layer = this_layer;
+    }
+    (flow, structure)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_dags_run_every_step_in_dependency_order(
+        layer_sizes in proptest::collection::vec(1usize..4, 1..4),
+        dep_mask in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (flow, structure) = layered_flow(&layer_sizes, &dep_mask, Arc::clone(&log));
+        let report = flow.run().expect("layered DAGs are acyclic");
+        let order = log.lock().unwrap().clone();
+
+        let total: usize = layer_sizes.iter().sum();
+        prop_assert_eq!(order.len(), total);
+        prop_assert_eq!(report.steps.len(), total);
+
+        // Every dependency finished before its dependent started.
+        let position: HashMap<&String, usize> =
+            order.iter().enumerate().map(|(i, n)| (n, i)).collect();
+        for (name, deps) in &structure {
+            for d in deps {
+                prop_assert!(
+                    position[&d.clone()] < position[&name.clone()],
+                    "{d} must precede {name}"
+                );
+            }
+        }
+
+        // Wave indexes are consistent with dependencies too.
+        let wave: HashMap<String, usize> = report
+            .steps
+            .iter()
+            .map(|s| (s.name.clone(), s.wave))
+            .collect();
+        for (name, deps) in &structure {
+            for d in deps {
+                prop_assert!(wave[d] < wave[name]);
+            }
+        }
+    }
+
+    #[test]
+    fn retries_execute_expected_attempt_counts(
+        fail_times in 0usize..4,
+        retries in 0usize..4,
+    ) {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let flow = Flow::new().with_retries(retries).step("s", &[], move |_| {
+            if c.fetch_add(1, Ordering::SeqCst) < fail_times {
+                Err("transient".into())
+            } else {
+                Ok(StepOutcome::none())
+            }
+        });
+        let result = flow.run();
+        if fail_times <= retries {
+            let report = result.expect("should eventually succeed");
+            prop_assert_eq!(report.step("s").unwrap().attempts, fail_times + 1);
+        } else {
+            prop_assert!(result.is_err());
+            prop_assert_eq!(counter.load(Ordering::SeqCst), retries + 1);
+        }
+    }
+
+    #[test]
+    fn context_outputs_accumulate_across_layers(values in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+        let mut flow = Flow::new();
+        let mut prev: Option<String> = None;
+        for (i, v) in values.iter().enumerate() {
+            let name = format!("s{i}");
+            let key = format!("v{i}");
+            let deps: Vec<&str> = prev.as_deref().map(|p| vec![p]).unwrap_or_default();
+            let v = *v;
+            let deps_owned: Vec<String> = deps.iter().map(|s| s.to_string()).collect();
+            let dep_refs: Vec<&str> = deps_owned.iter().map(|s| s.as_str()).collect();
+            flow = flow.step(&name, &dep_refs, move |_| {
+                Ok(StepOutcome::none().with_output(&key, v))
+            });
+            prev = Some(name);
+        }
+        let report = flow.run().unwrap();
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(report.context[&format!("v{i}")], *v);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Pointwise activation layers.
+
+use super::{Layer, Mode};
+use fairdms_tensor::Tensor;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Kind {
+    Relu,
+    LeakyRelu(f32),
+    Sigmoid,
+    Tanh,
+}
+
+/// A pointwise activation function.
+///
+/// ReLU/LeakyReLU cache the input sign; Sigmoid/Tanh cache the *output*,
+/// whose value alone determines the derivative.
+pub struct Activation {
+    kind: Kind,
+    cache: Option<Tensor>,
+}
+
+impl Activation {
+    /// Rectified linear unit.
+    pub fn relu() -> Self {
+        Activation {
+            kind: Kind::Relu,
+            cache: None,
+        }
+    }
+
+    /// Leaky ReLU with negative-side slope `alpha`.
+    pub fn leaky_relu(alpha: f32) -> Self {
+        assert!(alpha >= 0.0, "leaky ReLU slope must be non-negative");
+        Activation {
+            kind: Kind::LeakyRelu(alpha),
+            cache: None,
+        }
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid() -> Self {
+        Activation {
+            kind: Kind::Sigmoid,
+            cache: None,
+        }
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh() -> Self {
+        Activation {
+            kind: Kind::Tanh,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        match self.kind {
+            Kind::Relu => {
+                self.cache = Some(x.clone());
+                x.map(|v| v.max(0.0))
+            }
+            Kind::LeakyRelu(a) => {
+                self.cache = Some(x.clone());
+                x.map(|v| if v > 0.0 { v } else { a * v })
+            }
+            Kind::Sigmoid => {
+                let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+                self.cache = Some(y.clone());
+                y
+            }
+            Kind::Tanh => {
+                let y = x.map(|v| v.tanh());
+                self.cache = Some(y.clone());
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Activation::backward called before forward");
+        match self.kind {
+            Kind::Relu => grad_out.zip(cache, |g, x| if x > 0.0 { g } else { 0.0 }),
+            Kind::LeakyRelu(a) => grad_out.zip(cache, |g, x| if x > 0.0 { g } else { a * g }),
+            Kind::Sigmoid => grad_out.zip(cache, |g, y| g * y * (1.0 - y)),
+            Kind::Tanh => grad_out.zip(cache, |g, y| g * (1.0 - y * y)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            Kind::Relu => "ReLU",
+            Kind::LeakyRelu(_) => "LeakyReLU",
+            Kind::Sigmoid => "Sigmoid",
+            Kind::Tanh => "Tanh",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives_and_masks_gradient() {
+        let mut a = Activation::relu();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(a.forward(&x, Mode::Train).data(), &[0.0, 0.0, 2.0]);
+        let g = a.backward(&Tensor::ones(&[3]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_scaled_negative_slope() {
+        let mut a = Activation::leaky_relu(0.1);
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[2]);
+        let y = a.forward(&x, Mode::Train);
+        assert!((y.data()[0] + 0.2).abs() < 1e-6);
+        assert_eq!(y.data()[1], 3.0);
+        let g = a.backward(&Tensor::ones(&[2]));
+        assert!((g.data()[0] - 0.1).abs() < 1e-6);
+        assert_eq!(g.data()[1], 1.0);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_derivative() {
+        let mut a = Activation::sigmoid();
+        let y = a.forward(&Tensor::zeros(&[1]), Mode::Train);
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let g = a.backward(&Tensor::ones(&[1]));
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd_with_unit_slope_at_zero() {
+        let mut a = Activation::tanh();
+        let y = a.forward(&Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]), Mode::Train);
+        assert!((y.data()[0] + y.data()[2]).abs() < 1e-6);
+        let g = a.backward(&Tensor::ones(&[3]));
+        assert!((g.data()[1] - 1.0).abs() < 1e-6);
+    }
+}

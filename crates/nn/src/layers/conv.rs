@@ -1,0 +1,331 @@
+//! 2-D convolution via im2col + GEMM.
+//!
+//! The im2col lowering turns convolution into the GEMM that
+//! `fairdms-tensor` already parallelizes, which is exactly how the reference
+//! frameworks the paper used execute CPU convolutions.
+
+use super::{Layer, Mode};
+use crate::param::Param;
+use fairdms_tensor::{ops, rng::TensorRng, Tensor};
+use rayon::prelude::*;
+
+/// 2-D convolution over `[N, C, H, W]` inputs.
+pub struct Conv2d {
+    weight: Param, // [out_c, in_c * kh * kw]
+    bias: Param,   // [out_c]
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_cols: Option<Tensor>,
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a square-kernel convolution with He-normal weights (suited to
+    /// the ReLU-family activations used throughout the repo).
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_c * kernel * kernel;
+        Conv2d {
+            weight: Param::new(rng.he_normal(&[out_c, fan_in], fan_in)),
+            bias: Param::new(Tensor::zeros(&[out_c])),
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            cached_cols: None,
+            cached_in_shape: None,
+        }
+    }
+
+    /// Output spatial extent for an input extent.
+    pub fn out_extent(&self, in_extent: usize) -> usize {
+        assert!(
+            in_extent + 2 * self.padding >= self.kernel,
+            "input extent {} too small for kernel {} with padding {}",
+            in_extent,
+            self.kernel,
+            self.padding
+        );
+        (in_extent + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Lowers `[N, C, H, W]` input into the `[N*OH*OW, C*K*K]` patch matrix.
+    fn im2col(&self, x: &Tensor, oh: usize, ow: usize) -> Tensor {
+        let (n, c, h, w) = dims4(x);
+        let k = self.kernel;
+        let patch = c * k * k;
+        let rows_per_sample = oh * ow;
+        let mut cols = vec![0.0f32; n * rows_per_sample * patch];
+        let xd = x.data();
+        let stride = self.stride;
+        let pad = self.padding as isize;
+
+        cols.par_chunks_mut(rows_per_sample * patch)
+            .enumerate()
+            .for_each(|(ni, sample_cols)| {
+                let x_sample = &xd[ni * c * h * w..(ni + 1) * c * h * w];
+                for out_y in 0..oh {
+                    for out_x in 0..ow {
+                        let row = out_y * ow + out_x;
+                        let dst = &mut sample_cols[row * patch..(row + 1) * patch];
+                        let mut di = 0usize;
+                        for ci in 0..c {
+                            let chan = &x_sample[ci * h * w..(ci + 1) * h * w];
+                            for ky in 0..k {
+                                let in_y = (out_y * stride + ky) as isize - pad;
+                                if in_y < 0 || in_y >= h as isize {
+                                    di += k;
+                                    continue;
+                                }
+                                let row_base = in_y as usize * w;
+                                for kx in 0..k {
+                                    let in_x = (out_x * stride + kx) as isize - pad;
+                                    if in_x >= 0 && in_x < w as isize {
+                                        dst[di] = chan[row_base + in_x as usize];
+                                    }
+                                    di += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        Tensor::from_vec(cols, &[n * rows_per_sample, patch])
+    }
+
+    /// Scatter-adds the patch-matrix gradient back into input layout
+    /// (the adjoint of [`Conv2d::im2col`]).
+    fn col2im(&self, dcols: &Tensor, in_shape: &[usize], oh: usize, ow: usize) -> Tensor {
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let k = self.kernel;
+        let patch = c * k * k;
+        let rows_per_sample = oh * ow;
+        let mut dx = vec![0.0f32; n * c * h * w];
+        let dc = dcols.data();
+        let stride = self.stride;
+        let pad = self.padding as isize;
+
+        dx.par_chunks_mut(c * h * w).enumerate().for_each(|(ni, dx_sample)| {
+            let sample_cols = &dc[ni * rows_per_sample * patch..(ni + 1) * rows_per_sample * patch];
+            for out_y in 0..oh {
+                for out_x in 0..ow {
+                    let row = out_y * ow + out_x;
+                    let src = &sample_cols[row * patch..(row + 1) * patch];
+                    let mut si = 0usize;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let in_y = (out_y * stride + ky) as isize - pad;
+                            if in_y < 0 || in_y >= h as isize {
+                                si += k;
+                                continue;
+                            }
+                            let row_base = ci * h * w + in_y as usize * w;
+                            for kx in 0..k {
+                                let in_x = (out_x * stride + kx) as isize - pad;
+                                if in_x >= 0 && in_x < w as isize {
+                                    dx_sample[row_base + in_x as usize] += src[si];
+                                }
+                                si += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(dx, in_shape)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, c, h, w) = dims4(x);
+        assert_eq!(c, self.in_c, "Conv2d: expected {} input channels, got {c}", self.in_c);
+        let oh = self.out_extent(h);
+        let ow = self.out_extent(w);
+
+        let cols = self.im2col(x, oh, ow); // [N*OH*OW, patch]
+        let gemm = ops::matmul_transb(&cols, &self.weight.value); // [N*OH*OW, out_c]
+
+        // Permute [N*OH*OW, OC] → [N, OC, OH, OW] and add bias.
+        let rows_per_sample = oh * ow;
+        let oc = self.out_c;
+        let mut out = vec![0.0f32; n * oc * rows_per_sample];
+        let gd = gemm.data();
+        let bias = self.bias.value.data();
+        out.par_chunks_mut(oc * rows_per_sample)
+            .enumerate()
+            .for_each(|(ni, out_sample)| {
+                let g_sample = &gd[ni * rows_per_sample * oc..(ni + 1) * rows_per_sample * oc];
+                for (r, g_row) in g_sample.chunks(oc).enumerate() {
+                    for (ci, &v) in g_row.iter().enumerate() {
+                        out_sample[ci * rows_per_sample + r] = v + bias[ci];
+                    }
+                }
+            });
+
+        self.cached_cols = Some(cols);
+        self.cached_in_shape = Some(x.shape().to_vec());
+        Tensor::from_vec(out, &[n, oc, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let in_shape = self.cached_in_shape.clone().expect("missing input shape");
+        let (n, oc, oh, ow) = dims4(grad_out);
+        assert_eq!(oc, self.out_c, "Conv2d: gradient channel mismatch");
+        let rows_per_sample = oh * ow;
+
+        // Permute ∂Y [N, OC, OH, OW] → G [N*OH*OW, OC].
+        let gd = grad_out.data();
+        let mut g = vec![0.0f32; n * rows_per_sample * oc];
+        g.par_chunks_mut(rows_per_sample * oc)
+            .enumerate()
+            .for_each(|(ni, g_sample)| {
+                let gout = &gd[ni * oc * rows_per_sample..(ni + 1) * oc * rows_per_sample];
+                for r in 0..rows_per_sample {
+                    for ci in 0..oc {
+                        g_sample[r * oc + ci] = gout[ci * rows_per_sample + r];
+                    }
+                }
+            });
+        let g = Tensor::from_vec(g, &[n * rows_per_sample, oc]);
+
+        // ∂W = Gᵀ × cols, ∂b = column sums of G, ∂cols = G × W.
+        self.weight.grad.add_assign(&ops::matmul_transa(&g, cols));
+        self.bias.grad.add_assign(&g.sum_rows());
+        let dcols = ops::matmul(&g, &self.weight.value);
+        self.col2im(&dcols, &in_shape, oh, ow)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// Splits a rank-4 shape into its `(n, c, h, w)` components.
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.rank(), 4, "expected [N, C, H, W] tensor, got {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (non-GEMM) convolution used as a reference implementation.
+    fn conv_naive(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
+        let (n, c, h, wid) = dims4(x);
+        let oc = w.shape()[0];
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (wid + 2 * pad - k) / stride + 1;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            for co in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b.data()[co];
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < wid as isize {
+                                        let xv = x.at(&[ni, ci, iy as usize, ix as usize]);
+                                        let wv =
+                                            w.at(&[co, ci * k * k + ky * k + kx]);
+                                        acc += xv * wv;
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[ni, co, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_reference() {
+        let mut rng = TensorRng::seeded(0);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let mut conv = Conv2d::new(2, 3, 3, stride, pad, &mut rng);
+            let x = rng.uniform(&[2, 2, 6, 6], -1.0, 1.0);
+            let y = conv.forward(&x, Mode::Train);
+            let y_ref = conv_naive(
+                &x,
+                &conv.weight.value,
+                &conv.bias.value,
+                3,
+                stride,
+                pad,
+            );
+            assert_eq!(y.shape(), y_ref.shape(), "stride={stride} pad={pad}");
+            assert!(
+                fairdms_tensor::allclose(&y, &y_ref, 1e-4),
+                "mismatch at stride={stride} pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_shapes_and_accumulation() {
+        let mut rng = TensorRng::seeded(1);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = rng.uniform(&[1, 1, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Train);
+        let gx = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+        let g1 = conv.weight.grad.clone();
+        conv.forward(&x, Mode::Train);
+        conv.backward(&Tensor::ones(y.shape()));
+        // Gradients accumulate across backward calls.
+        assert!(fairdms_tensor::allclose(
+            &conv.weight.grad,
+            &g1.scale(2.0),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn bias_gradient_counts_output_elements() {
+        let mut rng = TensorRng::seeded(2);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        let x = rng.uniform(&[2, 1, 3, 3], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Train);
+        conv.backward(&Tensor::ones(y.shape()));
+        // 2 samples × 3×3 outputs = 18 ones summed into the single bias.
+        assert!((conv.bias.grad.data()[0] - 18.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn rejects_channel_mismatch() {
+        let mut rng = TensorRng::seeded(3);
+        let mut conv = Conv2d::new(3, 1, 3, 1, 0, &mut rng);
+        conv.forward(&Tensor::zeros(&[1, 2, 5, 5]), Mode::Eval);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fully connected (linear) layer.
+
+use super::{Layer, Mode};
+use crate::param::Param;
+use fairdms_tensor::{ops, rng::TensorRng, Tensor};
+
+/// A fully connected layer: `y = x Wᵀ + b`.
+///
+/// The weight is stored `[out_features, in_features]` so both the forward
+/// pass (`matmul_transb`) and the input-gradient pass (`matmul`) run on the
+/// stored layout without materializing a transpose.
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut TensorRng) -> Self {
+        Dense {
+            weight: Param::new(rng.xavier(in_features, out_features)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 2, "Dense expects [batch, features] input");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features,
+            "Dense: expected {} input features, got {}",
+            self.in_features,
+            x.shape()[1]
+        );
+        let mut y = ops::matmul_transb(x, &self.weight.value);
+        y.add_row_broadcast(&self.bias.value);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        // ∂W = ∂Yᵀ × X  → [out, in]
+        self.weight
+            .grad
+            .add_assign(&ops::matmul_transa(grad_out, x));
+        // ∂b = column sums of ∂Y
+        self.bias.grad.add_assign(&grad_out.sum_rows());
+        // ∂X = ∂Y × W  → [batch, in]
+        ops::matmul(grad_out, &self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = TensorRng::seeded(0);
+        let mut layer = Dense::new(2, 3, &mut rng);
+        layer.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        layer.bias.value = Tensor::from_vec(vec![0.5, -0.5, 0.0], &[3]);
+        let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
+        let y = layer.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut rng = TensorRng::seeded(1);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        layer.forward(&x, Mode::Train);
+        let g = Tensor::ones(&[2, 2]);
+        let gx = layer.backward(&g);
+        assert_eq!(gx.shape(), &[2, 2]);
+        // ∂b = column sums of g = [2, 2]
+        assert_eq!(layer.bias.grad.data(), &[2.0, 2.0]);
+        // ∂W[i][j] = Σ_batch g[., i] * x[., j] = [1+3, 2+4] per output row.
+        assert_eq!(layer.weight.grad.data(), &[4.0, 6.0, 4.0, 6.0]);
+        // Second backward accumulates (doubles).
+        layer.forward(&x, Mode::Train);
+        layer.backward(&g);
+        assert_eq!(layer.bias.grad.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 input features")]
+    fn rejects_wrong_feature_count() {
+        let mut rng = TensorRng::seeded(2);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        layer.forward(&Tensor::zeros(&[1, 3]), Mode::Eval);
+    }
+}

@@ -1,0 +1,124 @@
+//! Inverted dropout with a Monte-Carlo inference mode.
+
+use super::{Layer, Mode};
+use fairdms_tensor::{rng::TensorRng, Tensor};
+
+/// Inverted dropout: in active modes each element survives with probability
+/// `1 - p` and is scaled by `1 / (1 - p)`, so expectations match eval mode.
+///
+/// In [`Mode::McDropout`] the mask stays active at inference time, which is
+/// what turns repeated forward passes into posterior samples (Gal &
+/// Ghahramani) — the uncertainty signal behind the paper's Fig 2.
+pub struct Dropout {
+    p: f32,
+    rng: TensorRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own seeded
+    /// mask generator (explicit seeding keeps MC-dropout runs reproducible).
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: TensorRng::seeded(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if !mode.dropout_active() || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| {
+                if self.rng.next_uniform(0.0, 1.0) < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.shape());
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::ones(&[4, 4]);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y, x);
+        let g = d.backward(&Tensor::ones(&[4, 4]));
+        assert_eq!(g, Tensor::ones(&[4, 4]));
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, Mode::Train);
+        // Inverted dropout: E[y] = E[x]; tolerate sampling noise.
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+        // Survivors are scaled by 1/keep.
+        let survivors: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
+        assert!(survivors.iter().all(|&v| (v - 1.0 / 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[32]);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::ones(&[32]));
+        // The gradient is zero exactly where the output is zero.
+        for (gy, yy) in g.data().iter().zip(y.data()) {
+            assert_eq!(*gy == 0.0, *yy == 0.0);
+        }
+    }
+
+    #[test]
+    fn mc_mode_keeps_sampling() {
+        let mut d = Dropout::new(0.5, 11);
+        let x = Tensor::ones(&[64]);
+        let a = d.forward(&x, Mode::McDropout);
+        let b = d.forward(&x, Mode::McDropout);
+        assert_ne!(a, b, "MC dropout must resample masks");
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::ones(&[8]);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+}

@@ -1,0 +1,211 @@
+//! The [`Layer`] abstraction and the layer implementations.
+//!
+//! A layer is a differentiable function with internal state: `forward`
+//! caches whatever its backward pass needs, `backward` consumes that cache,
+//! accumulates parameter gradients and returns the gradient with respect to
+//! its input. Layers compose through [`Sequential`].
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod norm;
+mod pool;
+mod shape_ops;
+
+pub use activation::Activation;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use norm::BatchNorm;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use shape_ops::{Flatten, Upsample2x};
+
+use crate::param::Param;
+use fairdms_tensor::Tensor;
+
+/// Execution mode for a forward pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: dropout active, batch-norm uses batch statistics and
+    /// updates its running estimates.
+    Train,
+    /// Inference: dropout inactive, batch-norm uses running statistics.
+    Eval,
+    /// Monte-Carlo dropout inference: dropout stays *active* (sampling the
+    /// posterior per Gal & Ghahramani) while batch-norm uses running
+    /// statistics. Used by [`crate::mc_dropout`].
+    McDropout,
+}
+
+impl Mode {
+    /// Whether dropout masks should be sampled in this mode.
+    #[inline]
+    pub fn dropout_active(self) -> bool {
+        matches!(self, Mode::Train | Mode::McDropout)
+    }
+
+    /// Whether batch statistics (vs running statistics) should be used.
+    #[inline]
+    pub fn use_batch_stats(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A differentiable network layer.
+pub trait Layer: Send {
+    /// Computes the layer output, caching state needed by `backward`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` (∂L/∂output) backwards: accumulates parameter
+    /// gradients and returns ∂L/∂input. Must be called after a `forward`
+    /// in a differentiable mode ([`Mode::Train`]).
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's learnable parameters (may be empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's learnable parameters (may be empty).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// A short human-readable layer name for debugging and summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// An ordered container of layers executed front-to-back.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a network from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// An empty network, extendable with [`Sequential::push`].
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Runs the full backward pass, returning ∂L/∂input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// All learnable parameters, in layer order (stable across calls, which
+    /// is what optimizers key their per-parameter state on).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Shared view of all learnable parameters, in layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// One-line-per-layer architecture summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            s.push_str(&format!("{i:>3}: {}\n", l.name()));
+        }
+        s.push_str(&format!("params: {}", self.num_params()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairdms_tensor::rng::TensorRng;
+
+    #[test]
+    fn sequential_composes_forward_and_backward() {
+        let mut rng = TensorRng::seeded(0);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        let x = rng.uniform(&[5, 3], -1.0, 1.0);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[5, 2]);
+        let gx = net.backward(&Tensor::ones(&[5, 2]));
+        assert_eq!(gx.shape(), &[5, 3]);
+        assert_eq!(net.params().len(), 4); // 2 dense layers × (W, b)
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn zero_grad_resets_all_parameters() {
+        let mut rng = TensorRng::seeded(1);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, &mut rng))]);
+        let x = rng.uniform(&[3, 2], -1.0, 1.0);
+        net.forward(&x, Mode::Train);
+        net.backward(&Tensor::ones(&[3, 2]));
+        assert!(net.params().iter().any(|p| p.grad.norm_sq() > 0.0));
+        net.zero_grad();
+        assert!(net.params().iter().all(|p| p.grad.norm_sq() == 0.0));
+    }
+
+    #[test]
+    fn summary_mentions_every_layer() {
+        let mut rng = TensorRng::seeded(2);
+        let net = Sequential::new(vec![
+            Box::new(Dense::new(2, 2, &mut rng)),
+            Box::new(Activation::sigmoid()),
+        ]);
+        let s = net.summary();
+        assert!(s.contains("Dense"));
+        assert!(s.contains("Sigmoid"));
+        assert!(s.contains("params:"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Batch normalization for dense (`[N, F]`) and convolutional
+//! (`[N, C, H, W]`, per-channel) activations.
+
+use super::{Layer, Mode};
+use crate::param::Param;
+use fairdms_tensor::Tensor;
+
+/// Batch normalization.
+///
+/// In [`Mode::Train`] it normalizes with batch statistics and updates
+/// exponential running estimates; in eval / MC-dropout modes it applies the
+/// running estimates. Variance is the biased (population) estimator
+/// throughout, which keeps the backward pass exactly consistent with the
+/// forward normalization.
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    features: usize,
+    // Backward cache.
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Option<Vec<f32>>,
+    cached_batch_stats: bool,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `features` features/channels with the
+    /// conventional momentum 0.1 and eps 1e-5.
+    pub fn new(features: usize) -> Self {
+        BatchNorm {
+            gamma: Param::new(Tensor::ones(&[features])),
+            beta: Param::new(Tensor::zeros(&[features])),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            momentum: 0.1,
+            eps: 1e-5,
+            features,
+            cached_xhat: None,
+            cached_inv_std: None,
+            cached_batch_stats: false,
+        }
+    }
+
+    /// Current running mean (one entry per feature).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance (one entry per feature).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// For feature `f`, the (start, stride-pattern) offsets of its elements.
+    /// Rank 2: elements `i*F + f`. Rank 4: for each sample, a contiguous
+    /// `H*W` block at `(n*C + f)*H*W`.
+    fn feature_offsets(shape: &[usize], f: usize) -> Vec<usize> {
+        match shape.len() {
+            2 => {
+                let (n, feat) = (shape[0], shape[1]);
+                (0..n).map(|i| i * feat + f).collect()
+            }
+            4 => {
+                let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+                let hw = h * w;
+                let mut offs = Vec::with_capacity(n * hw);
+                for ni in 0..n {
+                    let base = (ni * c + f) * hw;
+                    offs.extend(base..base + hw);
+                }
+                offs
+            }
+            r => panic!("BatchNorm supports rank 2 or 4 inputs, got rank {r}"),
+        }
+    }
+
+    fn check_features(&self, shape: &[usize]) {
+        let f = match shape.len() {
+            2 => shape[1],
+            4 => shape[1],
+            r => panic!("BatchNorm supports rank 2 or 4 inputs, got rank {r}"),
+        };
+        assert_eq!(
+            f, self.features,
+            "BatchNorm: expected {} features, got {f}",
+            self.features
+        );
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.check_features(x.shape());
+        let shape = x.shape().to_vec();
+        let mut y = Tensor::zeros(&shape);
+        let mut xhat = Tensor::zeros(&shape);
+        let mut inv_stds = vec![0.0f32; self.features];
+        let use_batch = mode.use_batch_stats();
+
+        for f in 0..self.features {
+            let offs = Self::feature_offsets(&shape, f);
+            let m = offs.len() as f32;
+            let (mean, var) = if use_batch {
+                let mean = offs.iter().map(|&o| x.data()[o]).sum::<f32>() / m;
+                let var = offs
+                    .iter()
+                    .map(|&o| {
+                        let d = x.data()[o] - mean;
+                        d * d
+                    })
+                    .sum::<f32>()
+                    / m;
+                self.running_mean[f] = (1.0 - self.momentum) * self.running_mean[f] + self.momentum * mean;
+                self.running_var[f] = (1.0 - self.momentum) * self.running_var[f] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[f], self.running_var[f])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[f] = inv_std;
+            let g = self.gamma.value.data()[f];
+            let b = self.beta.value.data()[f];
+            for &o in &offs {
+                let xh = (x.data()[o] - mean) * inv_std;
+                xhat.data_mut()[o] = xh;
+                y.data_mut()[o] = g * xh + b;
+            }
+        }
+
+        self.cached_xhat = Some(xhat);
+        self.cached_inv_std = Some(inv_stds);
+        self.cached_batch_stats = use_batch;
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self
+            .cached_xhat
+            .as_ref()
+            .expect("BatchNorm::backward called before forward");
+        let inv_stds = self.cached_inv_std.as_ref().expect("missing inv_std cache");
+        let shape = grad_out.shape().to_vec();
+        let mut dx = Tensor::zeros(&shape);
+
+        for f in 0..self.features {
+            let offs = Self::feature_offsets(&shape, f);
+            let m = offs.len() as f32;
+            let g_f = self.gamma.value.data()[f];
+            let inv_std = inv_stds[f];
+
+            let mut sum_g = 0.0f32;
+            let mut sum_g_xhat = 0.0f32;
+            for &o in &offs {
+                let g = grad_out.data()[o];
+                sum_g += g;
+                sum_g_xhat += g * xhat.data()[o];
+            }
+            self.gamma.grad.data_mut()[f] += sum_g_xhat;
+            self.beta.grad.data_mut()[f] += sum_g;
+
+            if self.cached_batch_stats {
+                // dx = γ·inv_std/m · (m·g − Σg − x̂·Σ(g·x̂))
+                let c = g_f * inv_std / m;
+                for &o in &offs {
+                    let g = grad_out.data()[o];
+                    dx.data_mut()[o] = c * (m * g - sum_g - xhat.data()[o] * sum_g_xhat);
+                }
+            } else {
+                // Running stats are constants: dx = g·γ·inv_std.
+                for &o in &offs {
+                    dx.data_mut()[o] = grad_out.data()[o] * g_f * inv_std;
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairdms_tensor::rng::TensorRng;
+
+    #[test]
+    fn train_output_is_normalized_per_feature() {
+        let mut rng = TensorRng::seeded(0);
+        let mut bn = BatchNorm::new(3);
+        let x = rng.normal(&[64, 3], 5.0, 2.0);
+        let y = bn.forward(&x, Mode::Train);
+        for f in 0..3 {
+            let vals: Vec<f32> = (0..64).map(|i| y.at(&[i, f])).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 64.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "feature {f} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "feature {f} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_toward_data_stats() {
+        let mut rng = TensorRng::seeded(1);
+        let mut bn = BatchNorm::new(1);
+        for _ in 0..200 {
+            let x = rng.normal(&[32, 1], 3.0, 1.5);
+            bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean()[0] - 3.0).abs() < 0.2);
+        assert!((bn.running_var()[0] - 2.25).abs() < 0.5);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        bn.running_mean[0] = 2.0;
+        bn.running_var[0] = 4.0;
+        let x = Tensor::from_vec(vec![2.0, 6.0], &[2, 1]);
+        let y = bn.forward(&x, Mode::Eval);
+        // (2-2)/2 = 0, (6-2)/2 = 2 (up to eps).
+        assert!(y.data()[0].abs() < 1e-3);
+        assert!((y.data()[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_channel_normalization_for_conv_inputs() {
+        let mut rng = TensorRng::seeded(2);
+        let mut bn = BatchNorm::new(2);
+        let x = rng.normal(&[4, 2, 3, 3], -1.0, 3.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Channel 0 elements across batch and space are normalized.
+        let mut vals = Vec::new();
+        for n in 0..4 {
+            for h in 0..3 {
+                for w in 0..3 {
+                    vals.push(y.at(&[n, 0, h, w]));
+                }
+            }
+        }
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_sums_match_identities() {
+        let mut rng = TensorRng::seeded(3);
+        let mut bn = BatchNorm::new(2);
+        let x = rng.normal(&[16, 2], 0.0, 1.0);
+        bn.forward(&x, Mode::Train);
+        let g = rng.normal(&[16, 2], 0.0, 1.0);
+        let dx = bn.backward(&g);
+        // With batch statistics, Σ dx per feature is ~0 (normalization
+        // removes the mean direction from the gradient).
+        for f in 0..2 {
+            let s: f32 = (0..16).map(|i| dx.at(&[i, f])).sum();
+            assert!(s.abs() < 1e-3, "feature {f} gradient sum {s}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Spatial pooling layers for `[N, C, H, W]` tensors.
+
+use super::{Layer, Mode};
+use fairdms_tensor::Tensor;
+
+/// Max pooling with a square window.
+///
+/// Caches the linear index of each window's winner so the backward pass can
+/// route the gradient exclusively to it.
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// A `window`×`window` max pool with stride equal to the window
+    /// (the common non-overlapping configuration).
+    pub fn new(window: usize) -> Self {
+        Self::with_stride(window, window)
+    }
+
+    /// A max pool with an explicit stride.
+    pub fn with_stride(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "window and stride must be positive");
+        MaxPool2d {
+            window,
+            stride,
+            argmax: None,
+            in_shape: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, c, h, w) = dims4(x);
+        assert!(
+            h >= self.window && w >= self.window,
+            "pool window {} larger than input {}x{}",
+            self.window,
+            h,
+            w
+        );
+        let oh = (h - self.window) / self.stride + 1;
+        let ow = (w - self.window) / self.stride + 1;
+        let mut out = Vec::with_capacity(n * c * oh * ow);
+        let mut argmax = Vec::with_capacity(n * c * oh * ow);
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = base + iy * w + ix;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.push(best);
+                        argmax.push(best_idx);
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.in_shape = Some(x.shape().to_vec());
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("MaxPool2d::backward called before forward");
+        let in_shape = self.in_shape.clone().expect("missing input shape");
+        assert_eq!(grad_out.numel(), argmax.len(), "gradient size mismatch");
+        let mut dx = Tensor::zeros(&in_shape);
+        let dxd = dx.data_mut();
+        for (&idx, &g) in argmax.iter().zip(grad_out.data()) {
+            dxd[idx] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling with a square non-overlapping window.
+pub struct AvgPool2d {
+    window: usize,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// A `window`×`window` average pool with stride equal to the window.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        AvgPool2d {
+            window,
+            in_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (n, c, h, w) = dims4(x);
+        let k = self.window;
+        assert!(h % k == 0 && w % k == 0, "AvgPool2d requires divisible extents");
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = Vec::with_capacity(n * c * oh * ow);
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                acc += xd[base + (oy * k + ky) * w + ox * k + kx];
+                            }
+                        }
+                        out.push(acc * inv);
+                    }
+                }
+            }
+        }
+        self.in_shape = Some(x.shape().to_vec());
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self.in_shape.clone().expect("backward before forward");
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut dx = Tensor::zeros(&in_shape);
+        let dxd = dx.data_mut();
+        let gd = grad_out.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let gbase = (ni * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gd[gbase + oy * ow + ox] * inv;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                dxd[base + (oy * k + ky) * w + ox * k + kx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.rank(), 4, "expected [N, C, H, W] tensor, got {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_selects_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.0, //
+                -3.0, -4.0, 0.5, 0.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let mut pool = MaxPool2d::new(2);
+        let y = pool.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax_only() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]);
+        let mut pool = MaxPool2d::new(2);
+        pool.forward(&x, Mode::Train);
+        let dx = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn avgpool_averages_and_spreads_gradient() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let mut pool = AvgPool2d::new(2);
+        let y = pool.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[4.0]);
+        let dx = pool.backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn overlapping_maxpool_stride_one() {
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let mut pool = MaxPool2d::with_stride(2, 1);
+        let y = pool.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Loss functions.
+//!
+//! Each loss exposes the scalar objective and its gradient with respect to
+//! the prediction; the trainer feeds the latter straight into
+//! [`crate::Sequential::backward`].
+
+use fairdms_tensor::Tensor;
+
+/// A differentiable scalar loss over (prediction, target) pairs.
+pub trait Loss {
+    /// The scalar loss value.
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> f32;
+    /// The gradient ∂L/∂pred (same shape as `pred`).
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Tensor;
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Mean squared error over all elements.
+pub struct Mse;
+
+impl Loss for Mse {
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> f32 {
+        assert_eq!(pred.shape(), target.shape(), "MSE: shape mismatch");
+        let n = pred.numel().max(1) as f32;
+        pred.data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| {
+                let d = p - t;
+                d * d
+            })
+            .sum::<f32>()
+            / n
+    }
+
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Tensor {
+        assert_eq!(pred.shape(), target.shape(), "MSE: shape mismatch");
+        let scale = 2.0 / pred.numel().max(1) as f32;
+        pred.zip(target, |p, t| scale * (p - t))
+    }
+
+    fn name(&self) -> &'static str {
+        "MSE"
+    }
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`: quadratic near zero,
+/// linear in the tails. Robust to the occasional mislabeled peak.
+pub struct Huber {
+    /// Transition point between the quadratic and linear regimes.
+    pub delta: f32,
+}
+
+impl Huber {
+    /// Creates a Huber loss with the given delta.
+    pub fn new(delta: f32) -> Self {
+        assert!(delta > 0.0, "Huber delta must be positive");
+        Huber { delta }
+    }
+}
+
+impl Loss for Huber {
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> f32 {
+        assert_eq!(pred.shape(), target.shape(), "Huber: shape mismatch");
+        let n = pred.numel().max(1) as f32;
+        let d = self.delta;
+        pred.data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| {
+                let e = (p - t).abs();
+                if e <= d {
+                    0.5 * e * e
+                } else {
+                    d * (e - 0.5 * d)
+                }
+            })
+            .sum::<f32>()
+            / n
+    }
+
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Tensor {
+        let scale = 1.0 / pred.numel().max(1) as f32;
+        let d = self.delta;
+        pred.zip(target, |p, t| {
+            let e = p - t;
+            scale
+                * if e.abs() <= d {
+                    e
+                } else {
+                    d * e.signum()
+                }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Huber"
+    }
+}
+
+/// Binary cross-entropy on logits (numerically stable log-sum-exp form).
+pub struct BceWithLogits;
+
+impl Loss for BceWithLogits {
+    fn forward(&self, pred: &Tensor, target: &Tensor) -> f32 {
+        assert_eq!(pred.shape(), target.shape(), "BCE: shape mismatch");
+        let n = pred.numel().max(1) as f32;
+        pred.data()
+            .iter()
+            .zip(target.data())
+            .map(|(&z, &t)| {
+                // max(z,0) - z*t + ln(1 + e^{-|z|})
+                z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln()
+            })
+            .sum::<f32>()
+            / n
+    }
+
+    fn backward(&self, pred: &Tensor, target: &Tensor) -> Tensor {
+        let scale = 1.0 / pred.numel().max(1) as f32;
+        pred.zip(target, |z, t| {
+            let s = 1.0 / (1.0 + (-z).exp());
+            scale * (s - t)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "BCEWithLogits"
+    }
+}
+
+/// Normalized-temperature cross-entropy (NT-Xent, SimCLR) over a batch of
+/// paired embeddings.
+///
+/// `z` holds `2B` L2-normalized rows where rows `i` and `i+B` are the two
+/// augmented views of sample `i`. Returns the scalar loss and ∂L/∂z.
+/// Implemented as a free function (not [`Loss`]) because it consumes a
+/// single embedding matrix rather than a (pred, target) pair.
+pub fn nt_xent(z: &Tensor, temperature: f32) -> (f32, Tensor) {
+    assert_eq!(z.rank(), 2, "nt_xent expects [2B, D]");
+    let n = z.shape()[0];
+    assert!(n >= 4 && n % 2 == 0, "nt_xent needs an even batch of ≥ 4 rows");
+    let b = n / 2;
+    let d = z.shape()[1];
+    assert!(temperature > 0.0, "temperature must be positive");
+
+    // Cosine similarities (rows are assumed normalized; normalize defensively).
+    let mut norms = vec![0.0f32; n];
+    for i in 0..n {
+        norms[i] = z.row(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+    }
+    let sim = |i: usize, j: usize| -> f32 {
+        let (ri, rj) = (z.row(i), z.row(j));
+        let dot: f32 = ri.iter().zip(rj).map(|(&a, &b)| a * b).sum();
+        dot / (norms[i] * norms[j])
+    };
+
+    // Softmax over each row's similarities (excluding self) at temperature τ.
+    let mut loss = 0.0f32;
+    let mut grad_sim = vec![0.0f32; n * n]; // ∂L/∂sim[i][j]
+    for i in 0..n {
+        let pos = if i < b { i + b } else { i - b };
+        let mut logits = Vec::with_capacity(n - 1);
+        for j in 0..n {
+            if j != i {
+                logits.push((j, sim(i, j) / temperature));
+            }
+        }
+        let max_l = logits.iter().map(|(_, l)| *l).fold(f32::NEG_INFINITY, f32::max);
+        let sum_exp: f32 = logits.iter().map(|(_, l)| (l - max_l).exp()).sum();
+        let log_denom = max_l + sum_exp.ln();
+        let pos_logit = sim(i, pos) / temperature;
+        loss += log_denom - pos_logit;
+        // ∂L_i/∂sim(i,j) = (softmax_j - 1[j=pos]) / τ
+        for (j, l) in &logits {
+            let p = (l - log_denom).exp();
+            let indicator = if *j == pos { 1.0 } else { 0.0 };
+            grad_sim[i * n + j] = (p - indicator) / temperature;
+        }
+    }
+    loss /= n as f32;
+
+    // Chain rule through the cosine similarity into z.
+    let mut grad = Tensor::zeros(z.shape());
+    let scale = 1.0 / n as f32;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            // sim appears in row i's loss (g_ij) and row j's loss (g_ji).
+            let g = (grad_sim[i * n + j] + grad_sim[j * n + i]) * scale;
+            if g == 0.0 {
+                continue;
+            }
+            let s_ij = sim(i, j);
+            let (ni, nj) = (norms[i], norms[j]);
+            for k in 0..d {
+                let zi = z.row(i)[k];
+                let zj = z.row(j)[k];
+                // ∂sim/∂z_i = z_j/(|z_i||z_j|) − sim·z_i/|z_i|²  (and sym.)
+                grad.data_mut()[i * d + k] += g * (zj / (ni * nj) - s_ij * zi / (ni * ni));
+            }
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairdms_tensor::rng::TensorRng;
+
+    #[test]
+    fn mse_zero_on_identical_inputs() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(Mse.forward(&t, &t), 0.0);
+        assert_eq!(Mse.backward(&t, &t).norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]);
+        assert!((Mse.forward(&p, &t) - 2.5).abs() < 1e-6);
+        let g = Mse.backward(&p, &t);
+        assert_eq!(g.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let h = Huber::new(1.0);
+        let p = Tensor::from_vec(vec![0.5, 3.0], &[2]);
+        let t = Tensor::zeros(&[2]);
+        let expected = (0.5 * 0.25 + (3.0 - 0.5)) / 2.0;
+        assert!((h.forward(&p, &t) - expected).abs() < 1e-6);
+        let g = h.backward(&p, &t);
+        assert!((g.data()[0] - 0.25).abs() < 1e-6); // e/n
+        assert!((g.data()[1] - 0.5).abs() < 1e-6); // δ·sign/n
+    }
+
+    #[test]
+    fn bce_gradient_is_sigmoid_minus_target() {
+        let p = Tensor::from_vec(vec![0.0], &[1]);
+        let t = Tensor::from_vec(vec![1.0], &[1]);
+        let g = BceWithLogits.backward(&p, &t);
+        assert!((g.data()[0] + 0.5).abs() < 1e-6);
+        // Loss at logit 0 is ln 2 regardless of target.
+        assert!((BceWithLogits.forward(&p, &t) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn losses_agree_with_numerical_gradient() {
+        let mut rng = TensorRng::seeded(5);
+        let p = rng.uniform(&[6], -2.0, 2.0);
+        let t = rng.uniform(&[6], -2.0, 2.0);
+        for loss in [&Mse as &dyn Loss, &Huber::new(0.7), &BceWithLogits] {
+            let t_eff = if loss.name() == "BCEWithLogits" {
+                t.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+            } else {
+                t.clone()
+            };
+            let analytic = loss.backward(&p, &t_eff);
+            for i in 0..p.numel() {
+                let mut pp = p.clone();
+                pp.data_mut()[i] += 1e-3;
+                let mut pm = p.clone();
+                pm.data_mut()[i] -= 1e-3;
+                let num = (loss.forward(&pp, &t_eff) - loss.forward(&pm, &t_eff)) / 2e-3;
+                assert!(
+                    (num - analytic.data()[i]).abs() < 1e-2,
+                    "{}: numeric {num} vs analytic {}",
+                    loss.name(),
+                    analytic.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nt_xent_prefers_aligned_pairs() {
+        // Two pairs of identical views: loss should be small. Orthogonal
+        // pairs: loss should be larger.
+        let aligned = Tensor::from_vec(
+            vec![
+                1.0, 0.0, //
+                0.0, 1.0, //
+                1.0, 0.0, //
+                0.0, 1.0,
+            ],
+            &[4, 2],
+        );
+        let (l_aligned, _) = nt_xent(&aligned, 0.5);
+        let misaligned = Tensor::from_vec(
+            vec![
+                1.0, 0.0, //
+                0.0, 1.0, //
+                0.0, 1.0, //
+                1.0, 0.0,
+            ],
+            &[4, 2],
+        );
+        let (l_mis, _) = nt_xent(&misaligned, 0.5);
+        assert!(l_aligned < l_mis, "{l_aligned} !< {l_mis}");
+    }
+
+    #[test]
+    fn nt_xent_gradient_matches_numeric() {
+        let mut rng = TensorRng::seeded(9);
+        let z = rng.uniform(&[4, 3], -1.0, 1.0);
+        let (_, g) = nt_xent(&z, 0.5);
+        for i in 0..z.numel() {
+            let mut zp = z.clone();
+            zp.data_mut()[i] += 1e-3;
+            let mut zm = z.clone();
+            zm.data_mut()[i] -= 1e-3;
+            let (lp, _) = nt_xent(&zp, 0.5);
+            let (lm, _) = nt_xent(&zm, 0.5);
+            let num = (lp - lm) / 2e-3;
+            assert!(
+                (num - g.data()[i]).abs() < 2e-2,
+                "index {i}: numeric {num} vs analytic {}",
+                g.data()[i]
+            );
+        }
+    }
+}

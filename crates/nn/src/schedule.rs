@@ -1,0 +1,189 @@
+//! Learning-rate schedules.
+//!
+//! The paper's fine-tuning recipe ("a much smaller learning rate") is a
+//! constant-rate special case; these schedules cover the standard recipes
+//! used when retraining from scratch is unavoidable (warmup stabilizes the
+//! early epochs of a randomly initialized model, cosine/step decay sharpen
+//! convergence). A schedule is a pure function of the epoch index so it is
+//! trivially `Clone` and can ride inside [`crate::trainer::TrainConfig`].
+
+/// A deterministic epoch → learning-rate mapping applied on top of a base
+/// rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// The base rate throughout.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs: `base · gamma^(e/every)`.
+    Step {
+        /// Epochs between decays (must be ≥ 1).
+        every: usize,
+        /// Multiplicative decay factor in (0, 1].
+        gamma: f32,
+    },
+    /// Cosine annealing from `base` to `base · min_frac` over
+    /// `total_epochs`, flat afterwards.
+    Cosine {
+        /// Annealing horizon.
+        total_epochs: usize,
+        /// Final rate as a fraction of base, in [0, 1].
+        min_frac: f32,
+    },
+    /// Linear warmup from `base · min_frac` over `warmup` epochs, then
+    /// cosine annealing to `base · min_frac` at `total_epochs`.
+    WarmupCosine {
+        /// Warmup epochs (0 degrades to [`LrSchedule::Cosine`]).
+        warmup: usize,
+        /// Annealing horizon (must be > `warmup`).
+        total_epochs: usize,
+        /// Floor fraction in [0, 1].
+        min_frac: f32,
+    },
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+impl LrSchedule {
+    /// The learning rate for (zero-based) `epoch` given `base`.
+    pub fn lr_at(&self, epoch: usize, base: f32) -> f32 {
+        assert!(base > 0.0, "base learning rate must be positive");
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Step { every, gamma } => {
+                assert!(every >= 1, "step period must be >= 1");
+                assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+                // Floored: long decays underflow f32 to exactly 0, which
+                // optimizers reject (a zero rate silently stops training).
+                (base * gamma.powi((epoch / every) as i32)).max(base * 1e-6)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_frac,
+            } => cosine(epoch, 0, total_epochs, min_frac, base),
+            LrSchedule::WarmupCosine {
+                warmup,
+                total_epochs,
+                min_frac,
+            } => {
+                assert!(total_epochs > warmup, "horizon must exceed warmup");
+                if epoch < warmup {
+                    let floor = base * min_frac.clamp(0.0, 1.0);
+                    // Linear ramp; epoch 0 starts one step above the floor
+                    // so the rate is never zero.
+                    floor + (base - floor) * (epoch + 1) as f32 / warmup as f32
+                } else {
+                    cosine(epoch, warmup, total_epochs, min_frac, base)
+                }
+            }
+        }
+    }
+}
+
+fn cosine(epoch: usize, start: usize, total: usize, min_frac: f32, base: f32) -> f32 {
+    assert!(total > start, "cosine horizon must exceed its start");
+    let min_frac = min_frac.clamp(0.0, 1.0);
+    let floor = base * min_frac;
+    if epoch >= total {
+        return floor.max(base * 1e-6); // never exactly zero
+    }
+    let progress = (epoch - start) as f32 / (total - start) as f32;
+    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+    (floor + (base - floor) * cos).max(base * 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_identity() {
+        for e in [0, 5, 1000] {
+            assert_eq!(LrSchedule::Constant.lr_at(e, 0.01), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(0, 1.0), 1.0);
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert_eq!(s.lr_at(10, 1.0), 0.5);
+        assert_eq!(s.lr_at(25, 1.0), 0.25);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_to_floor() {
+        let s = LrSchedule::Cosine {
+            total_epochs: 50,
+            min_frac: 0.1,
+        };
+        let mut prev = f32::INFINITY;
+        for e in 0..50 {
+            let lr = s.lr_at(e, 1.0);
+            assert!(lr <= prev + 1e-7, "epoch {e}: {lr} > {prev}");
+            assert!(lr >= 0.1 - 1e-6);
+            prev = lr;
+        }
+        assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(200, 1.0) - 0.1).abs() < 1e-6, "flat after horizon");
+    }
+
+    #[test]
+    fn warmup_ramps_then_anneals() {
+        let s = LrSchedule::WarmupCosine {
+            warmup: 5,
+            total_epochs: 30,
+            min_frac: 0.0,
+        };
+        // Ramp up over the first 5 epochs…
+        for e in 0..4 {
+            assert!(s.lr_at(e, 1.0) < s.lr_at(e + 1, 1.0));
+        }
+        // …peak at the end of warmup…
+        assert!((s.lr_at(4, 1.0) - 1.0).abs() < 1e-6);
+        // …then decay.
+        assert!(s.lr_at(10, 1.0) < 1.0);
+        assert!(s.lr_at(29, 1.0) < s.lr_at(10, 1.0));
+    }
+
+    #[test]
+    fn rates_stay_strictly_positive() {
+        let schedules = [
+            LrSchedule::Cosine {
+                total_epochs: 10,
+                min_frac: 0.0,
+            },
+            LrSchedule::WarmupCosine {
+                warmup: 3,
+                total_epochs: 10,
+                min_frac: 0.0,
+            },
+            LrSchedule::Step {
+                every: 1,
+                gamma: 0.1,
+            },
+        ];
+        for s in schedules {
+            for e in 0..40 {
+                assert!(s.lr_at(e, 0.01) > 0.0, "{s:?} at epoch {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must exceed warmup")]
+    fn warmup_requires_room_to_anneal() {
+        LrSchedule::WarmupCosine {
+            warmup: 10,
+            total_epochs: 10,
+            min_frac: 0.0,
+        }
+        .lr_at(0, 1.0);
+    }
+}

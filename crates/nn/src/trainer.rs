@@ -1,0 +1,385 @@
+//! Mini-batch training loop with validation tracking, early stopping, and
+//! convergence-epoch detection.
+//!
+//! The paper's Figs 13–14 compare *epochs to convergence* for models trained
+//! from scratch against fine-tuned models recommended by fairMS, so the
+//! trainer records the full validation curve and exposes several
+//! convergence measures on the resulting [`TrainReport`].
+
+use crate::layers::{Mode, Sequential};
+use crate::loss::Loss;
+use crate::optim::{clip_grad_norm, Optimizer};
+use crate::schedule::LrSchedule;
+use fairdms_tensor::{rng::TensorRng, Tensor};
+use std::time::Instant;
+
+/// Training-loop configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size (the final batch of an epoch may be smaller).
+    pub batch_size: usize,
+    /// Epochs without `min_delta` improvement before early stop
+    /// (0 disables early stopping).
+    pub patience: usize,
+    /// Minimum validation-loss improvement that counts as progress.
+    pub min_delta: f32,
+    /// Validation loss below which training stops immediately
+    /// (`None` disables).
+    pub target_val_loss: Option<f32>,
+    /// Seed for the per-epoch shuffle.
+    pub shuffle_seed: u64,
+    /// Learning-rate schedule applied on top of the optimizer's base rate.
+    pub schedule: LrSchedule,
+    /// Global gradient-norm clip applied before each step (`None` disables).
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 100,
+            batch_size: 32,
+            patience: 0,
+            min_delta: 1e-5,
+            target_val_loss: None,
+            shuffle_seed: 0,
+            schedule: LrSchedule::Constant,
+            grad_clip: None,
+        }
+    }
+}
+
+/// Loss statistics for one epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStat {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss across the epoch's batches.
+    pub train_loss: f32,
+    /// Validation loss after the epoch.
+    pub val_loss: f32,
+}
+
+/// The result of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Per-epoch losses, in order.
+    pub curve: Vec<EpochStat>,
+    /// Wall-clock seconds spent in `fit`.
+    pub wall_secs: f64,
+    /// Whether the run ended via early stopping or target loss rather than
+    /// exhausting `epochs`.
+    pub stopped_early: bool,
+}
+
+impl TrainReport {
+    /// Validation loss after the final epoch (∞ when no epoch ran).
+    pub fn final_val_loss(&self) -> f32 {
+        self.curve.last().map(|s| s.val_loss).unwrap_or(f32::INFINITY)
+    }
+
+    /// Best validation loss seen.
+    pub fn best_val_loss(&self) -> f32 {
+        self.curve
+            .iter()
+            .map(|s| s.val_loss)
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// First epoch (1-based count of epochs run) whose validation loss is at
+    /// or below `threshold`, or `None` if never reached — the
+    /// "epochs to convergence" measure used in the paper's case study.
+    pub fn epochs_to_reach(&self, threshold: f32) -> Option<usize> {
+        self.curve
+            .iter()
+            .position(|s| s.val_loss <= threshold)
+            .map(|e| e + 1)
+    }
+
+    /// Validation-loss series (one value per epoch).
+    pub fn val_curve(&self) -> Vec<f32> {
+        self.curve.iter().map(|s| s.val_loss).collect()
+    }
+}
+
+/// Drives mini-batch gradient descent over a [`Sequential`] network.
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: TrainConfig) -> Self {
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        Trainer { cfg }
+    }
+
+    /// Trains `net` on `(train_x, train_y)` and evaluates on
+    /// `(val_x, val_y)` after every epoch. Inputs are `[N, …]` tensors with
+    /// matching leading dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        &self,
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        loss: &dyn Loss,
+        train_x: &Tensor,
+        train_y: &Tensor,
+        val_x: &Tensor,
+        val_y: &Tensor,
+    ) -> TrainReport {
+        let n = train_x.shape()[0];
+        assert_eq!(n, train_y.shape()[0], "train x/y row mismatch");
+        assert_eq!(val_x.shape()[0], val_y.shape()[0], "val x/y row mismatch");
+        assert!(n > 0, "empty training set");
+
+        let start = Instant::now();
+        let mut rng = TensorRng::seeded(self.cfg.shuffle_seed);
+        let mut curve = Vec::with_capacity(self.cfg.epochs);
+        let mut best = f32::INFINITY;
+        let mut stale = 0usize;
+        let mut stopped_early = false;
+
+        let base_lr = opt.lr();
+        for epoch in 0..self.cfg.epochs {
+            opt.set_lr(self.cfg.schedule.lr_at(epoch, base_lr));
+            let order = rng.permutation(n);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let bx = train_x.gather_rows(chunk);
+                let by = train_y.gather_rows(chunk);
+                let pred = net.forward(&bx, Mode::Train);
+                epoch_loss += loss.forward(&pred, &by) as f64;
+                let grad = loss.backward(&pred, &by);
+                net.backward(&grad);
+                if let Some(max_norm) = self.cfg.grad_clip {
+                    let mut params = net.params_mut();
+                    clip_grad_norm(&mut params, max_norm);
+                }
+                opt.step(net.params_mut());
+                batches += 1;
+            }
+            let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
+            let val_loss = self.evaluate(net, loss, val_x, val_y);
+            curve.push(EpochStat {
+                epoch,
+                train_loss,
+                val_loss,
+            });
+
+            if let Some(target) = self.cfg.target_val_loss {
+                if val_loss <= target {
+                    stopped_early = true;
+                    break;
+                }
+            }
+            if self.cfg.patience > 0 {
+                if val_loss < best - self.cfg.min_delta {
+                    best = val_loss;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.cfg.patience {
+                        stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        TrainReport {
+            curve,
+            wall_secs: start.elapsed().as_secs_f64(),
+            stopped_early,
+        }
+    }
+
+    /// Mean loss over a dataset in eval mode, batched to bound memory.
+    pub fn evaluate(
+        &self,
+        net: &mut Sequential,
+        loss: &dyn Loss,
+        x: &Tensor,
+        y: &Tensor,
+    ) -> f32 {
+        let n = x.shape()[0];
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + self.cfg.batch_size).min(n);
+            let bx = x.slice_rows(start, end);
+            let by = y.slice_rows(start, end);
+            let pred = net.forward(&bx, Mode::Eval);
+            total += loss.forward(&pred, &by) as f64 * (end - start) as f64;
+            count += end - start;
+            start = end;
+        }
+        (total / count as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense};
+    use crate::loss::Mse;
+    use crate::optim::{Adam, Sgd};
+
+    fn toy_problem(n: usize, seed: u64) -> (Tensor, Tensor) {
+        // y = 0.5·x0 − x1 + 0.2
+        let mut rng = TensorRng::seeded(seed);
+        let x = rng.uniform(&[n, 2], -1.0, 1.0);
+        let y = Tensor::from_vec(
+            x.data().chunks(2).map(|c| 0.5 * c[0] - c[1] + 0.2).collect(),
+            &[n, 1],
+        );
+        (x, y)
+    }
+
+    fn linear_net(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seeded(seed);
+        Sequential::new(vec![Box::new(Dense::new(2, 1, &mut rng))])
+    }
+
+    #[test]
+    fn fit_reduces_validation_loss() {
+        let (x, y) = toy_problem(128, 0);
+        let mut net = linear_net(1);
+        let mut opt = Sgd::new(0.1);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
+        assert!(report.curve[0].val_loss > report.final_val_loss());
+        assert!(report.final_val_loss() < 1e-3, "loss {}", report.final_val_loss());
+    }
+
+    #[test]
+    fn target_val_loss_stops_training() {
+        let (x, y) = toy_problem(128, 2);
+        let mut net = linear_net(3);
+        let mut opt = Sgd::new(0.2);
+        let cfg = TrainConfig {
+            epochs: 500,
+            batch_size: 32,
+            target_val_loss: Some(0.01),
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
+        assert!(report.stopped_early);
+        assert!(report.curve.len() < 500);
+        assert!(report.final_val_loss() <= 0.01);
+        assert_eq!(report.epochs_to_reach(0.01), Some(report.curve.len()));
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let (x, y) = toy_problem(64, 4);
+        let mut net = linear_net(5);
+        // Tiny learning rate ⇒ negligible progress ⇒ patience triggers.
+        let mut opt = Sgd::new(1e-7);
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 32,
+            patience: 5,
+            min_delta: 1e-4,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
+        assert!(report.stopped_early);
+        assert!(report.curve.len() <= 10);
+    }
+
+    #[test]
+    fn nonlinear_network_learns_xor_like_data() {
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+            &[4, 2],
+        );
+        let y = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4, 1]);
+        let mut rng = TensorRng::seeded(7);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(2, 8, &mut rng)),
+            Box::new(Activation::tanh()),
+            Box::new(Dense::new(8, 1, &mut rng)),
+        ]);
+        let mut opt = Adam::new(0.05);
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
+        assert!(report.final_val_loss() < 0.02, "loss {}", report.final_val_loss());
+    }
+
+    #[test]
+    fn schedule_changes_optimizer_lr_per_epoch() {
+        let (x, y) = toy_problem(32, 6);
+        let mut net = linear_net(7);
+        let mut opt = Sgd::new(0.1);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            schedule: crate::schedule::LrSchedule::Step { every: 2, gamma: 0.1 },
+            ..TrainConfig::default()
+        };
+        Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
+        // Last epoch (index 3) runs at 0.1 · 0.1^(3/2=1) = 0.01.
+        assert!((opt.lr() - 0.01).abs() < 1e-7, "lr {}", opt.lr());
+    }
+
+    #[test]
+    fn grad_clip_stabilizes_a_divergent_rate() {
+        let run = |clip: Option<f32>| {
+            let (x, y) = toy_problem(64, 8);
+            // Amplified targets + huge lr ⇒ plain SGD diverges.
+            let y_big = y.scale(50.0);
+            let mut net = linear_net(9);
+            let mut opt = Sgd::new(1.5);
+            let cfg = TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                grad_clip: clip,
+                ..TrainConfig::default()
+            };
+            Trainer::new(cfg)
+                .fit(&mut net, &mut opt, &Mse, &x, &y_big, &x, &y_big)
+                .final_val_loss()
+        };
+        let unclipped = run(None);
+        let clipped = run(Some(1.0));
+        assert!(
+            !unclipped.is_finite() || unclipped > 1e3,
+            "expected divergence without clipping, got {unclipped}"
+        );
+        assert!(clipped.is_finite(), "clipped run must stay finite");
+    }
+
+    #[test]
+    fn report_helpers_are_consistent() {
+        let report = TrainReport {
+            curve: vec![
+                EpochStat { epoch: 0, train_loss: 1.0, val_loss: 0.9 },
+                EpochStat { epoch: 1, train_loss: 0.5, val_loss: 0.4 },
+                EpochStat { epoch: 2, train_loss: 0.3, val_loss: 0.45 },
+            ],
+            wall_secs: 0.1,
+            stopped_early: false,
+        };
+        assert_eq!(report.final_val_loss(), 0.45);
+        assert_eq!(report.best_val_loss(), 0.4);
+        assert_eq!(report.epochs_to_reach(0.5), Some(2));
+        assert_eq!(report.epochs_to_reach(0.1), None);
+        assert_eq!(report.val_curve(), vec![0.9, 0.4, 0.45]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Request/response vocabulary of the fairDMS service.
+//!
+//! The paper (Fig 5) divides fairDMS into *user plane* operations invoked
+//! by clients (query labeled data, request a model recommendation, update
+//! a model) and *system plane* operations executed in the background
+//! (training the embedding/clustering models, refreshing the store,
+//! re-indexing the Zoo). [`Request`] enumerates the user-plane surface; the
+//! system plane runs inside the server, triggered by the certainty monitor.
+
+use fairdms_core::embedding::EmbedTrainConfig;
+use fairdms_core::fairds::PseudoLabelStats;
+use fairdms_core::workflow::UpdateReport;
+use fairdms_datastore::Document;
+use fairdms_tensor::Tensor;
+
+/// Identifier assigned to every accepted request (monotonic per server).
+pub type RequestId = u64;
+
+/// Errors surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The server was asked to operate before its system plane was trained.
+    NotReady,
+    /// A request referenced a zoo entry that does not exist.
+    UnknownModel(usize),
+    /// The request payload failed validation (shape mismatch, empty input…).
+    Invalid(String),
+    /// The server is shutting down and no longer accepts work.
+    Unavailable,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::NotReady => write!(f, "system plane not trained"),
+            ServiceError::UnknownModel(id) => write!(f, "unknown zoo model {id}"),
+            ServiceError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::Unavailable => write!(f, "service unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// User-plane requests.
+#[derive(Debug)]
+pub enum Request {
+    /// System-plane bootstrap: fit embedding + clustering on a historical
+    /// corpus. Returns [`Reply::SystemTrained`].
+    TrainSystem {
+        /// Flattened historical images `[N, side²]`.
+        images: Tensor,
+        /// Embedding training hyper-parameters.
+        embed_cfg: EmbedTrainConfig,
+    },
+    /// Store labeled samples (embedded + cluster-indexed on ingest).
+    IngestLabeled {
+        /// Flattened images `[N, side²]`.
+        images: Tensor,
+        /// Matching labels `[N, L]`.
+        labels: Tensor,
+        /// Provenance scan index.
+        scan: usize,
+    },
+    /// The cluster-occupancy PDF of a dataset.
+    DatasetPdf {
+        /// Flattened images.
+        images: Tensor,
+    },
+    /// Pseudo-label a dataset with the server's fallback labeler.
+    PseudoLabel {
+        /// Flattened images.
+        images: Tensor,
+        /// Embedding-distance reuse threshold.
+        threshold: f32,
+    },
+    /// PDF-matched retrieval of labeled historical documents.
+    LookupMatching {
+        /// Target cluster PDF (length must equal the fitted K).
+        pdf: Vec<f64>,
+        /// Number of documents to draw.
+        count: usize,
+    },
+    /// Rank the model Zoo against a dataset PDF.
+    Recommend {
+        /// Input dataset PDF.
+        pdf: Vec<f64>,
+    },
+    /// Full rapid-model-update (pseudo-label → recommend → train →
+    /// register). Returns the new checkpoint and the timing report.
+    UpdateModel {
+        /// Flattened images of the new (unlabeled) dataset.
+        images: Tensor,
+        /// Provenance scan index.
+        scan: usize,
+    },
+    /// Publish an externally trained model into the Zoo.
+    PublishModel {
+        /// Human-readable name.
+        name: String,
+        /// Serialized checkpoint ([`fairdms_nn::checkpoint`] format).
+        checkpoint: Vec<u8>,
+        /// Training-dataset PDF (the index key).
+        pdf: Vec<f64>,
+        /// Provenance scan index.
+        scan: usize,
+    },
+    /// Fetch a checkpoint from the Zoo.
+    FetchModel {
+        /// Zoo id.
+        zoo_id: usize,
+    },
+    /// Fuzzy-clustering certainty of a dataset under the current system
+    /// models (the staleness signal).
+    Certainty {
+        /// Flattened images.
+        images: Tensor,
+    },
+    /// Snapshot of the server's request metrics.
+    Metrics,
+}
+
+impl Request {
+    /// Short operation label used by the metrics registry.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::TrainSystem { .. } => "train_system",
+            Request::IngestLabeled { .. } => "ingest",
+            Request::DatasetPdf { .. } => "pdf",
+            Request::PseudoLabel { .. } => "pseudo_label",
+            Request::LookupMatching { .. } => "lookup",
+            Request::Recommend { .. } => "recommend",
+            Request::UpdateModel { .. } => "update_model",
+            Request::PublishModel { .. } => "publish",
+            Request::FetchModel { .. } => "fetch",
+            Request::Certainty { .. } => "certainty",
+            Request::Metrics => "metrics",
+        }
+    }
+}
+
+/// A ranked zoo recommendation as returned over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedModels {
+    /// `(zoo id, JSD)` ascending by divergence; empty when the zoo has no
+    /// compatible entries.
+    pub ranked: Vec<(usize, f64)>,
+    /// Whether the best entry clears the manager's distance threshold.
+    pub fine_tunable: bool,
+}
+
+/// Successful replies, one variant per request kind.
+#[derive(Debug)]
+pub enum Reply {
+    /// System plane trained; carries the selected cluster count K.
+    SystemTrained {
+        /// Number of clusters fitted.
+        k: usize,
+    },
+    /// Samples stored; carries the number ingested and whether the ingest
+    /// triggered a background system-plane retrain.
+    Ingested {
+        /// Documents written.
+        count: usize,
+        /// True when the certainty monitor fired and the system retrained.
+        retrained: bool,
+    },
+    /// Dataset PDF.
+    Pdf(Vec<f64>),
+    /// Pseudo-labels with reuse statistics.
+    Labeled {
+        /// `[N, L]` label matrix.
+        labels: Tensor,
+        /// Reuse/fallback counts.
+        stats: PseudoLabelStats,
+    },
+    /// Retrieved documents.
+    Documents(Vec<Document>),
+    /// Zoo ranking.
+    Ranked(RankedModels),
+    /// Model update finished.
+    Updated {
+        /// Serialized checkpoint of the updated model.
+        checkpoint: Vec<u8>,
+        /// Timing/foundation report (the Fig 15 quantities).
+        report: UpdateReport,
+    },
+    /// Model published under this zoo id.
+    Published {
+        /// Assigned zoo id.
+        zoo_id: usize,
+    },
+    /// Checkpoint bytes for a fetch.
+    Model {
+        /// Serialized checkpoint.
+        checkpoint: Vec<u8>,
+        /// Training-set PDF stored with the entry.
+        pdf: Vec<f64>,
+    },
+    /// Certainty in `[0, 1]`.
+    Certainty(f64),
+    /// Metrics snapshot.
+    Metrics(crate::metrics::MetricsSnapshot),
+}
+
+/// What a client ultimately receives.
+pub type ServiceResult = Result<Reply, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names_are_distinct() {
+        let reqs = [
+            Request::Metrics,
+            Request::Recommend { pdf: vec![] },
+            Request::FetchModel { zoo_id: 0 },
+            Request::LookupMatching {
+                pdf: vec![],
+                count: 0,
+            },
+        ];
+        let names: std::collections::HashSet<_> = reqs.iter().map(|r| r.op_name()).collect();
+        assert_eq!(names.len(), reqs.len());
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        assert!(ServiceError::UnknownModel(7).to_string().contains('7'));
+        assert!(ServiceError::Invalid("x".into()).to_string().contains('x'));
+        assert_eq!(ServiceError::NotReady.to_string(), "system plane not trained");
+    }
+}

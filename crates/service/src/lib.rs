@@ -1,0 +1,47 @@
+//! # fairdms-service
+//!
+//! The deployment layer of the fairDMS reproduction: the paper presents
+//! fairDMS as a *service platform* (Figs 3–5) with user-plane operations
+//! invoked by experiment clients and system-plane maintenance running in
+//! the background. This crate packages the [`fairdms_core`] workflow
+//! behind a concurrent request/reply server:
+//!
+//! * [`api`] — the typed request/response vocabulary and error model;
+//! * [`server`] — [`server::DmsServer`], an actor-style worker owning all
+//!   service state, with bounded-queue admission (backpressure), a
+//!   clone-able blocking [`server::DmsClient`], and the certainty-triggered
+//!   system-plane retrain loop;
+//! * [`metrics`] — lock-free per-operation latency/throughput statistics.
+//!
+//! ```no_run
+//! use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
+//! use fairdms_core::fairds::{FairDS, FairDsConfig};
+//! use fairdms_core::fairms::ModelManager;
+//! use fairdms_core::models::ArchSpec;
+//! use fairdms_core::workflow::{RapidTrainer, RapidTrainerConfig};
+//! use fairdms_service::server::{DmsServer, DmsServerConfig};
+//!
+//! let side = 8;
+//! let embedder = AutoencoderEmbedder::new(side * side, 32, 8, 0);
+//! let fairds = FairDS::in_memory(Box::new(embedder), FairDsConfig::default());
+//! let trainer = RapidTrainer::new(
+//!     fairds,
+//!     ModelManager::default(),
+//!     RapidTrainerConfig::new(ArchSpec::BraggNN { patch: side }, side),
+//! );
+//! let (client, handle) =
+//!     DmsServer::spawn(trainer, Box::new(|_| vec![0.5, 0.5]), DmsServerConfig::default());
+//! // ... client.train_system(...), client.update_model(...), ...
+//! drop(client);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod metrics;
+pub mod server;
+
+pub use api::{RankedModels, Reply, Request, ServiceError, ServiceResult};
+pub use metrics::{Metrics, MetricsSnapshot, OpSnapshot};
+pub use server::{DmsClient, DmsServer, DmsServerConfig, FallbackLabeler, ServerHandle};

@@ -1,0 +1,282 @@
+//! Lock-free request metrics.
+//!
+//! Every server operation records its service time into a per-operation
+//! [`OpStats`]: a count, a total, a min/max, and a log₂-bucketed latency
+//! histogram — all plain atomics so the hot path never takes a lock
+//! (recording is a handful of `fetch_add`/`fetch_min` operations; see the
+//! "Rust Atomics and Locks" guidance on statistics counters). Snapshots
+//! are taken with `Ordering::Relaxed` loads: the numbers are monotone
+//! counters, so a torn snapshot is at worst momentarily stale, never
+//! inconsistent in a way that matters for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket *i* holds durations in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
+pub const BUCKETS: usize = 24;
+
+/// Atomic statistics for one operation kind.
+#[derive(Debug)]
+pub struct OpStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl Default for OpStats {
+    fn default() -> Self {
+        OpStats {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_of(d: Duration) -> usize {
+    let micros = d.as_micros().max(1) as u64;
+    ((63 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl OpStats {
+    /// Records one completed call.
+    pub fn record(&self, elapsed: Duration, ok: bool) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.histogram[bucket_of(elapsed)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> OpSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        OpSnapshot {
+            count,
+            errors: self.errors.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: match self.min_ns.load(Ordering::Relaxed) {
+                u64::MAX => 0,
+                v => v,
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data copy of an [`OpStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Completed calls.
+    pub count: u64,
+    /// Calls that returned an error.
+    pub errors: u64,
+    /// Sum of service times in nanoseconds.
+    pub total_ns: u64,
+    /// Fastest call (0 when no calls yet).
+    pub min_ns: u64,
+    /// Slowest call.
+    pub max_ns: u64,
+    /// log₂-µs latency histogram.
+    pub histogram: [u64; BUCKETS],
+}
+
+impl OpSnapshot {
+    /// Mean service time, or zero when no calls completed.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.total_ns / self.count)
+        }
+    }
+
+    /// Approximate quantile from the histogram (upper bucket bound).
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (self.count as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.histogram.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+/// Operations tracked by the registry, in display order.
+pub const OPS: [&str; 11] = [
+    "train_system",
+    "ingest",
+    "pdf",
+    "pseudo_label",
+    "lookup",
+    "recommend",
+    "update_model",
+    "publish",
+    "fetch",
+    "certainty",
+    "metrics",
+];
+
+/// The server-wide metrics registry: one [`OpStats`] per operation plus
+/// system-plane counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    ops: [OpStats; OPS.len()],
+    /// Certainty-triggered system-plane retrains.
+    pub system_retrains: AtomicU64,
+    /// Admission-queue-full events (the client blocked under backpressure).
+    pub rejected: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Stats slot for an operation name; panics on unknown names (the set
+    /// of operations is closed).
+    pub fn op(&self, name: &str) -> &OpStats {
+        let idx = OPS
+            .iter()
+            .position(|&o| o == name)
+            .unwrap_or_else(|| panic!("unknown op '{name}'"));
+        &self.ops[idx]
+    }
+
+    /// A point-in-time copy of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            ops: OPS
+                .iter()
+                .map(|&name| (name, self.op(name).snapshot()))
+                .collect(),
+            system_retrains: self.system_retrains.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of the whole registry.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-operation snapshots, in [`OPS`] order.
+    pub ops: Vec<(&'static str, OpSnapshot)>,
+    /// Certainty-triggered system retrains so far.
+    pub system_retrains: u64,
+    /// Admission rejections so far.
+    pub rejected: u64,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot for one operation.
+    pub fn op(&self, name: &str) -> Option<&OpSnapshot> {
+        self.ops.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// Total completed calls across operations.
+    pub fn total_calls(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn record_accumulates() {
+        let s = OpStats::default();
+        s.record(Duration::from_micros(10), true);
+        s.record(Duration::from_micros(30), false);
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.mean(), Duration::from_micros(20));
+        assert!(snap.min_ns <= snap.max_ns);
+        assert_eq!(snap.histogram.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn bucketing_is_monotone_in_duration() {
+        let mut prev = 0;
+        for us in [1u64, 2, 4, 100, 10_000, 1_000_000] {
+            let b = bucket_of(Duration::from_micros(us));
+            assert!(b >= prev, "bucket({us}µs)={b} < {prev}");
+            prev = b;
+        }
+        // Sub-microsecond and enormous durations stay in range.
+        assert_eq!(bucket_of(Duration::from_nanos(1)), 0);
+        assert!(bucket_of(Duration::from_secs(86_400)) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let s = OpStats::default();
+        for us in 1..=1000u64 {
+            s.record(Duration::from_micros(us), true);
+        }
+        let snap = s.snapshot();
+        assert!(snap.quantile(0.5) <= snap.quantile(0.99));
+        assert!(snap.quantile(1.0) >= Duration::from_micros(512));
+        assert_eq!(OpSnapshot::default_zero().quantile(0.9), Duration::ZERO);
+    }
+
+    impl OpSnapshot {
+        fn default_zero() -> Self {
+            OpSnapshot {
+                count: 0,
+                errors: 0,
+                total_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                histogram: [0; BUCKETS],
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = Arc::new(Metrics::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.op("pdf").record(Duration::from_micros(5), true);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().op("pdf").unwrap().count, 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown op")]
+    fn unknown_op_panics() {
+        Metrics::new().op("nope");
+    }
+}

@@ -1,0 +1,527 @@
+//! The fairDMS server: an actor-style event loop owning the service state.
+//!
+//! All user-plane state (the fairDS system models, the data store handle,
+//! the model Zoo) lives on one worker thread; clients talk to it through a
+//! bounded crossbeam channel and receive replies over per-request one-shot
+//! channels. This is the classic ownership-transfer design from the
+//! concurrency guides: no shared mutable state, no lock ordering to get
+//! wrong — the channel *is* the synchronization. Reads that genuinely can
+//! run in parallel (training-loop fetches) bypass the actor entirely by
+//! holding an `Arc<Collection>` to the store, exactly as the paper's
+//! trainer reads MongoDB directly while the service handles updates.
+//!
+//! The system plane (paper Fig 5, yellow) runs inside the same loop: every
+//! ingest and PDF request is scored by the fuzzy-certainty monitor, and
+//! when certainty drops below the configured threshold the server retrains
+//! the embedding + clustering models and re-indexes the store before
+//! acknowledging the request (the Fig 16 "After Trigger" behaviour).
+
+use crate::api::{RankedModels, Reply, Request, RequestId, ServiceError, ServiceResult};
+use crate::metrics::Metrics;
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use fairdms_core::embedding::EmbedTrainConfig;
+use fairdms_core::fairms::ModelDecision;
+use fairdms_core::workflow::RapidTrainer;
+use fairdms_core::ZooEntry;
+use fairdms_nn::checkpoint;
+use fairdms_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A label fallback installed server-side (the expensive conventional
+/// labeler, e.g. a pseudo-Voigt fit).
+pub type FallbackLabeler = Box<dyn FnMut(&[f32]) -> Vec<f32> + Send>;
+
+/// Server deployment knobs.
+#[derive(Clone, Debug)]
+pub struct DmsServerConfig {
+    /// Admission queue depth; `try_send` beyond this is rejected with
+    /// [`ServiceError::Unavailable`] (backpressure instead of unbounded
+    /// memory growth).
+    pub queue_capacity: usize,
+    /// Pseudo-label reuse threshold used by [`Request::PseudoLabel`] when
+    /// the caller passes a non-finite threshold, and by `UpdateModel`.
+    pub default_label_threshold: f32,
+    /// Whether the certainty monitor may trigger system-plane retraining.
+    pub auto_retrain: bool,
+    /// Minimum number of monitored requests between two triggered
+    /// retrains. A system plane whose refresh cannot lift certainty above
+    /// the threshold (e.g. genuinely ambiguous data) would otherwise
+    /// retrain on *every* request; the cooldown bounds that thrashing.
+    /// `0` disables the cooldown.
+    pub retrain_cooldown: usize,
+    /// Embedding hyper-parameters for triggered retrains.
+    pub retrain_embed_cfg: EmbedTrainConfig,
+}
+
+impl Default for DmsServerConfig {
+    fn default() -> Self {
+        DmsServerConfig {
+            queue_capacity: 64,
+            default_label_threshold: 0.5,
+            auto_retrain: true,
+            retrain_cooldown: 0,
+            retrain_embed_cfg: EmbedTrainConfig::default(),
+        }
+    }
+}
+
+struct Envelope {
+    /// Monotonic admission id; surfaced in panics/diagnostics only.
+    #[allow(dead_code)]
+    id: RequestId,
+    req: Request,
+    reply: Sender<ServiceResult>,
+}
+
+/// Clone-able client handle. Every call is synchronous: it enqueues the
+/// request and blocks on the one-shot reply.
+#[derive(Clone)]
+pub struct DmsClient {
+    tx: Sender<Envelope>,
+    next_id: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
+}
+
+/// Join handle owning the server's lifetime. The worker exits when either
+/// (a) every [`DmsClient`] clone has been dropped (queue disconnect), or
+/// (b) this handle is dropped or [`ServerHandle::shutdown`] is called —
+/// the handle signals a dedicated shutdown channel *before* joining, so
+/// the join can never deadlock on clients that are still alive (their
+/// subsequent calls get [`ServiceError::Unavailable`]). Queued requests
+/// are drained before the worker exits either way.
+pub struct ServerHandle {
+    worker: Option<JoinHandle<()>>,
+    shutdown_tx: Option<Sender<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// Metrics registry shared with the worker.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Signals shutdown, drains queued requests, and joins the worker.
+    pub fn shutdown(self) {
+        drop(self) // Drop does the work; this method exists for intent.
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        drop(self.shutdown_tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The server: owns a [`RapidTrainer`] (fairDS + Zoo + manager) and a
+/// fallback labeler, and serves [`Request`]s until all clients disconnect.
+pub struct DmsServer;
+
+impl DmsServer {
+    /// Spawns the worker and returns a client plus the join handle.
+    ///
+    /// The `trainer` carries the fairDS instance (trained or not), the
+    /// Zoo, and the recommendation policy; `labeler` is the conventional
+    /// (expensive) labeling fallback.
+    pub fn spawn(
+        trainer: RapidTrainer,
+        labeler: FallbackLabeler,
+        cfg: DmsServerConfig,
+    ) -> (DmsClient, ServerHandle) {
+        let (tx, rx) = bounded::<Envelope>(cfg.queue_capacity);
+        let (shutdown_tx, shutdown_rx) = bounded::<()>(0);
+        let metrics = Arc::new(Metrics::new());
+        let worker_metrics = Arc::clone(&metrics);
+        let worker = std::thread::Builder::new()
+            .name("fairdms-server".into())
+            .spawn(move || worker_loop(trainer, labeler, cfg, rx, shutdown_rx, worker_metrics))
+            .expect("failed to spawn fairdms-server thread");
+        let client = DmsClient {
+            tx,
+            next_id: Arc::new(AtomicU64::new(0)),
+            metrics: Arc::clone(&metrics),
+        };
+        (
+            client,
+            ServerHandle {
+                worker: Some(worker),
+                shutdown_tx: Some(shutdown_tx),
+                metrics,
+            },
+        )
+    }
+}
+
+fn validate_images(images: &Tensor) -> Result<(), ServiceError> {
+    if images.shape().len() != 2 || images.shape()[0] == 0 {
+        return Err(ServiceError::Invalid(format!(
+            "expected non-empty [N, D] images, got shape {:?}",
+            images.shape()
+        )));
+    }
+    Ok(())
+}
+
+fn worker_loop(
+    mut trainer: RapidTrainer,
+    mut labeler: FallbackLabeler,
+    cfg: DmsServerConfig,
+    rx: Receiver<Envelope>,
+    shutdown_rx: Receiver<()>,
+    metrics: Arc<Metrics>,
+) {
+    let mut monitor = MonitorState::default();
+    let mut serve = |env: Envelope| {
+        let op = env.req.op_name();
+        let start = Instant::now();
+        let result = handle(&mut trainer, &mut labeler, &cfg, &mut monitor, env.req, &metrics);
+        metrics.op(op).record(start.elapsed(), result.is_ok());
+        // A client that gave up (dropped its reply receiver) is not an
+        // error; the work was already done.
+        let _ = env.reply.send(result);
+    };
+    loop {
+        crossbeam_channel::select! {
+            recv(rx) -> env => match env {
+                Ok(env) => serve(env),
+                // Every client dropped: nothing can arrive anymore.
+                Err(_) => break,
+            },
+            recv(shutdown_rx) -> _ => {
+                // Handle dropped / shutdown requested: drain what is
+                // already queued, then stop. Clients that are still alive
+                // observe `Unavailable` from then on.
+                while let Ok(env) = rx.try_recv() {
+                    serve(env);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Per-worker state of the certainty monitor.
+#[derive(Default)]
+struct MonitorState {
+    /// Monitored requests seen since the last triggered retrain.
+    since_retrain: usize,
+}
+
+/// Runs the certainty monitor on a batch; retrains the system plane when
+/// it fires and the cooldown allows. Returns whether a retrain happened.
+fn monitor_and_maybe_retrain(
+    trainer: &mut RapidTrainer,
+    cfg: &DmsServerConfig,
+    state: &mut MonitorState,
+    images: &Tensor,
+    metrics: &Metrics,
+) -> bool {
+    if !cfg.auto_retrain || !trainer.fairds.is_ready() {
+        return false;
+    }
+    state.since_retrain += 1;
+    if state.since_retrain <= cfg.retrain_cooldown {
+        return false;
+    }
+    if trainer.fairds.needs_system_update(images) {
+        trainer.fairds.retrain_system(images, &cfg.retrain_embed_cfg);
+        metrics.system_retrains.fetch_add(1, Ordering::Relaxed);
+        state.since_retrain = 0;
+        true
+    } else {
+        false
+    }
+}
+
+fn handle(
+    trainer: &mut RapidTrainer,
+    labeler: &mut FallbackLabeler,
+    cfg: &DmsServerConfig,
+    monitor: &mut MonitorState,
+    req: Request,
+    metrics: &Metrics,
+) -> ServiceResult {
+    match req {
+        Request::TrainSystem { images, embed_cfg } => {
+            validate_images(&images)?;
+            let k = trainer.fairds.train_system(&images, &embed_cfg);
+            Ok(Reply::SystemTrained { k })
+        }
+        Request::IngestLabeled {
+            images,
+            labels,
+            scan,
+        } => {
+            validate_images(&images)?;
+            if !trainer.fairds.is_ready() {
+                return Err(ServiceError::NotReady);
+            }
+            if labels.shape()[0] != images.shape()[0] {
+                return Err(ServiceError::Invalid(format!(
+                    "label rows {} != image rows {}",
+                    labels.shape()[0],
+                    images.shape()[0]
+                )));
+            }
+            let retrained = monitor_and_maybe_retrain(trainer, cfg, monitor, &images, metrics);
+            let ids = trainer.fairds.ingest_labeled(&images, &labels, scan);
+            Ok(Reply::Ingested {
+                count: ids.len(),
+                retrained,
+            })
+        }
+        Request::DatasetPdf { images } => {
+            validate_images(&images)?;
+            if !trainer.fairds.is_ready() {
+                return Err(ServiceError::NotReady);
+            }
+            monitor_and_maybe_retrain(trainer, cfg, monitor, &images, metrics);
+            Ok(Reply::Pdf(trainer.fairds.dataset_pdf(&images)))
+        }
+        Request::PseudoLabel { images, threshold } => {
+            validate_images(&images)?;
+            if !trainer.fairds.is_ready() {
+                return Err(ServiceError::NotReady);
+            }
+            let thr = if threshold.is_finite() {
+                threshold
+            } else {
+                cfg.default_label_threshold
+            };
+            let (labels, stats) = trainer.fairds.pseudo_label(&images, thr, |p| labeler(p));
+            Ok(Reply::Labeled { labels, stats })
+        }
+        Request::LookupMatching { pdf, count } => {
+            if !trainer.fairds.is_ready() {
+                return Err(ServiceError::NotReady);
+            }
+            if pdf.len() != trainer.fairds.k() {
+                return Err(ServiceError::Invalid(format!(
+                    "pdf length {} != k {}",
+                    pdf.len(),
+                    trainer.fairds.k()
+                )));
+            }
+            Ok(Reply::Documents(trainer.fairds.lookup_matching(&pdf, count)))
+        }
+        Request::Recommend { pdf } => {
+            if pdf.is_empty() {
+                return Err(ServiceError::Invalid("empty pdf".into()));
+            }
+            let ranked = trainer
+                .manager
+                .rank(&trainer.zoo, &pdf)
+                .map(|r| r.ranked)
+                .unwrap_or_default();
+            let fine_tunable = matches!(
+                trainer.manager.decide(&trainer.zoo, &pdf),
+                ModelDecision::FineTune { .. }
+            );
+            Ok(Reply::Ranked(RankedModels {
+                ranked,
+                fine_tunable,
+            }))
+        }
+        Request::UpdateModel { images, scan } => {
+            validate_images(&images)?;
+            if !trainer.fairds.is_ready() {
+                return Err(ServiceError::NotReady);
+            }
+            monitor_and_maybe_retrain(trainer, cfg, monitor, &images, metrics);
+            let (net, report) = trainer.update_model(&images, |p| labeler(p), scan);
+            Ok(Reply::Updated {
+                checkpoint: checkpoint::save(&net),
+                report,
+            })
+        }
+        Request::PublishModel {
+            name,
+            checkpoint,
+            pdf,
+            scan,
+        } => {
+            if pdf.is_empty() {
+                return Err(ServiceError::Invalid("empty pdf".into()));
+            }
+            let arch = trainer.config().arch;
+            let zoo_id = trainer.zoo.add(ZooEntry {
+                name,
+                arch,
+                checkpoint,
+                train_pdf: pdf,
+                scan,
+            });
+            Ok(Reply::Published { zoo_id })
+        }
+        Request::FetchModel { zoo_id } => match trainer.zoo.get(zoo_id) {
+            Some(entry) => Ok(Reply::Model {
+                checkpoint: entry.checkpoint.clone(),
+                pdf: entry.train_pdf.clone(),
+            }),
+            None => Err(ServiceError::UnknownModel(zoo_id)),
+        },
+        Request::Certainty { images } => {
+            validate_images(&images)?;
+            if !trainer.fairds.is_ready() {
+                return Err(ServiceError::NotReady);
+            }
+            Ok(Reply::Certainty(trainer.fairds.certainty(&images)))
+        }
+        Request::Metrics => Ok(Reply::Metrics(metrics.snapshot())),
+    }
+}
+
+impl DmsClient {
+    /// Sends a raw request and waits for the reply. Returns
+    /// [`ServiceError::Unavailable`] when the server is gone or the
+    /// admission queue is full.
+    pub fn call(&self, req: Request) -> ServiceResult {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        let env = Envelope {
+            id,
+            req,
+            reply: reply_tx,
+        };
+        match self.tx.try_send(env) {
+            Ok(()) => {}
+            Err(TrySendError::Full(env)) => {
+                // Backpressure: block rather than reject when the queue is
+                // merely full; reject only on disconnect.
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                if self.tx.send(env).is_err() {
+                    return Err(ServiceError::Unavailable);
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServiceError::Unavailable),
+        }
+        reply_rx.recv().map_err(|_| ServiceError::Unavailable)?
+    }
+
+    /// Bootstrap the system plane. Returns the fitted K.
+    pub fn train_system(&self, images: Tensor, embed_cfg: EmbedTrainConfig) -> Result<usize, ServiceError> {
+        match self.call(Request::TrainSystem { images, embed_cfg })? {
+            Reply::SystemTrained { k } => Ok(k),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Ingest labeled data; returns `(count, retrained)`.
+    pub fn ingest(
+        &self,
+        images: Tensor,
+        labels: Tensor,
+        scan: usize,
+    ) -> Result<(usize, bool), ServiceError> {
+        match self.call(Request::IngestLabeled {
+            images,
+            labels,
+            scan,
+        })? {
+            Reply::Ingested { count, retrained } => Ok((count, retrained)),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Dataset cluster PDF.
+    pub fn dataset_pdf(&self, images: Tensor) -> Result<Vec<f64>, ServiceError> {
+        match self.call(Request::DatasetPdf { images })? {
+            Reply::Pdf(p) => Ok(p),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Pseudo-label with the server's fallback. Pass `f32::NAN` to use the
+    /// server's default threshold.
+    pub fn pseudo_label(
+        &self,
+        images: Tensor,
+        threshold: f32,
+    ) -> Result<(Tensor, fairdms_core::PseudoLabelStats), ServiceError> {
+        match self.call(Request::PseudoLabel { images, threshold })? {
+            Reply::Labeled { labels, stats } => Ok((labels, stats)),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// PDF-matched document retrieval.
+    pub fn lookup(
+        &self,
+        pdf: Vec<f64>,
+        count: usize,
+    ) -> Result<Vec<fairdms_datastore::Document>, ServiceError> {
+        match self.call(Request::LookupMatching { pdf, count })? {
+            Reply::Documents(d) => Ok(d),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Zoo ranking for a dataset PDF.
+    pub fn recommend(&self, pdf: Vec<f64>) -> Result<RankedModels, ServiceError> {
+        match self.call(Request::Recommend { pdf })? {
+            Reply::Ranked(r) => Ok(r),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Full rapid model update; returns `(checkpoint, report)`.
+    pub fn update_model(
+        &self,
+        images: Tensor,
+        scan: usize,
+    ) -> Result<(Vec<u8>, fairdms_core::UpdateReport), ServiceError> {
+        match self.call(Request::UpdateModel { images, scan })? {
+            Reply::Updated { checkpoint, report } => Ok((checkpoint, report)),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Publish an externally trained checkpoint.
+    pub fn publish(
+        &self,
+        name: &str,
+        checkpoint: Vec<u8>,
+        pdf: Vec<f64>,
+        scan: usize,
+    ) -> Result<usize, ServiceError> {
+        match self.call(Request::PublishModel {
+            name: name.to_string(),
+            checkpoint,
+            pdf,
+            scan,
+        })? {
+            Reply::Published { zoo_id } => Ok(zoo_id),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Fetch a checkpoint and its training PDF from the Zoo.
+    pub fn fetch(&self, zoo_id: usize) -> Result<(Vec<u8>, Vec<f64>), ServiceError> {
+        match self.call(Request::FetchModel { zoo_id })? {
+            Reply::Model { checkpoint, pdf } => Ok((checkpoint, pdf)),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Fuzzy-clustering certainty of a dataset.
+    pub fn certainty(&self, images: Tensor) -> Result<f64, ServiceError> {
+        match self.call(Request::Certainty { images })? {
+            Reply::Certainty(c) => Ok(c),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// Server metrics snapshot.
+    pub fn metrics(&self) -> Result<crate::metrics::MetricsSnapshot, ServiceError> {
+        match self.call(Request::Metrics)? {
+            Reply::Metrics(m) => Ok(m),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Integration tests for the fairDMS service layer: lifecycle, validation,
+//! concurrent clients, the certainty-triggered system plane, and metrics.
+
+use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
+use fairdms_core::fairds::{FairDS, FairDsConfig};
+use fairdms_core::fairms::ModelManager;
+use fairdms_core::models::ArchSpec;
+use fairdms_core::workflow::{RapidTrainer, RapidTrainerConfig};
+use fairdms_service::server::{DmsClient, DmsServer, DmsServerConfig, ServerHandle};
+use fairdms_service::ServiceError;
+use fairdms_tensor::rng::TensorRng;
+use fairdms_tensor::Tensor;
+use std::thread;
+
+const SIDE: usize = 8;
+
+/// Gaussian blob images at `n_modes` fixed centers plus center labels.
+fn blob_images(per_mode: usize, n_modes: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = TensorRng::seeded(seed);
+    let centers = [(2.0f32, 2.0f32), (5.0, 5.0), (2.0, 5.0), (5.0, 2.0)];
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for m in 0..n_modes {
+        let (cy, cx) = centers[m % centers.len()];
+        for _ in 0..per_mode {
+            for y in 0..SIDE {
+                for x in 0..SIDE {
+                    let r2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
+                    data.push(8.0 * (-r2 / 2.0).exp() + rng.next_normal_with(0.0, 0.1));
+                }
+            }
+            labels.push(cx / SIDE as f32);
+            labels.push(cy / SIDE as f32);
+        }
+    }
+    (
+        Tensor::from_vec(data, &[per_mode * n_modes, SIDE * SIDE]),
+        Tensor::from_vec(labels, &[per_mode * n_modes, 2]),
+    )
+}
+
+fn embed_cfg() -> EmbedTrainConfig {
+    EmbedTrainConfig {
+        epochs: 5,
+        batch_size: 16,
+        lr: 2e-3,
+        ..EmbedTrainConfig::default()
+    }
+}
+
+fn spawn_server_k(seed: u64, auto_retrain: bool, k: usize) -> (DmsClient, ServerHandle) {
+    let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, seed);
+    let fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(k),
+            ..FairDsConfig::default()
+        },
+    );
+    let mut tcfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    tcfg.train.epochs = 4;
+    tcfg.train.batch_size = 16;
+    tcfg.seed = seed;
+    let trainer = RapidTrainer::new(fairds, ModelManager::new(0.9), tcfg);
+    let cfg = DmsServerConfig {
+        auto_retrain,
+        retrain_embed_cfg: embed_cfg(),
+        ..DmsServerConfig::default()
+    };
+    DmsServer::spawn(trainer, Box::new(|_| vec![0.5, 0.5]), cfg)
+}
+
+fn spawn_server(seed: u64, auto_retrain: bool) -> (DmsClient, ServerHandle) {
+    spawn_server_k(seed, auto_retrain, 2)
+}
+
+#[test]
+fn lifecycle_train_ingest_pdf_lookup() {
+    let (client, handle) = spawn_server(0, false);
+    let (x, y) = blob_images(20, 2, 1);
+
+    let k = client.train_system(x.clone(), embed_cfg()).unwrap();
+    assert_eq!(k, 2);
+    let (count, retrained) = client.ingest(x.clone(), y, 0).unwrap();
+    assert_eq!(count, 40);
+    assert!(!retrained);
+
+    let pdf = client.dataset_pdf(x).unwrap();
+    assert_eq!(pdf.len(), 2);
+    assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    let docs = client.lookup(pdf, 10).unwrap();
+    assert_eq!(docs.len(), 10);
+    assert!(docs.iter().all(|d| d.get_f32s("label").is_some()));
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn requests_before_training_are_rejected() {
+    let (client, handle) = spawn_server(2, false);
+    let (x, y) = blob_images(4, 1, 3);
+    assert_eq!(
+        client.ingest(x.clone(), y, 0).unwrap_err(),
+        ServiceError::NotReady
+    );
+    assert_eq!(client.dataset_pdf(x.clone()).unwrap_err(), ServiceError::NotReady);
+    assert_eq!(client.certainty(x).unwrap_err(), ServiceError::NotReady);
+    assert_eq!(client.lookup(vec![0.5, 0.5], 1).unwrap_err(), ServiceError::NotReady);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn shape_validation_rejects_garbage() {
+    let (client, handle) = spawn_server(4, false);
+    let (x, y) = blob_images(10, 2, 5);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+
+    // Empty images.
+    let empty = Tensor::from_vec(vec![], &[0, SIDE * SIDE]);
+    assert!(matches!(
+        client.dataset_pdf(empty).unwrap_err(),
+        ServiceError::Invalid(_)
+    ));
+    // Mismatched label rows.
+    let bad_y = Tensor::from_vec(vec![0.0; 2], &[1, 2]);
+    assert!(matches!(
+        client.ingest(x.clone(), bad_y, 0).unwrap_err(),
+        ServiceError::Invalid(_)
+    ));
+    // PDF of the wrong length.
+    client.ingest(x, y, 0).unwrap();
+    assert!(matches!(
+        client.lookup(vec![1.0], 1).unwrap_err(),
+        ServiceError::Invalid(_)
+    ));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn update_model_round_trips_a_checkpoint() {
+    let (client, handle) = spawn_server(6, false);
+    let (x, y) = blob_images(25, 2, 7);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    client.ingest(x, y, 0).unwrap();
+
+    let (x_new, _) = blob_images(15, 2, 8);
+    let (ckpt, report) = client.update_model(x_new.clone(), 1).unwrap();
+    assert!(!ckpt.is_empty());
+    assert!(report.foundation.is_none(), "first update trains from scratch");
+    assert!(report.label_stats.reused > 0, "labels should be reused");
+
+    // The published model is fetchable and ranks for similar data.
+    let (fetched, pdf) = client.fetch(report.registered_id).unwrap();
+    assert_eq!(fetched, ckpt);
+    let rec = client.recommend(pdf).unwrap();
+    assert!(rec.fine_tunable);
+    assert_eq!(rec.ranked[0].0, report.registered_id);
+
+    // A second update fine-tunes.
+    let (x_next, _) = blob_images(15, 2, 9);
+    let (_, report2) = client.update_model(x_next, 2).unwrap();
+    assert_eq!(report2.foundation, Some(report.registered_id));
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn publish_and_fetch_external_models() {
+    let (client, handle) = spawn_server(10, false);
+    let arch = ArchSpec::BraggNN { patch: SIDE };
+    let net = arch.build(11);
+    let ckpt = fairdms_nn::checkpoint::save(&net);
+    let id = client
+        .publish("external", ckpt.clone(), vec![0.7, 0.3], 5)
+        .unwrap();
+    let (fetched, pdf) = client.fetch(id).unwrap();
+    assert_eq!(fetched, ckpt);
+    assert_eq!(pdf, vec![0.7, 0.3]);
+    assert_eq!(
+        client.fetch(id + 1).unwrap_err(),
+        ServiceError::UnknownModel(id + 1)
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_consistent_state() {
+    let (client, handle) = spawn_server(12, false);
+    let (x, y) = blob_images(20, 2, 13);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    client.ingest(x.clone(), y, 0).unwrap();
+
+    let mut workers = Vec::new();
+    for t in 0..8u64 {
+        let c = client.clone();
+        workers.push(thread::spawn(move || {
+            let (xt, yt) = blob_images(5, 2, 100 + t);
+            for i in 0..5 {
+                let pdf = c.dataset_pdf(xt.clone()).unwrap();
+                assert_eq!(pdf.len(), 2);
+                let docs = c.lookup(pdf, 4).unwrap();
+                assert_eq!(docs.len(), 4);
+                c.ingest(xt.clone(), yt.clone(), (t * 10 + i) as usize).unwrap();
+            }
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // 40 primed + 8 threads × 5 rounds × 10 samples.
+    let (x_probe, _) = blob_images(3, 2, 99);
+    let c = client.certainty(x_probe).unwrap();
+    assert!((0.0..=1.0).contains(&c));
+
+    let m = client.metrics().unwrap();
+    assert_eq!(m.op("ingest").unwrap().count, 41);
+    assert_eq!(m.op("pdf").unwrap().count, 40);
+    assert_eq!(m.op("lookup").unwrap().count, 40);
+    assert_eq!(m.op("ingest").unwrap().errors, 0);
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn drift_triggers_system_plane_retrain() {
+    // k must be >= 3: a 2-way fuzzy membership always has max >= 0.5, so
+    // with k=2 the certainty monitor can never fire.
+    let (client, handle) = spawn_server_k(14, true, 3);
+    let (x, y) = blob_images(30, 3, 15);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    let (_, retrained) = client.ingest(x, y, 0).unwrap();
+    assert!(!retrained, "in-distribution ingest must not trigger");
+
+    // Far-out-of-distribution batch: certainty collapses, monitor fires.
+    let noise = TensorRng::seeded(16).uniform(&[60, SIDE * SIDE], -1.0, 1.0);
+    let labels = Tensor::from_vec(vec![0.5; 120], &[60, 2]);
+    let (_, retrained) = client.ingest(noise.clone(), labels, 1).unwrap();
+    assert!(retrained, "drifted ingest should trigger the system plane");
+
+    let m = client.metrics().unwrap();
+    assert_eq!(m.system_retrains, 1);
+
+    // The refreshed models were fitted on blob+noise data, so the same
+    // noise distribution no longer re-fires the trigger.
+    let noise2 = TensorRng::seeded(17).uniform(&[30, SIDE * SIDE], -1.0, 1.0);
+    let labels2 = Tensor::from_vec(vec![0.5; 60], &[30, 2]);
+    let c = client.certainty(noise2.clone()).unwrap();
+    assert!((0.0..=1.0).contains(&c));
+    let (_, retrained_again) = client.ingest(noise2, labels2, 2).unwrap();
+    assert!(
+        !retrained_again,
+        "retrained system should absorb the same distribution (certainty {c})"
+    );
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn dropping_the_handle_makes_live_clients_unavailable() {
+    // Regression test for the shutdown deadlock: the handle must be able
+    // to join the worker even while client clones are still alive.
+    let (client, handle) = spawn_server(22, false);
+    let (x, _) = blob_images(6, 2, 23);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    drop(handle); // joins the worker; `client` is still alive
+    assert_eq!(
+        client.dataset_pdf(x).unwrap_err(),
+        ServiceError::Unavailable
+    );
+}
+
+#[test]
+fn server_survives_client_clones_dropping_midstream() {
+    let (client, handle) = spawn_server(18, false);
+    let (x, _) = blob_images(10, 2, 19);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    for _ in 0..4 {
+        let c2 = client.clone();
+        let xx = x.clone();
+        thread::spawn(move || {
+            let _ = c2.dataset_pdf(xx);
+            // c2 dropped here while other clones continue.
+        })
+        .join()
+        .unwrap();
+    }
+    assert!(client.dataset_pdf(x).is_ok());
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_histograms_cover_all_calls() {
+    let (client, handle) = spawn_server(20, false);
+    let (x, _) = blob_images(8, 2, 21);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    for _ in 0..10 {
+        client.dataset_pdf(x.clone()).unwrap();
+    }
+    let m = client.metrics().unwrap();
+    let pdf = m.op("pdf").unwrap();
+    assert_eq!(pdf.count, 10);
+    assert_eq!(pdf.histogram.iter().sum::<u64>(), 10);
+    assert!(pdf.mean().as_nanos() > 0);
+    assert!(pdf.quantile(0.5) <= pdf.quantile(1.0));
+    assert!(m.total_calls() >= 11);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn worker_panic_surfaces_as_unavailable_not_a_hang() {
+    // Failure injection: a fallback labeler that panics kills the worker
+    // thread mid-request. The in-flight client must observe Unavailable
+    // (its one-shot reply sender is dropped during unwind), and so must
+    // every later call — never a hang.
+    let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 30);
+    let fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(2),
+            ..FairDsConfig::default()
+        },
+    );
+    let mut tcfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    tcfg.train.epochs = 2;
+    let trainer = RapidTrainer::new(fairds, ModelManager::default(), tcfg);
+    let (client, handle) = DmsServer::spawn(
+        trainer,
+        Box::new(|_| panic!("labeler exploded")),
+        DmsServerConfig {
+            auto_retrain: false,
+            ..DmsServerConfig::default()
+        },
+    );
+    let (x, _) = blob_images(10, 2, 31);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+
+    // Empty store ⇒ every sample needs the fallback ⇒ the labeler panics.
+    let err = client.pseudo_label(x.clone(), 0.5).unwrap_err();
+    assert_eq!(err, ServiceError::Unavailable);
+    // The server is gone; subsequent calls fail fast.
+    assert_eq!(client.dataset_pdf(x).unwrap_err(), ServiceError::Unavailable);
+    drop(client);
+    handle.shutdown(); // joins the dead worker without hanging
+}

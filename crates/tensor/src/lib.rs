@@ -1,0 +1,80 @@
+//! # fairdms-tensor
+//!
+//! A small, self-contained tensor library underpinning the fairDMS
+//! reproduction. It provides row-major, contiguous `f32` n-dimensional
+//! arrays together with the handful of kernels that dominate the cost of
+//! training the paper's models (BraggNN, CookieNetAE, the embedding
+//! networks):
+//!
+//! * elementwise arithmetic (scalar and tensor-tensor, in-place variants),
+//! * reductions (sum / mean / max / argmax / variance, per-axis rows),
+//! * parallel GEMM ([`ops::matmul`]) and its transposed variants,
+//! * seeded random initialization (uniform, Xavier/He normal).
+//!
+//! Parallelism follows the HPC guides bundled with this repository: hot
+//! kernels use [rayon] parallel iterators over independent output rows, which
+//! guarantees data-race freedom while scaling across cores.
+//!
+//! The library intentionally supports only contiguous row-major storage:
+//! every consumer in this workspace works on freshly materialized tensors,
+//! and contiguity keeps the kernels simple, cache-friendly and easy to verify
+//! against naive references in property tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use fairdms_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+
+mod shape;
+mod tensor;
+
+pub mod ops;
+pub mod rng;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by the crate's approximate comparisons.
+pub const DEFAULT_TOL: f32 = 1e-5;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` in every element.
+///
+/// Panics if the shapes differ: comparing tensors of different shapes is a
+/// logic error, not a numeric mismatch.
+pub fn allclose(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    assert_eq!(a.shape(), b.shape(), "allclose: shape mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allclose_detects_equal_and_unequal() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0 + 1e-7], &[2]);
+        let c = Tensor::from_vec(vec![1.0, 3.0], &[2]);
+        assert!(allclose(&a, &b, 1e-5));
+        assert!(!allclose(&a, &c, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn allclose_panics_on_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = allclose(&a, &b, 1e-5);
+    }
+}

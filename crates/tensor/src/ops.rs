@@ -1,0 +1,277 @@
+//! Parallel linear-algebra kernels.
+//!
+//! GEMM dominates the training cost of every model in this repository (dense
+//! layers directly; convolutions via im2col in `fairdms-nn`). The kernels
+//! here parallelize over independent output rows with rayon, switching to a
+//! sequential loop below [`PAR_THRESHOLD`] where thread-pool overhead would
+//! dominate — the "measure before parallelizing" advice from the bundled
+//! perf guides.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Minimum number of output elements before a kernel uses the rayon pool.
+pub const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `C = A × B` for rank-2 tensors (`[m,k] × [k,n] → [m,n]`).
+///
+/// The inner loop is written `ikj`-order over the row of `B`, which both
+/// vectorizes well and walks memory contiguously.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul: A must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul: B must be rank-2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2} differ");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A × Bᵀ` (`[m,k] × [n,k] → [m,n]`) without materializing `Bᵀ`.
+///
+/// Used by dense-layer backward passes, where the weight matrix is stored
+/// un-transposed.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_transb: A must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_transb: B must be rank-2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_transb: inner dimensions {k} vs {k2} differ");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ × B` (`[k,m] × [k,n] → [m,n]`) without materializing `Aᵀ`.
+///
+/// Used to accumulate weight gradients (`∂W = Xᵀ × ∂Y`).
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_transa: A must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_transa: B must be rank-2");
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_transa: inner dimensions {k} vs {k2} differ");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    // Accumulate row-by-row of the k dimension; each output row i gathers
+    // a[p, i] * b[p, :]. Parallelize over output rows to stay race-free.
+    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
+        for p in 0..k {
+            let a_pi = a_data[p * m + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `y = A × x` (`[m,k] × [k] → [m]`).
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matvec: A must be rank-2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    assert_eq!(x.numel(), k, "matvec: vector length mismatch");
+    let xd = x.data();
+    let out: Vec<f32> = a
+        .data()
+        .chunks(k)
+        .map(|row| row.iter().zip(xd).map(|(&a, &b)| a * b).sum())
+        .collect();
+    Tensor::from_vec(out, &[m])
+}
+
+/// Outer product `A = x ⊗ y` (`[m] × [n] → [m,n]`).
+pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+    let (m, n) = (x.numel(), y.numel());
+    let mut out = Vec::with_capacity(m * n);
+    for &xi in x.data() {
+        for &yj in y.data() {
+            out.push(xi * yj);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Squared Euclidean distance between two flat vectors.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Cosine similarity between two flat vectors (0 when either is all-zero).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Naive triple-loop reference GEMM, used by tests and property checks.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.at(&[i, p]) * b.at(&[p, j]);
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allclose, rng::TensorRng};
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let mut rng = TensorRng::seeded(7);
+        let a = rng.uniform(&[13, 9], -1.0, 1.0);
+        let b = rng.uniform(&[9, 11], -1.0, 1.0);
+        assert!(allclose(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = TensorRng::seeded(11);
+        let a = rng.uniform(&[6, 5], -1.0, 1.0);
+        let b = rng.uniform(&[7, 5], -1.0, 1.0);
+        assert!(allclose(
+            &matmul_transb(&a, &b),
+            &matmul(&a, &b.transpose()),
+            1e-4
+        ));
+        let c = rng.uniform(&[5, 6], -1.0, 1.0);
+        let d = rng.uniform(&[5, 7], -1.0, 1.0);
+        assert!(allclose(
+            &matmul_transa(&c, &d),
+            &matmul(&c.transpose(), &d),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn matvec_and_outer_are_consistent() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        assert_eq!(matvec(&a, &x).data(), &[3.0, 7.0]);
+        let o = outer(&x, &Tensor::from_vec(vec![2.0, 5.0], &[2]));
+        assert_eq!(o.data(), &[2.0, 5.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let mut rng = TensorRng::seeded(3);
+        let a = rng.uniform(&[8, 8], -2.0, 2.0);
+        assert!(allclose(&matmul(&a, &Tensor::eye(8)), &a, 1e-5));
+        assert!(allclose(&matmul(&Tensor::eye(8), &a), &a, 1e-5));
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&a, &b).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &b), 0.0);
+    }
+
+    #[test]
+    fn sq_dist_is_zero_on_self() {
+        let v = [0.5f32, -1.5, 2.5];
+        assert_eq!(sq_dist(&v, &v), 0.0);
+        assert!((sq_dist(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_mismatched_inner_dims() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn large_matmul_uses_parallel_path_and_matches() {
+        // 256x256 output exceeds PAR_THRESHOLD, exercising the rayon branch.
+        let mut rng = TensorRng::seeded(42);
+        let a = rng.uniform(&[256, 32], -1.0, 1.0);
+        let b = rng.uniform(&[32, 256], -1.0, 1.0);
+        assert!(allclose(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-3));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the tensor kernels: the parallel implementations
+//! must agree with naive references, and shape manipulations must be lossless.
+
+use fairdms_tensor::{allclose, ops, rng::TensorRng, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..24, 1usize..24, 1usize..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_agrees_with_naive((m, k, n) in small_dims(), seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[m, k], -2.0, 2.0);
+        let b = rng.uniform(&[k, n], -2.0, 2.0);
+        let fast = ops::matmul(&a, &b);
+        let slow = ops::matmul_naive(&a, &b);
+        prop_assert!(allclose(&fast, &slow, 1e-3));
+    }
+
+    #[test]
+    fn transb_equals_explicit_transpose((m, k, n) in small_dims(), seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[m, k], -2.0, 2.0);
+        let b = rng.uniform(&[n, k], -2.0, 2.0);
+        prop_assert!(allclose(
+            &ops::matmul_transb(&a, &b),
+            &ops::matmul(&a, &b.transpose()),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn transa_equals_explicit_transpose((m, k, n) in small_dims(), seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[k, m], -2.0, 2.0);
+        let b = rng.uniform(&[k, n], -2.0, 2.0);
+        prop_assert!(allclose(
+            &ops::matmul_transa(&a, &b),
+            &ops::matmul(&a.transpose(), &b),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn reshape_preserves_data(rows in 1usize..16, cols in 1usize..16, seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let t = rng.uniform(&[rows, cols], -1.0, 1.0);
+        let r = t.reshape(&[cols, rows]).reshape(&[rows * cols]).reshape(&[rows, cols]);
+        prop_assert_eq!(t, r);
+    }
+
+    #[test]
+    fn transpose_roundtrip(rows in 1usize..16, cols in 1usize..16, seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let t = rng.uniform(&[rows, cols], -1.0, 1.0);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(n in 1usize..64, seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[n], -5.0, 5.0);
+        let b = rng.uniform(&[n], -5.0, 5.0);
+        prop_assert!(allclose(&a.add(&b), &b.add(&a), 1e-6));
+        prop_assert!(allclose(&a.add(&b).sub(&b), &a, 1e-4));
+    }
+
+    #[test]
+    fn scale_distributes_over_sum(n in 1usize..64, alpha in -3.0f32..3.0, seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[n], -5.0, 5.0);
+        let lhs = a.scale(alpha).sum();
+        let rhs = alpha * a.sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn sq_dist_is_symmetric_and_nonnegative(n in 1usize..64, seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[n], -5.0, 5.0);
+        let b = rng.uniform(&[n], -5.0, 5.0);
+        let d1 = ops::sq_dist(a.data(), b.data());
+        let d2 = ops::sq_dist(b.data(), a.data());
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-4 * (1.0 + d1));
+    }
+
+    #[test]
+    fn vstack_preserves_rows(r1 in 1usize..8, r2 in 1usize..8, cols in 1usize..8, seed in 0u64..1_000) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[r1, cols], -1.0, 1.0);
+        let b = rng.uniform(&[r2, cols], -1.0, 1.0);
+        let s = Tensor::vstack(&[&a, &b]);
+        prop_assert_eq!(s.shape(), &[r1 + r2, cols]);
+        for i in 0..r1 {
+            prop_assert_eq!(s.row(i), a.row(i));
+        }
+        for i in 0..r2 {
+            prop_assert_eq!(s.row(r1 + i), b.row(i));
+        }
+    }
+}

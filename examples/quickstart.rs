@@ -1,0 +1,98 @@
+//! Quickstart: the fairDMS loop in ~80 lines.
+//!
+//! 1. Generate a synthetic HEDM history and train the fairDS system plane
+//!    (BYOL embedding + k-means index).
+//! 2. Ingest the labeled history into the data store.
+//! 3. When a new (unlabeled) scan arrives, let fairDMS pseudo-label it,
+//!    pick a foundation model from the Zoo, and fine-tune.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fairdms_core::embedding::{ByolEmbedder, EmbedTrainConfig};
+use fairdms_core::fairds::{FairDS, FairDsConfig};
+use fairdms_core::fairms::ModelManager;
+use fairdms_core::models::ArchSpec;
+use fairdms_core::workflow::{RapidTrainer, RapidTrainerConfig};
+use fairdms_datasets::bragg::{to_training_tensors, BraggSimulator, DriftModel};
+use fairdms_datasets::voigt::{fit_peak, FitConfig};
+
+const SIDE: usize = 15;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Historical data + system-plane training.
+    // ------------------------------------------------------------------
+    let sim = BraggSimulator::new(DriftModel::none(), 7);
+    let history: Vec<_> = (0..3).flat_map(|s| sim.scan(s, 200)).collect();
+    let (x4, y) = to_training_tensors(&history);
+    let n = x4.shape()[0];
+    let x = x4.reshape(&[n, SIDE * SIDE]);
+
+    let embedder = ByolEmbedder::new(SIDE, 64, 16, 7);
+    let mut fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(15),
+            ..FairDsConfig::default()
+        },
+    );
+    println!("training fairDS system plane on {n} historical patches…");
+    let k = fairds.train_system(
+        &x,
+        &EmbedTrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            lr: 2e-3,
+            ..EmbedTrainConfig::default()
+        },
+    );
+    fairds.ingest_labeled(&x, &y, 0);
+    println!("fairDS ready: {k} clusters, {} stored samples\n", fairds.store().len());
+
+    // ------------------------------------------------------------------
+    // 2. The fairDMS workflow around a BraggNN.
+    // ------------------------------------------------------------------
+    let mut cfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    cfg.train.epochs = 25;
+    let mut trainer = RapidTrainer::new(fairds, ModelManager::new(0.9), cfg);
+
+    // ------------------------------------------------------------------
+    // 3. Two model updates: the first trains from scratch (empty Zoo),
+    //    the second fine-tunes the registered model.
+    // ------------------------------------------------------------------
+    for scan in [10usize, 11] {
+        let new_patches = sim.scan(scan, 150);
+        let (nx4, _) = to_training_tensors(&new_patches);
+        let nn = nx4.shape()[0];
+        let nx = nx4.reshape(&[nn, SIDE * SIDE]);
+
+        let (_, report) = trainer.update_model(
+            &nx,
+            |pixels| {
+                // Expensive fallback: the conventional pseudo-Voigt fit.
+                let fit = fit_peak(pixels, SIDE, &FitConfig::QUICK);
+                let (cx, cy) = fit.center();
+                let s = (SIDE - 1) as f32;
+                vec![cx / s, cy / s]
+            },
+            scan,
+        );
+
+        println!(
+            "scan {scan}: {} | labels reused {}/{} | labeling {:.3}s | training {:.2}s ({} epochs) | val loss {:.5}",
+            match report.foundation {
+                Some(id) => format!("fine-tuned zoo model #{id}"),
+                None => "trained from scratch".to_string(),
+            },
+            report.label_stats.reused,
+            report.label_stats.reused + report.label_stats.computed,
+            report.label_secs,
+            report.train_secs,
+            report.epochs,
+            report.train_report.final_val_loss(),
+        );
+    }
+    println!("\nzoo now holds {} models — subsequent updates keep accelerating", trainer.zoo.len());
+}

@@ -1,0 +1,35 @@
+//! Smoke tests for the figure regenerators: every paper figure's harness
+//! must run end-to-end at `Scale::Smoke`. This is the repository's
+//! guarantee that `figures -- all` cannot bit-rot.
+
+use fairdms_bench::{figures, Scale};
+
+macro_rules! smoke {
+    ($name:ident, $fig:expr) => {
+        #[test]
+        fn $name() {
+            figures::run($fig, Scale::Smoke).expect($fig);
+        }
+    };
+}
+
+smoke!(fig2_smokes, "fig2");
+smoke!(fig6_smokes, "fig6");
+smoke!(fig7_smokes, "fig7");
+smoke!(fig8_smokes, "fig8");
+smoke!(fig9_smokes, "fig9");
+smoke!(fig10_smokes, "fig10");
+smoke!(fig11_smokes, "fig11");
+smoke!(fig12_smokes, "fig12");
+smoke!(fig13_smokes, "fig13");
+smoke!(fig14_smokes, "fig14");
+smoke!(fig15_smokes, "fig15");
+smoke!(fig16_smokes, "fig16");
+smoke!(elbow_smokes, "elbow");
+smoke!(ablations_smoke, "ablations");
+smoke!(scalability_smoke, "scalability");
+
+#[test]
+fn unknown_figure_is_an_error() {
+    assert!(figures::run("fig99", Scale::Smoke).is_err());
+}
