@@ -68,7 +68,11 @@ fn bench_snapshot(c: &mut Criterion) {
     let mut rng = TensorRng::seeded(3);
     for i in 0..5_000i64 {
         let pixels: Vec<f32> = (0..225).map(|_| rng.next_uniform(0.0, 1.0)).collect();
-        coll.insert(&Document::new().with("cluster", i % 15).with("pixels", pixels));
+        coll.insert(
+            &Document::new()
+                .with("cluster", i % 15)
+                .with("pixels", pixels),
+        );
     }
     c.bench_function("snapshot_5k_docs", |b| b.iter(|| coll.snapshot()));
     let snap = coll.snapshot();
@@ -84,9 +88,19 @@ fn bench_snapshot(c: &mut Criterion) {
 fn bench_schedules(c: &mut Criterion) {
     let schedules = [
         LrSchedule::Constant,
-        LrSchedule::Step { every: 10, gamma: 0.5 },
-        LrSchedule::Cosine { total_epochs: 100, min_frac: 0.1 },
-        LrSchedule::WarmupCosine { warmup: 5, total_epochs: 100, min_frac: 0.0 },
+        LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        },
+        LrSchedule::Cosine {
+            total_epochs: 100,
+            min_frac: 0.1,
+        },
+        LrSchedule::WarmupCosine {
+            warmup: 5,
+            total_epochs: 100,
+            min_frac: 0.0,
+        },
     ];
     c.bench_function("lr_schedule_eval_400", |b| {
         b.iter(|| {

@@ -44,7 +44,9 @@ fn bench_kmeans(c: &mut Criterion) {
         b.iter(|| KMeans::fit(&data, &KMeansConfig::new(15)))
     });
     let model = KMeans::fit(&data, &KMeansConfig::new(15));
-    c.bench_function("kmeans_assign_2000x16_k15", |b| b.iter(|| model.predict(&data)));
+    c.bench_function("kmeans_assign_2000x16_k15", |b| {
+        b.iter(|| model.predict(&data))
+    });
     c.bench_function("fuzzy_memberships_2000x16_k15", |b| {
         b.iter(|| fuzzy::memberships(&data, &model, 2.0))
     });

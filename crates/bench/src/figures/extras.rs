@@ -42,7 +42,11 @@ pub fn run_elbow(scale: Scale) -> Result<(), String> {
             report.ks[i].to_string(),
             format!("{:.2}", report.wss[i]),
             f(report.scores[i] as f64),
-            if report.ks[i] == report.best_k { "<-".into() } else { "".into() },
+            if report.ks[i] == report.best_k {
+                "<-".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     table.emit("elbow_k_selection");
@@ -75,7 +79,10 @@ fn embedding_index_quality(scale: Scale) -> Table {
                 23,
             )),
         ),
-        ("contrastive", Box::new(ContrastiveEmbedder::new(BRAGG_SIDE, 64, 16, 23))),
+        (
+            "contrastive",
+            Box::new(ContrastiveEmbedder::new(BRAGG_SIDE, 64, 16, 23)),
+        ),
         ("byol", Box::new(ByolEmbedder::new(BRAGG_SIDE, 64, 16, 23))),
     ];
     for (name, embedder) in embedders {
@@ -118,7 +125,7 @@ fn embedding_index_quality(scale: Scale) -> Table {
 /// Ablation 2: JSD vs plain L2 between PDFs for picking the best zoo model.
 fn jsd_vs_l2(scale: Scale) -> Table {
     let fx = crate::figures::fig10_12::build_bragg_zoo(scale, 15, 67);
-    let mut fairds = fx.fairds;
+    let fairds = fx.fairds;
     let zoo = fx.zoo;
     let n_zoo = zoo.len();
     let config_change = n_zoo / 2;
@@ -130,7 +137,13 @@ fn jsd_vs_l2(scale: Scale) -> Table {
 
     let mut table = Table::new(
         "Ablation: zoo ranking metric — does the top-1 pick match the test phase?",
-        &["test_scan", "jsd_pick", "l2_pick", "same_phase_jsd", "same_phase_l2"],
+        &[
+            "test_scan",
+            "jsd_pick",
+            "l2_pick",
+            "same_phase_jsd",
+            "same_phase_l2",
+        ],
     );
     for ts in [0usize, config_change, n_zoo - 1] {
         let (x, _) = bragg_flat(&sim.scan_shot(ts, 9, per_test));
@@ -166,7 +179,7 @@ fn jsd_vs_l2(scale: Scale) -> Table {
 fn threshold_sweep(scale: Scale) -> Table {
     let per_scan = scale.pick(60, 250, 500);
     let history = bragg_history(3, per_scan, 71);
-    let mut fairds = bragg_fairds(&history, 15, 71, embed_epochs(scale));
+    let fairds = bragg_fairds(&history, 15, 71, embed_epochs(scale));
     let sim = BraggSimulator::new(DriftModel::none(), 7171);
     let patches = sim.scan(0, per_scan.min(200));
     let (x, y_true) = bragg_flat(&patches);
@@ -222,7 +235,7 @@ fn k_sensitivity(scale: Scale) -> Table {
         &["k", "certainty_in_dist", "certainty_drifted", "separation"],
     );
     for &k in &[5usize, 10, 15, 20] {
-        let mut fairds = bragg_fairds(&history, k, 83, embed_epochs(scale));
+        let fairds = bragg_fairds(&history, k, 83, embed_epochs(scale));
         let c_in = fairds.certainty(&in_dist);
         let c_drift = fairds.certainty(&drifted);
         table.row(vec![

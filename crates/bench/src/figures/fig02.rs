@@ -35,7 +35,9 @@ pub fn run(scale: Scale) -> Result<(), String> {
 
     // Train on the experiment's early phase only (the paper trains "with
     // data generated in the early stages").
-    let train_patches: Vec<_> = (0..train_scans).flat_map(|s| sim.scan(s, per_scan)).collect();
+    let train_patches: Vec<_> = (0..train_scans)
+        .flat_map(|s| sim.scan(s, per_scan))
+        .collect();
     let (x_flat, y) = bragg_flat(&train_patches);
     let n = x_flat.shape()[0];
     let x = x_flat.reshape(&[n, 1, BRAGG_SIDE, BRAGG_SIDE]);
@@ -90,7 +92,8 @@ pub fn run(scale: Scale) -> Result<(), String> {
     }
     table.emit("fig02_degradation");
 
-    let early: f32 = points[..train_scans].iter().map(|p| p.error).sum::<f32>() / train_scans as f32;
+    let early: f32 =
+        points[..train_scans].iter().map(|p| p.error).sum::<f32>() / train_scans as f32;
     let late = points.last().unwrap().error;
     println!(
         "early-phase error {:.3} px → final-scan error {:.3} px ({}x); deformation begins at scan {deform_start}",

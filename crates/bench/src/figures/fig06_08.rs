@@ -14,8 +14,8 @@ use crate::calibrate::{profile_backend, profile_compute, ComputeProfile, FetchPr
 use crate::table::{f2, secs, Table};
 use crate::Scale;
 use fairdms_core::models::ArchSpec;
-use fairdms_datasets::{BraggSimulator, CookieBoxSimulator, DriftModel, TomoSimulator};
 use fairdms_dataloader::pipesim::{simulate, PipelineParams};
+use fairdms_datasets::{BraggSimulator, CookieBoxSimulator, DriftModel, TomoSimulator};
 use fairdms_datastore::netsim::paper_backends;
 use fairdms_datastore::Document;
 use fairdms_nn::layers::{Activation, Conv2d, Sequential};

@@ -70,7 +70,7 @@ pub fn run(scale: Scale) -> Result<(), String> {
 
     // Historical corpus, ingested into fairDS.
     let history = bragg_history(hist_scans, per_scan, 11);
-    let mut fairds = bragg_fairds(&history, 15.min(history.len()), 11, embed_epochs(scale));
+    let fairds = bragg_fairds(&history, 15.min(history.len()), 11, embed_epochs(scale));
 
     // BR: a new experiment (different seed, same physics); BH ⊂ BR held out.
     let new_sim = BraggSimulator::new(DriftModel::none(), 999);

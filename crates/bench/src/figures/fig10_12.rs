@@ -55,13 +55,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
-fn fit_quick(
-    arch: ArchSpec,
-    x4: &Tensor,
-    y: &Tensor,
-    epochs: usize,
-    seed: u64,
-) -> Sequential {
+fn fit_quick(arch: ArchSpec, x4: &Tensor, y: &Tensor, epochs: usize, seed: u64) -> Sequential {
     let mut net = arch.build(seed);
     let mut opt = Adam::new(2e-3);
     let cfg = TrainConfig {
@@ -113,7 +107,7 @@ pub fn build_bragg_zoo(scale: Scale, k: usize, seed: u64) -> BraggZoo {
     let history: Vec<_> = (0..n_zoo)
         .flat_map(|s| sim.scan_shot(s, 11, per_scan))
         .collect();
-    let mut fairds = bragg_fairds(&history, k, seed, embed_epochs(scale));
+    let fairds = bragg_fairds(&history, k, seed, embed_epochs(scale));
     let mut zoo = ModelZoo::new();
     let arch = ArchSpec::BraggNN { patch: BRAGG_SIDE };
     let mut scans = Vec::new();
@@ -132,7 +126,7 @@ pub fn build_bragg_zoo(scale: Scale, k: usize, seed: u64) -> BraggZoo {
 
 /// **Fig 10** — BraggNN error-vs-JSD scatter over four test datasets.
 pub fn run_braggnn(scale: Scale) -> Result<(), String> {
-    let mut fx = build_bragg_zoo(scale, 15, 31);
+    let fx = build_bragg_zoo(scale, 15, 31);
     let n_zoo = fx.zoo.len();
     let per_test = scale.pick(40, 150, 300);
     let config_change = n_zoo / 2;
@@ -143,7 +137,7 @@ pub fn run_braggnn(scale: Scale) -> Result<(), String> {
     // Four test datasets: two per phase (the bimodal structure of Fig 10).
     let test_scans = [
         0,
-        (config_change.saturating_sub(1)).max(0),
+        (config_change.saturating_sub(1)),
         config_change,
         n_zoo - 1,
     ];
@@ -182,7 +176,10 @@ pub fn run_braggnn(scale: Scale) -> Result<(), String> {
     table.emit("fig10_braggnn_scatter");
     println!(
         "Spearman(jsd, error) per test dataset: {:?}",
-        correlations.iter().map(|c| format!("{c:.2}")).collect::<Vec<_>>()
+        correlations
+            .iter()
+            .map(|c| format!("{c:.2}"))
+            .collect::<Vec<_>>()
     );
     println!("positive correlation ⇒ JSD ranking selects low-error foundations\n");
     Ok(())
@@ -270,7 +267,10 @@ pub fn run_cookienetae(scale: Scale) -> Result<(), String> {
     table.emit("fig11_cookienetae_scatter");
     println!(
         "Spearman(jsd, error) per test dataset: {:?}\n",
-        correlations.iter().map(|c| format!("{c:.2}")).collect::<Vec<_>>()
+        correlations
+            .iter()
+            .map(|c| format!("{c:.2}"))
+            .collect::<Vec<_>>()
     );
     Ok(())
 }
@@ -278,7 +278,7 @@ pub fn run_cookienetae(scale: Scale) -> Result<(), String> {
 /// **Fig 12** — cluster-PDF bars: input dataset vs the training PDFs of
 /// the best- and worst-ranked zoo models (k = 15, matching the paper).
 pub fn run_distribution_bars(scale: Scale) -> Result<(), String> {
-    let mut fx = build_bragg_zoo(scale, 15, 77);
+    let fx = build_bragg_zoo(scale, 15, 77);
     let n_zoo = fx.zoo.len();
     let config_change = n_zoo / 2;
     let sim = BraggSimulator::new(
@@ -299,10 +299,10 @@ pub fn run_distribution_bars(scale: Scale) -> Result<(), String> {
         "Fig 12: cluster PDF — input vs best-ranked vs worst-ranked training data",
         &["cluster", "input", "best", "worst"],
     );
-    for c in 0..pdf.len() {
+    for (c, &p) in pdf.iter().enumerate() {
         table.row(vec![
             c.to_string(),
-            f(pdf[c]),
+            f(p),
             f(best.train_pdf[c]),
             f(worst.train_pdf[c]),
         ]);

@@ -75,9 +75,16 @@ fn emit_curves(
     for (test_name, curves) in curves_per_test {
         let mut table = Table::new(
             &format!("{title} — {test_name}"),
-            &["epoch", STRATEGIES[0], STRATEGIES[1], STRATEGIES[2], STRATEGIES[3]],
+            &[
+                "epoch",
+                STRATEGIES[0],
+                STRATEGIES[1],
+                STRATEGIES[2],
+                STRATEGIES[3],
+            ],
         );
         let epochs = curves[0].len();
+        #[allow(clippy::needless_range_loop)] // e indexes four parallel curves
         for e in 0..epochs {
             table.row(vec![
                 e.to_string(),
@@ -93,7 +100,13 @@ fn emit_curves(
     // Epochs-to-convergence summary across all test datasets.
     let mut summary = Table::new(
         &format!("{title} — epochs to reach val loss ≤ {threshold_note}"),
-        &["test", STRATEGIES[0], STRATEGIES[1], STRATEGIES[2], STRATEGIES[3]],
+        &[
+            "test",
+            STRATEGIES[0],
+            STRATEGIES[1],
+            STRATEGIES[2],
+            STRATEGIES[3],
+        ],
     );
     for (test_name, curves) in curves_per_test {
         let to_reach = |c: &Vec<f32>| {
@@ -115,7 +128,7 @@ fn emit_curves(
 
 /// **Fig 14** — BraggNN learning curves (bimodal Bragg zoo).
 pub fn run_braggnn(scale: Scale) -> Result<(), String> {
-    let mut fx = build_bragg_zoo(scale, 15, 51);
+    let fx = build_bragg_zoo(scale, 15, 51);
     let n_zoo = fx.zoo.len();
     let config_change = n_zoo / 2;
     let sim = BraggSimulator::new(
@@ -221,7 +234,13 @@ pub fn run_cookienetae(scale: Scale) -> Result<(), String> {
             );
             net
         };
-        zoo.add_model(&format!("cookienetae-scan{scan}"), arch, &report_net, pdf, scan);
+        zoo.add_model(
+            &format!("cookienetae-scan{scan}"),
+            arch,
+            &report_net,
+            pdf,
+            scan,
+        );
     }
 
     let mgr = ModelManager::default();

@@ -139,7 +139,10 @@ pub fn run(scale: Scale) -> Result<(), String> {
         TrainStrategy::FineTuneBest,
     );
     let finetune_budget_secs = t0.elapsed().as_secs_f64();
-    assert!(foundation.is_some(), "fine-tune must use the seeded zoo model");
+    assert!(
+        foundation.is_some(),
+        "fine-tune must use the seeded zoo model"
+    );
 
     // Measured: Retrain (fairDS labels + scratch training).
     let t0 = Instant::now();
@@ -156,9 +159,14 @@ pub fn run(scale: Scale) -> Result<(), String> {
     // Convergence accounting: the common quality target is the best loss
     // the *weaker* run achieved (both runs provably reach it), with 5 %
     // slack. Time-to-convergence = per-epoch time × epochs to reach it.
-    let target = ft_report.best_val_loss().max(scratch_report.best_val_loss()) * 1.05;
+    let target = ft_report
+        .best_val_loss()
+        .max(scratch_report.best_val_loss())
+        * 1.05;
     let ft_epochs = ft_report.epochs_to_reach(target).unwrap_or(epoch_budget);
-    let scratch_epochs_used = scratch_report.epochs_to_reach(target).unwrap_or(epoch_budget);
+    let scratch_epochs_used = scratch_report
+        .epochs_to_reach(target)
+        .unwrap_or(epoch_budget);
     let finetune_secs = finetune_budget_secs * ft_epochs as f64 / epoch_budget as f64;
     let scratch_secs = scratch_budget_secs * scratch_epochs_used as f64 / epoch_budget as f64;
     println!(
@@ -203,7 +211,12 @@ pub fn run(scale: Scale) -> Result<(), String> {
         ("FairDMS", label_fairdms, train_fairdms, ft_epochs),
         ("Retrain", label_fairdms, train_scratch, scratch_epochs_used),
         ("Voigt-80", label_v80, train_scratch, scratch_epochs_used),
-        ("Voigt-1440", label_v1440, train_scratch, scratch_epochs_used),
+        (
+            "Voigt-1440",
+            label_v1440,
+            train_scratch,
+            scratch_epochs_used,
+        ),
     ];
     for (m, l, t, e) in &rows {
         a.row(vec![m.to_string(), secs(*l), secs(*t), e.to_string()]);
@@ -217,7 +230,11 @@ pub fn run(scale: Scale) -> Result<(), String> {
     let e2e_fairdms = label_fairdms + train_fairdms;
     for (m, l, t, _) in &rows {
         let e2e = l + t;
-        b.row(vec![m.to_string(), secs(e2e), format!("{}x", f2(e2e / e2e_fairdms))]);
+        b.row(vec![
+            m.to_string(),
+            secs(e2e),
+            format!("{}x", f2(e2e / e2e_fairdms)),
+        ]);
     }
     b.emit("fig15b_end_to_end");
 

@@ -42,7 +42,7 @@ pub fn run(scale: Scale) -> Result<(), String> {
         fuzzifier: 1.45,
         ..FairDsConfig::default()
     };
-    let mut static_ds = bragg_fairds_with(&warmup_patches, ds_cfg(16), embed_epochs(scale));
+    let static_ds = bragg_fairds_with(&warmup_patches, ds_cfg(16), embed_epochs(scale));
     let mut triggered_ds = bragg_fairds_with(&warmup_patches, ds_cfg(16), embed_epochs(scale));
     let retrain_cfg = EmbedTrainConfig {
         epochs: embed_epochs(scale),

@@ -69,12 +69,7 @@ pub fn bragg_flat(patches: &[BraggPatch]) -> (Tensor, Tensor) {
 
 /// A fairDS over a BYOL embedder for Bragg patches — the configuration
 /// the paper converged on (§IV) — trained on the given historical patches.
-pub fn bragg_fairds(
-    historical: &[BraggPatch],
-    k: usize,
-    seed: u64,
-    embed_epochs: usize,
-) -> FairDS {
+pub fn bragg_fairds(historical: &[BraggPatch], k: usize, seed: u64, embed_epochs: usize) -> FairDS {
     let cfg = FairDsConfig {
         k: Some(k),
         seed,

@@ -53,7 +53,9 @@ fn store_lookup_scaling(scale: Scale) -> Table {
                 &Document::new()
                     .with("cluster", (i % 15) as i64)
                     .with("embedding", {
-                        (0..16).map(|_| rng.next_uniform(0.0, 1.0)).collect::<Vec<f32>>()
+                        (0..16)
+                            .map(|_| rng.next_uniform(0.0, 1.0))
+                            .collect::<Vec<f32>>()
                     }),
             );
         }
@@ -128,7 +130,10 @@ fn clustering_scaling(scale: Scale) -> Table {
             secs(lloyd_secs),
             secs(mini_secs),
             format!("{:.1}x", lloyd_secs / mini_secs.max(1e-12)),
-            format!("{:.3}", mini.inertia() as f64 / full.inertia().max(1e-12) as f64),
+            format!(
+                "{:.3}",
+                mini.inertia() as f64 / full.inertia().max(1e-12) as f64
+            ),
         ]);
     }
     table

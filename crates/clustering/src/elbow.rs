@@ -27,7 +27,10 @@ pub struct ElbowReport {
 /// Sweeps `k_range` (inclusive), fitting K-means at each K, and returns the
 /// elbow report. `seed` controls all fits for reproducibility.
 pub fn select_k(data: &Tensor, k_min: usize, k_max: usize, seed: u64) -> ElbowReport {
-    assert!(k_min >= 1 && k_min <= k_max, "invalid k range {k_min}..={k_max}");
+    assert!(
+        k_min >= 1 && k_min <= k_max,
+        "invalid k range {k_min}..={k_max}"
+    );
     assert!(
         data.shape()[0] >= k_max,
         "need at least {k_max} samples for the sweep"

@@ -91,7 +91,10 @@ pub fn certainty_with_fuzzifier(
     confidence: f32,
     fuzzifier: f32,
 ) -> f64 {
-    assert!((0.0..=1.0).contains(&confidence), "confidence must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&confidence),
+        "confidence must be in [0,1]"
+    );
     let n = data.shape()[0];
     if n == 0 {
         return 1.0;
@@ -160,7 +163,10 @@ mod tests {
         let c_tight = certainty(&tight, &m_tight, 0.5);
         let c_loose = certainty(&loose, &m_loose, 0.5);
         assert!(c_tight > c_loose, "{c_tight} !> {c_loose}");
-        assert!(c_tight > 0.95, "tight clusters should be certain: {c_tight}");
+        assert!(
+            c_tight > 0.95,
+            "tight clusters should be certain: {c_tight}"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl KMeans {
                     continue;
                 }
                 let inv = 1.0 / counts[c] as f64;
-                for (dst, &s) in new_centers.row_mut(c).iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                for (dst, &s) in new_centers
+                    .row_mut(c)
+                    .iter_mut()
+                    .zip(&sums[c * d..(c + 1) * d])
+                {
                     *dst = (s * inv) as f32;
                 }
             }
@@ -181,10 +185,10 @@ pub(crate) fn kmeanspp_init(data: &Tensor, k: usize, rng: &mut TensorRng) -> Ten
     for c in 1..k {
         let idx = rng.next_weighted(&min_dist);
         centers.row_mut(c).copy_from_slice(data.row(idx));
-        for i in 0..n {
+        for (i, md) in min_dist.iter_mut().enumerate() {
             let dist = sq_dist(data.row(i), centers.row(c));
-            if dist < min_dist[i] {
-                min_dist[i] = dist;
+            if dist < *md {
+                *md = dist;
             }
         }
     }

@@ -115,8 +115,7 @@ pub fn davies_bouldin(data: &Tensor, model: &KMeans) -> f64 {
                 .iter()
                 .filter(|&&j| j != i)
                 .map(|&j| {
-                    let sep =
-                        sq_dist(model.centers().row(i), model.centers().row(j)).sqrt() as f64;
+                    let sep = sq_dist(model.centers().row(i), model.centers().row(j)).sqrt() as f64;
                     if sep == 0.0 {
                         f64::INFINITY
                     } else {

@@ -83,10 +83,10 @@ proptest! {
     ) {
         let pdf = assignments_to_pdf(&assignments, 5);
         prop_assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        for c in 0..5 {
+        for (c, &p) in pdf.iter().enumerate() {
             let count = assignments.iter().filter(|&&a| a == c).count();
             let expected = count as f64 / assignments.len() as f64;
-            prop_assert!((pdf[c] - expected).abs() < 1e-9);
+            prop_assert!((p - expected).abs() < 1e-9);
         }
     }
 

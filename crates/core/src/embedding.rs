@@ -50,7 +50,14 @@ impl Default for EmbedTrainConfig {
 }
 
 /// A trainable image-embedding model (the paper's "embedding interface").
-pub trait Embedder: Send {
+///
+/// Training mutates (`fit` takes `&mut self`), but *embedding is
+/// inference*: [`Embedder::embed`] takes `&self` and must be safe to call
+/// concurrently through shared references (`Send + Sync`). That split is
+/// what lets a fitted embedder be frozen into an immutable
+/// [`SystemSnapshot`](crate::fairds::SystemSnapshot) and served from many
+/// reader threads while a fresh copy retrains (DESIGN.md §6).
+pub trait Embedder: Send + Sync {
     /// Method name ("autoencoder", "contrastive", "byol").
     fn name(&self) -> &'static str;
     /// Dimensionality of the produced embeddings.
@@ -60,7 +67,11 @@ pub trait Embedder: Send {
     /// Trains the embedding on unlabeled images (`[N, input_dim]`).
     fn fit(&mut self, images: &Tensor, cfg: &EmbedTrainConfig);
     /// Embeds images into `[N, embed_dim]`, L2-normalized per row.
-    fn embed(&mut self, images: &Tensor) -> Tensor;
+    /// Immutable: implementations must not touch training caches.
+    fn embed(&self, images: &Tensor) -> Tensor;
+    /// Deep-copies the embedder behind the trait object (used to publish a
+    /// frozen copy into a snapshot while the original keeps training).
+    fn clone_embedder(&self) -> Box<dyn Embedder>;
 }
 
 /// Per-sample standardization: zero mean, unit variance per row. Applied
@@ -207,6 +218,7 @@ fn epoch_batches(n: usize, batch: usize, rng: &mut TensorRng) -> Vec<Vec<usize>>
 // ---------------------------------------------------------------------
 
 /// Reconstruction-trained embedding (denoising-autoencoder family).
+#[derive(Clone)]
 pub struct AutoencoderEmbedder {
     encoder: Sequential,
     decoder: Sequential,
@@ -260,11 +272,15 @@ impl Embedder for AutoencoderEmbedder {
         }
     }
 
-    fn embed(&mut self, images: &Tensor) -> Tensor {
+    fn embed(&self, images: &Tensor) -> Tensor {
         let x = standardize_rows(images);
-        let mut z = self.encoder.forward(&x, Mode::Eval);
+        let mut z = self.encoder.infer(&x);
         l2_normalize_rows(&mut z);
         z
+    }
+
+    fn clone_embedder(&self) -> Box<dyn Embedder> {
+        Box::new(self.clone())
     }
 }
 
@@ -273,6 +289,7 @@ impl Embedder for AutoencoderEmbedder {
 // ---------------------------------------------------------------------
 
 /// NT-Xent contrastive embedding over augmented view pairs.
+#[derive(Clone)]
 pub struct ContrastiveEmbedder {
     encoder: Sequential,
     projector: Sequential,
@@ -345,11 +362,15 @@ impl Embedder for ContrastiveEmbedder {
         }
     }
 
-    fn embed(&mut self, images: &Tensor) -> Tensor {
+    fn embed(&self, images: &Tensor) -> Tensor {
         let x = standardize_rows(images);
-        let mut z = self.encoder.forward(&x, Mode::Eval);
+        let mut z = self.encoder.infer(&x);
         l2_normalize_rows(&mut z);
         z
+    }
+
+    fn clone_embedder(&self) -> Box<dyn Embedder> {
+        Box::new(self.clone())
     }
 }
 
@@ -365,6 +386,7 @@ impl Embedder for ContrastiveEmbedder {
 /// indexing application the projector's augmentation invariance is exactly
 /// the property fairDS needs (rotated peaks must land on the same index),
 /// unlike transfer-learning uses where the encoder output is customary.
+#[derive(Clone)]
 pub struct ByolEmbedder {
     online_encoder: Sequential,
     online_projector: Sequential,
@@ -496,12 +518,16 @@ impl Embedder for ByolEmbedder {
         }
     }
 
-    fn embed(&mut self, images: &Tensor) -> Tensor {
+    fn embed(&self, images: &Tensor) -> Tensor {
         let x = standardize_rows(images);
-        let h = self.online_encoder.forward(&x, Mode::Eval);
-        let mut z = self.online_projector.forward(&h, Mode::Eval);
+        let h = self.online_encoder.infer(&x);
+        let mut z = self.online_projector.infer(&h);
         l2_normalize_rows(&mut z);
         z
+    }
+
+    fn clone_embedder(&self) -> Box<dyn Embedder> {
+        Box::new(self.clone())
     }
 }
 
@@ -519,7 +545,11 @@ mod tests {
         let mut labels = Vec::new();
         for class in 0..2usize {
             for _ in 0..per_class {
-                let (cy, cx) = if class == 0 { (2.0f32, 2.0f32) } else { (5.0, 5.0) };
+                let (cy, cx) = if class == 0 {
+                    (2.0f32, 2.0f32)
+                } else {
+                    (5.0, 5.0)
+                };
                 for y in 0..side {
                     for x in 0..side {
                         let r2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
@@ -659,7 +689,6 @@ mod tests {
         }
         Tensor::from_vec(data, &[n, side * side])
     }
-
 
     #[test]
     fn byol_rotation_invariance_improves_over_autoencoder() {

@@ -5,25 +5,37 @@
 //! the elbow method when not fixed); the data store keeps every labeled
 //! historical sample together with its embedding and cluster id, indexed
 //! by cluster for two-level hierarchical search (first the cluster, then
-//! the nearest sample within it). On top of that sit the service
-//! operations the rest of fairDMS consumes:
+//! the nearest sample within it).
 //!
-//! * [`FairDS::dataset_pdf`] — the cluster-occupancy distribution of a
-//!   dataset (the representation that indexes both data and models);
-//! * [`FairDS::lookup_matching`] — PDF-matched retrieval of labeled
-//!   historical data ("the same number of labeled images as are in the
-//!   input data, selected randomly from each cluster based on the PDF");
-//! * [`FairDS::pseudo_label`] — per-sample label reuse with a distance
-//!   threshold and an expensive-labeler fallback (§III-E's `BO`
-//!   construction);
-//! * [`FairDS::certainty`] / [`FairDS::needs_system_update`] — the fuzzy
-//!   clustering staleness monitor behind the Fig 16 retraining trigger.
+//! ## Read plane vs. write plane (DESIGN.md §6)
+//!
+//! The service state is split in two:
+//!
+//! * [`SystemSnapshot`] — an **immutable** view of the fitted system plane
+//!   (frozen embedder, fitted k-means, a handle to the shared store). Every
+//!   user-plane read — [`SystemSnapshot::dataset_pdf`],
+//!   [`SystemSnapshot::lookup_matching`], [`SystemSnapshot::pseudo_label`],
+//!   [`SystemSnapshot::nearest_labeled`], [`SystemSnapshot::certainty`] —
+//!   takes `&self` and is safe to call from any number of threads
+//!   concurrently. Snapshots are shared as `Arc<SystemSnapshot>`; replacing
+//!   one is a single atomic `Arc` swap.
+//! * [`FairDS`] — the **mutating builder** that owns the trainable
+//!   embedder. [`FairDS::train_system`] / [`FairDS::retrain_system`] fit
+//!   models and *publish* a fresh snapshot; [`FairDS::ingest_labeled`]
+//!   writes documents through the (internally synchronized) store. For
+//!   convenience every snapshot read is mirrored on `FairDS` itself,
+//!   delegating to the currently-published snapshot.
+//!
+//! This mirrors the paper's deployment, where the trainer reads the data
+//! store directly while the service keeps answering queries: queries never
+//! serialize behind system-plane maintenance.
 
 use crate::embedding::{EmbedTrainConfig, Embedder};
 use fairdms_clustering::{assignments_to_pdf, elbow, fuzzy, KMeans, KMeansConfig};
 use fairdms_datastore::{Collection, DocId, Document, RawCodec};
 use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// fairDS configuration.
@@ -81,35 +93,34 @@ impl PseudoLabelStats {
     }
 }
 
-/// The FAIR data service.
-pub struct FairDS {
-    embedder: Box<dyn Embedder>,
-    kmeans: Option<KMeans>,
+/// An immutable view of a fitted fairDS system plane.
+///
+/// All methods take `&self`; a `SystemSnapshot` behind an `Arc` is safe to
+/// share across any number of reader threads with no locking. The only
+/// interior mutation is a relaxed atomic counter that derives per-call
+/// sampling seeds for [`SystemSnapshot::lookup_matching`].
+pub struct SystemSnapshot {
+    embedder: Arc<dyn Embedder>,
+    kmeans: Arc<KMeans>,
     store: Arc<Collection>,
     cfg: FairDsConfig,
-    rng: TensorRng,
+    /// Monotonic draw counter; folded into the sampling seed so concurrent
+    /// lookups draw distinct (but deterministic-in-sequence) samples.
+    sample_seq: AtomicU64,
+    /// Publication number (0 for the first trained snapshot, +1 per
+    /// retrain). Lets tests and clients detect snapshot turnover.
+    version: u64,
 }
 
-impl FairDS {
-    /// Creates a fairDS over an embedding method and a backing collection.
-    /// The collection gets a `cluster` index (the paper's "building data
-    /// indexes as data are written").
-    pub fn new(embedder: Box<dyn Embedder>, store: Arc<Collection>, cfg: FairDsConfig) -> Self {
-        store.create_index("cluster");
-        let rng = TensorRng::seeded(cfg.seed ^ 0xDA7A);
-        FairDS {
-            embedder,
-            kmeans: None,
-            store,
-            cfg,
-            rng,
-        }
+impl SystemSnapshot {
+    /// The number of fitted clusters.
+    pub fn k(&self) -> usize {
+        self.kmeans.k()
     }
 
-    /// Convenience: a fairDS over a fresh in-memory raw-codec collection.
-    pub fn in_memory(embedder: Box<dyn Embedder>, cfg: FairDsConfig) -> Self {
-        let store = Arc::new(Collection::new("fairds", Arc::new(RawCodec)));
-        Self::new(embedder, store, cfg)
+    /// The publication number of this snapshot (increments per retrain).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The backing collection.
@@ -117,129 +128,25 @@ impl FairDS {
         &self.store
     }
 
-    /// The service configuration.
+    /// The configuration frozen into this snapshot.
     pub fn config(&self) -> &FairDsConfig {
         &self.cfg
     }
 
-    /// Mutable access to the configuration — deployments calibrate the
-    /// certainty threshold against a measured baseline (absolute fuzzy
-    /// certainty depends on K and the embedding geometry, so a fixed
-    /// constant does not transfer across workloads).
-    pub fn config_mut(&mut self) -> &mut FairDsConfig {
-        &mut self.cfg
-    }
-
-    /// The number of clusters currently fitted (0 before training).
-    pub fn k(&self) -> usize {
-        self.kmeans.as_ref().map(|m| m.k()).unwrap_or(0)
-    }
-
-    /// Whether the system plane has been trained.
-    pub fn is_ready(&self) -> bool {
-        self.kmeans.is_some()
-    }
-
-    /// System-plane training (Fig 5, yellow): fits the embedding model on
-    /// historical images, then the clustering model on their embeddings.
-    /// Returns the selected K.
-    pub fn train_system(&mut self, images: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
-        assert!(images.shape()[0] >= 4, "need at least a handful of samples");
-        self.embedder.fit(images, embed_cfg);
-        let z = self.embedder.embed(images);
-        let k = match self.cfg.k {
-            Some(k) => k.min(z.shape()[0]),
-            None => {
-                let (lo, hi) = self.cfg.k_range;
-                let hi = hi.min(z.shape()[0]);
-                elbow::select_k(&z, lo.min(hi), hi, self.cfg.seed).best_k
-            }
-        };
-        let mut km_cfg = KMeansConfig::new(k);
-        km_cfg.seed = self.cfg.seed;
-        self.kmeans = Some(KMeans::fit(&z, &km_cfg));
-        k
-    }
-
-    /// Re-fits embedding + clustering on the full historical store plus
-    /// `fresh` images (the uncertainty-triggered system update of Fig 16).
-    pub fn retrain_system(&mut self, fresh: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
-        let mut rows: Vec<f32> = Vec::new();
-        let dim = self.embedder.input_dim();
-        for id in self.store.ids() {
-            if let Some(doc) = self.store.get(id) {
-                if let Some(pixels) = doc.get_f32s("pixels") {
-                    if pixels.len() == dim {
-                        rows.extend_from_slice(pixels);
-                    }
-                }
-            }
-        }
-        rows.extend_from_slice(fresh.data());
-        let n = rows.len() / dim;
-        let all = Tensor::from_vec(rows, &[n, dim]);
-        let k = self.train_system(&all, embed_cfg);
-        self.reindex();
-        k
-    }
-
-    /// Recomputes embeddings and cluster assignments of every stored
-    /// document under the current system models.
-    pub fn reindex(&mut self) {
-        let ids = self.store.ids();
-        for id in ids {
-            if let Some(mut doc) = self.store.get(id) {
-                if let Some(pixels) = doc.get_f32s("pixels") {
-                    let x = Tensor::from_vec(pixels.to_vec(), &[1, pixels.len()]);
-                    let z = self.embedder.embed(&x);
-                    let (cluster, _) = self
-                        .kmeans
-                        .as_ref()
-                        .expect("reindex before system training")
-                        .predict_one(z.row(0));
-                    doc.set("embedding", z.row(0).to_vec());
-                    doc.set("cluster", cluster as i64);
-                    self.store.update(id, &doc);
-                }
-            }
-        }
-    }
-
-    /// Ingests labeled samples: embeds, assigns clusters, stores documents
-    /// carrying pixels, embedding, cluster id, label, and scan index.
-    pub fn ingest_labeled(&mut self, images: &Tensor, labels: &Tensor, scan: usize) -> Vec<DocId> {
-        let km = self.kmeans.as_ref().expect("ingest before system training");
-        assert_eq!(images.shape()[0], labels.shape()[0], "image/label mismatch");
-        let z = self.embedder.embed(images);
-        let n = images.shape()[0];
-        let label_w = labels.row_size();
-        let mut ids = Vec::with_capacity(n);
-        for i in 0..n {
-            let (cluster, _) = km.predict_one(z.row(i));
-            let doc = Document::new()
-                .with("pixels", images.row(i).to_vec())
-                .with("embedding", z.row(i).to_vec())
-                .with("cluster", cluster as i64)
-                .with("scan", scan as i64)
-                .with(
-                    "label",
-                    labels.data()[i * label_w..(i + 1) * label_w].to_vec(),
-                );
-            ids.push(self.store.insert(&doc));
-        }
-        ids
+    /// The frozen embedding model.
+    pub fn embedder(&self) -> &dyn Embedder {
+        self.embedder.as_ref()
     }
 
     /// Embeds a dataset and returns its per-sample cluster assignments.
-    pub fn assign(&mut self, images: &Tensor) -> Vec<usize> {
-        let km = self.kmeans.as_ref().expect("assign before system training");
+    pub fn assign(&self, images: &Tensor) -> Vec<usize> {
         let z = self.embedder.embed(images);
-        km.predict(&z)
+        self.kmeans.predict(&z)
     }
 
     /// The cluster-occupancy PDF of a dataset — fairDS's dataset
     /// representation, consumed by fairMS for model indexing.
-    pub fn dataset_pdf(&mut self, images: &Tensor) -> Vec<f64> {
+    pub fn dataset_pdf(&self, images: &Tensor) -> Vec<f64> {
         let k = self.k();
         let assignments = self.assign(images);
         assignments_to_pdf(&assignments, k)
@@ -250,21 +157,26 @@ impl FairDS {
     /// query). Clusters with no stored members fall back to the global
     /// pool so the requested count is always served when the store is
     /// non-empty.
-    pub fn lookup_matching(&mut self, pdf: &[f64], count: usize) -> Vec<Document> {
+    pub fn lookup_matching(&self, pdf: &[f64], count: usize) -> Vec<Document> {
         assert_eq!(pdf.len(), self.k(), "pdf length must equal k");
         let mut out = Vec::with_capacity(count);
         if self.store.is_empty() {
             return out;
         }
+        // Per-call RNG: the atomic sequence keeps concurrent callers on
+        // distinct streams without any shared mutable generator.
+        let draw = self.sample_seq.fetch_add(1, Ordering::Relaxed);
+        let mut rng =
+            TensorRng::seeded((self.cfg.seed ^ 0xDA7A).wrapping_add(draw.wrapping_mul(0x9E37)));
         let all_ids = self.store.ids();
         let weights: Vec<f32> = pdf.iter().map(|&p| p as f32).collect();
         for _ in 0..count {
-            let cluster = self.rng.next_weighted(&weights);
+            let cluster = rng.next_weighted(&weights);
             let ids = self.store.find_by("cluster", cluster as i64);
             let pick = if ids.is_empty() {
-                all_ids[self.rng.next_index(all_ids.len())]
+                all_ids[rng.next_index(all_ids.len())]
             } else {
-                ids[self.rng.next_index(ids.len())]
+                ids[rng.next_index(ids.len())]
             };
             if let Some(doc) = self.store.get(pick) {
                 out.push(doc);
@@ -282,7 +194,7 @@ impl FairDS {
     /// store supports parallel reads); only the fallback labeler runs
     /// sequentially, since it is an arbitrary `FnMut`.
     pub fn pseudo_label(
-        &mut self,
+        &self,
         images: &Tensor,
         threshold: f32,
         mut fallback: impl FnMut(&[f32]) -> Vec<f32>,
@@ -314,9 +226,9 @@ impl FairDS {
 
     /// Parallel per-sample nearest-stored-label search: `(distance, label)`
     /// for each input row, `None` when its cluster holds no labeled docs.
-    fn nearest_labels_parallel(&mut self, images: &Tensor) -> Vec<Option<(f32, Vec<f32>)>> {
+    fn nearest_labels_parallel(&self, images: &Tensor) -> Vec<Option<(f32, Vec<f32>)>> {
         let z = self.embedder.embed(images);
-        let km = self.kmeans.as_ref().expect("lookup before system training");
+        let km = &self.kmeans;
         let n = images.shape()[0];
         let store = &self.store;
         (0..n)
@@ -326,7 +238,9 @@ impl FairDS {
                 let mut best: Option<(f32, Vec<f32>)> = None;
                 for id in store.find_by("cluster", cluster as i64) {
                     let Some(doc) = store.get(id) else { continue };
-                    let Some(emb) = doc.get_f32s("embedding") else { continue };
+                    let Some(emb) = doc.get_f32s("embedding") else {
+                        continue;
+                    };
                     if emb.len() != z.row(i).len() {
                         continue;
                     }
@@ -347,9 +261,9 @@ impl FairDS {
     /// together with the embedding distance — the §III-E `BO` construction
     /// uses the *stored* `{p, l(p)}` pair when the distance is below the
     /// threshold. Parallel over samples.
-    pub fn nearest_labeled(&mut self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
+    pub fn nearest_labeled(&self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
         let z = self.embedder.embed(images);
-        let km = self.kmeans.as_ref().expect("nearest_labeled before system training");
+        let km = &self.kmeans;
         let n = images.shape()[0];
         let store = &self.store;
         (0..n)
@@ -359,7 +273,9 @@ impl FairDS {
                 let mut best: Option<(f32, Document)> = None;
                 for id in store.find_by("cluster", cluster as i64) {
                     let Some(doc) = store.get(id) else { continue };
-                    let Some(emb) = doc.get_f32s("embedding") else { continue };
+                    let Some(emb) = doc.get_f32s("embedding") else {
+                        continue;
+                    };
                     if emb.len() != z.row(i).len() {
                         continue;
                     }
@@ -373,17 +289,245 @@ impl FairDS {
             .collect()
     }
 
-    /// Fuzzy-clustering certainty of a dataset under the current system
-    /// models (the Fig 16 metric).
-    pub fn certainty(&mut self, images: &Tensor) -> f64 {
-        let km = self.kmeans.as_ref().expect("certainty before system training");
+    /// Fuzzy-clustering certainty of a dataset under this snapshot's
+    /// system models (the Fig 16 metric), using the snapshot's configured
+    /// confidence and fuzzifier.
+    pub fn certainty(&self, images: &Tensor) -> f64 {
+        self.certainty_with(images, self.cfg.confidence, self.cfg.fuzzifier)
+    }
+
+    /// [`SystemSnapshot::certainty`] with explicit monitor parameters.
+    pub fn certainty_with(&self, images: &Tensor, confidence: f32, fuzzifier: f32) -> f64 {
         let z = self.embedder.embed(images);
-        fuzzy::certainty_with_fuzzifier(&z, km, self.cfg.confidence, self.cfg.fuzzifier)
+        fuzzy::certainty_with_fuzzifier(&z, &self.kmeans, confidence, fuzzifier)
+    }
+
+    /// Whether the staleness monitor demands a system-plane retrain
+    /// (certainty below the snapshot's configured threshold).
+    pub fn needs_system_update(&self, images: &Tensor) -> bool {
+        self.certainty(images) < self.cfg.certainty_threshold
+    }
+}
+
+/// The FAIR data service builder: owns the trainable models, publishes
+/// immutable [`SystemSnapshot`]s.
+pub struct FairDS {
+    embedder: Box<dyn Embedder>,
+    current: Option<Arc<SystemSnapshot>>,
+    store: Arc<Collection>,
+    cfg: FairDsConfig,
+    versions_published: u64,
+}
+
+impl FairDS {
+    /// Creates a fairDS over an embedding method and a backing collection.
+    /// The collection gets a `cluster` index (the paper's "building data
+    /// indexes as data are written").
+    pub fn new(embedder: Box<dyn Embedder>, store: Arc<Collection>, cfg: FairDsConfig) -> Self {
+        store.create_index("cluster");
+        FairDS {
+            embedder,
+            current: None,
+            store,
+            cfg,
+            versions_published: 0,
+        }
+    }
+
+    /// Convenience: a fairDS over a fresh in-memory raw-codec collection.
+    pub fn in_memory(embedder: Box<dyn Embedder>, cfg: FairDsConfig) -> Self {
+        let store = Arc::new(Collection::new("fairds", Arc::new(RawCodec)));
+        Self::new(embedder, store, cfg)
+    }
+
+    /// The backing collection.
+    pub fn store(&self) -> &Arc<Collection> {
+        &self.store
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &FairDsConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the configuration — deployments calibrate the
+    /// certainty threshold against a measured baseline (absolute fuzzy
+    /// certainty depends on K and the embedding geometry, so a fixed
+    /// constant does not transfer across workloads). Monitor-parameter
+    /// changes take effect immediately on the builder's own reads;
+    /// already-published snapshots keep the configuration they were
+    /// trained under until the next publication.
+    pub fn config_mut(&mut self) -> &mut FairDsConfig {
+        &mut self.cfg
+    }
+
+    /// The currently-published snapshot, if the system plane is trained.
+    pub fn snapshot(&self) -> Option<Arc<SystemSnapshot>> {
+        self.current.clone()
+    }
+
+    /// The number of clusters currently fitted (0 before training).
+    pub fn k(&self) -> usize {
+        self.current.as_ref().map(|s| s.k()).unwrap_or(0)
+    }
+
+    /// Whether the system plane has been trained.
+    pub fn is_ready(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn ready(&self, op: &str) -> &Arc<SystemSnapshot> {
+        self.current
+            .as_ref()
+            .unwrap_or_else(|| panic!("{op} before system training"))
+    }
+
+    /// Freezes the just-fitted models into a new published snapshot.
+    fn publish(&mut self, kmeans: KMeans) {
+        let version = self.versions_published;
+        self.versions_published += 1;
+        self.current = Some(Arc::new(SystemSnapshot {
+            embedder: Arc::from(self.embedder.clone_embedder()),
+            kmeans: Arc::new(kmeans),
+            store: Arc::clone(&self.store),
+            cfg: self.cfg.clone(),
+            sample_seq: AtomicU64::new(0),
+            version,
+        }));
+    }
+
+    /// System-plane training (Fig 5, yellow): fits the embedding model on
+    /// historical images, then the clustering model on their embeddings,
+    /// then publishes a fresh snapshot. Returns the selected K.
+    pub fn train_system(&mut self, images: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
+        assert!(images.shape()[0] >= 4, "need at least a handful of samples");
+        self.embedder.fit(images, embed_cfg);
+        let z = self.embedder.embed(images);
+        let k = match self.cfg.k {
+            Some(k) => k.min(z.shape()[0]),
+            None => {
+                let (lo, hi) = self.cfg.k_range;
+                let hi = hi.min(z.shape()[0]);
+                elbow::select_k(&z, lo.min(hi), hi, self.cfg.seed).best_k
+            }
+        };
+        let mut km_cfg = KMeansConfig::new(k);
+        km_cfg.seed = self.cfg.seed;
+        self.publish(KMeans::fit(&z, &km_cfg));
+        k
+    }
+
+    /// Re-fits embedding + clustering on the full historical store plus
+    /// `fresh` images (the uncertainty-triggered system update of Fig 16),
+    /// publishing a new snapshot before re-indexing the store under it.
+    pub fn retrain_system(&mut self, fresh: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
+        let mut rows: Vec<f32> = Vec::new();
+        let dim = self.embedder.input_dim();
+        for id in self.store.ids() {
+            if let Some(doc) = self.store.get(id) {
+                if let Some(pixels) = doc.get_f32s("pixels") {
+                    if pixels.len() == dim {
+                        rows.extend_from_slice(pixels);
+                    }
+                }
+            }
+        }
+        rows.extend_from_slice(fresh.data());
+        let n = rows.len() / dim;
+        let all = Tensor::from_vec(rows, &[n, dim]);
+        let k = self.train_system(&all, embed_cfg);
+        self.reindex();
+        k
+    }
+
+    /// Recomputes embeddings and cluster assignments of every stored
+    /// document under the currently-published system models.
+    pub fn reindex(&mut self) {
+        let snap = Arc::clone(self.ready("reindex"));
+        let ids = self.store.ids();
+        for id in ids {
+            if let Some(mut doc) = self.store.get(id) {
+                if let Some(pixels) = doc.get_f32s("pixels") {
+                    let x = Tensor::from_vec(pixels.to_vec(), &[1, pixels.len()]);
+                    let z = snap.embedder.embed(&x);
+                    let (cluster, _) = snap.kmeans.predict_one(z.row(0));
+                    doc.set("embedding", z.row(0).to_vec());
+                    doc.set("cluster", cluster as i64);
+                    self.store.update(id, &doc);
+                }
+            }
+        }
+    }
+
+    /// Ingests labeled samples: embeds, assigns clusters, stores documents
+    /// carrying pixels, embedding, cluster id, label, and scan index. The
+    /// store is internally synchronized, so published snapshots observe the
+    /// new documents immediately.
+    pub fn ingest_labeled(&mut self, images: &Tensor, labels: &Tensor, scan: usize) -> Vec<DocId> {
+        let snap = Arc::clone(self.ready("ingest"));
+        assert_eq!(images.shape()[0], labels.shape()[0], "image/label mismatch");
+        let z = snap.embedder.embed(images);
+        let n = images.shape()[0];
+        let label_w = labels.row_size();
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let (cluster, _) = snap.kmeans.predict_one(z.row(i));
+            let doc = Document::new()
+                .with("pixels", images.row(i).to_vec())
+                .with("embedding", z.row(i).to_vec())
+                .with("cluster", cluster as i64)
+                .with("scan", scan as i64)
+                .with(
+                    "label",
+                    labels.data()[i * label_w..(i + 1) * label_w].to_vec(),
+                );
+            ids.push(self.store.insert(&doc));
+        }
+        ids
+    }
+
+    /// Embeds a dataset and returns its per-sample cluster assignments.
+    pub fn assign(&self, images: &Tensor) -> Vec<usize> {
+        self.ready("assign").assign(images)
+    }
+
+    /// The cluster-occupancy PDF of a dataset (delegates to the snapshot).
+    pub fn dataset_pdf(&self, images: &Tensor) -> Vec<f64> {
+        self.ready("dataset_pdf").dataset_pdf(images)
+    }
+
+    /// PDF-matched retrieval (delegates to the snapshot).
+    pub fn lookup_matching(&self, pdf: &[f64], count: usize) -> Vec<Document> {
+        self.ready("lookup").lookup_matching(pdf, count)
+    }
+
+    /// Pseudo-labels a dataset (delegates to the snapshot).
+    pub fn pseudo_label(
+        &self,
+        images: &Tensor,
+        threshold: f32,
+        fallback: impl FnMut(&[f32]) -> Vec<f32>,
+    ) -> (Tensor, PseudoLabelStats) {
+        self.ready("lookup")
+            .pseudo_label(images, threshold, fallback)
+    }
+
+    /// Nearest labeled documents (delegates to the snapshot).
+    pub fn nearest_labeled(&self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
+        self.ready("nearest_labeled").nearest_labeled(images)
+    }
+
+    /// Fuzzy-clustering certainty of a dataset under the current system
+    /// models (the Fig 16 metric), using the builder's *live*
+    /// configuration so threshold calibration applies without republishing.
+    pub fn certainty(&self, images: &Tensor) -> f64 {
+        self.ready("certainty")
+            .certainty_with(images, self.cfg.confidence, self.cfg.fuzzifier)
     }
 
     /// Whether the staleness monitor demands a system-plane retrain
     /// (certainty below the configured threshold).
-    pub fn needs_system_update(&mut self, images: &Tensor) -> bool {
+    pub fn needs_system_update(&self, images: &Tensor) -> bool {
         self.certainty(images) < self.cfg.certainty_threshold
     }
 }
@@ -575,5 +719,56 @@ mod tests {
         let (x, y) = blob_images(4, 1, 13);
         let mut ds = fairds_with_k(2);
         ds.ingest_labeled(&x, &y, 0);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_published_views() {
+        let (x, y) = blob_images(20, 2, 14);
+        let mut ds = fairds_with_k(2);
+        assert!(ds.snapshot().is_none());
+        ds.train_system(&x, &quick_embed_cfg());
+        let snap_a = ds.snapshot().expect("published after training");
+        assert_eq!(snap_a.version(), 0);
+        ds.ingest_labeled(&x, &y, 0);
+
+        // Reads on the snapshot see the shared store immediately.
+        assert_eq!(snap_a.lookup_matching(&[0.5, 0.5], 6).len(), 6);
+        let pdf_a = snap_a.dataset_pdf(&x);
+
+        // Retraining publishes a *new* snapshot; the old Arc still answers
+        // with its frozen models.
+        ds.retrain_system(&x, &quick_embed_cfg());
+        let snap_b = ds.snapshot().expect("published after retraining");
+        assert_eq!(snap_b.version(), 1);
+        assert!(!Arc::ptr_eq(&snap_a, &snap_b), "retrain must swap the Arc");
+        let pdf_a_again = snap_a.dataset_pdf(&x);
+        assert_eq!(pdf_a, pdf_a_again, "old snapshot must stay frozen");
+        assert_eq!(snap_b.dataset_pdf(&x).len(), snap_b.k());
+    }
+
+    #[test]
+    fn snapshot_reads_run_concurrently() {
+        let (x, y) = blob_images(15, 2, 15);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        let snap = ds.snapshot().unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let snap = Arc::clone(&snap);
+            let (xt, _) = blob_images(4, 2, 50 + t);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let pdf = snap.dataset_pdf(&xt);
+                    assert_eq!(pdf.len(), 2);
+                    assert_eq!(snap.lookup_matching(&pdf, 3).len(), 3);
+                    let c = snap.certainty(&xt);
+                    assert!((0.0..=1.0).contains(&c));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use fairdms_datastore::{Collection, Document};
 use fairdms_nn::checkpoint;
 use fairdms_nn::layers::Sequential;
+use std::sync::Arc;
 
 /// One model in the Zoo.
 #[derive(Clone, Debug)]
@@ -34,6 +35,11 @@ pub struct ZooEntry {
 #[derive(Default)]
 pub struct ModelZoo {
     entries: Vec<ZooEntry>,
+    /// Last published snapshot, reused until the next [`ModelZoo::add`].
+    /// Publication happens per *mutating service request*, so without the
+    /// cache a triggered retrain would deep-copy every checkpoint even
+    /// though the zoo itself did not change.
+    snapshot_cache: std::sync::Mutex<Option<ZooSnapshot>>,
 }
 
 impl ModelZoo {
@@ -49,6 +55,10 @@ impl ModelZoo {
             "zoo entries must carry a training-data PDF"
         );
         self.entries.push(entry);
+        *self
+            .snapshot_cache
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner()) = None;
         self.entries.len() - 1
     }
 
@@ -92,11 +102,75 @@ impl ModelZoo {
 
     /// Rebuilds the network of an entry (architecture + checkpoint).
     pub fn instantiate(&self, id: usize, seed: u64) -> Option<Sequential> {
-        let entry = self.entries.get(id)?;
-        let mut net = entry.arch.build(seed);
-        checkpoint::load(&mut net, &entry.checkpoint)
-            .expect("zoo checkpoint does not match its architecture");
-        Some(net)
+        instantiate_entry(self.entries.get(id)?, seed)
+    }
+
+    /// Freezes the current registry into an immutable, shareable snapshot
+    /// (deep copy of the entries; the registry can keep growing while
+    /// readers rank against the frozen view — DESIGN.md §6). The copy is
+    /// taken at most once per mutation: repeat calls between `add`s hand
+    /// back the cached `Arc`.
+    pub fn snapshot(&self) -> ZooSnapshot {
+        let mut cache = self
+            .snapshot_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        cache
+            .get_or_insert_with(|| ZooSnapshot {
+                entries: Arc::from(self.entries.as_slice()),
+            })
+            .clone()
+    }
+}
+
+fn instantiate_entry(entry: &ZooEntry, seed: u64) -> Option<Sequential> {
+    let mut net = entry.arch.build(seed);
+    checkpoint::load(&mut net, &entry.checkpoint)
+        .expect("zoo checkpoint does not match its architecture");
+    Some(net)
+}
+
+/// An immutable view of the Zoo's JSD index.
+///
+/// Cheaply clonable (`Arc`-backed); every method takes `&self`, so a
+/// snapshot can serve `Recommend` / `FetchModel` from any number of reader
+/// threads while the live [`ModelZoo`] keeps registering models.
+#[derive(Clone)]
+pub struct ZooSnapshot {
+    entries: Arc<[ZooEntry]>,
+}
+
+impl ZooSnapshot {
+    /// An empty snapshot (the state before any model is published).
+    pub fn empty() -> Self {
+        ZooSnapshot {
+            entries: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Number of models in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: usize) -> Option<&ZooEntry> {
+        self.entries.get(id)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ZooEntry] {
+        &self.entries
+    }
+
+    /// Rebuilds the network of an entry (architecture + checkpoint).
+    pub fn instantiate(&self, id: usize, seed: u64) -> Option<Sequential> {
+        instantiate_entry(self.entries.get(id)?, seed)
     }
 }
 
@@ -113,7 +187,10 @@ impl ZooEntry {
             .with("checkpoint", Bytes::from(self.checkpoint.clone()))
             .with(
                 "train_pdf",
-                self.train_pdf.iter().map(|&p| p as f32).collect::<Vec<f32>>(),
+                self.train_pdf
+                    .iter()
+                    .map(|&p| p as f32)
+                    .collect::<Vec<f32>>(),
             )
             .with("scan", self.scan as i64)
     }
@@ -129,7 +206,11 @@ impl ZooEntry {
             name: doc.get_str("name")?.to_string(),
             arch,
             checkpoint: doc.get_bytes("checkpoint")?.to_vec(),
-            train_pdf: doc.get_f32s("train_pdf")?.iter().map(|&p| p as f64).collect(),
+            train_pdf: doc
+                .get_f32s("train_pdf")?
+                .iter()
+                .map(|&p| p as f64)
+                .collect(),
             scan: usize::try_from(doc.get_i64("scan")?).ok()?,
         })
     }
@@ -165,6 +246,7 @@ impl ModelZoo {
         entries.sort_by_key(|(id, _)| *id);
         ModelZoo {
             entries: entries.into_iter().map(|(_, e)| e).collect(),
+            snapshot_cache: std::sync::Mutex::new(None),
         }
     }
 }
@@ -235,8 +317,13 @@ impl ModelManager {
     /// the zoo is empty. Entries whose PDF length differs from the input
     /// (stale cluster count) are skipped.
     pub fn rank(&self, zoo: &ModelZoo, input_pdf: &[f64]) -> Option<Recommendation> {
-        let mut ranked: Vec<(usize, f64)> = zoo
-            .entries()
+        self.rank_entries(zoo.entries(), input_pdf)
+    }
+
+    /// [`ModelManager::rank`] over a bare entry slice — the form the
+    /// read plane uses to rank against a [`ZooSnapshot`].
+    pub fn rank_entries(&self, entries: &[ZooEntry], input_pdf: &[f64]) -> Option<Recommendation> {
+        let mut ranked: Vec<(usize, f64)> = entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.train_pdf.len() == input_pdf.len())
@@ -252,7 +339,12 @@ impl ModelManager {
     /// The full decision: fine-tune the best entry when it is within the
     /// threshold, otherwise train from scratch.
     pub fn decide(&self, zoo: &ModelZoo, input_pdf: &[f64]) -> ModelDecision {
-        match self.rank(zoo, input_pdf) {
+        self.decide_entries(zoo.entries(), input_pdf)
+    }
+
+    /// [`ModelManager::decide`] over a bare entry slice.
+    pub fn decide_entries(&self, entries: &[ZooEntry], input_pdf: &[f64]) -> ModelDecision {
+        match self.rank_entries(entries, input_pdf) {
             Some(rec) => {
                 let (zoo_id, divergence) = rec.best();
                 if divergence <= self.distance_threshold {
@@ -324,7 +416,9 @@ mod tests {
         let mut zoo = ModelZoo::new();
         zoo.add(bragg_entry("old-k", vec![0.5, 0.5], 0)); // k=2 era
         zoo.add(bragg_entry("new-k", vec![0.3, 0.3, 0.4], 1)); // k=3 era
-        let rec = ModelManager::default().rank(&zoo, &[0.3, 0.3, 0.4]).unwrap();
+        let rec = ModelManager::default()
+            .rank(&zoo, &[0.3, 0.3, 0.4])
+            .unwrap();
         assert_eq!(rec.ranked.len(), 1);
         assert_eq!(rec.best().0, 1);
     }
@@ -419,6 +513,27 @@ mod tests {
         let restored = ModelZoo::load_from_collection(&coll);
         assert_eq!(restored.len(), 1);
         assert_eq!(restored.get(0).unwrap().name, "good");
+    }
+
+    #[test]
+    fn zoo_snapshot_is_frozen_while_registry_grows() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("a", vec![0.9, 0.1], 0));
+        let snap = zoo.snapshot();
+        zoo.add(bragg_entry("b", vec![0.1, 0.9], 1));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(zoo.len(), 2);
+        // Ranking against the snapshot sees only the frozen entries.
+        let mgr = ModelManager::default();
+        let rec = mgr.rank_entries(snap.entries(), &[0.1, 0.9]).unwrap();
+        assert_eq!(rec.ranked.len(), 1);
+        assert_eq!(rec.best().0, 0);
+        // The snapshot still instantiates its checkpoints.
+        assert!(snap.instantiate(0, 0).is_some());
+        assert!(snap.get(1).is_none());
+        // A fresh snapshot picks up the new entry.
+        assert_eq!(zoo.snapshot().len(), 2);
+        assert!(ZooSnapshot::empty().is_empty());
     }
 
     #[test]

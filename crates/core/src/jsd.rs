@@ -14,7 +14,13 @@
 /// Panics when lengths differ, either input sums to zero, or any entry is
 /// negative.
 pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
-    assert_eq!(p.len(), q.len(), "jsd: length mismatch {} vs {}", p.len(), q.len());
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "jsd: length mismatch {} vs {}",
+        p.len(),
+        q.len()
+    );
     assert!(!p.is_empty(), "jsd: empty distributions");
     let (p, q) = (normalize(p), normalize(q));
     let mut acc = 0.0f64;

@@ -33,8 +33,8 @@ pub mod uncertainty;
 pub mod workflow;
 
 pub use embedding::{AutoencoderEmbedder, ByolEmbedder, ContrastiveEmbedder, Embedder};
-pub use fairds::{FairDS, FairDsConfig, PseudoLabelStats};
-pub use fairms::{ModelManager, ModelZoo, Recommendation, ZooEntry};
+pub use fairds::{FairDS, FairDsConfig, PseudoLabelStats, SystemSnapshot};
+pub use fairms::{ModelManager, ModelZoo, Recommendation, ZooEntry, ZooSnapshot};
 pub use jsd::jsd;
 pub use models::ArchSpec;
 pub use workflow::{RapidTrainer, TrainStrategy, UpdateReport};

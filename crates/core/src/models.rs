@@ -51,7 +51,10 @@ impl ArchSpec {
                 ])
             }
             ArchSpec::CookieNetAE { size } => {
-                assert!(size % 4 == 0 && size >= 8, "size must be a multiple of 4, ≥ 8");
+                assert!(
+                    size % 4 == 0 && size >= 8,
+                    "size must be a multiple of 4, ≥ 8"
+                );
                 Sequential::new(vec![
                     // Encoder: s → s/2 → s/4.
                     Box::new(Conv2d::new(1, 8, 3, 2, 1, &mut rng)),

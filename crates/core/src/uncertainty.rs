@@ -65,12 +65,15 @@ pub fn degradation_series(
 /// First scan index at which the error exceeds `baseline × factor`, where
 /// `baseline` is the mean error over the first `warmup` points — a simple
 /// degradation detector for the workflow tests.
-pub fn detect_degradation(points: &[DegradationPoint], warmup: usize, factor: f32) -> Option<usize> {
+pub fn detect_degradation(
+    points: &[DegradationPoint],
+    warmup: usize,
+    factor: f32,
+) -> Option<usize> {
     if points.len() <= warmup || warmup == 0 {
         return None;
     }
-    let baseline: f32 =
-        points[..warmup].iter().map(|p| p.error).sum::<f32>() / warmup as f32;
+    let baseline: f32 = points[..warmup].iter().map(|p| p.error).sum::<f32>() / warmup as f32;
     points[warmup..]
         .iter()
         .find(|p| p.error > baseline * factor)
@@ -118,7 +121,9 @@ mod tests {
         let points = degradation_series(&mut net, &series, 1.0, 8);
         assert_eq!(points.len(), 4);
         assert_eq!(points[2].scan, 4);
-        assert!(points.iter().all(|p| p.error >= 0.0 && p.uncertainty >= 0.0));
+        assert!(points
+            .iter()
+            .all(|p| p.error >= 0.0 && p.uncertainty >= 0.0));
         // Dropout present ⇒ nonzero uncertainty.
         assert!(points.iter().any(|p| p.uncertainty > 0.0));
     }

@@ -236,9 +236,8 @@ impl RapidTrainer {
         let tx = self.to_model_input(train_x_flat);
         let vx = self.to_model_input(val_x_flat);
         let mut opt = Adam::new(lr);
-        let report = Trainer::new(self.cfg.train.clone()).fit(
-            &mut net, &mut opt, &Mse, &tx, train_y, &vx, val_y,
-        );
+        let report = Trainer::new(self.cfg.train.clone())
+            .fit(&mut net, &mut opt, &Mse, &tx, train_y, &vx, val_y);
         (net, report, foundation, divergence)
     }
 
@@ -466,28 +465,16 @@ mod tests {
         let (vx, vy) = blob_task(12, 19);
         let pdf = trainer.fairds.dataset_pdf(&tx);
         trainer.cfg.train.epochs = 3;
-        let (_, report, _, _) = trainer.fit_strategy_with_val(
-            &tx,
-            &ty,
-            &vx,
-            &vy,
-            &pdf,
-            TrainStrategy::Scratch,
-        );
+        let (_, report, _, _) =
+            trainer.fit_strategy_with_val(&tx, &ty, &vx, &vy, &pdf, TrainStrategy::Scratch);
         assert_eq!(report.curve.len(), 3);
         assert!(report.final_val_loss().is_finite());
 
         // Degenerate validation labels shift the reported loss: proof the
         // explicit val set (and not an internal split) is being scored.
         let bad_vy = Tensor::from_vec(vec![5.0; 24], &[12, 2]);
-        let (_, bad_report, _, _) = trainer.fit_strategy_with_val(
-            &tx,
-            &ty,
-            &vx,
-            &bad_vy,
-            &pdf,
-            TrainStrategy::Scratch,
-        );
+        let (_, bad_report, _, _) =
+            trainer.fit_strategy_with_val(&tx, &ty, &vx, &bad_vy, &pdf, TrainStrategy::Scratch);
         assert!(bad_report.final_val_loss() > report.final_val_loss() * 10.0);
     }
 

@@ -103,9 +103,12 @@ impl<D: Dataset + 'static> DataLoader<D> {
     }
 }
 
+/// Synchronous batch materializer: indices in, items out.
+type FetchFn<T> = Box<dyn FnMut(&[usize]) -> Vec<T> + Send>;
+
 enum StreamImpl<T: Send + 'static> {
     Sync {
-        fetch: Box<dyn FnMut(&[usize]) -> Vec<T> + Send>,
+        fetch: FetchFn<T>,
         batches: BatchIndices,
     },
     Threaded {

@@ -70,7 +70,10 @@ pub fn simulate(params: &PipelineParams) -> EpochReport {
         params.fetch_secs.iter().all(|&t| t >= 0.0),
         "negative fetch time"
     );
-    assert!(params.compute_secs_per_batch >= 0.0, "negative compute time");
+    assert!(
+        params.compute_secs_per_batch >= 0.0,
+        "negative compute time"
+    );
 
     let n = params.n_samples;
     let bs = params.batch_size;

@@ -97,7 +97,12 @@ pub fn to_training_tensors(patches: &[BraggPatch]) -> (Tensor, Tensor) {
         assert_eq!(p.size, size, "mixed patch sizes");
         let n = p.pixels.len() as f32;
         let mean: f32 = p.pixels.iter().sum::<f32>() / n;
-        let var: f32 = p.pixels.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = p
+            .pixels
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         let inv = 1.0 / (var.sqrt() + 1e-6);
         x.extend(p.pixels.iter().map(|&v| (v - mean) * inv));
         let (cx, cy) = p.normalized_center();

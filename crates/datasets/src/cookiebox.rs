@@ -73,8 +73,12 @@ pub fn to_training_tensors(images: &[CookieBoxImage]) -> (Tensor, Tensor) {
         assert_eq!(img.size, size, "mixed image sizes");
         let n = img.histogram.len() as f32;
         let mean: f32 = img.histogram.iter().sum::<f32>() / n;
-        let var: f32 =
-            img.histogram.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = img
+            .histogram
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         let inv = 1.0 / (var.sqrt() + 1e-6);
         x.extend(img.histogram.iter().map(|&v| (v - mean) * inv));
         y.extend(img.pdf.iter().map(|&v| v * size as f32));
@@ -103,7 +107,10 @@ pub struct CookieBoxSimulator {
 impl CookieBoxSimulator {
     /// A simulator at the given resolution.
     pub fn new(size: usize, seed: u64) -> Self {
-        assert!(size >= CHANNELS, "image must have at least one row per channel");
+        assert!(
+            size >= CHANNELS,
+            "image must have at least one row per channel"
+        );
         CookieBoxSimulator {
             size,
             counts_per_row: 220.0,
@@ -147,7 +154,8 @@ impl CookieBoxSimulator {
     /// Generates one acquisition. Deterministic in `(seed, scan, shot)`.
     pub fn acquire(&self, scan: usize, shot: usize) -> CookieBoxImage {
         let mut rng = TensorRng::seeded(
-            self.seed ^ (scan as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            self.seed
+                ^ (scan as u64).wrapping_mul(0xA24B_AED4_963E_E407)
                 ^ (shot as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
         );
         let phase = rng.next_uniform(0.0, std::f32::consts::TAU);

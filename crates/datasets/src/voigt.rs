@@ -192,9 +192,13 @@ fn residual_of(params: &PeakParams, pixels: &[f32], size: usize) -> f32 {
 
 /// Fits a pseudo-Voigt profile with damped Gauss–Newton and numerical
 /// Jacobians, multi-started from jittered initial centers.
+#[allow(clippy::needless_range_loop)] // triangular JᵀJ assembly
 pub fn fit_peak(pixels: &[f32], size: usize, cfg: &FitConfig) -> FittedPeak {
     assert_eq!(pixels.len(), size * size, "pixel count must be size²");
-    assert!(cfg.restarts >= 1 && cfg.iterations >= 1, "degenerate fit config");
+    assert!(
+        cfg.restarts >= 1 && cfg.iterations >= 1,
+        "degenerate fit config"
+    );
     let base = initial_guess(pixels, size);
     let mut rng = TensorRng::seeded(0xF17);
 
@@ -291,6 +295,7 @@ pub fn fit_peak(pixels: &[f32], size: usize, cfg: &FitConfig) -> FittedPeak {
 }
 
 /// Gaussian elimination with partial pivoting for the 6×6 normal equations.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination over a fixed 6x7 tableau
 fn solve6(a: &[[f32; N_PARAMS]; N_PARAMS], b: &[f32; N_PARAMS]) -> Option<[f32; N_PARAMS]> {
     let mut m = [[0.0f64; N_PARAMS + 1]; N_PARAMS];
     for i in 0..N_PARAMS {
@@ -326,10 +331,7 @@ fn solve6(a: &[[f32; N_PARAMS]; N_PARAMS], b: &[f32; N_PARAMS]) -> Option<[f32; 
 /// Labels a batch of patches in parallel (MIDAS's per-node parallelism).
 /// Returns fitted centers in input order.
 pub fn label_batch(patches: &[Vec<f32>], size: usize, cfg: &FitConfig) -> Vec<FittedPeak> {
-    patches
-        .par_iter()
-        .map(|p| fit_peak(p, size, cfg))
-        .collect()
+    patches.par_iter().map(|p| fit_peak(p, size, cfg)).collect()
 }
 
 /// Amdahl-style extrapolation of labeling cost to large core counts.
@@ -373,7 +375,10 @@ impl ClusterModel {
     /// per-peak cost.
     pub fn labeling_secs(&self, n_peaks: usize, per_peak_secs: f64) -> f64 {
         assert!(self.cores >= 1, "core count must be positive");
-        assert!((0.0..=1.0).contains(&self.serial_fraction), "bad serial fraction");
+        assert!(
+            (0.0..=1.0).contains(&self.serial_fraction),
+            "bad serial fraction"
+        );
         let work = n_peaks as f64 * per_peak_secs;
         let parallel = work * (1.0 - self.serial_fraction) / self.cores as f64;
         let serial = work * self.serial_fraction;

@@ -190,7 +190,7 @@ pub fn packbits_decode(input: &[u8], expected_len: usize) -> Result<Vec<u8>, Cod
                 return Err(CodecError::Truncated);
             }
             let n = 257 - c as usize;
-            out.extend(std::iter::repeat(input[i]).take(n));
+            out.extend(std::iter::repeat_n(input[i], n));
             i += 1;
         }
         // c == 128: noop per the PackBits spec.
@@ -246,7 +246,9 @@ mod tests {
         let blosc = BloscCodec::default().encode(&doc).len();
         assert!(blosc <= raw + 16, "blosc {blosc} vs raw {raw}");
         assert_eq!(
-            BloscCodec::default().decode(&BloscCodec::default().encode(&doc)).unwrap(),
+            BloscCodec::default()
+                .decode(&BloscCodec::default().encode(&doc))
+                .unwrap(),
             doc
         );
     }

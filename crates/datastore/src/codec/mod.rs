@@ -248,10 +248,7 @@ pub(crate) fn sample_doc() -> Document {
         .with("pixels", vec![1.5f32, -2.25, 0.0, 1e-7])
         .with("frame", vec![0u16, 65535, 1024])
         .with("blob", bytes::Bytes::from_static(b"\x00\x01\x02"))
-        .with(
-            "nested",
-            Value::Doc(Document::new().with("inner", 3i64)),
-        )
+        .with("nested", Value::Doc(Document::new().with("inner", 3i64)))
         .with(
             "list",
             Value::Array(vec![Value::I64(1), Value::Str("two".into()), Value::Null]),

@@ -199,12 +199,10 @@ impl SampleStore for RemoteStore {
     }
 
     fn mean_payload_bytes(&self) -> usize {
-        let n = self.collection.len();
-        if n == 0 {
-            0
-        } else {
-            self.collection.stored_bytes() / n
-        }
+        self.collection
+            .stored_bytes()
+            .checked_div(self.collection.len())
+            .unwrap_or(0)
     }
 }
 
@@ -265,6 +263,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the link-model relation
     fn mongo_per_op_latency_exceeds_nfs() {
         assert!(LinkModel::MONGO_100GBE.latency_us > LinkModel::NFS_100GBE.latency_us);
         assert_eq!(

@@ -242,7 +242,9 @@ mod tests {
 
     #[test]
     fn display_summarizes_arrays() {
-        let doc = Document::new().with("img", vec![0.0f32; 9]).with("id", 7i64);
+        let doc = Document::new()
+            .with("img", vec![0.0f32; 9])
+            .with("id", 7i64);
         let s = format!("{doc}");
         assert!(s.contains("f32[9]"), "{s}");
         assert!(s.contains("id"), "{s}");

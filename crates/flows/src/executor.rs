@@ -88,8 +88,14 @@ impl FuncExecutor {
     }
 
     /// Registers a function under a name, replacing any previous one.
-    pub fn register(&self, name: &str, func: impl Fn(&[f64]) -> Result<Vec<f64>, String> + Send + Sync + 'static) {
-        self.registry.write().insert(name.to_string(), Arc::new(func));
+    pub fn register(
+        &self,
+        name: &str,
+        func: impl Fn(&[f64]) -> Result<Vec<f64>, String> + Send + Sync + 'static,
+    ) {
+        self.registry
+            .write()
+            .insert(name.to_string(), Arc::new(func));
     }
 
     /// Whether a function name is registered.
@@ -172,8 +178,7 @@ mod tests {
             Ok(vec![1.0])
         });
         let t0 = Instant::now();
-        let handles: Vec<TaskHandle> =
-            (0..4).map(|_| ex.submit("sleepy", &[]).unwrap()).collect();
+        let handles: Vec<TaskHandle> = (0..4).map(|_| ex.submit("sleepy", &[]).unwrap()).collect();
         for h in handles {
             h.wait().unwrap();
         }

@@ -245,33 +245,33 @@ impl Flow {
             let ctx_snapshot = context.clone();
             let max_attempts = self.max_retries + 1;
 
-            let results: Vec<(usize, Result<(StepOutcome, f64, usize), String>)> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|&i| {
-                            let step = &self.steps[i];
-                            let ctx = &ctx_snapshot;
-                            scope.spawn(move || {
-                                let mut last_err = String::new();
-                                for attempt in 1..=max_attempts {
-                                    let t = Instant::now();
-                                    match (step.run)(ctx) {
-                                        Ok(outcome) => {
-                                            return (
-                                                i,
-                                                Ok((outcome, t.elapsed().as_secs_f64(), attempt)),
-                                            )
-                                        }
-                                        Err(e) => last_err = e,
+            type WaveResult = (usize, Result<(StepOutcome, f64, usize), String>);
+            let results: Vec<WaveResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&i| {
+                        let step = &self.steps[i];
+                        let ctx = &ctx_snapshot;
+                        scope.spawn(move || {
+                            let mut last_err = String::new();
+                            for attempt in 1..=max_attempts {
+                                let t = Instant::now();
+                                match (step.run)(ctx) {
+                                    Ok(outcome) => {
+                                        return (
+                                            i,
+                                            Ok((outcome, t.elapsed().as_secs_f64(), attempt)),
+                                        )
                                     }
+                                    Err(e) => last_err = e,
                                 }
-                                (i, Err(last_err))
-                            })
+                            }
+                            (i, Err(last_err))
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                });
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
 
             for (i, result) in results {
                 let step = &self.steps[i];
@@ -374,7 +374,10 @@ mod tests {
         let flow = Flow::new()
             .step("a", &[], |_| Ok(StepOutcome::none()))
             .step("a", &[], |_| Ok(StepOutcome::none()));
-        assert_eq!(flow.run().unwrap_err(), FlowError::DuplicateStep("a".into()));
+        assert_eq!(
+            flow.run().unwrap_err(),
+            FlowError::DuplicateStep("a".into())
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ mod tests {
         let b = Endpoint::new("alcf");
         svc.set_route(&a, &b, 0.1, 1.0); // 1 Gb/s
         let rec = svc.transfer(&a, &b, 125_000_000); // 1 Gb payload
-        assert!((rec.virtual_secs - 1.1).abs() < 1e-9, "{}", rec.virtual_secs);
+        assert!(
+            (rec.virtual_secs - 1.1).abs() < 1e-9,
+            "{}",
+            rec.virtual_secs
+        );
         // Symmetric route.
         let back = svc.transfer(&b, &a, 125_000_000);
         assert!((back.virtual_secs - 1.1).abs() < 1e-9);

@@ -73,7 +73,10 @@ impl std::error::Error for CheckpointError {}
 pub fn save(net: &Sequential) -> Vec<u8> {
     let params = net.params();
     let mut out = Vec::with_capacity(
-        16 + params.iter().map(|p| 4 + 4 * p.value.rank() + 4 * p.numel()).sum::<usize>(),
+        16 + params
+            .iter()
+            .map(|p| 4 + 4 * p.value.rank() + 4 * p.numel())
+            .sum::<usize>(),
     );
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -218,7 +221,8 @@ mod tests {
         let mut rng = TensorRng::seeded(2);
         let mut other = Sequential::new(vec![Box::new(Dense::new(3, 5, &mut rng))]);
         match load(&mut other, &blob) {
-            Err(CheckpointError::CountMismatch { .. }) | Err(CheckpointError::ShapeMismatch { .. }) => {}
+            Err(CheckpointError::CountMismatch { .. })
+            | Err(CheckpointError::ShapeMismatch { .. }) => {}
             other => panic!("expected mismatch error, got {other:?}"),
         }
     }

@@ -15,6 +15,7 @@ enum Kind {
 ///
 /// ReLU/LeakyReLU cache the input sign; Sigmoid/Tanh cache the *output*,
 /// whose value alone determines the derivative.
+#[derive(Clone)]
 pub struct Activation {
     kind: Kind,
     cache: Option<Tensor>,
@@ -77,6 +78,19 @@ impl Layer for Activation {
                 y
             }
         }
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        match self.kind {
+            Kind::Relu => x.map(|v| v.max(0.0)),
+            Kind::LeakyRelu(a) => x.map(|v| if v > 0.0 { v } else { a * v }),
+            Kind::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+            Kind::Tanh => x.map(|v| v.tanh()),
+        }
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

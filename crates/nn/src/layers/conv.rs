@@ -10,6 +10,7 @@ use fairdms_tensor::{ops, rng::TensorRng, Tensor};
 use rayon::prelude::*;
 
 /// 2-D convolution over `[N, C, H, W]` inputs.
+#[derive(Clone)]
 pub struct Conv2d {
     weight: Param, // [out_c, in_c * kh * kw]
     bias: Param,   // [out_c]
@@ -33,7 +34,10 @@ impl Conv2d {
         padding: usize,
         rng: &mut TensorRng,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         let fan_in = in_c * kernel * kernel;
         Conv2d {
             weight: Param::new(rng.he_normal(&[out_c, fan_in], fan_in)),
@@ -116,41 +120,50 @@ impl Conv2d {
         let stride = self.stride;
         let pad = self.padding as isize;
 
-        dx.par_chunks_mut(c * h * w).enumerate().for_each(|(ni, dx_sample)| {
-            let sample_cols = &dc[ni * rows_per_sample * patch..(ni + 1) * rows_per_sample * patch];
-            for out_y in 0..oh {
-                for out_x in 0..ow {
-                    let row = out_y * ow + out_x;
-                    let src = &sample_cols[row * patch..(row + 1) * patch];
-                    let mut si = 0usize;
-                    for ci in 0..c {
-                        for ky in 0..k {
-                            let in_y = (out_y * stride + ky) as isize - pad;
-                            if in_y < 0 || in_y >= h as isize {
-                                si += k;
-                                continue;
-                            }
-                            let row_base = ci * h * w + in_y as usize * w;
-                            for kx in 0..k {
-                                let in_x = (out_x * stride + kx) as isize - pad;
-                                if in_x >= 0 && in_x < w as isize {
-                                    dx_sample[row_base + in_x as usize] += src[si];
+        dx.par_chunks_mut(c * h * w)
+            .enumerate()
+            .for_each(|(ni, dx_sample)| {
+                let sample_cols =
+                    &dc[ni * rows_per_sample * patch..(ni + 1) * rows_per_sample * patch];
+                for out_y in 0..oh {
+                    for out_x in 0..ow {
+                        let row = out_y * ow + out_x;
+                        let src = &sample_cols[row * patch..(row + 1) * patch];
+                        let mut si = 0usize;
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                let in_y = (out_y * stride + ky) as isize - pad;
+                                if in_y < 0 || in_y >= h as isize {
+                                    si += k;
+                                    continue;
                                 }
-                                si += 1;
+                                let row_base = ci * h * w + in_y as usize * w;
+                                for kx in 0..k {
+                                    let in_x = (out_x * stride + kx) as isize - pad;
+                                    if in_x >= 0 && in_x < w as isize {
+                                        dx_sample[row_base + in_x as usize] += src[si];
+                                    }
+                                    si += 1;
+                                }
                             }
                         }
                     }
                 }
-            }
-        });
+            });
         Tensor::from_vec(dx, in_shape)
     }
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+impl Conv2d {
+    /// The full forward computation; returns `(output, cols)` so `forward`
+    /// can cache the patch matrix while `infer` drops it.
+    fn compute(&self, x: &Tensor) -> (Tensor, Tensor) {
         let (n, c, h, w) = dims4(x);
-        assert_eq!(c, self.in_c, "Conv2d: expected {} input channels, got {c}", self.in_c);
+        assert_eq!(
+            c, self.in_c,
+            "Conv2d: expected {} input channels, got {c}",
+            self.in_c
+        );
         let oh = self.out_extent(h);
         let ow = self.out_extent(w);
 
@@ -174,9 +187,24 @@ impl Layer for Conv2d {
                 }
             });
 
+        (Tensor::from_vec(out, &[n, oc, oh, ow]), cols)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (out, cols) = self.compute(x);
         self.cached_cols = Some(cols);
         self.cached_in_shape = Some(x.shape().to_vec());
-        Tensor::from_vec(out, &[n, oc, oh, ow])
+        out
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.compute(x).0
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -226,7 +254,12 @@ impl Layer for Conv2d {
 
 /// Splits a rank-4 shape into its `(n, c, h, w)` components.
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.rank(), 4, "expected [N, C, H, W] tensor, got {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        4,
+        "expected [N, C, H, W] tensor, got {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
 }
 
@@ -235,7 +268,14 @@ mod tests {
     use super::*;
 
     /// Direct (non-GEMM) convolution used as a reference implementation.
-    fn conv_naive(x: &Tensor, w: &Tensor, b: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
+    fn conv_naive(
+        x: &Tensor,
+        w: &Tensor,
+        b: &Tensor,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (n, c, h, wid) = dims4(x);
         let oc = w.shape()[0];
         let oh = (h + 2 * pad - k) / stride + 1;
@@ -253,8 +293,7 @@ mod tests {
                                     let ix = (ox * stride + kx) as isize - pad as isize;
                                     if iy >= 0 && iy < h as isize && ix >= 0 && ix < wid as isize {
                                         let xv = x.at(&[ni, ci, iy as usize, ix as usize]);
-                                        let wv =
-                                            w.at(&[co, ci * k * k + ky * k + kx]);
+                                        let wv = w.at(&[co, ci * k * k + ky * k + kx]);
                                         acc += xv * wv;
                                     }
                                 }
@@ -275,14 +314,7 @@ mod tests {
             let mut conv = Conv2d::new(2, 3, 3, stride, pad, &mut rng);
             let x = rng.uniform(&[2, 2, 6, 6], -1.0, 1.0);
             let y = conv.forward(&x, Mode::Train);
-            let y_ref = conv_naive(
-                &x,
-                &conv.weight.value,
-                &conv.bias.value,
-                3,
-                stride,
-                pad,
-            );
+            let y_ref = conv_naive(&x, &conv.weight.value, &conv.bias.value, 3, stride, pad);
             assert_eq!(y.shape(), y_ref.shape(), "stride={stride} pad={pad}");
             assert!(
                 fairdms_tensor::allclose(&y, &y_ref, 1e-4),

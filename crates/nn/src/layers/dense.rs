@@ -9,6 +9,7 @@ use fairdms_tensor::{ops, rng::TensorRng, Tensor};
 /// The weight is stored `[out_features, in_features]` so both the forward
 /// pass (`matmul_transb`) and the input-gradient pass (`matmul`) run on the
 /// stored layout without materializing a transpose.
+#[derive(Clone)]
 pub struct Dense {
     weight: Param,
     bias: Param,
@@ -42,6 +43,12 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let y = self.infer(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 2, "Dense expects [batch, features] input");
         assert_eq!(
             x.shape()[1],
@@ -52,8 +59,11 @@ impl Layer for Dense {
         );
         let mut y = ops::matmul_transb(x, &self.weight.value);
         y.add_row_broadcast(&self.bias.value);
-        self.cached_input = Some(x.clone());
         y
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -9,6 +9,7 @@ use fairdms_tensor::{rng::TensorRng, Tensor};
 /// In [`Mode::McDropout`] the mask stays active at inference time, which is
 /// what turns repeated forward passes into posterior samples (Gal &
 /// Ghahramani) — the uncertainty signal behind the paper's Fig 2.
+#[derive(Clone)]
 pub struct Dropout {
     p: f32,
     rng: TensorRng,
@@ -19,7 +20,10 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p` and its own seeded
     /// mask generator (explicit seeding keeps MC-dropout runs reproducible).
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             p,
             rng: TensorRng::seeded(seed),
@@ -54,6 +58,15 @@ impl Layer for Dropout {
         let y = x.mul(&mask);
         self.mask = Some(mask);
         y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        // Eval semantics: inverted dropout is the identity at inference.
+        x.clone()
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -53,14 +53,28 @@ impl Mode {
 }
 
 /// A differentiable network layer.
-pub trait Layer: Send {
+///
+/// Layers are `Send + Sync`: shared references are safe to use across
+/// threads because the only `&self` entry point is [`Layer::infer`], which
+/// touches no caches. This is what lets a trained network be frozen into an
+/// immutable snapshot (see `DESIGN.md` §6) and served concurrently.
+pub trait Layer: Send + Sync {
     /// Computes the layer output, caching state needed by `backward`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Computes the layer output in [`Mode::Eval`] semantics **without**
+    /// mutating any cache — the lock-free read path used by snapshot
+    /// serving. `backward` after `infer` is a caller bug.
+    fn infer(&self, x: &Tensor) -> Tensor;
 
     /// Propagates `grad_out` (∂L/∂output) backwards: accumulates parameter
     /// gradients and returns ∂L/∂input. Must be called after a `forward`
     /// in a differentiable mode ([`Mode::Train`]).
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Deep-copies the layer behind the trait object (parameters and
+    /// hyper-parameters; transient backward caches need not be preserved).
+    fn clone_layer(&self) -> Box<dyn Layer>;
 
     /// Mutable access to the layer's learnable parameters (may be empty).
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -79,6 +93,14 @@ pub trait Layer: Send {
 /// An ordered container of layers executed front-to-back.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_layer()).collect(),
+        }
+    }
 }
 
 impl Sequential {
@@ -112,6 +134,16 @@ impl Sequential {
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Runs an eval-mode forward pass without touching backward caches —
+    /// safe to call concurrently through shared references.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
         }
         cur
     }

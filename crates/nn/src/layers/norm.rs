@@ -12,6 +12,7 @@ use fairdms_tensor::Tensor;
 /// running estimates. Variance is the biased (population) estimator
 /// throughout, which keeps the backward pass exactly consistent with the
 /// forward normalization.
+#[derive(Clone)]
 pub struct BatchNorm {
     gamma: Param,
     beta: Param,
@@ -92,6 +93,9 @@ impl BatchNorm {
 }
 
 impl Layer for BatchNorm {
+    // Feature loops index several parallel per-feature arrays; an iterator
+    // chain over one of them would obscure the math.
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         self.check_features(x.shape());
         let shape = x.shape().to_vec();
@@ -113,8 +117,10 @@ impl Layer for BatchNorm {
                     })
                     .sum::<f32>()
                     / m;
-                self.running_mean[f] = (1.0 - self.momentum) * self.running_mean[f] + self.momentum * mean;
-                self.running_var[f] = (1.0 - self.momentum) * self.running_var[f] + self.momentum * var;
+                self.running_mean[f] =
+                    (1.0 - self.momentum) * self.running_mean[f] + self.momentum * mean;
+                self.running_var[f] =
+                    (1.0 - self.momentum) * self.running_var[f] + self.momentum * var;
                 (mean, var)
             } else {
                 (self.running_mean[f], self.running_var[f])
@@ -136,6 +142,28 @@ impl Layer for BatchNorm {
         y
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.check_features(x.shape());
+        let shape = x.shape().to_vec();
+        let mut y = Tensor::zeros(&shape);
+        for f in 0..self.features {
+            let offs = Self::feature_offsets(&shape, f);
+            let inv_std = 1.0 / (self.running_var[f] + self.eps).sqrt();
+            let mean = self.running_mean[f];
+            let g = self.gamma.value.data()[f];
+            let b = self.beta.value.data()[f];
+            for &o in &offs {
+                y.data_mut()[o] = g * (x.data()[o] - mean) * inv_std + b;
+            }
+        }
+        y
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let xhat = self
             .cached_xhat

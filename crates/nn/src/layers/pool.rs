@@ -7,6 +7,7 @@ use fairdms_tensor::Tensor;
 ///
 /// Caches the linear index of each window's winner so the backward pass can
 /// route the gradient exclusively to it.
+#[derive(Clone)]
 pub struct MaxPool2d {
     window: usize,
     stride: usize,
@@ -23,7 +24,10 @@ impl MaxPool2d {
 
     /// A max pool with an explicit stride.
     pub fn with_stride(window: usize, stride: usize) -> Self {
-        assert!(window > 0 && stride > 0, "window and stride must be positive");
+        assert!(
+            window > 0 && stride > 0,
+            "window and stride must be positive"
+        );
         MaxPool2d {
             window,
             stride,
@@ -33,8 +37,10 @@ impl MaxPool2d {
     }
 }
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+impl MaxPool2d {
+    /// The pooling computation; returns `(output, argmax)` so `forward` can
+    /// cache winner indices while `infer` drops them.
+    fn compute(&self, x: &Tensor) -> (Tensor, Vec<usize>) {
         let (n, c, h, w) = dims4(x);
         assert!(
             h >= self.window && w >= self.window,
@@ -72,9 +78,24 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+        (Tensor::from_vec(out, &[n, c, oh, ow]), argmax)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (out, argmax) = self.compute(x);
         self.argmax = Some(argmax);
         self.in_shape = Some(x.shape().to_vec());
-        Tensor::from_vec(out, &[n, c, oh, ow])
+        out
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.compute(x).0
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -98,6 +119,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Average pooling with a square non-overlapping window.
+#[derive(Clone)]
 pub struct AvgPool2d {
     window: usize,
     in_shape: Option<Vec<usize>>,
@@ -116,9 +138,17 @@ impl AvgPool2d {
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.in_shape = Some(x.shape().to_vec());
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         let (n, c, h, w) = dims4(x);
         let k = self.window;
-        assert!(h % k == 0 && w % k == 0, "AvgPool2d requires divisible extents");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "AvgPool2d requires divisible extents"
+        );
         let (oh, ow) = (h / k, w / k);
         let inv = 1.0 / (k * k) as f32;
         let mut out = Vec::with_capacity(n * c * oh * ow);
@@ -139,8 +169,11 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.in_shape = Some(x.shape().to_vec());
         Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -177,7 +210,12 @@ impl Layer for AvgPool2d {
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.rank(), 4, "expected [N, C, H, W] tensor, got {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        4,
+        "expected [N, C, H, W] tensor, got {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
 }
 

@@ -5,6 +5,7 @@ use fairdms_tensor::Tensor;
 
 /// Flattens `[N, …]` inputs to `[N, prod(…)]`, remembering the original
 /// shape for the backward pass.
+#[derive(Clone)]
 pub struct Flatten {
     in_shape: Option<Vec<usize>>,
 }
@@ -24,9 +25,17 @@ impl Default for Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        assert!(x.rank() >= 2, "Flatten expects a batch dimension");
         self.in_shape = Some(x.shape().to_vec());
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        assert!(x.rank() >= 2, "Flatten expects a batch dimension");
         x.reshape(&[x.shape()[0], x.row_size()])
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -44,6 +53,7 @@ impl Layer for Flatten {
 
 /// Nearest-neighbour 2× spatial upsampling for `[N, C, H, W]` tensors —
 /// the decoder-side counterpart of pooling in the autoencoder embeddings.
+#[derive(Clone)]
 pub struct Upsample2x {
     in_shape: Option<Vec<usize>>,
 }
@@ -63,6 +73,11 @@ impl Default for Upsample2x {
 
 impl Layer for Upsample2x {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.in_shape = Some(x.shape().to_vec());
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.rank(), 4, "Upsample2x expects [N, C, H, W]");
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = (h * 2, w * 2);
@@ -77,8 +92,11 @@ impl Layer for Upsample2x {
                 }
             }
         }
-        self.in_shape = Some(x.shape().to_vec());
         Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -67,12 +67,12 @@ pub use param::Param;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::layers::{
-        Activation, AvgPool2d, BatchNorm, Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2d,
-        Mode, Sequential, Upsample2x,
+        Activation, AvgPool2d, BatchNorm, Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2d, Mode,
+        Sequential, Upsample2x,
     };
     pub use crate::loss::{BceWithLogits, Huber, Loss, Mse};
     pub use crate::optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-    pub use crate::schedule::LrSchedule;
     pub use crate::param::Param;
+    pub use crate::schedule::LrSchedule;
     pub use crate::trainer::{TrainConfig, TrainReport, Trainer};
 }

@@ -85,12 +85,7 @@ impl Loss for Huber {
         let d = self.delta;
         pred.zip(target, |p, t| {
             let e = p - t;
-            scale
-                * if e.abs() <= d {
-                    e
-                } else {
-                    d * e.signum()
-                }
+            scale * if e.abs() <= d { e } else { d * e.signum() }
         })
     }
 
@@ -140,16 +135,25 @@ impl Loss for BceWithLogits {
 pub fn nt_xent(z: &Tensor, temperature: f32) -> (f32, Tensor) {
     assert_eq!(z.rank(), 2, "nt_xent expects [2B, D]");
     let n = z.shape()[0];
-    assert!(n >= 4 && n % 2 == 0, "nt_xent needs an even batch of ≥ 4 rows");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "nt_xent needs an even batch of ≥ 4 rows"
+    );
     let b = n / 2;
     let d = z.shape()[1];
     assert!(temperature > 0.0, "temperature must be positive");
 
     // Cosine similarities (rows are assumed normalized; normalize defensively).
-    let mut norms = vec![0.0f32; n];
-    for i in 0..n {
-        norms[i] = z.row(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-    }
+    let norms: Vec<f32> = (0..n)
+        .map(|i| {
+            z.row(i)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-12)
+        })
+        .collect();
     let sim = |i: usize, j: usize| -> f32 {
         let (ri, rj) = (z.row(i), z.row(j));
         let dot: f32 = ri.iter().zip(rj).map(|(&a, &b)| a * b).sum();
@@ -167,7 +171,10 @@ pub fn nt_xent(z: &Tensor, temperature: f32) -> (f32, Tensor) {
                 logits.push((j, sim(i, j) / temperature));
             }
         }
-        let max_l = logits.iter().map(|(_, l)| *l).fold(f32::NEG_INFINITY, f32::max);
+        let max_l = logits
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(f32::NEG_INFINITY, f32::max);
         let sum_exp: f32 = logits.iter().map(|(_, l)| (l - max_l).exp()).sum();
         let log_denom = max_l + sum_exp.ln();
         let pos_logit = sim(i, pos) / temperature;

@@ -27,11 +27,7 @@ pub trait Optimizer {
 /// training on freshly labeled (possibly noisy) data.
 pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "clip norm must be positive");
-    let total = params
-        .iter()
-        .map(|p| p.grad.norm_sq())
-        .sum::<f32>()
-        .sqrt();
+    let total = params.iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
     if total > max_norm {
         let scale = max_norm / total;
         for p in params.iter_mut() {
@@ -73,7 +69,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: Vec<&mut Param>) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(
             self.velocity.len(),
@@ -141,8 +140,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: Vec<&mut Param>) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(
             self.m.len(),

@@ -9,9 +9,10 @@
 
 /// A deterministic epoch → learning-rate mapping applied on top of a base
 /// rate.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum LrSchedule {
     /// The base rate throughout.
+    #[default]
     Constant,
     /// Multiply by `gamma` every `every` epochs: `base · gamma^(e/every)`.
     Step {
@@ -38,12 +39,6 @@ pub enum LrSchedule {
         /// Floor fraction in [0, 1].
         min_frac: f32,
     },
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
-    }
 }
 
 impl LrSchedule {

@@ -77,7 +77,10 @@ pub struct TrainReport {
 impl TrainReport {
     /// Validation loss after the final epoch (∞ when no epoch ran).
     pub fn final_val_loss(&self) -> f32 {
-        self.curve.last().map(|s| s.val_loss).unwrap_or(f32::INFINITY)
+        self.curve
+            .last()
+            .map(|s| s.val_loss)
+            .unwrap_or(f32::INFINITY)
     }
 
     /// Best validation loss seen.
@@ -198,13 +201,7 @@ impl Trainer {
     }
 
     /// Mean loss over a dataset in eval mode, batched to bound memory.
-    pub fn evaluate(
-        &self,
-        net: &mut Sequential,
-        loss: &dyn Loss,
-        x: &Tensor,
-        y: &Tensor,
-    ) -> f32 {
+    pub fn evaluate(&self, net: &mut Sequential, loss: &dyn Loss, x: &Tensor, y: &Tensor) -> f32 {
         let n = x.shape()[0];
         if n == 0 {
             return 0.0;
@@ -237,7 +234,10 @@ mod tests {
         let mut rng = TensorRng::seeded(seed);
         let x = rng.uniform(&[n, 2], -1.0, 1.0);
         let y = Tensor::from_vec(
-            x.data().chunks(2).map(|c| 0.5 * c[0] - c[1] + 0.2).collect(),
+            x.data()
+                .chunks(2)
+                .map(|c| 0.5 * c[0] - c[1] + 0.2)
+                .collect(),
             &[n, 1],
         );
         (x, y)
@@ -260,7 +260,11 @@ mod tests {
         };
         let report = Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
         assert!(report.curve[0].val_loss > report.final_val_loss());
-        assert!(report.final_val_loss() < 1e-3, "loss {}", report.final_val_loss());
+        assert!(
+            report.final_val_loss() < 1e-3,
+            "loss {}",
+            report.final_val_loss()
+        );
     }
 
     #[test]
@@ -301,10 +305,7 @@ mod tests {
 
     #[test]
     fn nonlinear_network_learns_xor_like_data() {
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        );
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
         let y = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4, 1]);
         let mut rng = TensorRng::seeded(7);
         let mut net = Sequential::new(vec![
@@ -319,7 +320,11 @@ mod tests {
             ..TrainConfig::default()
         };
         let report = Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
-        assert!(report.final_val_loss() < 0.02, "loss {}", report.final_val_loss());
+        assert!(
+            report.final_val_loss() < 0.02,
+            "loss {}",
+            report.final_val_loss()
+        );
     }
 
     #[test]
@@ -330,7 +335,10 @@ mod tests {
         let cfg = TrainConfig {
             epochs: 4,
             batch_size: 32,
-            schedule: crate::schedule::LrSchedule::Step { every: 2, gamma: 0.1 },
+            schedule: crate::schedule::LrSchedule::Step {
+                every: 2,
+                gamma: 0.1,
+            },
             ..TrainConfig::default()
         };
         Trainer::new(cfg).fit(&mut net, &mut opt, &Mse, &x, &y, &x, &y);
@@ -369,9 +377,21 @@ mod tests {
     fn report_helpers_are_consistent() {
         let report = TrainReport {
             curve: vec![
-                EpochStat { epoch: 0, train_loss: 1.0, val_loss: 0.9 },
-                EpochStat { epoch: 1, train_loss: 0.5, val_loss: 0.4 },
-                EpochStat { epoch: 2, train_loss: 0.3, val_loss: 0.45 },
+                EpochStat {
+                    epoch: 0,
+                    train_loss: 1.0,
+                    val_loss: 0.9,
+                },
+                EpochStat {
+                    epoch: 1,
+                    train_loss: 0.5,
+                    val_loss: 0.4,
+                },
+                EpochStat {
+                    epoch: 2,
+                    train_loss: 0.3,
+                    val_loss: 0.45,
+                },
             ],
             wall_secs: 0.1,
             stopped_early: false,

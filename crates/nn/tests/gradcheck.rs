@@ -19,6 +19,7 @@ fn objective(net: &mut Sequential, x: &Tensor, target: &Tensor) -> f32 {
 }
 
 /// Checks ∂L/∂x and ∂L/∂θ against central differences.
+#[allow(clippy::needless_range_loop)] // pi/i walk analytic grads and live params in lockstep
 fn gradcheck(mut net: Sequential, in_shape: &[usize], seed: u64) {
     let mut rng = TensorRng::seeded(seed);
     let x = rng.uniform(in_shape, -1.0, 1.0);
@@ -37,7 +38,8 @@ fn gradcheck(mut net: Sequential, in_shape: &[usize], seed: u64) {
         xp.data_mut()[i] += EPS;
         let mut xm = x.clone();
         xm.data_mut()[i] -= EPS;
-        let num = (objective(&mut net, &xp, &target) - objective(&mut net, &xm, &target)) / (2.0 * EPS);
+        let num =
+            (objective(&mut net, &xp, &target) - objective(&mut net, &xm, &target)) / (2.0 * EPS);
         let ana = dx.data()[i];
         assert!(
             (num - ana).abs() <= TOL * (1.0 + num.abs().max(ana.abs())),
@@ -200,7 +202,9 @@ fn batchnorm_dense_gradients() {
             Box::new(Dense::new(6, 2, &mut rng)),
         ]),
         &[8, 4],
-        19,
+        // Seed chosen (like the leaky-relu check) so no ReLU pre-activation
+        // sits within EPS of the kink under the current RNG stream.
+        24,
     );
 }
 

@@ -6,6 +6,11 @@
 //! (training the embedding/clustering models, refreshing the store,
 //! re-indexing the Zoo). [`Request`] enumerates the user-plane surface; the
 //! system plane runs inside the server, triggered by the certainty monitor.
+//!
+//! Requests are further classified by [`Request::is_read_only`]: read-only
+//! operations are served off the actor thread by a pool of snapshot-reading
+//! workers and never queue behind training, while mutating operations
+//! serialize through the actor (see [`crate::server`] and DESIGN.md §6).
 
 use fairdms_core::embedding::EmbedTrainConfig;
 use fairdms_core::fairds::PseudoLabelStats;
@@ -121,6 +126,26 @@ pub enum Request {
 }
 
 impl Request {
+    /// Whether the request only reads published state and can be served
+    /// from an immutable snapshot, off the actor thread.
+    ///
+    /// `PseudoLabel` is *not* read-only even though it writes no service
+    /// state: it drives the server's fallback labeler, an exclusive
+    /// `FnMut`, so it serializes through the actor. `Metrics` is read-only
+    /// (and [`crate::server::DmsClient::metrics`] skips the queue
+    /// entirely — the registry is lock-free).
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            Request::DatasetPdf { .. }
+                | Request::LookupMatching { .. }
+                | Request::Recommend { .. }
+                | Request::FetchModel { .. }
+                | Request::Certainty { .. }
+                | Request::Metrics
+        )
+    }
+
     /// Short operation label used by the metrics registry.
     pub fn op_name(&self) -> &'static str {
         match self {
@@ -229,6 +254,9 @@ mod tests {
     fn errors_render_usefully() {
         assert!(ServiceError::UnknownModel(7).to_string().contains('7'));
         assert!(ServiceError::Invalid("x".into()).to_string().contains('x'));
-        assert_eq!(ServiceError::NotReady.to_string(), "system plane not trained");
+        assert_eq!(
+            ServiceError::NotReady.to_string(),
+            "system plane not trained"
+        );
     }
 }

@@ -4,14 +4,19 @@
 //! fairDMS as a *service platform* (Figs 3–5) with user-plane operations
 //! invoked by experiment clients and system-plane maintenance running in
 //! the background. This crate packages the [`fairdms_core`] workflow
-//! behind a concurrent request/reply server:
+//! behind a concurrent request/reply server with a **split user plane**:
 //!
-//! * [`api`] — the typed request/response vocabulary and error model;
-//! * [`server`] — [`server::DmsServer`], an actor-style worker owning all
-//!   service state, with bounded-queue admission (backpressure), a
-//!   clone-able blocking [`server::DmsClient`], and the certainty-triggered
-//!   system-plane retrain loop;
-//! * [`metrics`] — lock-free per-operation latency/throughput statistics.
+//! * [`api`] — the typed request/response vocabulary, error model, and the
+//!   read/write classification ([`api::Request::is_read_only`]);
+//! * [`swap`] — [`swap::SnapshotCell`], the lock-free atomically-swappable
+//!   `Arc` cell snapshot publication rides on;
+//! * [`server`] — [`server::DmsServer`]: a mutating actor (bounded-queue
+//!   admission, certainty-triggered system-plane retraining) plus an
+//!   N-thread read pool serving `DatasetPdf` / `LookupMatching` /
+//!   `Recommend` / `FetchModel` / `Certainty` from immutable snapshots, so
+//!   reads never stall behind a training run;
+//! * [`metrics`] — lock-free per-operation latency/throughput statistics,
+//!   served to clients without ever entering an admission queue.
 //!
 //! ```no_run
 //! use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
@@ -29,19 +34,32 @@
 //!     ModelManager::default(),
 //!     RapidTrainerConfig::new(ArchSpec::BraggNN { patch: side }, side),
 //! );
-//! let (client, handle) =
-//!     DmsServer::spawn(trainer, Box::new(|_| vec![0.5, 0.5]), DmsServerConfig::default());
-//! // ... client.train_system(...), client.update_model(...), ...
+//! let cfg = DmsServerConfig {
+//!     read_pool_size: 4, // 0 ⇒ sized from available parallelism
+//!     ..DmsServerConfig::default()
+//! };
+//! let (client, handle) = DmsServer::spawn(trainer, Box::new(|_| vec![0.5, 0.5]), cfg);
+//! // Mutations serialize through the actor...
+//! // client.train_system(...)?; client.update_model(...)?;
+//! // ...while reads are served concurrently from published snapshots:
+//! // client.dataset_pdf(...)?; client.recommend(...)?; client.metrics()?;
 //! drop(client);
 //! handle.shutdown();
 //! ```
+//!
+//! `DESIGN.md` §6 documents the snapshot-publication architecture and its
+//! consistency guarantees.
 
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod metrics;
 pub mod server;
+pub mod swap;
 
 pub use api::{RankedModels, Reply, Request, ServiceError, ServiceResult};
 pub use metrics::{Metrics, MetricsSnapshot, OpSnapshot};
-pub use server::{DmsClient, DmsServer, DmsServerConfig, FallbackLabeler, ServerHandle};
+pub use server::{
+    DmsClient, DmsServer, DmsServerConfig, FallbackLabeler, ServerHandle, ServiceView,
+};
+pub use swap::SnapshotCell;

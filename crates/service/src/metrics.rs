@@ -96,10 +96,9 @@ pub struct OpSnapshot {
 impl OpSnapshot {
     /// Mean service time, or zero when no calls completed.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.total_ns / self.count)
+        match self.total_ns.checked_div(self.count) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
         }
     }
 

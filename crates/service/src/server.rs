@@ -1,31 +1,44 @@
-//! The fairDMS server: an actor-style event loop owning the service state.
+//! The fairDMS server: a split user plane.
 //!
-//! All user-plane state (the fairDS system models, the data store handle,
-//! the model Zoo) lives on one worker thread; clients talk to it through a
-//! bounded crossbeam channel and receive replies over per-request one-shot
-//! channels. This is the classic ownership-transfer design from the
-//! concurrency guides: no shared mutable state, no lock ordering to get
-//! wrong — the channel *is* the synchronization. Reads that genuinely can
-//! run in parallel (training-loop fetches) bypass the actor entirely by
-//! holding an `Arc<Collection>` to the store, exactly as the paper's
-//! trainer reads MongoDB directly while the service handles updates.
+//! The service state is divided along the read/write axis (DESIGN.md §6):
 //!
-//! The system plane (paper Fig 5, yellow) runs inside the same loop: every
-//! ingest and PDF request is scored by the fuzzy-certainty monitor, and
-//! when certainty drops below the configured threshold the server retrains
-//! the embedding + clustering models and re-indexes the store before
-//! acknowledging the request (the Fig 16 "After Trigger" behaviour).
+//! * **Write plane** — an actor-style event loop on one thread owning the
+//!   mutable state (the [`RapidTrainer`]: trainable fairDS, live model
+//!   Zoo, fallback labeler). All mutating requests (`TrainSystem`,
+//!   `IngestLabeled`, `PseudoLabel`, `UpdateModel`, `PublishModel`)
+//!   serialize through it over a bounded channel — no shared mutable
+//!   state, no lock ordering; the channel *is* the synchronization. The
+//!   system plane (paper Fig 5, yellow) runs inside this loop: ingests and
+//!   updates are scored by the fuzzy-certainty monitor, and when certainty
+//!   drops below threshold the actor retrains embedding + clustering and
+//!   re-indexes the store **before acknowledging the request** (the Fig 16
+//!   "After Trigger" behaviour).
+//! * **Read plane** — a pool of worker threads serving all read-only
+//!   requests (`DatasetPdf`, `LookupMatching`, `Recommend`, `FetchModel`,
+//!   `Certainty`, `Metrics`) from an immutable [`ServiceView`] snapshot
+//!   (frozen embedder + k-means + Zoo index) fetched per request from a
+//!   lock-free [`SnapshotCell`]. Readers never touch the actor, so a slow
+//!   `UpdateModel` training run does not stall a single query — exactly as
+//!   the paper's trainer reads MongoDB directly while the service handles
+//!   updates.
+//!
+//! Every mutation that changes published state makes the actor freeze and
+//! publish a fresh view — a single atomic `Arc` swap — before the client
+//! sees the acknowledgement, so a reader can never observe a torn or
+//! pre-trigger system plane after a mutation completes.
 
 use crate::api::{RankedModels, Reply, Request, RequestId, ServiceError, ServiceResult};
 use crate::metrics::Metrics;
+use crate::swap::SnapshotCell;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use fairdms_core::embedding::EmbedTrainConfig;
-use fairdms_core::fairms::ModelDecision;
+use fairdms_core::fairds::SystemSnapshot;
+use fairdms_core::fairms::{ModelDecision, ModelManager, ZooSnapshot};
 use fairdms_core::workflow::RapidTrainer;
 use fairdms_core::ZooEntry;
 use fairdms_nn::checkpoint;
 use fairdms_tensor::Tensor;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -37,9 +50,8 @@ pub type FallbackLabeler = Box<dyn FnMut(&[f32]) -> Vec<f32> + Send>;
 /// Server deployment knobs.
 #[derive(Clone, Debug)]
 pub struct DmsServerConfig {
-    /// Admission queue depth; `try_send` beyond this is rejected with
-    /// [`ServiceError::Unavailable`] (backpressure instead of unbounded
-    /// memory growth).
+    /// Admission queue depth per plane; `try_send` beyond this blocks the
+    /// client (backpressure instead of unbounded memory growth).
     pub queue_capacity: usize,
     /// Pseudo-label reuse threshold used by [`Request::PseudoLabel`] when
     /// the caller passes a non-finite threshold, and by `UpdateModel`.
@@ -51,9 +63,18 @@ pub struct DmsServerConfig {
     /// the threshold (e.g. genuinely ambiguous data) would otherwise
     /// retrain on *every* request; the cooldown bounds that thrashing.
     /// `0` disables the cooldown.
+    ///
+    /// Since the user-plane split, only *mutating* image-bearing requests
+    /// (`IngestLabeled`, `UpdateModel`) are monitored — reads are served
+    /// from snapshots off the actor and never tick this counter, so
+    /// deployments tuned against the old all-requests counting should
+    /// lower their cooldown accordingly.
     pub retrain_cooldown: usize,
     /// Embedding hyper-parameters for triggered retrains.
     pub retrain_embed_cfg: EmbedTrainConfig,
+    /// Read-plane worker count. `0` sizes the pool from the machine's
+    /// available parallelism (capped at 8).
+    pub read_pool_size: usize,
 }
 
 impl Default for DmsServerConfig {
@@ -64,8 +85,53 @@ impl Default for DmsServerConfig {
             auto_retrain: true,
             retrain_cooldown: 0,
             retrain_embed_cfg: EmbedTrainConfig::default(),
+            read_pool_size: 0,
         }
     }
+}
+
+impl DmsServerConfig {
+    fn resolved_read_pool(&self) -> usize {
+        if self.read_pool_size > 0 {
+            return self.read_pool_size;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8)
+    }
+}
+
+/// The immutable state a read worker serves one request from.
+///
+/// No method on this type (or anything it holds) takes `&mut self`;
+/// publication replaces the whole view via [`SnapshotCell::store`].
+pub struct ServiceView {
+    /// Fitted fairDS system plane (`None` before `TrainSystem`).
+    pub system: Option<Arc<SystemSnapshot>>,
+    /// Frozen Zoo index.
+    pub zoo: ZooSnapshot,
+    /// Recommendation policy frozen alongside the index.
+    pub distance_threshold: f64,
+}
+
+impl ServiceView {
+    fn of(trainer: &RapidTrainer) -> Self {
+        ServiceView {
+            system: trainer.fairds.snapshot(),
+            zoo: trainer.zoo.snapshot(),
+            distance_threshold: trainer.manager.distance_threshold,
+        }
+    }
+}
+
+struct Shared {
+    view: SnapshotCell<ServiceView>,
+    metrics: Arc<Metrics>,
+    /// Set when the actor dies by panic: the write plane is gone, so the
+    /// whole service reports `Unavailable` rather than serving reads from
+    /// a state that can no longer be maintained.
+    poisoned: AtomicBool,
 }
 
 struct Envelope {
@@ -76,35 +142,47 @@ struct Envelope {
     reply: Sender<ServiceResult>,
 }
 
-/// Clone-able client handle. Every call is synchronous: it enqueues the
-/// request and blocks on the one-shot reply.
-#[derive(Clone)]
-pub struct DmsClient {
-    tx: Sender<Envelope>,
-    next_id: Arc<AtomicU64>,
-    metrics: Arc<Metrics>,
+enum Msg {
+    Req(Envelope),
+    Shutdown,
 }
 
-/// Join handle owning the server's lifetime. The worker exits when either
-/// (a) every [`DmsClient`] clone has been dropped (queue disconnect), or
-/// (b) this handle is dropped or [`ServerHandle::shutdown`] is called —
-/// the handle signals a dedicated shutdown channel *before* joining, so
-/// the join can never deadlock on clients that are still alive (their
-/// subsequent calls get [`ServiceError::Unavailable`]). Queued requests
-/// are drained before the worker exits either way.
+/// Clone-able client handle. Every call is synchronous: it enqueues the
+/// request on the plane matching its classification and blocks on the
+/// one-shot reply. [`DmsClient::metrics`] bypasses both queues entirely.
+#[derive(Clone)]
+pub struct DmsClient {
+    write_tx: Sender<Msg>,
+    read_tx: Sender<Msg>,
+    next_id: Arc<AtomicU64>,
+    shared: Arc<Shared>,
+}
+
+/// Join handle owning the server's lifetime: the worker threads run until
+/// this handle is dropped or [`ServerHandle::shutdown`] is called. The
+/// handle enqueues shutdown messages behind whatever is already queued, so
+/// queued requests drain before the workers exit, and clients still alive
+/// observe [`ServiceError::Unavailable`] from then on.
+///
+/// Dropping every [`DmsClient`] clone does *not* stop the server by
+/// itself — the handle keeps the admission channels open so it can always
+/// deliver its shutdown signal. Leaking the handle therefore leaks the
+/// worker threads; drop it (or call `shutdown`) to end the deployment.
 pub struct ServerHandle {
-    worker: Option<JoinHandle<()>>,
-    shutdown_tx: Option<Sender<()>>,
+    actor: Option<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+    write_tx: Sender<Msg>,
+    read_tx: Sender<Msg>,
     metrics: Arc<Metrics>,
 }
 
 impl ServerHandle {
-    /// Metrics registry shared with the worker.
+    /// Metrics registry shared with the workers.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
     }
 
-    /// Signals shutdown, drains queued requests, and joins the worker.
+    /// Signals shutdown, drains queued requests, and joins the workers.
     pub fn shutdown(self) {
         drop(self) // Drop does the work; this method exists for intent.
     }
@@ -112,19 +190,28 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        drop(self.shutdown_tx.take());
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
+        // Enqueue one shutdown per worker; sends fail harmlessly when a
+        // worker is already gone (panic or all-clients-dropped exit).
+        let _ = self.write_tx.send(Msg::Shutdown);
+        for _ in &self.readers {
+            let _ = self.read_tx.send(Msg::Shutdown);
+        }
+        if let Some(a) = self.actor.take() {
+            let _ = a.join();
+        }
+        for r in self.readers.drain(..) {
+            let _ = r.join();
         }
     }
 }
 
-/// The server: owns a [`RapidTrainer`] (fairDS + Zoo + manager) and a
-/// fallback labeler, and serves [`Request`]s until all clients disconnect.
+/// The server: spawns the mutating actor plus the snapshot-serving read
+/// pool, and serves [`Request`]s until all clients disconnect.
 pub struct DmsServer;
 
 impl DmsServer {
-    /// Spawns the worker and returns a client plus the join handle.
+    /// Spawns the actor and read pool and returns a client plus the join
+    /// handle.
     ///
     /// The `trainer` carries the fairDS instance (trained or not), the
     /// Zoo, and the recommendation policy; `labeler` is the conventional
@@ -134,24 +221,47 @@ impl DmsServer {
         labeler: FallbackLabeler,
         cfg: DmsServerConfig,
     ) -> (DmsClient, ServerHandle) {
-        let (tx, rx) = bounded::<Envelope>(cfg.queue_capacity);
-        let (shutdown_tx, shutdown_rx) = bounded::<()>(0);
+        let (write_tx, write_rx) = bounded::<Msg>(cfg.queue_capacity);
+        let (read_tx, read_rx) = bounded::<Msg>(cfg.queue_capacity);
         let metrics = Arc::new(Metrics::new());
-        let worker_metrics = Arc::clone(&metrics);
-        let worker = std::thread::Builder::new()
-            .name("fairdms-server".into())
-            .spawn(move || worker_loop(trainer, labeler, cfg, rx, shutdown_rx, worker_metrics))
-            .expect("failed to spawn fairdms-server thread");
-        let client = DmsClient {
-            tx,
-            next_id: Arc::new(AtomicU64::new(0)),
+        let shared = Arc::new(Shared {
+            view: SnapshotCell::new(Arc::new(ServiceView::of(&trainer))),
             metrics: Arc::clone(&metrics),
+            poisoned: AtomicBool::new(false),
+        });
+
+        let read_pool = cfg.resolved_read_pool();
+        let actor_shared = Arc::clone(&shared);
+        let actor = std::thread::Builder::new()
+            .name("fairdms-actor".into())
+            .spawn(move || actor_loop(trainer, labeler, cfg, write_rx, actor_shared))
+            .expect("failed to spawn fairdms-actor thread");
+
+        let readers = (0..read_pool)
+            .map(|i| {
+                let rx = read_rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fairdms-read-{i}"))
+                    .spawn(move || read_loop(rx, shared))
+                    .expect("failed to spawn fairdms read worker")
+            })
+            .collect();
+        drop(read_rx);
+
+        let client = DmsClient {
+            write_tx: write_tx.clone(),
+            read_tx: read_tx.clone(),
+            next_id: Arc::new(AtomicU64::new(0)),
+            shared,
         };
         (
             client,
             ServerHandle {
-                worker: Some(worker),
-                shutdown_tx: Some(shutdown_tx),
+                actor: Some(actor),
+                readers,
+                write_tx,
+                read_tx,
                 metrics,
             },
         )
@@ -168,49 +278,172 @@ fn validate_images(images: &Tensor) -> Result<(), ServiceError> {
     Ok(())
 }
 
-fn worker_loop(
-    mut trainer: RapidTrainer,
-    mut labeler: FallbackLabeler,
-    cfg: DmsServerConfig,
-    rx: Receiver<Envelope>,
-    shutdown_rx: Receiver<()>,
-    metrics: Arc<Metrics>,
-) {
-    let mut monitor = MonitorState::default();
-    let mut serve = |env: Envelope| {
+// ---------------------------------------------------------------------
+// Read plane
+// ---------------------------------------------------------------------
+
+fn read_loop(rx: Receiver<Msg>, shared: Arc<Shared>) {
+    while let Ok(msg) = rx.recv() {
+        let env = match msg {
+            Msg::Req(env) => env,
+            Msg::Shutdown => break,
+        };
+        // A panicking read would otherwise shrink the pool one thread at
+        // a time until every read hangs on a dead channel; poisoning
+        // instead fails the whole service loudly and consistently, the
+        // same contract the actor has. Declared after `env` so the flag
+        // is set before the reply sender disconnects (see actor_loop).
+        let poison = PoisonOnPanic(Arc::clone(&shared));
         let op = env.req.op_name();
         let start = Instant::now();
-        let result = handle(&mut trainer, &mut labeler, &cfg, &mut monitor, env.req, &metrics);
-        metrics.op(op).record(start.elapsed(), result.is_ok());
+        let result = if shared.poisoned.load(Ordering::Acquire) {
+            Err(ServiceError::Unavailable)
+        } else {
+            handle_read(&shared.view.load(), &shared.metrics, env.req)
+        };
+        shared
+            .metrics
+            .op(op)
+            .record(start.elapsed(), result.is_ok());
         // A client that gave up (dropped its reply receiver) is not an
         // error; the work was already done.
         let _ = env.reply.send(result);
-    };
-    loop {
-        crossbeam_channel::select! {
-            recv(rx) -> env => match env {
-                Ok(env) => serve(env),
-                // Every client dropped: nothing can arrive anymore.
-                Err(_) => break,
-            },
-            recv(shutdown_rx) -> _ => {
-                // Handle dropped / shutdown requested: drain what is
-                // already queued, then stop. Clients that are still alive
-                // observe `Unavailable` from then on.
-                while let Ok(env) = rx.try_recv() {
-                    serve(env);
-                }
-                break;
-            }
-        }
+        drop(poison); // no panic this message
     }
 }
 
-/// Per-worker state of the certainty monitor.
+/// Validates images against the fitted embedder's input width, turning
+/// what would be a snapshot-side assertion panic into a client error.
+fn validate_image_dim(images: &Tensor, sys: &Arc<SystemSnapshot>) -> Result<(), ServiceError> {
+    let want = sys.embedder().input_dim();
+    if images.shape()[1] != want {
+        return Err(ServiceError::Invalid(format!(
+            "expected {} features per image, got {}",
+            want,
+            images.shape()[1]
+        )));
+    }
+    Ok(())
+}
+
+/// Serves one read-only request from an immutable view. Never blocks on
+/// the actor; every code path here takes `&self` on snapshot state.
+fn handle_read(view: &ServiceView, metrics: &Metrics, req: Request) -> ServiceResult {
+    match req {
+        Request::DatasetPdf { images } => {
+            validate_images(&images)?;
+            let sys = view.system.as_ref().ok_or(ServiceError::NotReady)?;
+            validate_image_dim(&images, sys)?;
+            Ok(Reply::Pdf(sys.dataset_pdf(&images)))
+        }
+        Request::LookupMatching { pdf, count } => {
+            let sys = view.system.as_ref().ok_or(ServiceError::NotReady)?;
+            if pdf.len() != sys.k() {
+                return Err(ServiceError::Invalid(format!(
+                    "pdf length {} != k {}",
+                    pdf.len(),
+                    sys.k()
+                )));
+            }
+            Ok(Reply::Documents(sys.lookup_matching(&pdf, count)))
+        }
+        Request::Certainty { images } => {
+            validate_images(&images)?;
+            let sys = view.system.as_ref().ok_or(ServiceError::NotReady)?;
+            validate_image_dim(&images, sys)?;
+            Ok(Reply::Certainty(sys.certainty(&images)))
+        }
+        Request::Recommend { pdf } => {
+            if pdf.is_empty() {
+                return Err(ServiceError::Invalid("empty pdf".into()));
+            }
+            let manager = ModelManager::new(view.distance_threshold);
+            let ranked = manager
+                .rank_entries(view.zoo.entries(), &pdf)
+                .map(|r| r.ranked)
+                .unwrap_or_default();
+            let fine_tunable = matches!(
+                manager.decide_entries(view.zoo.entries(), &pdf),
+                ModelDecision::FineTune { .. }
+            );
+            Ok(Reply::Ranked(RankedModels {
+                ranked,
+                fine_tunable,
+            }))
+        }
+        Request::FetchModel { zoo_id } => match view.zoo.get(zoo_id) {
+            Some(entry) => Ok(Reply::Model {
+                checkpoint: entry.checkpoint.clone(),
+                pdf: entry.train_pdf.clone(),
+            }),
+            None => Err(ServiceError::UnknownModel(zoo_id)),
+        },
+        Request::Metrics => Ok(Reply::Metrics(metrics.snapshot())),
+        other => unreachable!(
+            "mutating request {:?} routed to the read plane",
+            other.op_name()
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write plane
+// ---------------------------------------------------------------------
+
+/// Per-actor state of the certainty monitor.
 #[derive(Default)]
 struct MonitorState {
     /// Monitored requests seen since the last triggered retrain.
     since_retrain: usize,
+}
+
+/// Marks the service poisoned if the actor unwinds (labeler panic etc.),
+/// so read workers fail fast instead of serving an unmaintained state.
+struct PoisonOnPanic(Arc<Shared>);
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+fn actor_loop(
+    mut trainer: RapidTrainer,
+    mut labeler: FallbackLabeler,
+    cfg: DmsServerConfig,
+    rx: Receiver<Msg>,
+    shared: Arc<Shared>,
+) {
+    let mut monitor = MonitorState::default();
+    while let Ok(msg) = rx.recv() {
+        let env = match msg {
+            Msg::Req(env) => env,
+            Msg::Shutdown => break,
+        };
+        // Declared *after* `env`, so during a panic unwind it drops (and
+        // sets the poison flag) *before* the reply sender disconnects: by
+        // the time the panicking request surfaces as `Unavailable` at its
+        // client, no follow-up read can slip through un-poisoned.
+        let poison = PoisonOnPanic(Arc::clone(&shared));
+        let op = env.req.op_name();
+        let start = Instant::now();
+        let result = handle_write(
+            &mut trainer,
+            &mut labeler,
+            &cfg,
+            &mut monitor,
+            env.req,
+            &shared,
+        );
+        shared
+            .metrics
+            .op(op)
+            .record(start.elapsed(), result.is_ok());
+        let _ = env.reply.send(result);
+        drop(poison); // no panic this iteration
+    }
 }
 
 /// Runs the certainty monitor on a batch; retrains the system plane when
@@ -220,7 +453,7 @@ fn monitor_and_maybe_retrain(
     cfg: &DmsServerConfig,
     state: &mut MonitorState,
     images: &Tensor,
-    metrics: &Metrics,
+    shared: &Shared,
 ) -> bool {
     if !cfg.auto_retrain || !trainer.fairds.is_ready() {
         return false;
@@ -230,8 +463,13 @@ fn monitor_and_maybe_retrain(
         return false;
     }
     if trainer.fairds.needs_system_update(images) {
-        trainer.fairds.retrain_system(images, &cfg.retrain_embed_cfg);
-        metrics.system_retrains.fetch_add(1, Ordering::Relaxed);
+        trainer
+            .fairds
+            .retrain_system(images, &cfg.retrain_embed_cfg);
+        shared
+            .metrics
+            .system_retrains
+            .fetch_add(1, Ordering::Relaxed);
         state.since_retrain = 0;
         true
     } else {
@@ -239,18 +477,30 @@ fn monitor_and_maybe_retrain(
     }
 }
 
-fn handle(
+fn handle_write(
     trainer: &mut RapidTrainer,
     labeler: &mut FallbackLabeler,
     cfg: &DmsServerConfig,
     monitor: &mut MonitorState,
     req: Request,
-    metrics: &Metrics,
+    shared: &Shared,
 ) -> ServiceResult {
+    debug_assert!(
+        !req.is_read_only(),
+        "read op {} on the actor",
+        req.op_name()
+    );
+    // Publish-before-acknowledge: freeze the post-mutation state into the
+    // read plane *before* the reply leaves, so a client that hears an ack
+    // (e.g. "retrained: true") can immediately read the new system plane.
+    let publish = |trainer: &RapidTrainer| {
+        shared.view.store(Arc::new(ServiceView::of(trainer)));
+    };
     match req {
         Request::TrainSystem { images, embed_cfg } => {
             validate_images(&images)?;
             let k = trainer.fairds.train_system(&images, &embed_cfg);
+            publish(trainer);
             Ok(Reply::SystemTrained { k })
         }
         Request::IngestLabeled {
@@ -269,20 +519,17 @@ fn handle(
                     images.shape()[0]
                 )));
             }
-            let retrained = monitor_and_maybe_retrain(trainer, cfg, monitor, &images, metrics);
+            let retrained = monitor_and_maybe_retrain(trainer, cfg, monitor, &images, shared);
             let ids = trainer.fairds.ingest_labeled(&images, &labels, scan);
+            if retrained {
+                // Store writes are visible to readers through the shared
+                // collection; only model changes need a republish.
+                publish(trainer);
+            }
             Ok(Reply::Ingested {
                 count: ids.len(),
                 retrained,
             })
-        }
-        Request::DatasetPdf { images } => {
-            validate_images(&images)?;
-            if !trainer.fairds.is_ready() {
-                return Err(ServiceError::NotReady);
-            }
-            monitor_and_maybe_retrain(trainer, cfg, monitor, &images, metrics);
-            Ok(Reply::Pdf(trainer.fairds.dataset_pdf(&images)))
         }
         Request::PseudoLabel { images, threshold } => {
             validate_images(&images)?;
@@ -297,44 +544,14 @@ fn handle(
             let (labels, stats) = trainer.fairds.pseudo_label(&images, thr, |p| labeler(p));
             Ok(Reply::Labeled { labels, stats })
         }
-        Request::LookupMatching { pdf, count } => {
-            if !trainer.fairds.is_ready() {
-                return Err(ServiceError::NotReady);
-            }
-            if pdf.len() != trainer.fairds.k() {
-                return Err(ServiceError::Invalid(format!(
-                    "pdf length {} != k {}",
-                    pdf.len(),
-                    trainer.fairds.k()
-                )));
-            }
-            Ok(Reply::Documents(trainer.fairds.lookup_matching(&pdf, count)))
-        }
-        Request::Recommend { pdf } => {
-            if pdf.is_empty() {
-                return Err(ServiceError::Invalid("empty pdf".into()));
-            }
-            let ranked = trainer
-                .manager
-                .rank(&trainer.zoo, &pdf)
-                .map(|r| r.ranked)
-                .unwrap_or_default();
-            let fine_tunable = matches!(
-                trainer.manager.decide(&trainer.zoo, &pdf),
-                ModelDecision::FineTune { .. }
-            );
-            Ok(Reply::Ranked(RankedModels {
-                ranked,
-                fine_tunable,
-            }))
-        }
         Request::UpdateModel { images, scan } => {
             validate_images(&images)?;
             if !trainer.fairds.is_ready() {
                 return Err(ServiceError::NotReady);
             }
-            monitor_and_maybe_retrain(trainer, cfg, monitor, &images, metrics);
+            monitor_and_maybe_retrain(trainer, cfg, monitor, &images, shared);
             let (net, report) = trainer.update_model(&images, |p| labeler(p), scan);
+            publish(trainer); // new zoo entry (+ possible retrain) goes live
             Ok(Reply::Updated {
                 checkpoint: checkpoint::save(&net),
                 report,
@@ -357,45 +574,41 @@ fn handle(
                 train_pdf: pdf,
                 scan,
             });
+            publish(trainer);
             Ok(Reply::Published { zoo_id })
         }
-        Request::FetchModel { zoo_id } => match trainer.zoo.get(zoo_id) {
-            Some(entry) => Ok(Reply::Model {
-                checkpoint: entry.checkpoint.clone(),
-                pdf: entry.train_pdf.clone(),
-            }),
-            None => Err(ServiceError::UnknownModel(zoo_id)),
-        },
-        Request::Certainty { images } => {
-            validate_images(&images)?;
-            if !trainer.fairds.is_ready() {
-                return Err(ServiceError::NotReady);
-            }
-            Ok(Reply::Certainty(trainer.fairds.certainty(&images)))
-        }
-        Request::Metrics => Ok(Reply::Metrics(metrics.snapshot())),
+        other => unreachable!("read request {:?} routed to the actor", other.op_name()),
     }
 }
 
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
 impl DmsClient {
-    /// Sends a raw request and waits for the reply. Returns
-    /// [`ServiceError::Unavailable`] when the server is gone or the
-    /// admission queue is full.
+    /// Sends a raw request and waits for the reply. Read-only requests go
+    /// to the snapshot-serving pool, mutating requests to the actor.
+    /// Returns [`ServiceError::Unavailable`] when the server is gone.
     pub fn call(&self, req: Request) -> ServiceResult {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tx = if req.is_read_only() {
+            &self.read_tx
+        } else {
+            &self.write_tx
+        };
         let (reply_tx, reply_rx) = bounded(1);
-        let env = Envelope {
+        let env = Msg::Req(Envelope {
             id,
             req,
             reply: reply_tx,
-        };
-        match self.tx.try_send(env) {
+        });
+        match tx.try_send(env) {
             Ok(()) => {}
             Err(TrySendError::Full(env)) => {
                 // Backpressure: block rather than reject when the queue is
                 // merely full; reject only on disconnect.
-                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                if self.tx.send(env).is_err() {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                if tx.send(env).is_err() {
                     return Err(ServiceError::Unavailable);
                 }
             }
@@ -405,7 +618,11 @@ impl DmsClient {
     }
 
     /// Bootstrap the system plane. Returns the fitted K.
-    pub fn train_system(&self, images: Tensor, embed_cfg: EmbedTrainConfig) -> Result<usize, ServiceError> {
+    pub fn train_system(
+        &self,
+        images: Tensor,
+        embed_cfg: EmbedTrainConfig,
+    ) -> Result<usize, ServiceError> {
         match self.call(Request::TrainSystem { images, embed_cfg })? {
             Reply::SystemTrained { k } => Ok(k),
             other => unreachable!("mismatched reply {other:?}"),
@@ -517,11 +734,18 @@ impl DmsClient {
         }
     }
 
-    /// Server metrics snapshot.
+    /// Server metrics snapshot, taken directly from the lock-free registry
+    /// — no admission queue, no worker round-trip, works even while both
+    /// planes are saturated. (`call(Request::Metrics)` still round-trips
+    /// through the read pool for wire-protocol completeness.)
     pub fn metrics(&self) -> Result<crate::metrics::MetricsSnapshot, ServiceError> {
-        match self.call(Request::Metrics)? {
-            Reply::Metrics(m) => Ok(m),
-            other => unreachable!("mismatched reply {other:?}"),
-        }
+        Ok(self.shared.metrics.snapshot())
+    }
+
+    /// The currently-published read-plane view (None for `system` before
+    /// training). Exposed for diagnostics and tests; the snapshot is
+    /// immutable, so holding it never blocks the server.
+    pub fn current_view(&self) -> Arc<ServiceView> {
+        self.shared.view.load()
     }
 }

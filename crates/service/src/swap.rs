@@ -1,0 +1,178 @@
+//! A lock-free, atomically-swappable `Arc` cell (left-right technique).
+//!
+//! [`SnapshotCell`] hands the *current* snapshot to any number of reader
+//! threads without a lock on the read path, while publishers replace it
+//! with a single atomic swap of the active-slot index. This is the
+//! left-right concurrency construction (Ramalhete & Correia): two slots,
+//! readers announce themselves on the slot the `active` index points to,
+//! and a publisher only ever writes the *inactive* slot after waiting for
+//! its reader count to drain.
+//!
+//! ## Why the protocol is sound
+//!
+//! A reader (a) loads `active = i`, (b) increments `readers[i]`, then
+//! (c) re-checks `active == i`. The cell value of slot `i` is cloned only
+//! when the re-check passes.
+//!
+//! * Publishers mutate only the inactive slot (publisher-side exclusivity
+//!   is guaranteed by `write_lock`), so `active == i` at (c) implies no
+//!   publisher is writing slot `i` at that moment — `active` can only point
+//!   at a fully-written slot, because the publisher's swap of `active` is
+//!   its *last* store (`SeqCst`, so the write to the slot happens-before
+//!   any reader that observes the new index).
+//! * A publisher writes a slot only after observing `readers == 0` for it.
+//!   Any reader that increments afterwards must fail its re-check (the
+//!   slot being written is inactive and stays inactive until the write
+//!   finishes), so it retries without touching the cell.
+//! * A reader holds its `readers[i]` increment across the clone, so a
+//!   *subsequent* publication targeting slot `i` waits until the clone is
+//!   done.
+//!
+//! Reads are lock-free (two atomic RMWs, two loads, one `Arc` clone) and
+//! never block behind a publisher; a publisher waits only for stragglers
+//! mid-clone on the slot it wants to reuse, which is a bounded handful of
+//! instructions.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Slot<T> {
+    readers: AtomicUsize,
+    value: UnsafeCell<Arc<T>>,
+}
+
+/// A lock-free read / atomic-swap publish cell holding an `Arc<T>`.
+pub struct SnapshotCell<T> {
+    active: AtomicUsize,
+    slots: [Slot<T>; 2],
+    /// Serializes publishers; never touched by readers.
+    write_lock: Mutex<()>,
+}
+
+// Safety: the cell value is only written by the single publisher holding
+// `write_lock`, and only while the slot is inactive with a drained reader
+// count; readers only read it after proving the slot is active (see the
+// module docs). `Arc<T>` itself is Send+Sync for T: Send + Sync.
+unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
+
+impl<T> SnapshotCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        SnapshotCell {
+            active: AtomicUsize::new(0),
+            slots: [
+                Slot {
+                    readers: AtomicUsize::new(0),
+                    value: UnsafeCell::new(Arc::clone(&value)),
+                },
+                Slot {
+                    readers: AtomicUsize::new(0),
+                    value: UnsafeCell::new(value),
+                },
+            ],
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Returns the currently-published snapshot. Lock-free; safe from any
+    /// number of threads concurrently with [`SnapshotCell::store`].
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let i = self.active.load(Ordering::SeqCst);
+            self.slots[i].readers.fetch_add(1, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) == i {
+                // Slot i is active ⇒ fully written and not being mutated;
+                // our announced read pins it until the decrement below.
+                let value = unsafe { (*self.slots[i].value.get()).clone() };
+                self.slots[i].readers.fetch_sub(1, Ordering::SeqCst);
+                return value;
+            }
+            // A publication moved `active` between our load and announce;
+            // withdraw and retry on the new slot.
+            self.slots[i].readers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Publishes a new snapshot. The swap itself is a single atomic store
+    /// of the active-slot index; readers that loaded the old snapshot keep
+    /// their `Arc` until they drop it.
+    pub fn store(&self, value: Arc<T>) {
+        let _publisher = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let target = 1 - self.active.load(Ordering::SeqCst);
+        // Wait out readers still cloning from the slot we are about to
+        // overwrite (they announced before the previous swap).
+        while self.slots[target].readers.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // Exclusive: slot is inactive, publisher lock held, readers drained.
+        unsafe {
+            *self.slots[target].value.get() = value;
+        }
+        self.active.store(target, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn load_returns_latest_store() {
+        let cell = SnapshotCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        for v in 3..50 {
+            cell.store(Arc::new(v));
+            assert_eq!(*cell.load(), v);
+        }
+    }
+
+    #[test]
+    fn old_snapshots_survive_replacement() {
+        let cell = SnapshotCell::new(Arc::new(vec![1, 2, 3]));
+        let old = cell.load();
+        cell.store(Arc::new(vec![9]));
+        cell.store(Arc::new(vec![10]));
+        assert_eq!(*old, vec![1, 2, 3], "reader-held Arc must stay intact");
+        assert_eq!(*cell.load(), vec![10]);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_values() {
+        // Snapshot payload with an internal invariant: (n, 2n). A torn
+        // read would produce a pair violating it.
+        let cell = Arc::new(SnapshotCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..6 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cell.load();
+                    assert_eq!(snap.1, snap.0 * 2, "torn snapshot observed");
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        let deadline = Instant::now() + Duration::from_millis(200);
+        let mut n = 0u64;
+        while Instant::now() < deadline {
+            n += 1;
+            cell.store(Arc::new((n, n * 2)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers made no progress");
+        assert!(n > 0, "writer made no progress");
+        let last = cell.load();
+        assert_eq!(last.0, n);
+    }
+}

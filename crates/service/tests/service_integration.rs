@@ -54,6 +54,12 @@ fn spawn_server_k(seed: u64, auto_retrain: bool, k: usize) -> (DmsClient, Server
         Box::new(embedder),
         FairDsConfig {
             k: Some(k),
+            // Calibrated for this fixture the way deployments calibrate
+            // (see examples/service_deployment.rs): measured certainty is
+            // 1.0 on in-distribution blobs, ~0.50 on unseen uniform noise,
+            // and ~0.63 on noise after the triggered retrain absorbs it, so
+            // the threshold sits between trigger and absorbed.
+            certainty_threshold: 0.55,
             ..FairDsConfig::default()
         },
     );
@@ -105,9 +111,15 @@ fn requests_before_training_are_rejected() {
         client.ingest(x.clone(), y, 0).unwrap_err(),
         ServiceError::NotReady
     );
-    assert_eq!(client.dataset_pdf(x.clone()).unwrap_err(), ServiceError::NotReady);
+    assert_eq!(
+        client.dataset_pdf(x.clone()).unwrap_err(),
+        ServiceError::NotReady
+    );
     assert_eq!(client.certainty(x).unwrap_err(), ServiceError::NotReady);
-    assert_eq!(client.lookup(vec![0.5, 0.5], 1).unwrap_err(), ServiceError::NotReady);
+    assert_eq!(
+        client.lookup(vec![0.5, 0.5], 1).unwrap_err(),
+        ServiceError::NotReady
+    );
     drop(client);
     handle.shutdown();
 }
@@ -150,7 +162,10 @@ fn update_model_round_trips_a_checkpoint() {
     let (x_new, _) = blob_images(15, 2, 8);
     let (ckpt, report) = client.update_model(x_new.clone(), 1).unwrap();
     assert!(!ckpt.is_empty());
-    assert!(report.foundation.is_none(), "first update trains from scratch");
+    assert!(
+        report.foundation.is_none(),
+        "first update trains from scratch"
+    );
     assert!(report.label_stats.reused > 0, "labels should be reused");
 
     // The published model is fetchable and ranks for similar data.
@@ -206,7 +221,8 @@ fn concurrent_clients_share_one_consistent_state() {
                 assert_eq!(pdf.len(), 2);
                 let docs = c.lookup(pdf, 4).unwrap();
                 assert_eq!(docs.len(), 4);
-                c.ingest(xt.clone(), yt.clone(), (t * 10 + i) as usize).unwrap();
+                c.ingest(xt.clone(), yt.clone(), (t * 10 + i) as usize)
+                    .unwrap();
             }
         }));
     }
@@ -349,7 +365,10 @@ fn worker_panic_surfaces_as_unavailable_not_a_hang() {
     let err = client.pseudo_label(x.clone(), 0.5).unwrap_err();
     assert_eq!(err, ServiceError::Unavailable);
     // The server is gone; subsequent calls fail fast.
-    assert_eq!(client.dataset_pdf(x).unwrap_err(), ServiceError::Unavailable);
+    assert_eq!(
+        client.dataset_pdf(x).unwrap_err(),
+        ServiceError::Unavailable
+    );
     drop(client);
     handle.shutdown(); // joins the dead worker without hanging
 }

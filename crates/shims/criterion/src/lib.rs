@@ -1,0 +1,287 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! A straightforward timing harness behind the criterion API surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark warms up, then runs timed samples and prints
+//! mean / p50 / p99 per-iteration times. There is no statistical outlier
+//! analysis, plotting, or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is passed to the routine (accepted for
+/// API compatibility; the shim always moves the batch in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    /// Per-iteration wall times collected by the harness.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded
+    /// from measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut inputs = Vec::with_capacity(self.iters_per_sample as usize);
+            for _ in 0..self.iters_per_sample {
+                inputs.push(setup());
+            }
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn run_bench(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up pass: one sample of one iteration to estimate cost.
+        let mut probe = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: 1,
+        };
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            probe.samples.clear();
+            f(&mut probe);
+            if probe.samples.is_empty() {
+                break; // closure did not call iter — nothing to time
+            }
+        }
+        let per_iter = probe
+            .samples
+            .first()
+            .copied()
+            .unwrap_or(Duration::from_micros(1))
+            .max(Duration::from_nanos(50));
+        // Pick iterations so sample_size samples fit the measurement budget.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters =
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: iters,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        report(name, &mut bencher.samples);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_bench(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_bench(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[((samples.len() * 99) / 100).min(samples.len() - 1)];
+    println!(
+        "{name:<44} mean {:>12?}  p50 {:>12?}  p99 {:>12?}  ({} samples)",
+        mean,
+        p50,
+        p99,
+        samples.len()
+    );
+}
+
+/// Prevents the optimizer from eliding a value (re-export shape).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: `criterion_group!{name = benches; config =
+/// expr; targets = f1, f2}` or `criterion_group!(benches, f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_work() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * x, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

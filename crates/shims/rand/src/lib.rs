@@ -1,0 +1,253 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no registry access, so this crate vendors the
+//! minimal API surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] for `f32`/`f64`/`u64`, and
+//! [`Rng::gen_range`] over integer ranges. The generator is xoshiro256++
+//! seeded through SplitMix64 — the same construction the real `rand_pcg` /
+//! small-rng family uses for statistical quality without cryptographic
+//! claims. Streams are deterministic per seed, which is all the workspace
+//! relies on (it never asks for OS entropy).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (the subset of `rand::Rng` the workspace calls).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of type `T` (`f32`/`f64` in `[0, 1)`, integers over
+    /// their full range).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform sample from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: RangeSample,
+        R: IntoBounds<T>,
+    {
+        let (lo, hi_inclusive) = range.into_bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+}
+
+/// Conversion of raw bits to a uniform sample.
+pub trait Uniform {
+    /// Maps 64 uniform bits to a sample.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Uniform for f32 {
+    fn from_u64(bits: u64) -> f32 {
+        // 24 high-quality mantissa bits → [0, 1).
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Uniform for f64 {
+    fn from_u64(bits: u64) -> f64 {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for u64 {
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Uniform for u32 {
+    fn from_u64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+/// Types samplable from a range by rejection-free modulo reduction.
+pub trait RangeSample: Copy + PartialOrd {
+    /// A uniform sample in `[lo, hi]` (inclusive).
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: inverted range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: any bits qualify.
+                    return rng.next_u64() as $t;
+                }
+                // 128-bit widening multiply avoids modulo bias for the
+                // span sizes used here (Lemire's method).
+                let x = rng.next_u64() as u128;
+                let r = (x.wrapping_mul(span)) >> 64;
+                (lo as u128).wrapping_add(r) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample_int!(usize, u64, u32, u16, u8, i64, i32, isize);
+
+impl RangeSample for f32 {
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * rng.gen::<f32>()
+    }
+}
+
+impl RangeSample for f64 {
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * rng.gen::<f64>()
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait IntoBounds<T> {
+    /// `(lo, hi)` with `hi` inclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl IntoBounds<usize> for Range<usize> {
+    fn into_bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoBounds<u64> for Range<u64> {
+    fn into_bounds(self) -> (u64, u64) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoBounds<i64> for Range<i64> {
+    fn into_bounds(self) -> (i64, i64) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoBounds<f32> for Range<f32> {
+    fn into_bounds(self) -> (f32, f32) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoBounds<f64> for Range<f64> {
+    fn into_bounds(self) -> (f64, f64) {
+        (self.start, self.end)
+    }
+}
+
+impl<T: Copy> IntoBounds<T> for RangeInclusive<T> {
+    fn into_bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ seeded via SplitMix64 — deterministic, fast, and
+    /// statistically solid for simulation workloads.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f32 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_all_buckets() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [0usize; 5];
+        for _ in 0..5_000 {
+            seen[r.gen_range(0..5usize)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 800), "{seen:?}");
+        for _ in 0..100 {
+            let v = r.gen_range(2..=4usize);
+            assert!((2..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline shim for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses — enough to
+//! keep the GEMM/clustering/labeling hot paths genuinely parallel without
+//! registry access. Work is executed with `std::thread::scope`, splitting
+//! the index space into one contiguous chunk per worker. That is a cruder
+//! schedule than rayon's work stealing, but the workspace's kernels are
+//! uniform per element, where contiguous chunking is within noise of
+//! stealing.
+//!
+//! Supported surface:
+//!
+//! * `slice.par_iter()`, `(0..n).into_par_iter()`, `vec.into_par_iter()`
+//!   with `.enumerate()`, `.map(...)`, `.for_each(...)`, `.collect()`,
+//!   `.sum()`;
+//! * `slice.par_iter_mut()` and `slice.par_chunks_mut(n)` with
+//!   `.enumerate().for_each(...)`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] (pool width applies to
+//!   work submitted from inside the closure).
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+
+thread_local! {
+    /// Pool-width override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Worker count for the calling context.
+fn pool_width() -> usize {
+    let over = POOL_OVERRIDE.with(|c| c.get());
+    if over > 0 {
+        return over;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs `f(i)` for `i in 0..n` in parallel, returning results in order.
+fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = pool_width().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (w, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let base = w * chunk;
+            scope.spawn(move || {
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs `f` over an owned list of work items split across the pool.
+fn run_partitioned<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let n = items.len();
+    let workers = pool_width().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let batch: Vec<T> = rest.drain(..take).collect();
+            scope.spawn(move || batch.into_iter().for_each(f));
+        }
+    });
+}
+
+/// A lazily-evaluated parallel pipeline: an index space `0..len` plus a
+/// per-index producer. All combinators compose producers; terminals execute
+/// through [`run_indexed`].
+pub struct ParPipeline<T, F> {
+    len: usize,
+    produce: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T, F> ParPipeline<T, F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    fn new(len: usize, produce: F) -> Self {
+        ParPipeline {
+            len,
+            produce,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParPipeline<(usize, T), impl Fn(usize) -> (usize, T) + Sync> {
+        let p = self.produce;
+        ParPipeline::new(self.len, move |i| (i, p(i)))
+    }
+
+    /// Maps each item.
+    pub fn map<U, G>(self, g: G) -> ParPipeline<U, impl Fn(usize) -> U + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let p = self.produce;
+        ParPipeline::new(self.len, move |i| g(p(i)))
+    }
+
+    /// Maps each item to an iterator and flattens, preserving item order.
+    pub fn flat_map<U, I, G>(self, g: G) -> ParFlatMap<I, impl Fn(usize) -> I + Sync>
+    where
+        U: Send,
+        I: IntoIterator<Item = U> + Send,
+        G: Fn(T) -> I + Sync,
+    {
+        let p = self.produce;
+        ParFlatMap {
+            len: self.len,
+            produce: move |i| g(p(i)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Runs the pipeline for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let p = self.produce;
+        run_indexed(self.len, |i| g(p(i)));
+    }
+
+    /// Collects results in index order.
+    pub fn collect<C: FromParPipeline<T>>(self) -> C {
+        C::from_pipeline(run_indexed(self.len, self.produce))
+    }
+
+    /// Sums the produced items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + Send,
+        T: Send,
+    {
+        run_indexed(self.len, self.produce).into_iter().sum()
+    }
+}
+
+/// A flat-mapped parallel pipeline (inner iterators evaluated in parallel,
+/// flattened in index order at collection time).
+pub struct ParFlatMap<I, F> {
+    len: usize,
+    produce: F,
+    _marker: PhantomData<fn() -> I>,
+}
+
+impl<I, F> ParFlatMap<I, F>
+where
+    I: IntoIterator + Send,
+    I::Item: Send,
+    F: Fn(usize) -> I + Sync,
+{
+    /// Collects the flattened results in index order.
+    pub fn collect<C: FromParPipeline<I::Item>>(self) -> C {
+        let nested = run_indexed(self.len, self.produce);
+        C::from_pipeline(nested.into_iter().flatten().collect())
+    }
+}
+
+/// Collection types a pipeline can collect into.
+pub trait FromParPipeline<T> {
+    /// Builds the collection from in-order results.
+    fn from_pipeline(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParPipeline<T> for Vec<T> {
+    fn from_pipeline(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait ParIterSlice<T: Sync> {
+    /// A parallel iterator of `&T`.
+    fn par_iter<'a>(&'a self) -> ParPipeline<&'a T, impl Fn(usize) -> &'a T + Sync>;
+}
+
+impl<T: Sync> ParIterSlice<T> for [T] {
+    fn par_iter<'a>(&'a self) -> ParPipeline<&'a T, impl Fn(usize) -> &'a T + Sync> {
+        ParPipeline::new(self.len(), move |i| &self[i])
+    }
+}
+
+impl<T: Sync> ParIterSlice<T> for Vec<T> {
+    fn par_iter<'a>(&'a self) -> ParPipeline<&'a T, impl Fn(usize) -> &'a T + Sync> {
+        ParPipeline::new(self.len(), move |i| &self[i])
+    }
+}
+
+/// `into_par_iter` over owned index spaces and vectors.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into a parallel pipeline.
+    fn into_par_iter(self) -> ParPipeline<Self::Item, impl Fn(usize) -> Self::Item + Sync>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParPipeline<usize, impl Fn(usize) -> usize + Sync> {
+        let start = self.start;
+        let len = self.end.saturating_sub(self.start);
+        ParPipeline::new(len, move |i| start + i)
+    }
+}
+
+/// Mutable parallel iteration over slices.
+pub trait ParIterMutSlice<T: Send> {
+    /// One exclusive reference per element.
+    fn par_iter_mut(&mut self) -> ParMut<'_, T>;
+    /// Exclusive chunks of `size` elements (last may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParIterMutSlice<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParMut<'_, T> {
+        ParMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: zero chunk size");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+impl<T: Send> ParIterMutSlice<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParMut<'_, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(size)
+    }
+}
+
+/// Parallel `&mut T` iterator.
+pub struct ParMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParMutEnumerate<'a, T> {
+        ParMutEnumerate { slice: self.slice }
+    }
+
+    /// Applies `g` to every element in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(&mut T) + Sync,
+    {
+        let items: Vec<&mut T> = self.slice.iter_mut().collect();
+        run_partitioned(items, g);
+    }
+}
+
+/// Enumerated parallel `&mut T` iterator.
+pub struct ParMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParMutEnumerate<'_, T> {
+    /// Applies `g(i, &mut item)` to every element in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn((usize, &mut T)) + Sync,
+    {
+        let items: Vec<(usize, &mut T)> = self.slice.iter_mut().enumerate().collect();
+        run_partitioned(items, |(i, r)| g((i, r)));
+    }
+}
+
+/// Parallel exclusive-chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Applies `g` to every chunk in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(&mut [T]) + Sync,
+    {
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.size).collect();
+        run_partitioned(chunks, g);
+    }
+}
+
+/// Enumerated parallel exclusive-chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Applies `g(i, chunk)` to every chunk in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.size).enumerate().collect();
+        run_partitioned(chunks, |(i, c)| g((i, c)));
+    }
+}
+
+/// Builder for a fixed-width pool (shim: the width is a thread-local
+/// override applied while [`ThreadPool::install`] runs).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A new builder with the default width.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, BuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Pool construction error (the shim never fails; the type exists so
+/// `.unwrap()`/`?` call sites compile).
+#[derive(Debug)]
+pub struct BuildError;
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A scoped pool-width override.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width governing nested parallel work
+    /// submitted from inside `f` on the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let out = f();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// The prelude, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIterMutSlice, ParIterSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn par_iter_enumerate_map_sum() {
+        let data = vec![1.0f64; 512];
+        let s: f64 = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x * i as f64)
+            .sum();
+        assert_eq!(s, (0..512).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_regions() {
+        let mut buf = vec![0usize; 103];
+        buf.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(buf.iter().all(|&v| v > 0));
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[102], 11);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut buf = vec![0i64; 97];
+        buf.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = i as i64);
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i as i64));
+    }
+
+    #[test]
+    fn install_overrides_width() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let out: Vec<usize> = pool.install(|| (0..64usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(out.len(), 64);
+    }
+}

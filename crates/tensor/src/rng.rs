@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A seeded random number generator specialized for tensor initialization.
+#[derive(Clone)]
 pub struct TensorRng {
     rng: StdRng,
     /// Cached second output of the Box–Muller transform.

@@ -206,7 +206,10 @@ impl Tensor {
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         assert!(self.rank() >= 1, "slice_rows requires rank ≥ 1");
         let n = self.shape()[0];
-        assert!(start <= end && end <= n, "slice_rows: bad range {start}..{end} of {n}");
+        assert!(
+            start <= end && end <= n,
+            "slice_rows: bad range {start}..{end} of {n}"
+        );
         let rs = self.row_size();
         let mut dims = self.shape().to_vec();
         dims[0] = end - start;

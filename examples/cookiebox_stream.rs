@@ -90,7 +90,10 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Storage backends: what a training epoch pays per sample.
     // ------------------------------------------------------------------
-    println!("\nstorage backends ({} samples of {SIZE}x{SIZE} CookieBox data):", 32);
+    println!(
+        "\nstorage backends ({} samples of {SIZE}x{SIZE} CookieBox data):",
+        32
+    );
     for store in paper_backends() {
         let ids: Vec<_> = sim
             .scan(0, 32)

@@ -14,7 +14,9 @@ use fairdms_datasets::bragg::{to_training_tensors, BraggSimulator, DriftModel};
 const SIDE: usize = 15;
 const PER_DATASET: usize = 120;
 
-fn flat(patches: &[fairdms_datasets::BraggPatch]) -> (fairdms_tensor::Tensor, fairdms_tensor::Tensor) {
+fn flat(
+    patches: &[fairdms_datasets::BraggPatch],
+) -> (fairdms_tensor::Tensor, fairdms_tensor::Tensor) {
     let (x4, y) = to_training_tensors(patches);
     let n = x4.shape()[0];
     (x4.reshape(&[n, SIDE * SIDE]), y)
@@ -70,5 +72,8 @@ fn main() {
             println!("{d:>7}  {:>9.1}%  ok", certainty * 100.0);
         }
     }
-    println!("\nstore now holds {} samples across the experiment", fairds.store().len());
+    println!(
+        "\nstore now holds {} samples across the experiment",
+        fairds.store().len()
+    );
 }

@@ -25,7 +25,9 @@ const PER_SCAN: usize = 150;
 const N_SCANS: usize = 14;
 const DEFORM_START: usize = 7;
 
-fn flat(patches: &[fairdms_datasets::BraggPatch]) -> (fairdms_tensor::Tensor, fairdms_tensor::Tensor) {
+fn flat(
+    patches: &[fairdms_datasets::BraggPatch],
+) -> (fairdms_tensor::Tensor, fairdms_tensor::Tensor) {
     let (x4, y) = to_training_tensors(patches);
     let n = x4.shape()[0];
     (x4.reshape(&[n, SIDE * SIDE]), y)
@@ -68,8 +70,7 @@ fn main() {
     let mut trainer = RapidTrainer::new(fairds, ModelManager::new(0.9), cfg);
 
     let pdf0 = trainer.fairds.dataset_pdf(&cx);
-    let (mut model, report, _, _) =
-        trainer.fit_strategy(&cx, &cy, &pdf0, TrainStrategy::Scratch);
+    let (mut model, report, _, _) = trainer.fit_strategy(&cx, &cy, &pdf0, TrainStrategy::Scratch);
     trainer.zoo.add_model(
         "braggnn-commissioning",
         ArchSpec::BraggNN { patch: SIDE },
@@ -82,7 +83,10 @@ fn main() {
         report.final_val_loss(),
         report.curve.len()
     );
-    println!("{:>4}  {:>9}  {:>11}  action", "scan", "error_px", "uncertainty");
+    println!(
+        "{:>4}  {:>9}  {:>11}  action",
+        "scan", "error_px", "uncertainty"
+    );
 
     // --- Phase 1: the experiment loop. ---
     let px = (SIDE - 1) as f32;

@@ -55,7 +55,10 @@ fn main() {
         let net = arch.build(scan as u64);
         zoo.add_model(&format!("braggnn-scan{scan}"), arch, &net, pdf, scan);
     }
-    println!("zoo holds {} models (scans 0..8; config change at scan 4)\n", zoo.len());
+    println!(
+        "zoo holds {} models (scans 0..8; config change at scan 4)\n",
+        zoo.len()
+    );
 
     // Rank the zoo for a new dataset from the second phase.
     let query = sim.scan(6, 200);
@@ -109,7 +112,7 @@ fn main() {
             Ok(StepOutcome::none().with_output("pdf_ready", 1.0))
         })
         .step("recommend", &["compute-pdf"], move |_| {
-            let out = ex.call("jsd_rank", &[]).map_err(|e| e)?;
+            let out = ex.call("jsd_rank", &[])?;
             Ok(StepOutcome::none()
                 .with_output("best_id", out[0])
                 .with_output("best_jsd", out[1]))

@@ -49,7 +49,10 @@ fn main() {
         },
     );
     fairds.ingest_labeled(&x, &y, 0);
-    println!("fairDS ready: {k} clusters, {} stored samples\n", fairds.store().len());
+    println!(
+        "fairDS ready: {k} clusters, {} stored samples\n",
+        fairds.store().len()
+    );
 
     // ------------------------------------------------------------------
     // 2. The fairDMS workflow around a BraggNN.
@@ -94,5 +97,8 @@ fn main() {
             report.train_report.final_val_loss(),
         );
     }
-    println!("\nzoo now holds {} models — subsequent updates keep accelerating", trainer.zoo.len());
+    println!(
+        "\nzoo now holds {} models — subsequent updates keep accelerating",
+        trainer.zoo.len()
+    );
 }

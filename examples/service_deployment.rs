@@ -98,7 +98,10 @@ fn main() {
         labeler,
         DmsServerConfig {
             auto_retrain: true,
-            retrain_cooldown: 8,
+            // Only *mutating* requests are monitored since the user-plane
+            // split (reads are served from snapshots off the actor), so
+            // the cooldown counts ingests/updates, not PDF queries.
+            retrain_cooldown: 2,
             retrain_embed_cfg: EmbedTrainConfig {
                 epochs: 3,
                 batch_size: 64,
@@ -111,7 +114,10 @@ fn main() {
 
     // --- Prime the store through the service. ----------------------------
     client.ingest(hx, hy, 0).expect("historical ingest");
-    println!("system plane trained: k = {k}, store primed with {} samples\n", history.len());
+    println!(
+        "system plane trained: k = {k}, store primed with {} samples\n",
+        history.len()
+    );
 
     // --- Concurrent user-plane clients. ----------------------------------
     println!("running 4 concurrent clients (PDF + pseudo-label + lookup)...");
@@ -175,7 +181,10 @@ fn main() {
     // --- Metrics. ---------------------------------------------------------
     let m = client.metrics().expect("metrics");
     println!("\n== server metrics ==");
-    println!("{:<14} {:>6} {:>6} {:>12} {:>12}", "op", "calls", "errs", "mean", "p99");
+    println!(
+        "{:<14} {:>6} {:>6} {:>12} {:>12}",
+        "op", "calls", "errs", "mean", "p99"
+    );
     for (name, snap) in &m.ops {
         if snap.count == 0 {
             continue;

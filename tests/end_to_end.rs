@@ -81,9 +81,13 @@ fn fine_tune_starts_better_than_scratch_on_similar_data() {
     trainer.config_mut().train.epochs = 20;
     let (net, _, _, _) = trainer.fit_strategy(&x0, &y0, &pdf0, TrainStrategy::Scratch);
     trainer.config_mut().train = saved;
-    trainer
-        .zoo
-        .add_model("foundation", ArchSpec::BraggNN { patch: SIDE }, &net, pdf0, 3);
+    trainer.zoo.add_model(
+        "foundation",
+        ArchSpec::BraggNN { patch: SIDE },
+        &net,
+        pdf0,
+        3,
+    );
 
     let (x1, y1) = flat(&sim.scan(4, 120));
     let pdf1 = trainer.fairds.dataset_pdf(&x1);
@@ -100,7 +104,7 @@ fn fine_tune_starts_better_than_scratch_on_similar_data() {
 
 #[test]
 fn drifted_scan_lowers_certainty_monotonically() {
-    let (mut trainer, _) = build_trainer(300);
+    let (trainer, _) = build_trainer(300);
     let drift_sim = BraggSimulator::new(
         DriftModel {
             deform_start: 0,
@@ -121,7 +125,7 @@ fn drifted_scan_lowers_certainty_monotonically() {
 
 #[test]
 fn pdf_matched_lookup_returns_requested_count() {
-    let (mut trainer, sim) = build_trainer(400);
+    let (trainer, sim) = build_trainer(400);
     let (x, _) = flat(&sim.scan(7, 60));
     let pdf = trainer.fairds.dataset_pdf(&x);
     let docs = trainer.fairds.lookup_matching(&pdf, 100);

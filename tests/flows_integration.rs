@@ -41,7 +41,11 @@ fn model_update_flow_attributes_time_to_each_step() {
     assert_eq!(report.steps.len(), 4);
     assert_eq!(report.context["val_loss"], 0.003);
     // End-to-end ≥ data transfer (0.45s) + train (12s) + model transfer.
-    assert!(report.end_to_end_secs() > 12.4, "{}", report.end_to_end_secs());
+    assert!(
+        report.end_to_end_secs() > 12.4,
+        "{}",
+        report.end_to_end_secs()
+    );
     assert_eq!(transfers.log().len(), 2);
     assert_eq!(transfers.total_bytes(), 502_000_000);
 }
@@ -74,13 +78,15 @@ fn executor_runs_system_plane_functions_in_parallel() {
 fn flow_retry_recovers_flaky_transfer() {
     let attempts = Arc::new(AtomicUsize::new(0));
     let a = Arc::clone(&attempts);
-    let flow = Flow::new().with_retries(2).step("flaky-transfer", &[], move |_| {
-        if a.fetch_add(1, Ordering::SeqCst) == 0 {
-            Err("connection reset".into())
-        } else {
-            Ok(StepOutcome::virtual_time(1.0))
-        }
-    });
+    let flow = Flow::new()
+        .with_retries(2)
+        .step("flaky-transfer", &[], move |_| {
+            if a.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("connection reset".into())
+            } else {
+                Ok(StepOutcome::virtual_time(1.0))
+            }
+        });
     let report = flow.run().expect("retry should recover");
     assert_eq!(report.step("flaky-transfer").unwrap().attempts, 2);
 }

@@ -127,7 +127,10 @@ fn beamline_session_survives_restart() {
     assert!(fairdms_tensor::allclose(&out, &model_out_before, 1e-6));
 
     // Ranking is preserved up to f32 PDF storage precision.
-    let rank = ModelManager::default().rank(&zoo, &pdf_before).unwrap().ranked;
+    let rank = ModelManager::default()
+        .rank(&zoo, &pdf_before)
+        .unwrap()
+        .ranked;
     assert_eq!(rank.len(), rank_before.len());
     for ((ia, da), (ib, db)) in rank.iter().zip(&rank_before) {
         assert_eq!(ia, ib);

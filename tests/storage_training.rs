@@ -81,7 +81,10 @@ fn indexed_store_supports_concurrent_training_reads_and_updates() {
     let store = Arc::new(RemoteStore::mongo_blosc());
     store.collection().create_index("scan");
     let initial = patches(64);
-    let ids: Vec<DocId> = initial.iter().map(|p| store.put(&p.to_document())).collect();
+    let ids: Vec<DocId> = initial
+        .iter()
+        .map(|p| store.put(&p.to_document()))
+        .collect();
 
     let writer = {
         let store = Arc::clone(&store);
