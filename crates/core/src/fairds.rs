@@ -36,7 +36,7 @@ use fairdms_datastore::{Collection, DocId, Document, RawCodec};
 use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// fairDS configuration.
 #[derive(Clone, Debug)]
@@ -93,12 +93,67 @@ impl PseudoLabelStats {
     }
 }
 
+/// Per-cluster membership of the store at one revision. Cheap to build —
+/// one batched read of the `cluster` secondary index plus the id list, no
+/// document decoding — and reused by every [`SystemSnapshot`] read until
+/// the store's revision moves.
+struct MembershipIndex {
+    /// [`Collection::revision`] observed before the index was read.
+    revision: u64,
+    /// Document ids per cluster (`members[c]` for cluster `c < k`).
+    members: Vec<Vec<DocId>>,
+    /// Every document id — the fallback pool for empty clusters.
+    all_ids: Vec<DocId>,
+}
+
+/// Per-cluster cached embeddings (and labels) at one revision: one decode
+/// pass over the store, after which nearest-neighbour reads never touch
+/// (or decode) stored documents until the best match is known.
+struct EmbeddingIndex {
+    revision: u64,
+    clusters: Vec<ClusterEmbeddings>,
+}
+
+/// The embedding cache of one cluster. Rows are documents that carry an
+/// `embedding` field of the snapshot's embedding width.
+struct ClusterEmbeddings {
+    ids: Vec<DocId>,
+    /// Flattened `[rows, embed_dim]` embeddings, row-parallel to `ids`.
+    emb: Vec<f32>,
+    /// Stored label per row (`None` when the document carries none).
+    labels: Vec<Option<Vec<f32>>>,
+}
+
+impl ClusterEmbeddings {
+    /// Nearest row to `z` (Euclidean over embeddings). `labeled_only`
+    /// restricts the search to rows that carry a stored label — the
+    /// pseudo-labeling contract, where an unlabeled neighbour can never
+    /// donate a label no matter how close it sits.
+    fn nearest(&self, z: &[f32], labeled_only: bool) -> Option<(f32, usize)> {
+        let dim = z.len();
+        let mut best: Option<(f32, usize)> = None;
+        for (row, emb) in self.emb.chunks_exact(dim).enumerate() {
+            if labeled_only && self.labels[row].is_none() {
+                continue;
+            }
+            let dist = sq_dist(z, emb).sqrt();
+            if best.map(|(d, _)| dist < d).unwrap_or(true) {
+                best = Some((dist, row));
+            }
+        }
+        best
+    }
+}
+
 /// An immutable view of a fitted fairDS system plane.
 ///
 /// All methods take `&self`; a `SystemSnapshot` behind an `Arc` is safe to
-/// share across any number of reader threads with no locking. The only
-/// interior mutation is a relaxed atomic counter that derives per-call
-/// sampling seeds for [`SystemSnapshot::lookup_matching`].
+/// share across any number of reader threads with no locking on the fast
+/// path. Interior mutation is limited to a relaxed atomic counter that
+/// derives per-call sampling seeds for
+/// [`SystemSnapshot::lookup_matching`], plus two revision-keyed index
+/// caches (cluster membership, cluster embeddings) that are rebuilt at
+/// most once per store mutation and shared by every read in between.
 pub struct SystemSnapshot {
     embedder: Arc<dyn Embedder>,
     kmeans: Arc<KMeans>,
@@ -110,9 +165,119 @@ pub struct SystemSnapshot {
     /// Publication number (0 for the first trained snapshot, +1 per
     /// retrain). Lets tests and clients detect snapshot turnover.
     version: u64,
+    /// Cluster-membership index, keyed on the store revision. Seeded at
+    /// publication; refreshed when the store has changed since.
+    members_cache: RwLock<Option<Arc<MembershipIndex>>>,
+    /// Embedding cache, keyed on the store revision. Built lazily on the
+    /// first nearest-neighbour read (one decode pass over the store).
+    emb_cache: RwLock<Option<Arc<EmbeddingIndex>>>,
+}
+
+/// Cache-hit path shared by both indexes: a *shared* read lock and an
+/// `Arc` clone, so concurrent readers on an unchanged store never
+/// serialize behind each other.
+fn cache_hit<T>(
+    cache: &RwLock<Option<Arc<T>>>,
+    rev: u64,
+    rev_of: impl Fn(&T) -> u64,
+) -> Option<Arc<T>> {
+    let guard = cache.read().unwrap_or_else(|p| p.into_inner());
+    guard
+        .as_ref()
+        .filter(|idx| rev_of(idx) == rev)
+        .map(Arc::clone)
+}
+
+/// Publishes a freshly built index unless a concurrent builder already
+/// installed one that is at least as new (revisions are monotone):
+/// first build wins per revision, and a slow builder for an older
+/// revision never clobbers a newer index — that would force every
+/// subsequent reader back into a redundant rebuild.
+fn cache_install<T>(
+    cache: &RwLock<Option<Arc<T>>>,
+    built: Arc<T>,
+    rev: u64,
+    rev_of: impl Fn(&T) -> u64,
+) -> Arc<T> {
+    let mut guard = cache.write().unwrap_or_else(|p| p.into_inner());
+    if let Some(existing) = guard.as_ref() {
+        if rev_of(existing) >= rev {
+            return Arc::clone(existing);
+        }
+    }
+    *guard = Some(Arc::clone(&built));
+    built
 }
 
 impl SystemSnapshot {
+    /// The current membership index, rebuilding if the store moved on.
+    ///
+    /// The revision is read *before* the index, so a mutation racing the
+    /// build at worst tags the index with an older revision and the next
+    /// read rebuilds — a reader can observe a slightly stale membership
+    /// view (exactly as it could under per-call `find_by` queries), never
+    /// a torn one. Rebuilds run *outside* the lock: racing readers may
+    /// duplicate a build right after a mutation, but no reader ever
+    /// blocks behind another's store scan.
+    fn membership_index(&self) -> Arc<MembershipIndex> {
+        let rev = self.store.revision();
+        if let Some(idx) = cache_hit(&self.members_cache, rev, |i| i.revision) {
+            return idx;
+        }
+        let clusters: Vec<i64> = (0..self.k() as i64).collect();
+        let idx = Arc::new(MembershipIndex {
+            revision: rev,
+            members: self.store.find_by_many("cluster", &clusters),
+            all_ids: self.store.ids(),
+        });
+        cache_install(&self.members_cache, idx, rev, |i| i.revision)
+    }
+
+    /// The current embedding index, rebuilding (one decode pass over the
+    /// store) if the store moved on. Rows whose stored embedding width
+    /// differs from this snapshot's embedder (stale documents from an
+    /// earlier system plane) are excluded, mirroring the per-query width
+    /// check the uncached path applied.
+    fn embedding_index(&self) -> Arc<EmbeddingIndex> {
+        let rev = self.store.revision();
+        if let Some(idx) = cache_hit(&self.emb_cache, rev, |i| i.revision) {
+            return idx;
+        }
+        let members = self.membership_index();
+        let dim = self.embedder.embed_dim();
+        let clusters = members
+            .members
+            .iter()
+            .map(|ids| {
+                let mut cl = ClusterEmbeddings {
+                    ids: Vec::with_capacity(ids.len()),
+                    emb: Vec::with_capacity(ids.len() * dim),
+                    labels: Vec::with_capacity(ids.len()),
+                };
+                for &id in ids {
+                    let Some(doc) = self.store.get(id) else {
+                        continue;
+                    };
+                    let Some(emb) = doc.get_f32s("embedding") else {
+                        continue;
+                    };
+                    if emb.len() != dim {
+                        continue;
+                    }
+                    cl.ids.push(id);
+                    cl.emb.extend_from_slice(emb);
+                    cl.labels.push(doc.get_f32s("label").map(|l| l.to_vec()));
+                }
+                cl
+            })
+            .collect();
+        let idx = Arc::new(EmbeddingIndex {
+            revision: rev,
+            clusters,
+        });
+        cache_install(&self.emb_cache, idx, rev, |i| i.revision)
+    }
+
     /// The number of fitted clusters.
     pub fn k(&self) -> usize {
         self.kmeans.k()
@@ -157,10 +322,20 @@ impl SystemSnapshot {
     /// query). Clusters with no stored members fall back to the global
     /// pool so the requested count is always served when the store is
     /// non-empty.
+    ///
+    /// ## Complexity
+    ///
+    /// O(count) id draws against the revision-keyed membership index plus
+    /// one document decode per draw. The index itself is rebuilt at most
+    /// once per store mutation (O(store ids), no decoding), so a burst of
+    /// lookups against an unchanged store costs O(store + Σ count) — not
+    /// the O(store × count) of re-running `find_by` and cloning `ids()`
+    /// inside every draw.
     pub fn lookup_matching(&self, pdf: &[f64], count: usize) -> Vec<Document> {
         assert_eq!(pdf.len(), self.k(), "pdf length must equal k");
         let mut out = Vec::with_capacity(count);
-        if self.store.is_empty() {
+        let index = self.membership_index();
+        if index.all_ids.is_empty() {
             return out;
         }
         // Per-call RNG: the atomic sequence keeps concurrent callers on
@@ -168,13 +343,12 @@ impl SystemSnapshot {
         let draw = self.sample_seq.fetch_add(1, Ordering::Relaxed);
         let mut rng =
             TensorRng::seeded((self.cfg.seed ^ 0xDA7A).wrapping_add(draw.wrapping_mul(0x9E37)));
-        let all_ids = self.store.ids();
         let weights: Vec<f32> = pdf.iter().map(|&p| p as f32).collect();
         for _ in 0..count {
             let cluster = rng.next_weighted(&weights);
-            let ids = self.store.find_by("cluster", cluster as i64);
+            let ids = &index.members[cluster];
             let pick = if ids.is_empty() {
-                all_ids[rng.next_index(all_ids.len())]
+                index.all_ids[rng.next_index(index.all_ids.len())]
             } else {
                 ids[rng.next_index(ids.len())]
             };
@@ -226,33 +400,23 @@ impl SystemSnapshot {
 
     /// Parallel per-sample nearest-stored-label search: `(distance, label)`
     /// for each input row, `None` when its cluster holds no labeled docs.
+    ///
+    /// Served entirely from the embedding index: one decode pass per store
+    /// revision, then each sample costs O(cluster members) float
+    /// comparisons against cached embeddings — no per-sample `find_by`
+    /// queries and no per-candidate document decoding.
     fn nearest_labels_parallel(&self, images: &Tensor) -> Vec<Option<(f32, Vec<f32>)>> {
         let z = self.embedder.embed(images);
         let km = &self.kmeans;
         let n = images.shape()[0];
-        let store = &self.store;
+        let index = self.embedding_index();
         (0..n)
             .into_par_iter()
             .map(|i| {
                 let (cluster, _) = km.predict_one(z.row(i));
-                let mut best: Option<(f32, Vec<f32>)> = None;
-                for id in store.find_by("cluster", cluster as i64) {
-                    let Some(doc) = store.get(id) else { continue };
-                    let Some(emb) = doc.get_f32s("embedding") else {
-                        continue;
-                    };
-                    if emb.len() != z.row(i).len() {
-                        continue;
-                    }
-                    let dist = sq_dist(z.row(i), emb).sqrt();
-                    let better = best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true);
-                    if better {
-                        if let Some(label) = doc.get_f32s("label") {
-                            best = Some((dist, label.to_vec()));
-                        }
-                    }
-                }
-                best
+                let cl = &index.clusters[cluster];
+                let (dist, row) = cl.nearest(z.row(i), true)?;
+                Some((dist, cl.labels[row].as_ref()?.clone()))
             })
             .collect()
     }
@@ -260,31 +424,22 @@ impl SystemSnapshot {
     /// For each input sample, the nearest stored document in its cluster
     /// together with the embedding distance — the §III-E `BO` construction
     /// uses the *stored* `{p, l(p)}` pair when the distance is below the
-    /// threshold. Parallel over samples.
+    /// threshold. Parallel over samples; the candidate scan runs on cached
+    /// embeddings and only the winning document is decoded.
     pub fn nearest_labeled(&self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
         let z = self.embedder.embed(images);
         let km = &self.kmeans;
         let n = images.shape()[0];
         let store = &self.store;
+        let index = self.embedding_index();
         (0..n)
             .into_par_iter()
             .map(|i| {
                 let (cluster, _) = km.predict_one(z.row(i));
-                let mut best: Option<(f32, Document)> = None;
-                for id in store.find_by("cluster", cluster as i64) {
-                    let Some(doc) = store.get(id) else { continue };
-                    let Some(emb) = doc.get_f32s("embedding") else {
-                        continue;
-                    };
-                    if emb.len() != z.row(i).len() {
-                        continue;
-                    }
-                    let dist = sq_dist(z.row(i), emb).sqrt();
-                    if best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true) {
-                        best = Some((dist, doc));
-                    }
-                }
-                best
+                let cl = &index.clusters[cluster];
+                let (dist, row) = cl.nearest(z.row(i), false)?;
+                let doc = store.get(cl.ids[row])?;
+                Some((dist, doc))
             })
             .collect()
     }
@@ -382,18 +537,25 @@ impl FairDS {
             .unwrap_or_else(|| panic!("{op} before system training"))
     }
 
-    /// Freezes the just-fitted models into a new published snapshot.
+    /// Freezes the just-fitted models into a new published snapshot. The
+    /// membership index is seeded eagerly (publication-time, one batched
+    /// index read) so the first post-publication lookup pays nothing; the
+    /// embedding cache fills on first nearest-neighbour use.
     fn publish(&mut self, kmeans: KMeans) {
         let version = self.versions_published;
         self.versions_published += 1;
-        self.current = Some(Arc::new(SystemSnapshot {
+        let snap = Arc::new(SystemSnapshot {
             embedder: Arc::from(self.embedder.clone_embedder()),
             kmeans: Arc::new(kmeans),
             store: Arc::clone(&self.store),
             cfg: self.cfg.clone(),
             sample_seq: AtomicU64::new(0),
             version,
-        }));
+            members_cache: RwLock::new(None),
+            emb_cache: RwLock::new(None),
+        });
+        let _ = snap.membership_index();
+        self.current = Some(snap);
     }
 
     /// System-plane training (Fig 5, yellow): fits the embedding model on
@@ -442,20 +604,35 @@ impl FairDS {
 
     /// Recomputes embeddings and cluster assignments of every stored
     /// document under the currently-published system models.
+    ///
+    /// Batched: all re-indexable pixel rows are gathered into one matrix
+    /// and embedded with a single `embed` call (one forward pass over
+    /// `[N, D]`), instead of N single-row tensors through the network.
     pub fn reindex(&mut self) {
         let snap = Arc::clone(self.ready("reindex"));
-        let ids = self.store.ids();
-        for id in ids {
-            if let Some(mut doc) = self.store.get(id) {
+        let dim = snap.embedder.input_dim();
+        let mut pending: Vec<(DocId, Document)> = Vec::new();
+        let mut rows: Vec<f32> = Vec::new();
+        for id in self.store.ids() {
+            if let Some(doc) = self.store.get(id) {
                 if let Some(pixels) = doc.get_f32s("pixels") {
-                    let x = Tensor::from_vec(pixels.to_vec(), &[1, pixels.len()]);
-                    let z = snap.embedder.embed(&x);
-                    let (cluster, _) = snap.kmeans.predict_one(z.row(0));
-                    doc.set("embedding", z.row(0).to_vec());
-                    doc.set("cluster", cluster as i64);
-                    self.store.update(id, &doc);
+                    if pixels.len() == dim {
+                        rows.extend_from_slice(pixels);
+                        pending.push((id, doc));
+                    }
                 }
             }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let x = Tensor::from_vec(rows, &[pending.len(), dim]);
+        let z = snap.embedder.embed(&x);
+        let clusters = snap.kmeans.predict(&z);
+        for (row, (id, mut doc)) in pending.into_iter().enumerate() {
+            doc.set("embedding", z.row(row).to_vec());
+            doc.set("cluster", clusters[row] as i64);
+            self.store.update(id, &doc);
         }
     }
 

@@ -8,12 +8,13 @@
 //! foundation — or training from scratch when nothing in the Zoo is within
 //! the user-defined distance threshold (§II-C).
 
-use crate::jsd::jsd;
+use crate::jsd::{jsd, jsd_normalized, jsd_normalized_bounded, jsd_prenormalized, normalize_pdf};
 use crate::models::ArchSpec;
 use bytes::Bytes;
 use fairdms_datastore::{Collection, Document};
 use fairdms_nn::checkpoint;
 use fairdms_nn::layers::Sequential;
+use std::borrow::Borrow;
 use std::sync::Arc;
 
 /// One model in the Zoo.
@@ -32,14 +33,48 @@ pub struct ZooEntry {
 }
 
 /// The model Zoo: an append-only registry of trained models.
+///
+/// Entries are held as `Arc<ZooEntry>` so snapshot publication shares
+/// them structurally: freezing the registry clones entry *pointers*, never
+/// checkpoint bytes (DESIGN.md §6).
 #[derive(Default)]
 pub struct ModelZoo {
-    entries: Vec<ZooEntry>,
+    entries: Vec<Arc<ZooEntry>>,
+    /// Per-entry ranking key (normalized PDF + pivot distance), maintained
+    /// incrementally (O(PDF) per `add`) and frozen into snapshots for the
+    /// allocation-free ranking paths.
+    pdf_keys: Vec<PdfKey>,
     /// Last published snapshot, reused until the next [`ModelZoo::add`].
     /// Publication happens per *mutating service request*, so without the
-    /// cache a triggered retrain would deep-copy every checkpoint even
+    /// cache a triggered retrain would re-slice the entry list even
     /// though the zoo itself did not change.
     snapshot_cache: std::sync::Mutex<Option<ZooSnapshot>>,
+}
+
+/// Precomputed ranking key of one zoo entry: its training PDF normalized
+/// once at registration (so ranking never re-normalizes or allocates per
+/// entry), plus its √JSD to the uniform pivot for triangle-inequality
+/// pruning. Cloning is pointer work — the normalized PDF is shared.
+#[derive(Clone)]
+struct PdfKey {
+    norm: Arc<[f64]>,
+    pivot_dist: f64,
+}
+
+impl PdfKey {
+    fn of(pdf: &[f64]) -> Self {
+        let norm: Arc<[f64]> = Arc::from(normalize_pdf(pdf));
+        let pivot_dist = uniform_pivot_dist(&norm);
+        PdfKey { norm, pivot_dist }
+    }
+}
+
+/// √JSD of a PDF to the uniform distribution of its length — the shared
+/// pivot of the triangle-inequality pruning (entries and queries of equal
+/// length are measured against the same uniform reference).
+fn uniform_pivot_dist(pdf: &[f64]) -> f64 {
+    let u = vec![1.0 / pdf.len() as f64; pdf.len()];
+    jsd(pdf, &u).sqrt()
 }
 
 impl ModelZoo {
@@ -50,10 +85,21 @@ impl ModelZoo {
 
     /// Registers a trained model, returning its zoo id.
     pub fn add(&mut self, entry: ZooEntry) -> usize {
+        self.add_shared(Arc::new(entry))
+    }
+
+    /// Registers an already-shared entry (no copy), returning its zoo id.
+    /// Panics when the entry's PDF is empty or carries no valid
+    /// probability mass (negative/non-finite entries, zero sum) — the
+    /// same contract [`crate::jsd::jsd`] would otherwise enforce at
+    /// ranking time, moved to registration so one bad entry cannot break
+    /// every later recommendation.
+    pub fn add_shared(&mut self, entry: Arc<ZooEntry>) -> usize {
         assert!(
             !entry.train_pdf.is_empty(),
             "zoo entries must carry a training-data PDF"
         );
+        self.pdf_keys.push(PdfKey::of(&entry.train_pdf));
         self.entries.push(entry);
         *self
             .snapshot_cache
@@ -92,11 +138,11 @@ impl ModelZoo {
 
     /// Entry by id.
     pub fn get(&self, id: usize) -> Option<&ZooEntry> {
-        self.entries.get(id)
+        self.entries.get(id).map(|e| e.as_ref())
     }
 
-    /// All entries.
-    pub fn entries(&self) -> &[ZooEntry] {
+    /// All entries (shared allocations).
+    pub fn entries(&self) -> &[Arc<ZooEntry>] {
         &self.entries
     }
 
@@ -106,10 +152,15 @@ impl ModelZoo {
     }
 
     /// Freezes the current registry into an immutable, shareable snapshot
-    /// (deep copy of the entries; the registry can keep growing while
-    /// readers rank against the frozen view — DESIGN.md §6). The copy is
-    /// taken at most once per mutation: repeat calls between `add`s hand
-    /// back the cached `Arc`.
+    /// (the registry can keep growing while readers rank against the
+    /// frozen view — DESIGN.md §6).
+    ///
+    /// Publication is O(changed state), not O(total zoo bytes): the
+    /// snapshot shares every `Arc<ZooEntry>` with the registry, so
+    /// freezing copies entry *pointers* and pivot scalars only — zero
+    /// checkpoint bytes, regardless of how many models are resident. The
+    /// pointer slice itself is built at most once per mutation: repeat
+    /// calls between `add`s hand back the cached snapshot.
     pub fn snapshot(&self) -> ZooSnapshot {
         let mut cache = self
             .snapshot_cache
@@ -118,6 +169,7 @@ impl ModelZoo {
         cache
             .get_or_insert_with(|| ZooSnapshot {
                 entries: Arc::from(self.entries.as_slice()),
+                pdf_keys: Arc::from(self.pdf_keys.as_slice()),
             })
             .clone()
     }
@@ -135,9 +187,22 @@ fn instantiate_entry(entry: &ZooEntry, seed: u64) -> Option<Sequential> {
 /// Cheaply clonable (`Arc`-backed); every method takes `&self`, so a
 /// snapshot can serve `Recommend` / `FetchModel` from any number of reader
 /// threads while the live [`ModelZoo`] keeps registering models.
+///
+/// ## Complexity
+///
+/// Entries are structurally shared `Arc<ZooEntry>`s: cloning a snapshot
+/// (or publishing a successor that reuses unchanged entries) never copies
+/// checkpoint bytes. [`ZooSnapshot::rank`] is O(n·d + n log n) over n
+/// compatible entries with d-bin PDFs; [`ZooSnapshot::rank_top_k`] orders
+/// candidates by a precomputed pivot bound and stops as soon as the
+/// triangle inequality proves the remaining entries cannot enter the
+/// top k, so it degrades to the full scan only in the worst case.
 #[derive(Clone)]
 pub struct ZooSnapshot {
-    entries: Arc<[ZooEntry]>,
+    entries: Arc<[Arc<ZooEntry>]>,
+    /// Per-entry ranking keys (normalized PDF + pivot distance), computed
+    /// incrementally at registration and frozen here.
+    pdf_keys: Arc<[PdfKey]>,
 }
 
 impl ZooSnapshot {
@@ -145,6 +210,7 @@ impl ZooSnapshot {
     pub fn empty() -> Self {
         ZooSnapshot {
             entries: Arc::from(Vec::new()),
+            pdf_keys: Arc::from(Vec::new()),
         }
     }
 
@@ -160,11 +226,12 @@ impl ZooSnapshot {
 
     /// Entry by id.
     pub fn get(&self, id: usize) -> Option<&ZooEntry> {
-        self.entries.get(id)
+        self.entries.get(id).map(|e| e.as_ref())
     }
 
-    /// All entries.
-    pub fn entries(&self) -> &[ZooEntry] {
+    /// All entries (shared allocations — compare with `Arc::ptr_eq` to
+    /// verify zero-copy republication).
+    pub fn entries(&self) -> &[Arc<ZooEntry>] {
         &self.entries
     }
 
@@ -172,6 +239,104 @@ impl ZooSnapshot {
     pub fn instantiate(&self, id: usize, seed: u64) -> Option<Sequential> {
         instantiate_entry(self.entries.get(id)?, seed)
     }
+
+    /// Full JSD ranking of every compatible entry, ascending. `None` when
+    /// no entry matches the input PDF's length.
+    ///
+    /// Served from the registration-time keys: the query is normalized
+    /// once and every entry's PDF was normalized when it was registered,
+    /// so each divergence is a pure O(d) kernel with no per-entry
+    /// allocation.
+    pub fn rank(&self, input_pdf: &[f64]) -> Option<Recommendation> {
+        let candidates: Vec<usize> = (0..self.pdf_keys.len())
+            .filter(|&i| self.pdf_keys[i].norm.len() == input_pdf.len())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let query = normalize_pdf(input_pdf);
+        let mut ranked: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|i| (i, jsd_normalized(&query, &self.pdf_keys[i].norm)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        Some(Recommendation { ranked })
+    }
+
+    /// Partial ranking: the `k` lowest-divergence entries, ascending —
+    /// what [`ZooSnapshot::rank`] would return truncated to `k`, computed
+    /// without sorting (and mostly without fully scoring) the whole zoo.
+    ///
+    /// Two prunes make this sublinear in divergence evaluations:
+    ///
+    /// * **Pivot bound.** Every entry was indexed with its √JSD to the
+    ///   uniform PDF, so by the metric's triangle inequality
+    ///   `|d(q, U) − d(e, U)| ≤ d(q, e)`: one subtraction rules an entry
+    ///   out of the current top-k without touching its PDF.
+    /// * **Early abandonment.** Per-bin JS contributions are
+    ///   non-negative, so [`jsd_normalized_bounded`] stops summing the
+    ///   moment the partial divergence reaches the current k-th best.
+    pub fn rank_top_k(&self, input_pdf: &[f64], k: usize) -> Option<Recommendation> {
+        if k == 0 {
+            return None;
+        }
+        // Compatibility first: a query no entry matches must return None
+        // without validating the query, like the full-ranking path.
+        if !self
+            .pdf_keys
+            .iter()
+            .any(|key| key.norm.len() == input_pdf.len())
+        {
+            return None;
+        }
+        let query = normalize_pdf(input_pdf);
+        let dq = uniform_pivot_dist(&query);
+        // `ranked` holds the running top-k, ascending by divergence.
+        let mut ranked: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        for (i, key) in self.pdf_keys.iter().enumerate() {
+            if key.norm.len() != query.len() {
+                continue;
+            }
+            let worst = if ranked.len() == k {
+                let worst = ranked[k - 1].1;
+                // Triangle-inequality skip: bound² ≤ jsd(q, e).
+                let bound = (key.pivot_dist - dq).abs();
+                if bound * bound >= worst {
+                    continue;
+                }
+                worst
+            } else {
+                f64::INFINITY
+            };
+            let Some(div) = jsd_normalized_bounded(&query, &key.norm, worst) else {
+                continue; // abandoned: provably not in the top k
+            };
+            let pos = ranked.partition_point(|&(_, d)| d <= div);
+            if pos < k {
+                ranked.insert(pos, (i, div));
+                ranked.truncate(k);
+            }
+        }
+        Some(Recommendation { ranked })
+    }
+}
+
+/// Full JSD ranking over any entry slice (owned, borrowed, or
+/// `Arc`-shared), normalizing the query once.
+fn rank_slice<E: Borrow<ZooEntry>>(entries: &[E], input_pdf: &[f64]) -> Option<Recommendation> {
+    let candidates: Vec<usize> = (0..entries.len())
+        .filter(|&i| entries[i].borrow().train_pdf.len() == input_pdf.len())
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let query = normalize_pdf(input_pdf);
+    let mut ranked: Vec<(usize, f64)> = candidates
+        .into_iter()
+        .map(|i| (i, jsd_prenormalized(&query, &entries[i].borrow().train_pdf)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Some(Recommendation { ranked })
 }
 
 impl ZooEntry {
@@ -232,7 +397,10 @@ impl ModelZoo {
 
     /// Rebuilds a zoo from a collection written by
     /// [`ModelZoo::save_to_collection`]. Entries are restored in `zoo_id`
-    /// order so ids are preserved; malformed documents are skipped.
+    /// order so ids are preserved; malformed documents — including ones
+    /// whose persisted PDF carries no valid probability mass (possible in
+    /// stores written before registration validated mass) — are skipped
+    /// rather than aborting the restore.
     pub fn load_from_collection(coll: &Collection) -> ModelZoo {
         let mut entries: Vec<(i64, ZooEntry)> = coll
             .ids()
@@ -240,14 +408,16 @@ impl ModelZoo {
             .filter_map(|id| {
                 let doc = coll.get(id)?;
                 let zoo_id = doc.get_i64("zoo_id")?;
-                Some((zoo_id, ZooEntry::from_document(&doc)?))
+                let entry = ZooEntry::from_document(&doc)?;
+                crate::jsd::is_valid_pdf_mass(&entry.train_pdf).then_some((zoo_id, entry))
             })
             .collect();
         entries.sort_by_key(|(id, _)| *id);
-        ModelZoo {
-            entries: entries.into_iter().map(|(_, e)| e).collect(),
-            snapshot_cache: std::sync::Mutex::new(None),
+        let mut zoo = ModelZoo::new();
+        for (_, entry) in entries {
+            zoo.add(entry);
         }
+        zoo
     }
 }
 
@@ -304,13 +474,21 @@ impl Default for ModelManager {
 }
 
 impl ModelManager {
-    /// A manager with an explicit threshold.
+    /// A manager with an explicit threshold. Panics outside `[0, 1]`; use
+    /// [`ModelManager::try_new`] where unwinding is unacceptable (e.g. on
+    /// a read worker).
     pub fn new(distance_threshold: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&distance_threshold),
-            "JSD threshold must be in [0, 1]"
-        );
-        ModelManager { distance_threshold }
+        Self::try_new(distance_threshold).expect("JSD threshold must be in [0, 1]")
+    }
+
+    /// Fallible [`ModelManager::new`]: `None` when the threshold is
+    /// outside `[0, 1]` (JSD's range) or not finite.
+    pub fn try_new(distance_threshold: f64) -> Option<Self> {
+        if (0.0..=1.0).contains(&distance_threshold) {
+            Some(ModelManager { distance_threshold })
+        } else {
+            None
+        }
     }
 
     /// Ranks every zoo entry by JSD to `input_pdf`. Returns `None` when
@@ -321,19 +499,14 @@ impl ModelManager {
     }
 
     /// [`ModelManager::rank`] over a bare entry slice — the form the
-    /// read plane uses to rank against a [`ZooSnapshot`].
-    pub fn rank_entries(&self, entries: &[ZooEntry], input_pdf: &[f64]) -> Option<Recommendation> {
-        let mut ranked: Vec<(usize, f64)> = entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.train_pdf.len() == input_pdf.len())
-            .map(|(i, e)| (i, jsd(input_pdf, &e.train_pdf)))
-            .collect();
-        if ranked.is_empty() {
-            return None;
-        }
-        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-        Some(Recommendation { ranked })
+    /// read plane uses to rank against a [`ZooSnapshot`]. The query PDF
+    /// is normalized once, not once per entry.
+    pub fn rank_entries<E: Borrow<ZooEntry>>(
+        &self,
+        entries: &[E],
+        input_pdf: &[f64],
+    ) -> Option<Recommendation> {
+        rank_slice(entries, input_pdf)
     }
 
     /// The full decision: fine-tune the best entry when it is within the
@@ -343,7 +516,11 @@ impl ModelManager {
     }
 
     /// [`ModelManager::decide`] over a bare entry slice.
-    pub fn decide_entries(&self, entries: &[ZooEntry], input_pdf: &[f64]) -> ModelDecision {
+    pub fn decide_entries<E: Borrow<ZooEntry>>(
+        &self,
+        entries: &[E],
+        input_pdf: &[f64],
+    ) -> ModelDecision {
         match self.rank_entries(entries, input_pdf) {
             Some(rec) => {
                 let (zoo_id, divergence) = rec.best();
@@ -516,6 +693,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_mass_persisted_pdfs_are_skipped_on_restore() {
+        // Stores written before registration validated PDF mass may carry
+        // entries whose PDF sums to zero; restoring must skip them (like
+        // any other malformed document), not abort the whole load.
+        use fairdms_datastore::RawCodec;
+        use std::sync::Arc;
+        let coll = Collection::new("zoo", Arc::new(RawCodec));
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("good", vec![0.6, 0.4], 0));
+        zoo.save_to_collection(&coll);
+        let mut legacy = bragg_entry("zero-mass", vec![0.5, 0.5], 1).to_document(1);
+        legacy.set("train_pdf", vec![0.0f32, 0.0]);
+        coll.insert(&legacy);
+        let restored = ModelZoo::load_from_collection(&coll);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.get(0).unwrap().name, "good");
+    }
+
+    #[test]
     fn zoo_snapshot_is_frozen_while_registry_grows() {
         let mut zoo = ModelZoo::new();
         zoo.add(bragg_entry("a", vec![0.9, 0.1], 0));
@@ -541,5 +737,133 @@ mod tests {
         let mut doc = bragg_entry("x", vec![1.0], 0).to_document(0);
         doc.set("arch", "NotANetwork");
         assert!(ZooEntry::from_document(&doc).is_none());
+    }
+
+    #[test]
+    fn republication_shares_unchanged_entry_allocations() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("a", vec![0.9, 0.1], 0));
+        zoo.add(bragg_entry("b", vec![0.1, 0.9], 1));
+        let snap1 = zoo.snapshot();
+        // A publication after a new registration reuses every unchanged
+        // Arc<ZooEntry> — zero checkpoint bytes copied.
+        zoo.add(bragg_entry("c", vec![0.5, 0.5], 2));
+        let snap2 = zoo.snapshot();
+        assert_eq!(snap2.len(), 3);
+        for i in 0..snap1.len() {
+            assert!(
+                Arc::ptr_eq(&snap1.entries()[i], &snap2.entries()[i]),
+                "entry {i} must be structurally shared across publications"
+            );
+            assert!(
+                Arc::ptr_eq(&snap2.entries()[i], &zoo.entries()[i]),
+                "entry {i} must be shared with the live registry"
+            );
+        }
+        // Republication with no zoo change hands back the cached snapshot.
+        let snap3 = zoo.snapshot();
+        assert!(Arc::ptr_eq(&snap2.entries()[2], &snap3.entries()[2]));
+    }
+
+    #[test]
+    fn top_k_agrees_with_full_ranking_prefix() {
+        let mut zoo = ModelZoo::new();
+        let mut rng = TensorRng::seeded(77);
+        for i in 0..64 {
+            let pdf: Vec<f64> = (0..8).map(|_| rng.next_uniform(0.01, 1.0) as f64).collect();
+            zoo.add(bragg_entry(&format!("m{i}"), pdf, i));
+        }
+        let snap = zoo.snapshot();
+        let query: Vec<f64> = (0..8).map(|_| rng.next_uniform(0.01, 1.0) as f64).collect();
+        let full = snap.rank(&query).unwrap().ranked;
+        for k in [1, 3, 8, 64, 100] {
+            let top = snap.rank_top_k(&query, k).unwrap().ranked;
+            assert_eq!(top.len(), k.min(full.len()));
+            for (a, b) in top.iter().zip(&full) {
+                assert!(
+                    (a.1 - b.1).abs() < 1e-12,
+                    "top-{k} divergences must match the full ranking prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_skips_incompatible_lengths_and_empty_requests() {
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("k2", vec![0.5, 0.5], 0));
+        zoo.add(bragg_entry("k3", vec![0.3, 0.3, 0.4], 1));
+        let snap = zoo.snapshot();
+        let top = snap.rank_top_k(&[0.2, 0.3, 0.5], 5).unwrap();
+        assert_eq!(top.ranked.len(), 1);
+        assert_eq!(top.best().0, 1);
+        assert!(snap.rank_top_k(&[0.2, 0.3, 0.5], 0).is_none());
+        assert!(snap.rank_top_k(&[0.25; 4], 2).is_none());
+        assert!(ZooSnapshot::empty().rank_top_k(&[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_thresholds() {
+        assert!(ModelManager::try_new(0.0).is_some());
+        assert!(ModelManager::try_new(1.0).is_some());
+        assert!(ModelManager::try_new(-0.1).is_none());
+        assert!(ModelManager::try_new(1.7).is_none());
+        assert!(ModelManager::try_new(f64::NAN).is_none());
+    }
+}
+
+#[cfg(test)]
+mod top_k_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(pdf: Vec<f64>, i: usize) -> ZooEntry {
+        ZooEntry {
+            name: format!("m{i}"),
+            arch: ArchSpec::BraggNN { patch: 15 },
+            checkpoint: Vec::new(),
+            train_pdf: pdf,
+            scan: i,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn top_k_is_the_full_rankings_first_k(
+            masses in proptest::collection::vec(0.01f64..1.0, 2..120),
+            qmass in proptest::collection::vec(0.01f64..1.0, 5usize),
+            k in 1usize..12,
+        ) {
+            let d = 5usize;
+            let mut zoo = ModelZoo::new();
+            for (i, chunk) in masses.chunks(d).enumerate() {
+                if chunk.len() == d {
+                    zoo.add(entry(chunk.to_vec(), i));
+                }
+            }
+            prop_assume!(!zoo.is_empty());
+            let snap = zoo.snapshot();
+            let full = snap.rank(&qmass).unwrap().ranked;
+            let top = snap.rank_top_k(&qmass, k).unwrap().ranked;
+            prop_assert_eq!(top.len(), k.min(full.len()));
+            for (j, ((tid, tdiv), (fid, fdiv))) in top.iter().zip(&full).enumerate() {
+                prop_assert!(
+                    (tdiv - fdiv).abs() < 1e-12,
+                    "position {}: top-k divergence {} != full {}", j, tdiv, fdiv
+                );
+                // Ids must match wherever the divergence is strictly
+                // distinct from its neighbours (ties may permute).
+                let tied = full.iter().filter(|(_, dv)| (dv - fdiv).abs() < 1e-12).count();
+                if tied == 1 {
+                    prop_assert_eq!(tid, fid);
+                }
+            }
+            // Ascending order.
+            for w in top.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1 + 1e-15);
+            }
+        }
     }
 }

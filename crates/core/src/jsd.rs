@@ -14,6 +14,17 @@
 /// Panics when lengths differ, either input sums to zero, or any entry is
 /// negative.
 pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
+    assert!(!p.is_empty(), "jsd: empty distributions");
+    jsd_prenormalized(&normalize(p), q)
+}
+
+/// [`jsd`] against a query that is already normalized (sums to 1).
+///
+/// Ranking a zoo of `n` entries against one query normalizes the query
+/// once with [`normalize_pdf`] and calls this per entry, instead of
+/// re-normalizing (and re-allocating) the query `n` times inside [`jsd`].
+/// Only `q` is renormalized defensively; `p` is trusted as-is.
+pub fn jsd_prenormalized(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(
         p.len(),
         q.len(),
@@ -22,7 +33,7 @@ pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
         q.len()
     );
     assert!(!p.is_empty(), "jsd: empty distributions");
-    let (p, q) = (normalize(p), normalize(q));
+    let q = normalize(q);
     let mut acc = 0.0f64;
     for (&pi, &qi) in p.iter().zip(&q) {
         let mi = 0.5 * (pi + qi);
@@ -30,6 +41,58 @@ pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
     }
     // Clamp float residue into the theoretical range.
     acc.clamp(0.0, 1.0)
+}
+
+/// [`jsd`] between two *already normalized* PDFs: the allocation-free
+/// kernel ranking paths use once both sides are prepared with
+/// [`normalize_pdf`].
+pub fn jsd_normalized(p: &[f64], q: &[f64]) -> f64 {
+    jsd_normalized_bounded(p, q, f64::INFINITY).expect("infinite limit never abandons")
+}
+
+/// [`jsd_normalized`] with early abandonment: returns `None` as soon as
+/// the partial sum reaches `limit`.
+///
+/// Valid because each bin's contribution to the Jensen–Shannon divergence
+/// is non-negative (per bin it equals `(pᵢ+qᵢ)·(1 − H₂(pᵢ/(pᵢ+qᵢ)))/2 ≥ 0`
+/// in base-2), so the running sum only grows: a prefix that already
+/// reaches `limit` proves the full divergence would too. Top-k ranking
+/// passes the current k-th best divergence as `limit` and skips the tail
+/// of every entry that cannot place.
+pub fn jsd_normalized_bounded(p: &[f64], q: &[f64], limit: f64) -> Option<f64> {
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "jsd: length mismatch {} vs {}",
+        p.len(),
+        q.len()
+    );
+    assert!(!p.is_empty(), "jsd: empty distributions");
+    let mut acc = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let mi = 0.5 * (pi + qi);
+        acc += 0.5 * xlog2x_ratio(pi, mi) + 0.5 * xlog2x_ratio(qi, mi);
+        if acc >= limit {
+            return None;
+        }
+    }
+    Some(acc.clamp(0.0, 1.0))
+}
+
+/// Normalizes a non-negative mass vector into a PDF (sums to 1). Panics on
+/// negative/non-finite entries or zero total mass — the same input
+/// contract [`jsd`] enforces.
+pub fn normalize_pdf(x: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty(), "jsd: empty distributions");
+    normalize(x)
+}
+
+/// Whether a slice is acceptable PDF mass: non-empty, finite,
+/// non-negative, with positive total. The read plane validates client
+/// PDFs with this instead of letting [`jsd`]'s assertions unwind a
+/// worker thread.
+pub fn is_valid_pdf_mass(x: &[f64]) -> bool {
+    !x.is_empty() && x.iter().all(|&v| v >= 0.0 && v.is_finite()) && x.iter().sum::<f64>() > 0.0
 }
 
 /// The square root of the JSD — a true metric (satisfies the triangle
@@ -125,6 +188,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prenormalized_query_agrees_with_full_jsd() {
+        let q = vec![3.0, 1.0, 2.0]; // unnormalized on purpose
+        let qn = normalize_pdf(&q);
+        for e in [
+            vec![0.2, 0.3, 0.5],
+            vec![1.0, 0.0, 0.0],
+            vec![2.0, 2.0, 2.0],
+        ] {
+            assert!((jsd_prenormalized(&qn, &e) - jsd(&q, &e)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn bounded_kernel_matches_and_abandons() {
+        let p = normalize_pdf(&[0.7, 0.2, 0.1]);
+        let q = normalize_pdf(&[0.1, 0.3, 0.6]);
+        let full = jsd(&p, &q);
+        assert!((jsd_normalized(&p, &q) - full).abs() < 1e-12);
+        // A limit above the true divergence completes…
+        assert!(jsd_normalized_bounded(&p, &q, full + 1e-9).is_some());
+        // …a limit at or below it abandons.
+        assert_eq!(jsd_normalized_bounded(&p, &q, full * 0.5), None);
+        assert_eq!(jsd_normalized_bounded(&p, &q, 0.0), None);
+    }
+
+    #[test]
+    fn pdf_mass_validation_matches_jsd_contract() {
+        assert!(is_valid_pdf_mass(&[0.5, 0.5]));
+        assert!(is_valid_pdf_mass(&[2.0, 0.0])); // unnormalized is fine
+        assert!(!is_valid_pdf_mass(&[]));
+        assert!(!is_valid_pdf_mass(&[0.0, 0.0]));
+        assert!(!is_valid_pdf_mass(&[-0.1, 1.1]));
+        assert!(!is_valid_pdf_mass(&[f64::NAN, 1.0]));
+        assert!(!is_valid_pdf_mass(&[f64::INFINITY, 1.0]));
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct Collection {
     shards: Vec<RwLock<Shard>>,
     indexes: RwLock<Vec<Index>>,
     next_id: AtomicU64,
+    /// Bumped on every insert/update/delete. Readers key derived caches
+    /// (e.g. fairDS's cluster-membership index) on this so they rebuild
+    /// exactly once per store change instead of re-querying per call.
+    revision: AtomicU64,
 }
 
 impl std::fmt::Debug for Collection {
@@ -68,7 +72,21 @@ impl Collection {
             shards,
             indexes: RwLock::new(Vec::new()),
             next_id: AtomicU64::new(0),
+            revision: AtomicU64::new(0),
         }
+    }
+
+    /// Monotone mutation counter: changes whenever a document is inserted,
+    /// updated, or deleted. Equal revisions observed before and after a
+    /// derived computation guarantee the computation saw a stable set of
+    /// documents (publish with `Release`, read with `Acquire`).
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn bump_revision(&self) {
+        self.revision.fetch_add(1, Ordering::Release);
     }
 
     /// Collection name.
@@ -98,6 +116,8 @@ impl Collection {
                 index.map.entry(v).or_default().insert(id);
             }
         }
+        drop(indexes);
+        self.bump_revision();
         id
     }
 
@@ -145,6 +165,8 @@ impl Collection {
                 }
             }
         }
+        drop(indexes);
+        self.bump_revision();
         true
     }
 
@@ -163,6 +185,8 @@ impl Collection {
                 }
             }
         }
+        drop(indexes);
+        self.bump_revision();
         true
     }
 
@@ -217,6 +241,7 @@ impl Collection {
     /// [`Collection::create_index`] afterwards).
     pub(crate) fn insert_raw_with_id(&self, id: DocId, payload: Bytes) {
         self.shard_of(id).write().docs.insert(id, payload);
+        self.bump_revision();
     }
 
     /// Forces the id counter (snapshot restore path).
@@ -263,6 +288,46 @@ impl Collection {
             }
         }
         self.scan(|doc| doc.get_i64(field) == Some(value))
+    }
+
+    /// Batched [`Collection::find_by`]: the id lists of every `value`, in
+    /// order, from a single traversal of the index (one read-lock
+    /// acquisition instead of one per value). Without an index on `field`
+    /// the whole batch is answered from **one** full scan, not
+    /// `values.len()` of them.
+    pub fn find_by_many(&self, field: &str, values: &[i64]) -> Vec<Vec<DocId>> {
+        {
+            let indexes = self.indexes.read();
+            if let Some(index) = indexes.iter().find(|i| i.field == field) {
+                return values
+                    .iter()
+                    .map(|v| {
+                        index
+                            .map
+                            .get(v)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default()
+                    })
+                    .collect();
+            }
+        }
+        let mut positions: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, &v) in values.iter().enumerate() {
+            positions.entry(v).or_default().push(i);
+        }
+        let mut out = vec![Vec::new(); values.len()];
+        for id in self.ids() {
+            if let Some(doc) = self.get(id) {
+                if let Some(v) = doc.get_i64(field) {
+                    if let Some(slots) = positions.get(&v) {
+                        for &slot in slots {
+                            out[slot].push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Full scan with a decoded-document predicate; returns matching ids in
@@ -476,6 +541,45 @@ mod tests {
         assert!(store.drop_collection("a"));
         assert!(!store.drop_collection("a"));
         assert_eq!(store.collection_names(), vec!["b"]);
+    }
+
+    #[test]
+    fn find_by_many_matches_individual_lookups() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        for i in 0..60 {
+            coll.insert(&doc(i % 5, i));
+        }
+        let values: Vec<i64> = vec![0, 3, 99, 3]; // misses and repeats
+                                                  // Unindexed: answered from one scan.
+        let scanned = coll.find_by_many("cluster", &values);
+        coll.create_index("cluster");
+        let indexed = coll.find_by_many("cluster", &values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(scanned[i], coll.find_by("cluster", v), "value {v}");
+            assert_eq!(indexed[i], coll.find_by("cluster", v), "value {v}");
+        }
+        assert!(indexed[2].is_empty());
+        assert_eq!(indexed[1], indexed[3]);
+    }
+
+    #[test]
+    fn revision_tracks_every_mutation() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        let r0 = coll.revision();
+        let id = coll.insert(&doc(1, 0));
+        let r1 = coll.revision();
+        assert!(r1 > r0, "insert must bump the revision");
+        assert!(coll.update(id, &doc(2, 0)));
+        let r2 = coll.revision();
+        assert!(r2 > r1, "update must bump the revision");
+        assert!(coll.delete(id));
+        let r3 = coll.revision();
+        assert!(r3 > r2, "delete must bump the revision");
+        // Failed mutations and reads leave it unchanged.
+        assert!(!coll.delete(id));
+        assert!(!coll.update(id, &doc(0, 0)));
+        let _ = coll.find_by("cluster", 1);
+        assert_eq!(coll.revision(), r3);
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub enum Request {
     Recommend {
         /// Input dataset PDF.
         pdf: Vec<f64>,
+        /// `Some(k)` returns only the `k` lowest-divergence entries via
+        /// the snapshot's partial-ranking path (pruned by the √JSD
+        /// triangle inequality); `None` ranks the whole zoo.
+        top_k: Option<usize>,
     },
     /// Full rapid-model-update (pseudo-label → recommend → train →
     /// register). Returns the new checkpoint and the timing report.
@@ -239,7 +243,10 @@ mod tests {
     fn op_names_are_distinct() {
         let reqs = [
             Request::Metrics,
-            Request::Recommend { pdf: vec![] },
+            Request::Recommend {
+                pdf: vec![],
+                top_k: None,
+            },
             Request::FetchModel { zoo_id: 0 },
             Request::LookupMatching {
                 pdf: vec![],

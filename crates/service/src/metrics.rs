@@ -142,7 +142,15 @@ pub struct Metrics {
     ops: [OpStats; OPS.len()],
     /// Certainty-triggered system-plane retrains.
     pub system_retrains: AtomicU64,
-    /// Admission-queue-full events (the client blocked under backpressure).
+    /// Admission-queue-full events where the client *blocked* until the
+    /// queue drained and the request then proceeded normally. Healthy
+    /// backpressure, not failure — dashboards alerting on request loss
+    /// should watch [`Metrics::rejected`] instead. (Before this split the
+    /// two were conflated under `rejected`.)
+    pub backpressure_waits: AtomicU64,
+    /// Requests that actually failed admission: the target plane's channel
+    /// was disconnected (server shut down or its worker died), so the
+    /// client observed `Unavailable`.
     pub rejected: AtomicU64,
 }
 
@@ -170,6 +178,7 @@ impl Metrics {
                 .map(|&name| (name, self.op(name).snapshot()))
                 .collect(),
             system_retrains: self.system_retrains.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
@@ -182,7 +191,11 @@ pub struct MetricsSnapshot {
     pub ops: Vec<(&'static str, OpSnapshot)>,
     /// Certainty-triggered system retrains so far.
     pub system_retrains: u64,
-    /// Admission rejections so far.
+    /// Queue-full blocks where the request still succeeded (healthy
+    /// backpressure).
+    pub backpressure_waits: u64,
+    /// Requests refused with `Unavailable` because the admission channel
+    /// was disconnected.
     pub rejected: u64,
 }
 

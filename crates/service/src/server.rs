@@ -33,7 +33,7 @@ use crate::swap::SnapshotCell;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use fairdms_core::embedding::EmbedTrainConfig;
 use fairdms_core::fairds::SystemSnapshot;
-use fairdms_core::fairms::{ModelDecision, ModelManager, ZooSnapshot};
+use fairdms_core::fairms::{ModelManager, ZooSnapshot};
 use fairdms_core::workflow::RapidTrainer;
 use fairdms_core::ZooEntry;
 use fairdms_nn::checkpoint;
@@ -111,7 +111,12 @@ pub struct ServiceView {
     pub system: Option<Arc<SystemSnapshot>>,
     /// Frozen Zoo index.
     pub zoo: ZooSnapshot,
-    /// Recommendation policy frozen alongside the index.
+    /// Recommendation policy frozen alongside the index. Taken verbatim
+    /// from the trainer's (publicly mutable) `ModelManager`; the read
+    /// plane re-validates it per `Recommend` and answers
+    /// [`ServiceError::Invalid`] when it is outside `[0, 1]` — an
+    /// out-of-range trainer configuration must degrade one operation, not
+    /// unwind (and poison) a read worker.
     pub distance_threshold: f64,
 }
 
@@ -353,19 +358,36 @@ fn handle_read(view: &ServiceView, metrics: &Metrics, req: Request) -> ServiceRe
             validate_image_dim(&images, sys)?;
             Ok(Reply::Certainty(sys.certainty(&images)))
         }
-        Request::Recommend { pdf } => {
-            if pdf.is_empty() {
-                return Err(ServiceError::Invalid("empty pdf".into()));
+        Request::Recommend { pdf, top_k } => {
+            // Validate instead of asserting: a panic here would poison the
+            // whole read plane (see `ModelManager::new` / `jsd`'s input
+            // assertions), turning one bad request or one misconfigured
+            // trainer into a dead service.
+            if !fairdms_core::jsd::is_valid_pdf_mass(&pdf) {
+                return Err(ServiceError::Invalid(
+                    "pdf must be non-empty, finite, non-negative mass with a positive sum".into(),
+                ));
             }
-            let manager = ModelManager::new(view.distance_threshold);
-            let ranked = manager
-                .rank_entries(view.zoo.entries(), &pdf)
-                .map(|r| r.ranked)
-                .unwrap_or_default();
-            let fine_tunable = matches!(
-                manager.decide_entries(view.zoo.entries(), &pdf),
-                ModelDecision::FineTune { .. }
-            );
+            let Some(manager) = ModelManager::try_new(view.distance_threshold) else {
+                return Err(ServiceError::Invalid(format!(
+                    "configured distance threshold {} outside [0, 1]",
+                    view.distance_threshold
+                )));
+            };
+            if top_k == Some(0) {
+                return Err(ServiceError::Invalid("top_k must be at least 1".into()));
+            }
+            let recommendation = match top_k {
+                Some(k) => view.zoo.rank_top_k(&pdf, k),
+                None => view.zoo.rank(&pdf),
+            };
+            let ranked = recommendation.map(|r| r.ranked).unwrap_or_default();
+            // One ranking pass decides both fields: the best entry is the
+            // ascending head whichever path produced it.
+            let fine_tunable = ranked
+                .first()
+                .map(|&(_, div)| div <= manager.distance_threshold)
+                .unwrap_or(false);
             Ok(Reply::Ranked(RankedModels {
                 ranked,
                 fine_tunable,
@@ -563,8 +585,15 @@ fn handle_write(
             pdf,
             scan,
         } => {
-            if pdf.is_empty() {
-                return Err(ServiceError::Invalid("empty pdf".into()));
+            // Full mass validation, not just non-emptiness: registration
+            // normalizes the PDF into the ranking index
+            // (`ModelZoo::add_shared`), whose assertions would otherwise
+            // unwind the actor — and an actor panic poisons the whole
+            // service.
+            if !fairdms_core::jsd::is_valid_pdf_mass(&pdf) {
+                return Err(ServiceError::Invalid(
+                    "pdf must be non-empty, finite, non-negative mass with a positive sum".into(),
+                ));
             }
             let arch = trainer.config().arch;
             let zoo_id = trainer.zoo.add(ZooEntry {
@@ -606,13 +635,23 @@ impl DmsClient {
             Ok(()) => {}
             Err(TrySendError::Full(env)) => {
                 // Backpressure: block rather than reject when the queue is
-                // merely full; reject only on disconnect.
-                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                // merely full; reject only on disconnect. The block is
+                // healthy flow control (`backpressure_waits`, counted only
+                // once the blocked request is actually admitted); a failed
+                // admission counts solely as `rejected`.
                 if tx.send(env).is_err() {
+                    self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(ServiceError::Unavailable);
                 }
+                self.shared
+                    .metrics
+                    .backpressure_waits
+                    .fetch_add(1, Ordering::Relaxed);
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServiceError::Unavailable),
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Unavailable);
+            }
         }
         reply_rx.recv().map_err(|_| ServiceError::Unavailable)?
     }
@@ -679,9 +718,22 @@ impl DmsClient {
         }
     }
 
-    /// Zoo ranking for a dataset PDF.
+    /// Zoo ranking for a dataset PDF (the full, sorted ranking).
     pub fn recommend(&self, pdf: Vec<f64>) -> Result<RankedModels, ServiceError> {
-        match self.call(Request::Recommend { pdf })? {
+        match self.call(Request::Recommend { pdf, top_k: None })? {
+            Reply::Ranked(r) => Ok(r),
+            other => unreachable!("mismatched reply {other:?}"),
+        }
+    }
+
+    /// The `k` lowest-divergence zoo entries for a dataset PDF, ascending
+    /// — served by the snapshot's pruned partial-ranking path, which
+    /// avoids sorting (and usually scoring) the whole zoo.
+    pub fn recommend_top_k(&self, pdf: Vec<f64>, k: usize) -> Result<RankedModels, ServiceError> {
+        match self.call(Request::Recommend {
+            pdf,
+            top_k: Some(k),
+        })? {
             Reply::Ranked(r) => Ok(r),
             other => unreachable!("mismatched reply {other:?}"),
         }

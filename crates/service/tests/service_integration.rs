@@ -240,9 +240,77 @@ fn concurrent_clients_share_one_consistent_state() {
     assert_eq!(m.op("pdf").unwrap().count, 40);
     assert_eq!(m.op("lookup").unwrap().count, 40);
     assert_eq!(m.op("ingest").unwrap().errors, 0);
+    // Every request was admitted: any queue-full blocks were healthy
+    // backpressure, never rejections.
+    assert_eq!(m.rejected, 0);
 
     drop(client);
     handle.shutdown();
+}
+
+#[test]
+fn backpressure_waits_are_not_counted_as_rejections() {
+    // A one-slot queue plus a slow first request forces later admissions
+    // to hit `Full` and block; those must land in `backpressure_waits`
+    // while `rejected` stays reserved for actual admission failures.
+    let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 60);
+    let fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(2),
+            ..FairDsConfig::default()
+        },
+    );
+    let mut tcfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    tcfg.train.epochs = 2;
+    let trainer = RapidTrainer::new(fairds, ModelManager::default(), tcfg);
+    let (client, handle) = DmsServer::spawn(
+        trainer,
+        Box::new(|_| vec![0.5, 0.5]),
+        DmsServerConfig {
+            queue_capacity: 1,
+            auto_retrain: false,
+            ..DmsServerConfig::default()
+        },
+    );
+    // Saturate the write plane: the actor is busy training while many
+    // publishes contend for the single queue slot.
+    let (x, _) = blob_images(20, 2, 61);
+    let mut workers = Vec::new();
+    let trainer_client = client.clone();
+    let tx = x.clone();
+    workers.push(thread::spawn(move || {
+        trainer_client.train_system(tx, embed_cfg()).unwrap();
+    }));
+    let net = ArchSpec::BraggNN { patch: SIDE }.build(62);
+    let ckpt = fairdms_nn::checkpoint::save(&net);
+    for i in 0..8u64 {
+        let c = client.clone();
+        let ckpt = ckpt.clone();
+        workers.push(thread::spawn(move || {
+            c.publish(&format!("m{i}"), ckpt, vec![0.5, 0.5], i as usize)
+                .unwrap();
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    let m = client.metrics().unwrap();
+    assert!(
+        m.backpressure_waits > 0,
+        "a one-slot queue under 9 concurrent writers must block at least once"
+    );
+    assert_eq!(
+        m.rejected, 0,
+        "blocked-but-served requests must not read as rejections"
+    );
+    // Shutting down and calling afterwards is a true rejection.
+    drop(handle);
+    assert_eq!(
+        client.recommend(vec![0.5, 0.5]).unwrap_err(),
+        ServiceError::Unavailable
+    );
+    assert_eq!(client.metrics().unwrap().rejected, 1);
 }
 
 #[test]
@@ -329,6 +397,222 @@ fn metrics_histograms_cover_all_calls() {
     assert!(pdf.mean().as_nanos() > 0);
     assert!(pdf.quantile(0.5) <= pdf.quantile(1.0));
     assert!(m.total_calls() >= 11);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn out_of_range_threshold_is_invalid_not_a_poisoned_service() {
+    // Regression: `handle_read` used to build `ModelManager::new(...)`
+    // whose range assertion panicked on an out-of-range (publicly
+    // mutable) trainer threshold, poisoning the whole service on the
+    // first `Recommend`. It must answer `Invalid` and keep serving.
+    let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 40);
+    let fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(2),
+            ..FairDsConfig::default()
+        },
+    );
+    let mut tcfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    tcfg.train.epochs = 2;
+    let mut trainer = RapidTrainer::new(fairds, ModelManager::default(), tcfg);
+    trainer.manager.distance_threshold = 7.5; // out of [0, 1]
+    let (client, handle) = DmsServer::spawn(
+        trainer,
+        Box::new(|_| vec![0.5, 0.5]),
+        DmsServerConfig {
+            auto_retrain: false,
+            ..DmsServerConfig::default()
+        },
+    );
+    let (x, _) = blob_images(10, 2, 41);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    let net = ArchSpec::BraggNN { patch: SIDE }.build(42);
+    client
+        .publish("m", fairdms_nn::checkpoint::save(&net), vec![0.5, 0.5], 0)
+        .unwrap();
+
+    let err = client.recommend(vec![0.5, 0.5]).unwrap_err();
+    assert!(matches!(err, ServiceError::Invalid(_)), "got {err:?}");
+    // The read plane survived: other reads (and repeat recommends) work.
+    assert!(client.dataset_pdf(x.clone()).is_ok());
+    assert!(matches!(
+        client.recommend(vec![0.5, 0.5]).unwrap_err(),
+        ServiceError::Invalid(_)
+    ));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_pdf_is_invalid_not_a_poisoned_service() {
+    // Zero-mass / negative / non-finite PDFs used to unwind inside
+    // `jsd`'s input assertions on a read worker.
+    let (client, handle) = spawn_server(44, false);
+    let net = ArchSpec::BraggNN { patch: SIDE }.build(45);
+    client
+        .publish("m", fairdms_nn::checkpoint::save(&net), vec![0.5, 0.5], 0)
+        .unwrap();
+    for bad in [vec![0.0, 0.0], vec![-0.5, 1.5], vec![f64::NAN, 1.0], vec![]] {
+        assert!(
+            matches!(
+                client.recommend(bad.clone()).unwrap_err(),
+                ServiceError::Invalid(_)
+            ),
+            "pdf {bad:?} must be rejected, not panic a worker"
+        );
+    }
+    assert!(matches!(
+        client.recommend_top_k(vec![0.5, 0.5], 0).unwrap_err(),
+        ServiceError::Invalid(_)
+    ));
+    // Still alive.
+    let rec = client.recommend(vec![0.5, 0.5]).unwrap();
+    assert_eq!(rec.ranked.len(), 1);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_publish_pdf_is_invalid_not_a_dead_actor() {
+    // Regression: a zero-mass/negative/NaN PDF used to slip past the
+    // is_empty() check into `ModelZoo::add`, whose registration-time
+    // normalization panics — unwinding (and poisoning) the write actor.
+    let (client, handle) = spawn_server(64, false);
+    let net = ArchSpec::BraggNN { patch: SIDE }.build(65);
+    let ckpt = fairdms_nn::checkpoint::save(&net);
+    for bad in [vec![0.0, 0.0], vec![-0.5, 1.5], vec![f64::NAN, 1.0], vec![]] {
+        assert!(
+            matches!(
+                client
+                    .publish("bad", ckpt.clone(), bad.clone(), 0)
+                    .unwrap_err(),
+                ServiceError::Invalid(_)
+            ),
+            "pdf {bad:?} must be rejected, not panic the actor"
+        );
+    }
+    // The write plane survived.
+    let id = client.publish("good", ckpt, vec![0.5, 0.5], 0).unwrap();
+    assert_eq!(id, 0);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn top_k_recommend_agrees_with_the_full_ranking() {
+    let (client, handle) = spawn_server(46, false);
+    let mut rng = TensorRng::seeded(47);
+    for i in 0..24 {
+        let pdf: Vec<f64> = (0..2).map(|_| rng.next_uniform(0.05, 1.0) as f64).collect();
+        let net = ArchSpec::BraggNN { patch: SIDE }.build(i);
+        client
+            .publish(
+                &format!("m{i}"),
+                fairdms_nn::checkpoint::save(&net),
+                pdf,
+                i as usize,
+            )
+            .unwrap();
+    }
+    let query = vec![0.6, 0.4];
+    let full = client.recommend(query.clone()).unwrap();
+    assert_eq!(full.ranked.len(), 24);
+    for k in [1usize, 5, 24, 50] {
+        let top = client.recommend_top_k(query.clone(), k).unwrap();
+        assert_eq!(top.ranked.len(), k.min(24));
+        assert_eq!(top.fine_tunable, full.fine_tunable);
+        for (a, b) in top.ranked.iter().zip(&full.ranked) {
+            assert!((a.1 - b.1).abs() < 1e-12, "top-{k} prefix must match");
+        }
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn republication_reuses_zoo_entry_allocations() {
+    use std::sync::Arc;
+    let (client, handle) = spawn_server(48, false);
+    let (x, y) = blob_images(20, 2, 49);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    client.ingest(x.clone(), y, 0).unwrap();
+    let net = ArchSpec::BraggNN { patch: SIDE }.build(50);
+    client
+        .publish(
+            "seed",
+            fairdms_nn::checkpoint::save(&net),
+            vec![0.5, 0.5],
+            0,
+        )
+        .unwrap();
+    let view1 = client.current_view();
+    assert_eq!(view1.zoo.len(), 1);
+
+    // UpdateModel mutates the zoo (registers a new entry) and republishes:
+    // the unchanged entry must be the same allocation, not a copy.
+    let (x_new, _) = blob_images(10, 2, 51);
+    client.update_model(x_new, 1).unwrap();
+    let view2 = client.current_view();
+    assert_eq!(view2.zoo.len(), 2);
+    assert!(
+        Arc::ptr_eq(&view1.zoo.entries()[0], &view2.zoo.entries()[0]),
+        "republication after UpdateModel must structurally share unchanged entries"
+    );
+
+    // TrainSystem republishes without touching the zoo at all: the whole
+    // cached zoo snapshot (hence every entry) is reused.
+    client.train_system(x, embed_cfg()).unwrap();
+    let view3 = client.current_view();
+    for i in 0..view2.zoo.len() {
+        assert!(
+            Arc::ptr_eq(&view2.zoo.entries()[i], &view3.zoo.entries()[i]),
+            "non-zoo republication must copy zero checkpoint bytes (entry {i})"
+        );
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn ingest_triggered_retrain_republishes_sharing_zoo_entries() {
+    use std::sync::Arc;
+    // IngestLabeled republishes only when the certainty monitor fires; the
+    // retrain changes the system plane, not the zoo, so the published zoo
+    // entries must be the same allocations as before.
+    // Same seeds as `drift_triggers_system_plane_retrain`, whose fixture
+    // is calibrated so the noise batch actually fires the monitor.
+    let (client, handle) = spawn_server_k(14, true, 3);
+    let (x, y) = blob_images(30, 3, 15);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    let net = ArchSpec::BraggNN { patch: SIDE }.build(54);
+    client
+        .publish(
+            "pre-drift",
+            fairdms_nn::checkpoint::save(&net),
+            vec![0.4, 0.3, 0.3],
+            0,
+        )
+        .unwrap();
+    client.ingest(x, y, 0).unwrap();
+    let view1 = client.current_view();
+
+    let noise = TensorRng::seeded(16).uniform(&[60, SIDE * SIDE], -1.0, 1.0);
+    let labels = Tensor::from_vec(vec![0.5; 120], &[60, 2]);
+    let (_, retrained) = client.ingest(noise, labels, 1).unwrap();
+    assert!(retrained, "drifted ingest should trigger the system plane");
+
+    let view2 = client.current_view();
+    assert!(
+        view2.system.as_ref().unwrap().version() > view1.system.as_ref().unwrap().version(),
+        "retrain must publish a new system snapshot"
+    );
+    assert!(
+        Arc::ptr_eq(&view1.zoo.entries()[0], &view2.zoo.entries()[0]),
+        "retrain republication must reuse the untouched zoo entry"
+    );
     drop(client);
     handle.shutdown();
 }
