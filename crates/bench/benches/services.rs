@@ -129,9 +129,9 @@ fn bench_concurrent_read_plane(_c: &mut Criterion) {
     };
     let reads_per_client = 40usize;
 
-    // Reference stall: how long one UpdateModel occupies the actor (the
-    // latency a serialized read could have paid in the single-actor
-    // design).
+    // Reference stall: how long one UpdateModel trains end to end (the
+    // latency a serialized request could have paid in the single-actor
+    // design; with the training executor it runs in the background).
     let update_secs = {
         let q = BraggSimulator::new(DriftModel::none(), 13).scan(1, 64);
         let (ux, _) = bragg_flat(&q);
@@ -139,7 +139,7 @@ fn bench_concurrent_read_plane(_c: &mut Criterion) {
         client.update_model(ux, 1).expect("update");
         t0.elapsed()
     };
-    println!("service_concurrent: update_model occupies the actor for {update_secs:>10.2?} (old-design worst-case read stall)");
+    println!("service_concurrent: update_model trains for {update_secs:>10.2?} (old-design worst-case stall for serialized requests)");
 
     for &clients in &[1usize, 4, 16] {
         for training in [false, true] {

@@ -1,0 +1,209 @@
+//! Write-plane liveness bench: ingest latency while a model trains.
+//!
+//! Guards the write-plane split's core claim (DESIGN.md §7): with the
+//! background training executor, a multi-epoch `UpdateModel` fine-tune
+//! does not stall ingest. The bench runs the same workload twice —
+//!
+//! * **serialized baseline** (`training_pool_size: 0`): training runs
+//!   inline on the mutation actor, the pre-split behaviour;
+//! * **executor** (`training_pool_size: 1`): training runs as a
+//!   background job, the actor only does the O(ms) bookends —
+//!
+//! measures ingest round-trips issued *while the update is in flight*,
+//! and **asserts** the executor's worst ingest beats the serialized
+//! baseline's by a wide margin, so a regression that re-couples training
+//! to the actor fails the run loudly rather than just skewing a number.
+//!
+//! CI runs this bench at smoke scale (see `.github/workflows/ci.yml`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
+use fairdms_core::fairds::{FairDS, FairDsConfig};
+use fairdms_core::models::ArchSpec;
+use fairdms_core::workflow::{RapidTrainer, RapidTrainerConfig};
+use fairdms_core::ModelManager;
+use fairdms_service::server::{DmsClient, DmsServer, DmsServerConfig, ServerHandle};
+use fairdms_tensor::rng::TensorRng;
+use fairdms_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SIDE: usize = 8;
+
+fn blob_images(n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = TensorRng::seeded(seed);
+    let centers = [(2.0f32, 2.0f32), (5.0, 5.0)];
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let (cy, cx) = centers[i % centers.len()];
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let r2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
+                data.push(8.0 * (-r2 / 2.0).exp() + rng.next_normal_with(0.0, 0.1));
+            }
+        }
+        labels.push(cx / SIDE as f32);
+        labels.push(cy / SIDE as f32);
+    }
+    (
+        Tensor::from_vec(data, &[n, SIDE * SIDE]),
+        Tensor::from_vec(labels, &[n, 2]),
+    )
+}
+
+fn embed_cfg() -> EmbedTrainConfig {
+    EmbedTrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        lr: 2e-3,
+        ..EmbedTrainConfig::default()
+    }
+}
+
+fn spawn(training_pool_size: usize, seed: u64) -> (DmsClient, ServerHandle) {
+    let embedder = AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, seed);
+    let fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(2),
+            ..FairDsConfig::default()
+        },
+    );
+    let mut tcfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    tcfg.train.epochs = 30; // a deliberately slow multi-epoch fine-tune
+    tcfg.train.batch_size = 16;
+    tcfg.train.patience = 0;
+    tcfg.seed = seed;
+    let trainer = RapidTrainer::new(fairds, ModelManager::new(0.9), tcfg);
+    DmsServer::spawn(
+        trainer,
+        Box::new(|_| vec![0.5, 0.5]),
+        DmsServerConfig {
+            auto_retrain: false,
+            read_pool_size: 2,
+            training_pool_size,
+            ..DmsServerConfig::default()
+        },
+    )
+}
+
+struct ModeResult {
+    label: &'static str,
+    ingests: Vec<Duration>,
+    update_took: Duration,
+}
+
+/// Runs one mode: prime, kick off a slow update, hammer ingest until the
+/// update completes, and return the during-update ingest latencies.
+fn run_mode(label: &'static str, training_pool_size: usize) -> ModeResult {
+    let (client, handle) = spawn(training_pool_size, 7);
+    let (x, y) = blob_images(60, 8);
+    client.train_system(x.clone(), embed_cfg()).expect("train");
+    client.ingest(x, y, 0).expect("prime");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let updater = {
+        let client = client.clone();
+        let done = Arc::clone(&done);
+        let (ux, _) = blob_images(80, 9);
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            client.update_model(ux, 1).expect("update");
+            let took = t0.elapsed();
+            done.store(true, Ordering::Release);
+            took
+        })
+    };
+    // Make sure the update is actually training before measuring.
+    while client.metrics().expect("metrics").training_jobs_started < 1 {
+        std::thread::yield_now();
+    }
+
+    let (probe, probe_y) = blob_images(8, 10);
+    let mut ingests = Vec::new();
+    let mut scan = 100;
+    // An ingest counts when it was *submitted* while the update was in
+    // flight — in the serialized baseline the interesting sample is the
+    // one that queued behind the epoch loop and finished after it.
+    while !done.load(Ordering::Acquire) {
+        let t0 = Instant::now();
+        client
+            .ingest(probe.clone(), probe_y.clone(), scan)
+            .expect("ingest");
+        ingests.push(t0.elapsed());
+        scan += 1;
+    }
+    let update_took = updater.join().expect("updater");
+    drop(client);
+    handle.shutdown();
+    ModeResult {
+        label,
+        ingests,
+        update_took,
+    }
+}
+
+fn pct(lat: &mut [Duration], q: usize) -> Duration {
+    if lat.is_empty() {
+        return Duration::ZERO;
+    }
+    lat.sort_unstable();
+    lat[(lat.len() * q / 100).min(lat.len() - 1)]
+}
+
+fn bench_ingest_during_training(_c: &mut Criterion) {
+    let mut serialized = run_mode("actor-serialized (baseline)", 0);
+    let mut executor = run_mode("training executor", 1);
+
+    for m in [&mut serialized, &mut executor] {
+        let n = m.ingests.len();
+        let (p50, p99) = (pct(&mut m.ingests, 50), pct(&mut m.ingests, 99));
+        println!(
+            "write_plane/{:<28} update {:>8.2?}  ingests-during-update {n:>3}  p50 {p50:>10.2?}  p99 {p99:>10.2?}",
+            m.label, m.update_took
+        );
+    }
+
+    // Loud regression guards.
+    //
+    // Serialized: the first ingest submitted mid-training waits out the
+    // whole epoch loop, so its worst latency is the same order as the
+    // update itself. Executor: the actor only runs the O(ms) bookends, so
+    // ingest never waits for an epoch.
+    let ser_p99 = pct(&mut serialized.ingests, 99);
+    let exe_p99 = pct(&mut executor.ingests, 99);
+    assert!(
+        !executor.ingests.is_empty() && executor.ingests.len() >= 3,
+        "executor mode must complete several ingests during one update"
+    );
+    assert!(
+        exe_p99 < executor.update_took / 2,
+        "executor-mode ingest p99 ({exe_p99:?}) must not wait out the training run ({:?})",
+        executor.update_took
+    );
+    assert!(
+        exe_p99 * 5 < ser_p99.max(Duration::from_millis(5)),
+        "decoupled write plane must beat the serialized baseline by a wide margin \
+         (executor p99 {exe_p99:?} vs serialized p99 {ser_p99:?})"
+    );
+    println!(
+        "write_plane: executor ingest p99 {exe_p99:.2?} vs serialized {ser_p99:.2?} ({}x better)",
+        (ser_p99.as_secs_f64() / exe_p99.as_secs_f64().max(1e-9)) as u64
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ingest_during_training
+}
+criterion_main!(benches);

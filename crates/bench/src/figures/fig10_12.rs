@@ -292,8 +292,8 @@ pub fn run_distribution_bars(scale: Scale) -> Result<(), String> {
 
     let mgr = ModelManager::default();
     let rec = mgr.rank(&fx.zoo, &pdf).expect("non-empty zoo");
-    let best = fx.zoo.get(rec.best().0).unwrap();
-    let worst = fx.zoo.get(rec.worst().0).unwrap();
+    let best = fx.zoo.get(rec.best().unwrap().0).unwrap();
+    let worst = fx.zoo.get(rec.worst().unwrap().0).unwrap();
 
     let mut table = Table::new(
         "Fig 12: cluster PDF — input vs best-ranked vs worst-ranked training data",
@@ -311,9 +311,9 @@ pub fn run_distribution_bars(scale: Scale) -> Result<(), String> {
     println!(
         "best = scan {} (jsd {:.4}), worst = scan {} (jsd {:.4})\n",
         best.scan,
-        rec.best().1,
+        rec.best().unwrap().1,
         worst.scan,
-        rec.worst().1
+        rec.worst().unwrap().1
     );
     Ok(())
 }

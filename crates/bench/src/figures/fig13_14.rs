@@ -60,9 +60,9 @@ fn strategy_nets(
     // (column index, net): Retrain, FT-B, FT-M, FT-W.
     vec![
         (0, arch.build(seed ^ 0xF8E5)),
-        (1, zoo.instantiate(rec.best().0, seed).unwrap()),
-        (2, zoo.instantiate(rec.median().0, seed).unwrap()),
-        (3, zoo.instantiate(rec.worst().0, seed).unwrap()),
+        (1, zoo.instantiate(rec.best().unwrap().0, seed).unwrap()),
+        (2, zoo.instantiate(rec.median().unwrap().0, seed).unwrap()),
+        (3, zoo.instantiate(rec.worst().unwrap().0, seed).unwrap()),
     ]
 }
 

@@ -16,6 +16,7 @@
 use fairdms_nn::layers::{Activation, Dense, Mode, Sequential};
 use fairdms_nn::loss::{nt_xent, Loss, Mse};
 use fairdms_nn::optim::{Adam, Optimizer};
+use fairdms_nn::trainer::TrainControl;
 use fairdms_tensor::{rng::TensorRng, Tensor};
 
 /// Training hyper-parameters shared by all embedding methods.
@@ -66,6 +67,22 @@ pub trait Embedder: Send + Sync {
     fn input_dim(&self) -> usize;
     /// Trains the embedding on unlabeled images (`[N, input_dim]`).
     fn fit(&mut self, images: &Tensor, cfg: &EmbedTrainConfig);
+    /// [`Embedder::fit`] under cooperative cancellation: implementations
+    /// should poll `ctl` at every epoch boundary and return `false` the
+    /// moment it is raised (partially-trained weights are left behind and
+    /// must not be published). The default implementation ignores the
+    /// control and always completes — custom embedders stay valid, they
+    /// just cancel with whole-fit rather than per-epoch latency.
+    fn fit_controlled(
+        &mut self,
+        images: &Tensor,
+        cfg: &EmbedTrainConfig,
+        ctl: &TrainControl,
+    ) -> bool {
+        let _ = ctl;
+        self.fit(images, cfg);
+        true
+    }
     /// Embeds images into `[N, embed_dim]`, L2-normalized per row.
     /// Immutable: implementations must not touch training caches.
     fn embed(&self, images: &Tensor) -> Tensor;
@@ -253,11 +270,23 @@ impl Embedder for AutoencoderEmbedder {
     }
 
     fn fit(&mut self, images: &Tensor, cfg: &EmbedTrainConfig) {
+        self.fit_controlled(images, cfg, &TrainControl::new());
+    }
+
+    fn fit_controlled(
+        &mut self,
+        images: &Tensor,
+        cfg: &EmbedTrainConfig,
+        ctl: &TrainControl,
+    ) -> bool {
         let x = standardize_rows(images);
         let n = x.shape()[0];
         let mut rng = TensorRng::seeded(cfg.seed);
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
+            if ctl.is_cancelled() {
+                return false;
+            }
             for batch in epoch_batches(n, cfg.batch_size, &mut rng) {
                 let bx = x.gather_rows(&batch);
                 let z = self.encoder.forward(&bx, Mode::Train);
@@ -270,6 +299,7 @@ impl Embedder for AutoencoderEmbedder {
                 opt.step(params);
             }
         }
+        true
     }
 
     fn embed(&self, images: &Tensor) -> Tensor {
@@ -340,11 +370,23 @@ impl Embedder for ContrastiveEmbedder {
     }
 
     fn fit(&mut self, images: &Tensor, cfg: &EmbedTrainConfig) {
+        self.fit_controlled(images, cfg, &TrainControl::new());
+    }
+
+    fn fit_controlled(
+        &mut self,
+        images: &Tensor,
+        cfg: &EmbedTrainConfig,
+        ctl: &TrainControl,
+    ) -> bool {
         let x = standardize_rows(images);
         let n = x.shape()[0];
         let mut rng = TensorRng::seeded(cfg.seed);
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
+            if ctl.is_cancelled() {
+                return false;
+            }
             for batch in epoch_batches(n, cfg.batch_size, &mut rng) {
                 if batch.len() < 2 {
                     continue; // NT-Xent needs at least 2 pairs
@@ -360,6 +402,7 @@ impl Embedder for ContrastiveEmbedder {
                 opt.step(params);
             }
         }
+        true
     }
 
     fn embed(&self, images: &Tensor) -> Tensor {
@@ -479,11 +522,23 @@ impl Embedder for ByolEmbedder {
     }
 
     fn fit(&mut self, images: &Tensor, cfg: &EmbedTrainConfig) {
+        self.fit_controlled(images, cfg, &TrainControl::new());
+    }
+
+    fn fit_controlled(
+        &mut self,
+        images: &Tensor,
+        cfg: &EmbedTrainConfig,
+        ctl: &TrainControl,
+    ) -> bool {
         let x = standardize_rows(images);
         let n = x.shape()[0];
         let mut rng = TensorRng::seeded(cfg.seed);
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
+            if ctl.is_cancelled() {
+                return false;
+            }
             for batch in epoch_batches(n, cfg.batch_size, &mut rng) {
                 let d = self.input_dim;
                 let mut v1 = Vec::with_capacity(batch.len() * d);
@@ -516,6 +571,7 @@ impl Embedder for ByolEmbedder {
                 self.ema_update(cfg.tau);
             }
         }
+        true
     }
 
     fn embed(&self, images: &Tensor) -> Tensor {

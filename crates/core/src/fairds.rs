@@ -33,6 +33,7 @@
 use crate::embedding::{EmbedTrainConfig, Embedder};
 use fairdms_clustering::{assignments_to_pdf, elbow, fuzzy, KMeans, KMeansConfig};
 use fairdms_datastore::{Collection, DocId, Document, RawCodec};
+use fairdms_nn::trainer::TrainControl;
 use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -464,6 +465,104 @@ impl SystemSnapshot {
     }
 }
 
+/// Cluster-count selection shared by bootstrap training and background
+/// retrains: the configured K (clamped to the sample count) or an elbow
+/// sweep.
+fn select_k(cfg: &FairDsConfig, z: &Tensor) -> usize {
+    match cfg.k {
+        Some(k) => k.min(z.shape()[0]),
+        None => {
+            let (lo, hi) = cfg.k_range;
+            let hi = hi.min(z.shape()[0]);
+            elbow::select_k(z, lo.min(hi), hi, cfg.seed).best_k
+        }
+    }
+}
+
+/// The immutable input snapshot of one system-plane retrain, captured by
+/// [`FairDS::prepare_retrain`] on the mutation actor and handed to a
+/// background training executor. Owns a private embedder copy, so the
+/// heavy [`RetrainJob::train`] step touches no live service state at all.
+pub struct RetrainJob {
+    all: Tensor,
+    embedder: Box<dyn Embedder>,
+    cfg: FairDsConfig,
+    system_version: Option<u64>,
+}
+
+impl RetrainJob {
+    /// Number of samples (store + fresh batch) the retrain will fit on.
+    pub fn sample_count(&self) -> usize {
+        self.all.shape()[0]
+    }
+
+    /// Version of the system plane this job was prepared against (`None`
+    /// when the plane was untrained — a retrain may bootstrap it, exactly
+    /// like the synchronous [`FairDS::retrain_system`] always could).
+    pub fn trained_from_version(&self) -> Option<u64> {
+        self.system_version
+    }
+
+    /// The heavy retrain half (executor side): fits the embedder
+    /// (cancellable at epoch boundaries through `ctl`) and the clustering
+    /// on the captured matrix. Returns `None` when the job was cancelled —
+    /// partially-trained weights are dropped, nothing is published.
+    pub fn train(
+        mut self,
+        embed_cfg: &EmbedTrainConfig,
+        ctl: &TrainControl,
+    ) -> Option<RetrainedSystem> {
+        assert!(
+            self.all.shape()[0] >= 4,
+            "need at least a handful of samples"
+        );
+        if !self.embedder.fit_controlled(&self.all, embed_cfg, ctl) {
+            return None;
+        }
+        let z = self.embedder.embed(&self.all);
+        let k = select_k(&self.cfg, &z);
+        // One more boundary check: K-means on a large matrix is the other
+        // non-trivial chunk of work, and a superseded job should not pay
+        // for it.
+        if ctl.is_cancelled() {
+            return None;
+        }
+        let mut km_cfg = KMeansConfig::new(k);
+        km_cfg.seed = self.cfg.seed;
+        let kmeans = KMeans::fit(&z, &km_cfg);
+        Some(RetrainedSystem {
+            embedder: self.embedder,
+            kmeans,
+            k,
+            system_version: self.system_version,
+        })
+    }
+}
+
+/// A completed off-thread retrain, ready for
+/// [`FairDS::install_retrained`].
+pub struct RetrainedSystem {
+    embedder: Box<dyn Embedder>,
+    kmeans: KMeans,
+    k: usize,
+    system_version: Option<u64>,
+}
+
+impl RetrainedSystem {
+    /// The fitted cluster count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Version of the system plane the job trained from (`None` ⇒ it
+    /// bootstrapped an untrained plane). A live plane whose version has
+    /// moved past this means the result is stale and must not be
+    /// installed.
+    pub fn trained_from_version(&self) -> Option<u64> {
+        self.system_version
+    }
+}
+
 /// The FAIR data service builder: owns the trainable models, publishes
 /// immutable [`SystemSnapshot`]s.
 pub struct FairDS {
@@ -565,14 +664,7 @@ impl FairDS {
         assert!(images.shape()[0] >= 4, "need at least a handful of samples");
         self.embedder.fit(images, embed_cfg);
         let z = self.embedder.embed(images);
-        let k = match self.cfg.k {
-            Some(k) => k.min(z.shape()[0]),
-            None => {
-                let (lo, hi) = self.cfg.k_range;
-                let hi = hi.min(z.shape()[0]);
-                elbow::select_k(&z, lo.min(hi), hi, self.cfg.seed).best_k
-            }
-        };
+        let k = select_k(&self.cfg, &z);
         let mut km_cfg = KMeansConfig::new(k);
         km_cfg.seed = self.cfg.seed;
         self.publish(KMeans::fit(&z, &km_cfg));
@@ -582,7 +674,26 @@ impl FairDS {
     /// Re-fits embedding + clustering on the full historical store plus
     /// `fresh` images (the uncertainty-triggered system update of Fig 16),
     /// publishing a new snapshot before re-indexing the store under it.
+    ///
+    /// This is the synchronous composition of the retrain halves — see
+    /// [`FairDS::prepare_retrain`] / [`RetrainJob::train`] /
+    /// [`FairDS::install_retrained`] for the split a background training
+    /// executor uses to keep the heavy middle step off the mutation actor.
     pub fn retrain_system(&mut self, fresh: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
+        let trained = self
+            .prepare_retrain(fresh)
+            .train(embed_cfg, &TrainControl::new())
+            .expect("uncancelled retrain always completes");
+        self.install_retrained(trained)
+    }
+
+    /// First retrain half (actor side, O(store bytes) copy, no training):
+    /// captures everything a system-plane retrain needs — the training
+    /// matrix (full historical store + the fresh trigger batch), a deep
+    /// copy of the embedder to fit, the configuration, and the version of
+    /// the plane the job trains *from* (the staleness fence).
+    pub fn prepare_retrain(&self, fresh: &Tensor) -> RetrainJob {
+        let system_version = self.current.as_ref().map(|s| s.version());
         let mut rows: Vec<f32> = Vec::new();
         let dim = self.embedder.input_dim();
         for id in self.store.ids() {
@@ -596,8 +707,27 @@ impl FairDS {
         }
         rows.extend_from_slice(fresh.data());
         let n = rows.len() / dim;
-        let all = Tensor::from_vec(rows, &[n, dim]);
-        let k = self.train_system(&all, embed_cfg);
+        RetrainJob {
+            all: Tensor::from_vec(rows, &[n, dim]),
+            embedder: self.embedder.clone_embedder(),
+            cfg: self.cfg.clone(),
+            system_version,
+        }
+    }
+
+    /// Last retrain half (actor side, O(ms)): installs the off-thread
+    /// training result — the freshly fitted embedder replaces the
+    /// builder's, the clustering is published as a new snapshot, and the
+    /// store is re-indexed under it. Returns the fitted K.
+    ///
+    /// The caller is responsible for fencing: compare
+    /// [`RetrainedSystem::trained_from_version`] against the live
+    /// [`SystemSnapshot::version`] and *discard* results trained from a
+    /// plane that has since been replaced.
+    pub fn install_retrained(&mut self, trained: RetrainedSystem) -> usize {
+        let k = trained.k;
+        self.embedder = trained.embedder;
+        self.publish(trained.kmeans);
         self.reindex();
         k
     }
@@ -921,6 +1051,55 @@ mod tests {
         let pdf_a_again = snap_a.dataset_pdf(&x);
         assert_eq!(pdf_a, pdf_a_again, "old snapshot must stay frozen");
         assert_eq!(snap_b.dataset_pdf(&x).len(), snap_b.k());
+    }
+
+    #[test]
+    fn retrain_halves_compose_to_retrain_system() {
+        let (x, y) = blob_images(20, 2, 40);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        let v0 = ds.snapshot().unwrap().version();
+
+        let (fresh, _) = blob_images(10, 2, 41);
+        let job = ds.prepare_retrain(&fresh);
+        assert_eq!(job.trained_from_version(), Some(v0));
+        assert_eq!(job.sample_count(), 40 + 20, "store rows + fresh batch");
+
+        // The heavy half runs against owned data only: the live plane is
+        // untouched until install.
+        let trained = job
+            .train(&quick_embed_cfg(), &TrainControl::new())
+            .expect("uncancelled");
+        assert_eq!(trained.trained_from_version(), Some(v0));
+        assert_eq!(ds.snapshot().unwrap().version(), v0, "not yet installed");
+
+        let k = ds.install_retrained(trained);
+        assert_eq!(k, 2);
+        assert!(ds.snapshot().unwrap().version() > v0);
+        // Store was re-indexed under the new models.
+        for id in ds.store().ids() {
+            let doc = ds.store().get(id).unwrap();
+            assert!(doc.get_i64("cluster").is_some());
+        }
+    }
+
+    #[test]
+    fn cancelled_retrain_job_publishes_nothing() {
+        let (x, y) = blob_images(15, 2, 42);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        let v0 = ds.snapshot().unwrap().version();
+
+        let job = ds.prepare_retrain(&x);
+        let ctl = TrainControl::new();
+        ctl.cancel();
+        assert!(
+            job.train(&quick_embed_cfg(), &ctl).is_none(),
+            "cancelled retrain must yield no installable result"
+        );
+        assert_eq!(ds.snapshot().unwrap().version(), v0, "plane unchanged");
     }
 
     #[test]

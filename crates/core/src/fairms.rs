@@ -429,19 +429,29 @@ pub struct Recommendation {
 }
 
 impl Recommendation {
-    /// Best (lowest-divergence) entry.
-    pub fn best(&self) -> (usize, f64) {
-        self.ranked[0]
+    /// Best (lowest-divergence) entry, or `None` when the ranking is
+    /// empty.
+    ///
+    /// [`ZooSnapshot::rank`] / [`ZooSnapshot::rank_top_k`] (and the
+    /// [`ModelManager`] ranking paths) return `None` instead of an empty
+    /// recommendation, so for their results this is always `Some` — but
+    /// `ranked` is a public field and an empty `Recommendation` is
+    /// constructible, and these accessors used to panic on one
+    /// (`self.ranked.last().unwrap()`).
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.ranked.first().copied()
     }
 
-    /// Median-ranked entry (the paper's FineTune-M baseline).
-    pub fn median(&self) -> (usize, f64) {
-        self.ranked[self.ranked.len() / 2]
+    /// Median-ranked entry (the paper's FineTune-M baseline), or `None`
+    /// when the ranking is empty.
+    pub fn median(&self) -> Option<(usize, f64)> {
+        self.ranked.get(self.ranked.len() / 2).copied()
     }
 
-    /// Worst-ranked entry (the paper's FineTune-W baseline).
-    pub fn worst(&self) -> (usize, f64) {
-        *self.ranked.last().unwrap()
+    /// Worst-ranked entry (the paper's FineTune-W baseline), or `None`
+    /// when the ranking is empty.
+    pub fn worst(&self) -> Option<(usize, f64)> {
+        self.ranked.last().copied()
     }
 }
 
@@ -521,16 +531,11 @@ impl ModelManager {
         entries: &[E],
         input_pdf: &[f64],
     ) -> ModelDecision {
-        match self.rank_entries(entries, input_pdf) {
-            Some(rec) => {
-                let (zoo_id, divergence) = rec.best();
-                if divergence <= self.distance_threshold {
-                    ModelDecision::FineTune { zoo_id, divergence }
-                } else {
-                    ModelDecision::TrainFromScratch
-                }
+        match self.rank_entries(entries, input_pdf).and_then(|r| r.best()) {
+            Some((zoo_id, divergence)) if divergence <= self.distance_threshold => {
+                ModelDecision::FineTune { zoo_id, divergence }
             }
-            None => ModelDecision::TrainFromScratch,
+            _ => ModelDecision::TrainFromScratch,
         }
     }
 }
@@ -561,11 +566,46 @@ mod tests {
         zoo.add(bragg_entry("exact", vec![0.6, 0.3, 0.1], 2));
         let mgr = ModelManager::default();
         let rec = mgr.rank(&zoo, &[0.6, 0.3, 0.1]).unwrap();
-        assert_eq!(rec.best().0, 2);
-        assert_eq!(rec.worst().0, 0);
-        assert_eq!(rec.median().0, 1);
-        assert!(rec.best().1 < rec.median().1);
-        assert!(rec.median().1 < rec.worst().1);
+        assert_eq!(rec.best().unwrap().0, 2);
+        assert_eq!(rec.worst().unwrap().0, 0);
+        assert_eq!(rec.median().unwrap().0, 1);
+        assert!(rec.best().unwrap().1 < rec.median().unwrap().1);
+        assert!(rec.median().unwrap().1 < rec.worst().unwrap().1);
+    }
+
+    #[test]
+    fn empty_recommendation_accessors_return_none_not_panic() {
+        // Regression: `worst` used `self.ranked.last().unwrap()` and
+        // `best` indexed `ranked[0]`, so a (publicly constructible) empty
+        // recommendation panicked instead of answering.
+        let empty = Recommendation { ranked: vec![] };
+        assert_eq!(empty.best(), None);
+        assert_eq!(empty.median(), None);
+        assert_eq!(empty.worst(), None);
+    }
+
+    #[test]
+    fn ranking_paths_never_hand_out_an_empty_recommendation() {
+        // The Some/None contract: every Some(Recommendation) from rank /
+        // rank_top_k carries at least one entry, so best() on it is Some.
+        let mut zoo = ModelZoo::new();
+        zoo.add(bragg_entry("only", vec![0.5, 0.5], 0));
+        let snap = zoo.snapshot();
+        for rec in [
+            snap.rank(&[0.4, 0.6]),
+            snap.rank_top_k(&[0.4, 0.6], 1),
+            snap.rank_top_k(&[0.4, 0.6], 10),
+            ModelManager::default().rank(&zoo, &[0.4, 0.6]),
+        ] {
+            let rec = rec.expect("compatible zoo must rank");
+            assert!(!rec.ranked.is_empty());
+            assert!(rec.best().is_some() && rec.worst().is_some());
+        }
+        // Incompatible / impossible queries collapse to None, never to
+        // Some(empty).
+        assert!(snap.rank(&[1.0]).is_none());
+        assert!(snap.rank_top_k(&[1.0], 3).is_none());
+        assert!(snap.rank_top_k(&[0.4, 0.6], 0).is_none());
     }
 
     #[test]
@@ -597,7 +637,7 @@ mod tests {
             .rank(&zoo, &[0.3, 0.3, 0.4])
             .unwrap();
         assert_eq!(rec.ranked.len(), 1);
-        assert_eq!(rec.best().0, 1);
+        assert_eq!(rec.best().unwrap().0, 1);
     }
 
     #[test]
@@ -723,7 +763,7 @@ mod tests {
         let mgr = ModelManager::default();
         let rec = mgr.rank_entries(snap.entries(), &[0.1, 0.9]).unwrap();
         assert_eq!(rec.ranked.len(), 1);
-        assert_eq!(rec.best().0, 0);
+        assert_eq!(rec.best().unwrap().0, 0);
         // The snapshot still instantiates its checkpoints.
         assert!(snap.instantiate(0, 0).is_some());
         assert!(snap.get(1).is_none());
@@ -796,7 +836,7 @@ mod tests {
         let snap = zoo.snapshot();
         let top = snap.rank_top_k(&[0.2, 0.3, 0.5], 5).unwrap();
         assert_eq!(top.ranked.len(), 1);
-        assert_eq!(top.best().0, 1);
+        assert_eq!(top.best().unwrap().0, 1);
         assert!(snap.rank_top_k(&[0.2, 0.3, 0.5], 0).is_none());
         assert!(snap.rank_top_k(&[0.25; 4], 2).is_none());
         assert!(ZooSnapshot::empty().rank_top_k(&[1.0], 1).is_none());

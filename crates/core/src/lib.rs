@@ -33,8 +33,10 @@ pub mod uncertainty;
 pub mod workflow;
 
 pub use embedding::{AutoencoderEmbedder, ByolEmbedder, ContrastiveEmbedder, Embedder};
-pub use fairds::{FairDS, FairDsConfig, PseudoLabelStats, SystemSnapshot};
+pub use fairds::{
+    FairDS, FairDsConfig, PseudoLabelStats, RetrainJob, RetrainedSystem, SystemSnapshot,
+};
 pub use fairms::{ModelManager, ModelZoo, Recommendation, ZooEntry, ZooSnapshot};
 pub use jsd::jsd;
 pub use models::ArchSpec;
-pub use workflow::{RapidTrainer, TrainStrategy, UpdateReport};
+pub use workflow::{RapidTrainer, TrainStrategy, TrainedUpdate, UpdatePlan, UpdateReport};

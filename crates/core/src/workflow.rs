@@ -21,7 +21,7 @@ use crate::models::ArchSpec;
 use fairdms_nn::layers::Sequential;
 use fairdms_nn::loss::Mse;
 use fairdms_nn::optim::Adam;
-use fairdms_nn::trainer::{TrainConfig, TrainReport, Trainer};
+use fairdms_nn::trainer::{TrainConfig, TrainControl, TrainReport, Trainer};
 use fairdms_tensor::Tensor;
 use std::time::Instant;
 
@@ -110,6 +110,141 @@ impl RapidTrainerConfig {
     }
 }
 
+/// Reshapes flattened images into a model's `[N, 1, side, side]`.
+fn model_input(cfg: &RapidTrainerConfig, x: &Tensor) -> Tensor {
+    let n = x.shape()[0];
+    x.reshape(&[n, 1, cfg.side, cfg.side])
+}
+
+/// Deterministic train/validation row split for `n` samples.
+fn seeded_split(cfg: &RapidTrainerConfig, n: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = fairdms_tensor::rng::TensorRng::seeded(cfg.seed ^ 0x5417);
+    let order = rng.permutation(n);
+    let n_val = ((n as f32 * cfg.val_fraction) as usize).clamp(1, n - 1);
+    let val = order[..n_val].to_vec();
+    let train = order[n_val..].to_vec();
+    (train, val)
+}
+
+/// The immutable input snapshot of one model-update training job.
+///
+/// Built by [`RapidTrainer::prepare_update`] on the mutation actor (cheap:
+/// PDF, pseudo-labels, foundation resolution), carried to a background
+/// executor whose [`UpdatePlan::train`] runs the multi-epoch fine-tune
+/// against *only this owned data* — no live service state — and finally
+/// handed back to the actor as a [`TrainedUpdate`] for fenced registration
+/// via [`RapidTrainer::complete_update`].
+pub struct UpdatePlan {
+    cfg: RapidTrainerConfig,
+    x_flat: Tensor,
+    labels: Tensor,
+    pdf: Vec<f64>,
+    net: Sequential,
+    foundation: Option<usize>,
+    divergence: Option<f64>,
+    lr: f32,
+    label_secs: f64,
+    label_stats: PseudoLabelStats,
+    scan: usize,
+    system_version: u64,
+}
+
+impl UpdatePlan {
+    /// Provenance scan index of the update.
+    pub fn scan(&self) -> usize {
+        self.scan
+    }
+
+    /// Version of the system plane the plan was prepared against (the
+    /// staleness fence checked before the result is published).
+    pub fn trained_from_version(&self) -> u64 {
+        self.system_version
+    }
+
+    /// The heavy half (executor side): the multi-epoch training run, pure
+    /// over the plan's owned data, cancellable at every epoch boundary
+    /// through `ctl`. Always returns — a cancelled run comes back with
+    /// [`TrainedUpdate::cancelled`] set and is *not* registrable.
+    pub fn train(self, ctl: &TrainControl) -> TrainedUpdate {
+        let UpdatePlan {
+            cfg,
+            x_flat,
+            labels,
+            pdf,
+            mut net,
+            foundation,
+            divergence,
+            lr,
+            label_secs,
+            label_stats,
+            scan,
+            system_version,
+        } = self;
+        let t_train = Instant::now();
+        let (train_idx, val_idx) = seeded_split(&cfg, x_flat.shape()[0]);
+        let (tx, ty) = (
+            x_flat.gather_rows(&train_idx),
+            labels.gather_rows(&train_idx),
+        );
+        let (vx, vy) = (x_flat.gather_rows(&val_idx), labels.gather_rows(&val_idx));
+        let tx = model_input(&cfg, &tx);
+        let vx = model_input(&cfg, &vx);
+        let mut opt = Adam::new(lr);
+        let train_report = Trainer::new(cfg.train.clone())
+            .fit_controlled(&mut net, &mut opt, &Mse, &tx, &ty, &vx, &vy, ctl);
+        TrainedUpdate {
+            x_flat,
+            labels,
+            pdf,
+            net,
+            foundation,
+            divergence,
+            label_secs,
+            label_stats,
+            scan,
+            system_version,
+            train_secs: t_train.elapsed().as_secs_f64(),
+            train_report,
+        }
+    }
+}
+
+/// A finished (or cancelled) off-thread update run, ready for
+/// [`RapidTrainer::complete_update`].
+pub struct TrainedUpdate {
+    x_flat: Tensor,
+    labels: Tensor,
+    pdf: Vec<f64>,
+    net: Sequential,
+    foundation: Option<usize>,
+    divergence: Option<f64>,
+    label_secs: f64,
+    label_stats: PseudoLabelStats,
+    scan: usize,
+    system_version: u64,
+    train_secs: f64,
+    train_report: TrainReport,
+}
+
+impl TrainedUpdate {
+    /// Whether the training run was cancelled at an epoch boundary (a
+    /// superseded job). Cancelled results must be discarded, never
+    /// registered.
+    pub fn cancelled(&self) -> bool {
+        self.train_report.cancelled
+    }
+
+    /// Version of the system plane the job trained from (the fence).
+    pub fn trained_from_version(&self) -> u64 {
+        self.system_version
+    }
+
+    /// Provenance scan index of the update.
+    pub fn scan(&self) -> usize {
+        self.scan
+    }
+}
+
 /// The composed fairDMS workflow.
 pub struct RapidTrainer {
     /// The data service.
@@ -145,18 +280,12 @@ impl RapidTrainer {
 
     /// Reshapes flattened images into the model's `[N, 1, side, side]`.
     fn to_model_input(&self, x: &Tensor) -> Tensor {
-        let n = x.shape()[0];
-        x.reshape(&[n, 1, self.cfg.side, self.cfg.side])
+        model_input(&self.cfg, x)
     }
 
     /// Deterministic train/validation row split.
     fn split(&self, n: usize) -> (Vec<usize>, Vec<usize>) {
-        let mut rng = fairdms_tensor::rng::TensorRng::seeded(self.cfg.seed ^ 0x5417);
-        let order = rng.permutation(n);
-        let n_val = ((n as f32 * self.cfg.val_fraction) as usize).clamp(1, n - 1);
-        let val = order[..n_val].to_vec();
-        let train = order[n_val..].to_vec();
-        (train, val)
+        seeded_split(&self.cfg, n)
     }
 
     /// Builds the starting network for a strategy given the input PDF.
@@ -179,14 +308,17 @@ impl RapidTrainer {
         if strategy == TrainStrategy::Scratch {
             return scratch();
         }
-        match self.manager.rank(&self.zoo, pdf) {
-            Some(rec) => {
-                let (zoo_id, div) = match strategy {
-                    TrainStrategy::FineTuneBest => rec.best(),
-                    TrainStrategy::FineTuneMedian => rec.median(),
-                    TrainStrategy::FineTuneWorst => rec.worst(),
-                    TrainStrategy::Scratch => unreachable!(),
-                };
+        let picked = self
+            .manager
+            .rank(&self.zoo, pdf)
+            .and_then(|rec| match strategy {
+                TrainStrategy::FineTuneBest => rec.best(),
+                TrainStrategy::FineTuneMedian => rec.median(),
+                TrainStrategy::FineTuneWorst => rec.worst(),
+                TrainStrategy::Scratch => unreachable!(),
+            });
+        match picked {
+            Some((zoo_id, div)) => {
                 let net = self
                     .zoo
                     .instantiate(zoo_id, self.cfg.seed)
@@ -244,16 +376,44 @@ impl RapidTrainer {
     /// The full fairDMS update (Fig 5 user plane): pseudo-label, decide,
     /// train, register. `fallback` computes a label for one flattened
     /// image when no stored label is close enough.
+    ///
+    /// This is the synchronous composition of the three update halves —
+    /// [`RapidTrainer::prepare_update`], [`UpdatePlan::train`],
+    /// [`RapidTrainer::complete_update`] — which a background training
+    /// executor runs separately so the heavy middle step never holds the
+    /// mutation actor.
     pub fn update_model(
         &mut self,
         x_flat: &Tensor,
         fallback: impl FnMut(&[f32]) -> Vec<f32>,
         scan: usize,
     ) -> (Sequential, UpdateReport) {
+        let plan = self.prepare_update(x_flat, fallback, scan);
+        let trained = plan.train(&TrainControl::new());
+        self.complete_update(trained)
+            .expect("uncancelled update always completes")
+    }
+
+    /// First update half (actor side, O(ms–label): no epoch loop): computes
+    /// the dataset PDF, pseudo-labels through the fallback, decides the
+    /// strategy, and resolves + instantiates the foundation network from
+    /// the current zoo. The returned plan owns everything the training run
+    /// needs and records the system-plane version it was prepared against.
+    pub fn prepare_update(
+        &self,
+        x_flat: &Tensor,
+        fallback: impl FnMut(&[f32]) -> Vec<f32>,
+        scan: usize,
+    ) -> UpdatePlan {
         assert!(
             self.fairds.is_ready(),
             "fairDS system plane must be trained before updates"
         );
+        let system_version = self
+            .fairds
+            .snapshot()
+            .expect("is_ready checked above")
+            .version();
         let pdf = self.fairds.dataset_pdf(x_flat);
 
         let t_label = Instant::now();
@@ -266,12 +426,51 @@ impl RapidTrainer {
             ModelDecision::FineTune { .. } => TrainStrategy::FineTuneBest,
             ModelDecision::TrainFromScratch => TrainStrategy::Scratch,
         };
-        let t_train = Instant::now();
-        let (net, train_report, foundation, divergence) =
-            self.fit_strategy(x_flat, &labels, &pdf, strategy);
-        let train_secs = t_train.elapsed().as_secs_f64();
+        let (net, foundation, divergence, lr) = self.foundation_for(strategy, &pdf);
+        UpdatePlan {
+            cfg: self.cfg.clone(),
+            x_flat: x_flat.clone(),
+            labels,
+            pdf,
+            net,
+            foundation,
+            divergence,
+            lr,
+            label_secs,
+            label_stats,
+            scan,
+            system_version,
+        }
+    }
 
-        // Register the updated model (and its data) for future requests.
+    /// Last update half (actor side, O(ms)): registers the trained model
+    /// into the zoo and ingests its (pseudo-)labeled data. Returns `None`
+    /// for a cancelled run — nothing is registered or ingested.
+    ///
+    /// Version fencing is the caller's: compare
+    /// [`TrainedUpdate::trained_from_version`] against the live plane and
+    /// discard stale results instead of completing them.
+    pub fn complete_update(
+        &mut self,
+        trained: TrainedUpdate,
+    ) -> Option<(Sequential, UpdateReport)> {
+        if trained.cancelled() {
+            return None;
+        }
+        let TrainedUpdate {
+            x_flat,
+            labels,
+            pdf,
+            net,
+            foundation,
+            divergence,
+            label_secs,
+            label_stats,
+            scan,
+            system_version: _,
+            train_secs,
+            train_report,
+        } = trained;
         let registered_id = self.zoo.add_model(
             &format!("{}-scan{scan}", self.cfg.arch.name()),
             self.cfg.arch,
@@ -279,10 +478,10 @@ impl RapidTrainer {
             pdf,
             scan,
         );
-        self.fairds.ingest_labeled(x_flat, &labels, scan);
+        self.fairds.ingest_labeled(&x_flat, &labels, scan);
 
         let epochs = train_report.curve.len();
-        (
+        Some((
             net,
             UpdateReport {
                 label_secs,
@@ -294,7 +493,7 @@ impl RapidTrainer {
                 train_report,
                 registered_id,
             },
-        )
+        ))
     }
 }
 
@@ -476,6 +675,78 @@ mod tests {
         let (_, bad_report, _, _) =
             trainer.fit_strategy_with_val(&tx, &ty, &vx, &bad_vy, &pdf, TrainStrategy::Scratch);
         assert!(bad_report.final_val_loss() > report.final_val_loss() * 10.0);
+    }
+
+    #[test]
+    fn split_update_halves_compose_to_update_model() {
+        // prepare → train → complete must be observably the same operation
+        // as the one-shot update_model (same foundation decision, same
+        // registration, deterministic curve given seeds).
+        let mut a = trainer_fixture(30);
+        prime(&mut a, 31);
+        let mut b = trainer_fixture(30);
+        prime(&mut b, 31);
+        let (x_new, _) = blob_task(40, 32);
+
+        let (_, direct) = a.update_model(&x_new, |_| vec![0.5, 0.5], 1);
+
+        let plan = b.prepare_update(&x_new, |_| vec![0.5, 0.5], 1);
+        assert_eq!(plan.scan(), 1);
+        let trained = plan.train(&TrainControl::new());
+        assert!(!trained.cancelled());
+        let (_, split) = b.complete_update(trained).expect("uncancelled");
+
+        assert_eq!(direct.foundation, split.foundation);
+        assert_eq!(direct.registered_id, split.registered_id);
+        assert_eq!(
+            direct.train_report.val_curve(),
+            split.train_report.val_curve()
+        );
+        assert_eq!(a.zoo.len(), b.zoo.len());
+    }
+
+    #[test]
+    fn cancelled_update_registers_nothing() {
+        let mut trainer = trainer_fixture(33);
+        prime(&mut trainer, 34);
+        let (x_new, _) = blob_task(30, 35);
+        let store_docs_before = trainer.fairds.store().len();
+        let plan = trainer.prepare_update(&x_new, |_| vec![0.5, 0.5], 1);
+        let ctl = TrainControl::new();
+        ctl.cancel();
+        let trained = plan.train(&ctl);
+        assert!(trained.cancelled());
+        assert!(trainer.complete_update(trained).is_none());
+        assert_eq!(trainer.zoo.len(), 0, "cancelled model must not register");
+        assert_eq!(
+            trainer.fairds.store().len(),
+            store_docs_before,
+            "cancelled update must not ingest its data"
+        );
+    }
+
+    #[test]
+    fn update_plan_records_the_plane_version_it_trained_from() {
+        let mut trainer = trainer_fixture(36);
+        let (x, _) = prime(&mut trainer, 37);
+        let v0 = trainer.fairds.snapshot().unwrap().version();
+        let (x_new, _) = blob_task(30, 38);
+        let plan = trainer.prepare_update(&x_new, |_| vec![0.5, 0.5], 1);
+        assert_eq!(plan.trained_from_version(), v0);
+        // A system retrain between prepare and complete advances the live
+        // version past the plan's — the fence a publisher must check.
+        trainer.fairds.retrain_system(
+            &x,
+            &EmbedTrainConfig {
+                epochs: 2,
+                ..EmbedTrainConfig::default()
+            },
+        );
+        let trained = plan.train(&TrainControl::new());
+        assert!(
+            trainer.fairds.snapshot().unwrap().version() > trained.trained_from_version(),
+            "fence must detect the mid-flight plane change"
+        );
     }
 
     #[test]

@@ -2,16 +2,16 @@
 //!
 //! Functions are registered under string names (funcX registers function
 //! ids) and submitted with an `f64` argument vector; submission returns a
-//! [`TaskHandle`] future. A fixed pool of worker threads drains the task
-//! queue, so concurrent submissions execute in parallel up to the pool
-//! width — the property the paper relies on for "optimal resource
-//! allocation" of user/system plane functions.
+//! [`TaskHandle`] future. The worker threads are a [`JobPool`] — the same
+//! generic pool the fairDMS training executor runs on — so concurrent
+//! submissions execute in parallel up to the pool width, the property the
+//! paper relies on for "optimal resource allocation" of user/system plane
+//! functions.
 
-use crossbeam_channel::{unbounded, Sender};
+use crate::jobs::JobPool;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A function runnable by the executor.
 pub type Func = Arc<dyn Fn(&[f64]) -> Result<Vec<f64>, String> + Send + Sync>;
@@ -42,48 +42,18 @@ impl TaskHandle {
     }
 }
 
-enum Job {
-    Run {
-        func: Func,
-        args: Vec<f64>,
-        slot: Arc<TaskSlot>,
-    },
-    Shutdown,
-}
-
-/// The executor: a function registry plus a worker pool.
+/// The executor: a function registry plus a [`JobPool`].
 pub struct FuncExecutor {
     registry: RwLock<HashMap<String, Func>>,
-    queue: Sender<Job>,
-    workers: Vec<JoinHandle<()>>,
+    pool: JobPool,
 }
 
 impl FuncExecutor {
     /// Creates an executor with `workers` threads.
     pub fn new(workers: usize) -> Self {
-        assert!(workers > 0, "executor needs at least one worker");
-        let (tx, rx) = unbounded::<Job>();
-        let handles = (0..workers)
-            .map(|_| {
-                let rx = rx.clone();
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        match job {
-                            Job::Run { func, args, slot } => {
-                                let result = func(&args);
-                                *slot.result.lock() = Some(result);
-                                slot.ready.notify_all();
-                            }
-                            Job::Shutdown => break,
-                        }
-                    }
-                })
-            })
-            .collect();
         FuncExecutor {
             registry: RwLock::new(HashMap::new()),
-            queue: tx,
-            workers: handles,
+            pool: JobPool::new(workers, "funcx-exec"),
         }
     }
 
@@ -117,30 +87,19 @@ impl FuncExecutor {
             result: Mutex::new(None),
             ready: Condvar::new(),
         });
-        self.queue
-            .send(Job::Run {
-                func,
-                args: args.to_vec(),
-                slot: Arc::clone(&slot),
-            })
-            .map_err(|_| "executor is shut down".to_string())?;
+        let job_slot = Arc::clone(&slot);
+        let args = args.to_vec();
+        self.pool.spawn(move |_| {
+            let result = func(&args);
+            *job_slot.result.lock() = Some(result);
+            job_slot.ready.notify_all();
+        });
         Ok(TaskHandle { slot })
     }
 
     /// Convenience: submit and wait.
     pub fn call(&self, name: &str, args: &[f64]) -> Result<Vec<f64>, String> {
         self.submit(name, args)?.wait()
-    }
-}
-
-impl Drop for FuncExecutor {
-    fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.queue.send(Job::Shutdown);
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
     }
 }
 

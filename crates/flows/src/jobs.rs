@@ -1,0 +1,225 @@
+//! A generic background job pool with cooperative cancellation.
+//!
+//! [`FuncExecutor`](crate::executor::FuncExecutor) wraps this pool behind a
+//! funcX-style registry; [`JobPool`] is the underlying worker-pool pattern
+//! made reusable for jobs that are *not* `&[f64] → Vec<f64>` functions —
+//! most importantly the fairDMS training executor, where a job is "fine-tune
+//! a model for up to N epochs" and must be cancellable mid-flight when a
+//! newer trigger supersedes it.
+//!
+//! Each spawned job receives a [`CancelToken`]: a shared atomic flag the
+//! submitter keeps a clone of. Cancellation is *cooperative* — raising the
+//! flag never interrupts a thread; the job polls the token at its own safe
+//! points (a trainer checks between epochs) and winds down. Jobs deliver
+//! their results however they like (typically by sending a message back to
+//! the submitting actor), which keeps the pool free of result-type
+//! generics and lets one pool run heterogeneous job kinds.
+
+use crossbeam_channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared cancellation flag of one job.
+///
+/// Clonable and cheap; all clones observe the same flag. The underlying
+/// atomic is exposed via [`CancelToken::flag`] so domain-specific controls
+/// (e.g. `fairdms_nn::trainer::TrainControl`) can alias it without a
+/// dependency between the crates.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The shared atomic behind the token, for bridging into other
+    /// cancellation vocabularies that poll an `Arc<AtomicBool>`.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+enum PoolMsg {
+    Run(Box<dyn FnOnce(&CancelToken) + Send>, CancelToken),
+    Shutdown,
+}
+
+/// A fixed pool of named worker threads draining a queue of cancellable
+/// jobs.
+///
+/// The queue is unbounded by design: submitters are actors that must never
+/// block on the pool (backpressure belongs at *their* admission edge), and
+/// supersession keeps the queue short — a superseded job is cancelled, runs
+/// to its next safe point, and drains quickly.
+pub struct JobPool {
+    queue: Sender<PoolMsg>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobPool {
+    /// A pool of `workers` threads named `{name}-{i}`.
+    pub fn new(workers: usize, name: &str) -> Self {
+        assert!(workers > 0, "job pool needs at least one worker");
+        let (tx, rx) = unbounded::<PoolMsg>();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                PoolMsg::Run(job, token) => {
+                                    // A panicking job must not shrink the
+                                    // pool: capacity silently decaying one
+                                    // bad job at a time ends with every
+                                    // later job queued forever. The job's
+                                    // owned state (result channels etc.)
+                                    // drops during the unwind, so its
+                                    // submitter still observes the failure
+                                    // as a disconnect.
+                                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        || job(&token),
+                                    ));
+                                }
+                                PoolMsg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .unwrap_or_else(|e| panic!("failed to spawn {name} worker: {e}"))
+            })
+            .collect();
+        JobPool {
+            queue: tx,
+            workers: handles,
+        }
+    }
+
+    /// Submits a job with a fresh token and returns the token, through
+    /// which the submitter can later cancel (supersede) the job.
+    pub fn spawn(&self, job: impl FnOnce(&CancelToken) + Send + 'static) -> CancelToken {
+        let token = CancelToken::new();
+        self.spawn_with(token.clone(), job);
+        token
+    }
+
+    /// Submits a job under a caller-provided token (lets the submitter
+    /// register the token *before* the job can possibly run). A job whose
+    /// token is already cancelled when a worker picks it up still runs —
+    /// it is expected to observe the token at its first safe point and
+    /// return immediately.
+    pub fn spawn_with(&self, token: CancelToken, job: impl FnOnce(&CancelToken) + Send + 'static) {
+        if self.queue.send(PoolMsg::Run(Box::new(job), token)).is_err() {
+            unreachable!("job pool queue disconnected before shutdown");
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.queue.send(PoolMsg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn jobs_run_and_deliver_results_through_their_own_channel() {
+        let pool = JobPool::new(2, "test-pool");
+        let (tx, rx) = crossbeam_channel::unbounded();
+        for i in 0..8usize {
+            let tx = tx.clone();
+            pool.spawn(move |_| {
+                tx.send(i * i).unwrap();
+            });
+        }
+        let mut got: Vec<usize> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn cancellation_is_observable_inside_the_job() {
+        let pool = JobPool::new(1, "cancel-pool");
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let seen = Arc::new(AtomicBool::new(false));
+        let seen2 = Arc::clone(&seen);
+        let token = pool.spawn(move |ctl| {
+            // Epoch-loop stand-in: spin until the token is raised.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while !ctl.is_cancelled() && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            seen2.store(ctl.is_cancelled(), Ordering::Release);
+            tx.send(()).unwrap();
+        });
+        token.cancel();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(seen.load(Ordering::Acquire), "job never saw the token");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn supersession_cancels_the_old_job_not_the_new_one() {
+        // One worker ⇒ jobs serialize; cancelling job A must not leak into
+        // job B's fresh token.
+        let pool = JobPool::new(1, "supersede-pool");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let la = Arc::clone(&log);
+        let a = pool.spawn(move |ctl| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while !ctl.is_cancelled() && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            la.lock().unwrap().push(("a", ctl.is_cancelled()));
+        });
+        let lb = Arc::clone(&log);
+        let b = pool.spawn(move |ctl| {
+            lb.lock().unwrap().push(("b", ctl.is_cancelled()));
+        });
+        a.cancel(); // supersede A; B keeps its own un-cancelled token
+        drop(pool); // joins: A winds down, then B runs
+        assert_eq!(*log.lock().unwrap(), vec![("a", true), ("b", false)]);
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn drop_joins_all_workers_after_draining() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = JobPool::new(3, "drain-pool");
+            for _ in 0..12 {
+                let c = Arc::clone(&counter);
+                pool.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop: shutdown messages queue behind the jobs, then join
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
+    }
+}

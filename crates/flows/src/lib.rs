@@ -19,8 +19,10 @@
 
 pub mod executor;
 pub mod flow;
+pub mod jobs;
 pub mod transfer;
 
 pub use executor::{FuncExecutor, TaskHandle};
 pub use flow::{Flow, FlowError, FlowReport, StepOutcome, StepReport};
+pub use jobs::{CancelToken, JobPool};
 pub use transfer::{Endpoint, TransferRecord, TransferService};

@@ -74,5 +74,5 @@ pub mod prelude {
     pub use crate::optim::{clip_grad_norm, Adam, Optimizer, Sgd};
     pub use crate::param::Param;
     pub use crate::schedule::LrSchedule;
-    pub use crate::trainer::{TrainConfig, TrainReport, Trainer};
+    pub use crate::trainer::{TrainConfig, TrainControl, TrainReport, Trainer};
 }

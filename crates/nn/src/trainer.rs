@@ -11,7 +11,47 @@ use crate::loss::Loss;
 use crate::optim::{clip_grad_norm, Optimizer};
 use crate::schedule::LrSchedule;
 use fairdms_tensor::{rng::TensorRng, Tensor};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Cooperative cancellation handle for a training run.
+///
+/// A `TrainControl` is a cheaply clonable flag shared between the thread
+/// driving [`Trainer::fit_controlled`] and whoever may want to stop it: the
+/// trainer polls the flag **between epochs** and, when it is raised, returns
+/// the partial [`TrainReport`] (with [`TrainReport::cancelled`] set) instead
+/// of running the remaining epochs. Epoch granularity keeps the check out of
+/// the per-batch hot loop while still bounding cancellation latency to one
+/// epoch — the property background training executors rely on to supersede
+/// stale jobs without killing threads.
+#[derive(Clone, Debug, Default)]
+pub struct TrainControl {
+    cancel: Arc<AtomicBool>,
+}
+
+impl TrainControl {
+    /// A fresh, un-cancelled control.
+    pub fn new() -> Self {
+        TrainControl::default()
+    }
+
+    /// A control wrapping an externally owned flag (lets a generic job
+    /// pool's cancel token and the trainer share one atomic).
+    pub fn from_flag(cancel: Arc<AtomicBool>) -> Self {
+        TrainControl { cancel }
+    }
+
+    /// Requests cancellation; the run stops at the next epoch boundary.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+}
 
 /// Training-loop configuration.
 #[derive(Clone, Debug)]
@@ -72,6 +112,10 @@ pub struct TrainReport {
     /// Whether the run ended via early stopping or target loss rather than
     /// exhausting `epochs`.
     pub stopped_early: bool,
+    /// Whether the run was cancelled through a [`TrainControl`] before its
+    /// stopping criteria were reached (the curve holds only the epochs that
+    /// completed before the cancellation was observed).
+    pub cancelled: bool,
 }
 
 impl TrainReport {
@@ -133,6 +177,35 @@ impl Trainer {
         val_x: &Tensor,
         val_y: &Tensor,
     ) -> TrainReport {
+        self.fit_controlled(
+            net,
+            opt,
+            loss,
+            train_x,
+            train_y,
+            val_x,
+            val_y,
+            &TrainControl::new(),
+        )
+    }
+
+    /// [`Trainer::fit`] under cooperative cancellation: `ctl` is polled at
+    /// every epoch boundary (including before the first epoch), and a raised
+    /// flag ends the run immediately with [`TrainReport::cancelled`] set.
+    /// The partial curve and weights trained so far are left intact — the
+    /// caller decides whether a cancelled model is worth keeping.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_controlled(
+        &self,
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        loss: &dyn Loss,
+        train_x: &Tensor,
+        train_y: &Tensor,
+        val_x: &Tensor,
+        val_y: &Tensor,
+        ctl: &TrainControl,
+    ) -> TrainReport {
         let n = train_x.shape()[0];
         assert_eq!(n, train_y.shape()[0], "train x/y row mismatch");
         assert_eq!(val_x.shape()[0], val_y.shape()[0], "val x/y row mismatch");
@@ -144,9 +217,14 @@ impl Trainer {
         let mut best = f32::INFINITY;
         let mut stale = 0usize;
         let mut stopped_early = false;
+        let mut cancelled = false;
 
         let base_lr = opt.lr();
         for epoch in 0..self.cfg.epochs {
+            if ctl.is_cancelled() {
+                cancelled = true;
+                break;
+            }
             opt.set_lr(self.cfg.schedule.lr_at(epoch, base_lr));
             let order = rng.permutation(n);
             let mut epoch_loss = 0.0f64;
@@ -197,6 +275,7 @@ impl Trainer {
             curve,
             wall_secs: start.elapsed().as_secs_f64(),
             stopped_early,
+            cancelled,
         }
     }
 
@@ -395,11 +474,88 @@ mod tests {
             ],
             wall_secs: 0.1,
             stopped_early: false,
+            cancelled: false,
         };
         assert_eq!(report.final_val_loss(), 0.45);
         assert_eq!(report.best_val_loss(), 0.4);
         assert_eq!(report.epochs_to_reach(0.5), Some(2));
         assert_eq!(report.epochs_to_reach(0.1), None);
         assert_eq!(report.val_curve(), vec![0.9, 0.4, 0.45]);
+    }
+
+    #[test]
+    fn pre_cancelled_control_runs_zero_epochs() {
+        let (x, y) = toy_problem(32, 10);
+        let mut net = linear_net(11);
+        let mut opt = Sgd::new(0.1);
+        let ctl = TrainControl::new();
+        ctl.cancel();
+        let report = Trainer::new(TrainConfig::default())
+            .fit_controlled(&mut net, &mut opt, &Mse, &x, &y, &x, &y, &ctl);
+        assert!(report.cancelled);
+        assert!(report.curve.is_empty());
+        assert!(!report.stopped_early);
+    }
+
+    #[test]
+    fn cancellation_lands_on_an_epoch_boundary() {
+        // Cancel from another thread mid-run: the trainer must stop with a
+        // partial curve (every recorded epoch fully completed) instead of
+        // exhausting its 10_000-epoch budget.
+        let (x, y) = toy_problem(256, 12);
+        let mut net = linear_net(13);
+        let mut opt = Sgd::new(1e-4);
+        let cfg = TrainConfig {
+            epochs: 10_000,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
+        let ctl = TrainControl::new();
+        let canceller = {
+            let ctl = ctl.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ctl.cancel();
+            })
+        };
+        let report =
+            Trainer::new(cfg).fit_controlled(&mut net, &mut opt, &Mse, &x, &y, &x, &y, &ctl);
+        canceller.join().unwrap();
+        assert!(report.cancelled, "run must observe the cancellation");
+        assert!(
+            report.curve.len() < 10_000,
+            "cancelled run must not exhaust its epoch budget"
+        );
+        // Every epoch in the curve is complete (train and val both scored).
+        for s in &report.curve {
+            assert!(s.train_loss.is_finite() && s.val_loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn uncancelled_control_is_equivalent_to_fit() {
+        let (x, y) = toy_problem(64, 14);
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let mut net_a = linear_net(15);
+        let mut opt_a = Sgd::new(0.1);
+        let a = Trainer::new(cfg.clone()).fit(&mut net_a, &mut opt_a, &Mse, &x, &y, &x, &y);
+        let mut net_b = linear_net(15);
+        let mut opt_b = Sgd::new(0.1);
+        let b = Trainer::new(cfg).fit_controlled(
+            &mut net_b,
+            &mut opt_b,
+            &Mse,
+            &x,
+            &y,
+            &x,
+            &y,
+            &TrainControl::new(),
+        );
+        assert!(!a.cancelled && !b.cancelled);
+        assert_eq!(a.val_curve(), b.val_curve());
     }
 }

@@ -32,6 +32,12 @@ pub enum ServiceError {
     Invalid(String),
     /// The server is shutting down and no longer accepts work.
     Unavailable,
+    /// A background training job did not publish: either a newer trigger
+    /// for the same plane cancelled it at an epoch boundary, or it
+    /// completed against a system plane that had been replaced mid-flight
+    /// and was rejected by the version fence. The request can be retried
+    /// against the current state; nothing was registered.
+    Superseded,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -41,6 +47,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownModel(id) => write!(f, "unknown zoo model {id}"),
             ServiceError::Invalid(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Unavailable => write!(f, "service unavailable"),
+            ServiceError::Superseded => {
+                write!(f, "training job superseded by a newer trigger")
+            }
         }
     }
 }
@@ -187,11 +196,16 @@ pub enum Reply {
         k: usize,
     },
     /// Samples stored; carries the number ingested and whether the ingest
-    /// triggered a background system-plane retrain.
+    /// triggered a system-plane retrain.
     Ingested {
         /// Documents written.
         count: usize,
-        /// True when the certainty monitor fired and the system retrained.
+        /// True when the certainty monitor fired and a system-plane
+        /// retrain was *triggered*. With the background training executor
+        /// (the default) the retrain completes asynchronously — poll
+        /// `system_retrains` / the snapshot version for installation; in
+        /// serialized mode (`training_pool_size: 0`) it has already
+        /// completed when this reply arrives.
         retrained: bool,
     },
     /// Dataset PDF.

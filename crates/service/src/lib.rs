@@ -10,13 +10,17 @@
 //!   read/write classification ([`api::Request::is_read_only`]);
 //! * [`swap`] — [`swap::SnapshotCell`], the lock-free atomically-swappable
 //!   `Arc` cell snapshot publication rides on;
-//! * [`server`] — [`server::DmsServer`]: a mutating actor (bounded-queue
-//!   admission, certainty-triggered system-plane retraining) plus an
-//!   N-thread read pool serving `DatasetPdf` / `LookupMatching` /
-//!   `Recommend` / `FetchModel` / `Certainty` from immutable snapshots, so
-//!   reads never stall behind a training run;
-//! * [`metrics`] — lock-free per-operation latency/throughput statistics,
-//!   served to clients without ever entering an admission queue.
+//! * [`server`] — [`server::DmsServer`]: a thin mutation actor
+//!   (bounded-queue admission, O(ms) operations only), a **background
+//!   training executor** running cancellable, supersedable training jobs
+//!   (`UpdateModel` fine-tunes, certainty-triggered retrains) whose
+//!   results are version-fenced before publication, plus an N-thread read
+//!   pool serving `DatasetPdf` / `LookupMatching` / `Recommend` /
+//!   `FetchModel` / `Certainty` from immutable snapshots — so neither
+//!   reads *nor ingest* ever stall behind a training run;
+//! * [`metrics`] — lock-free per-operation queue-wait/run-time statistics
+//!   and training-job counters, served to clients without ever entering
+//!   an admission queue.
 //!
 //! ```no_run
 //! use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
@@ -48,7 +52,8 @@
 //! ```
 //!
 //! `DESIGN.md` §6 documents the snapshot-publication architecture and its
-//! consistency guarantees.
+//! consistency guarantees; §7 documents the write-plane split (actor vs.
+//! training executor, epoch-boundary cancellation, version fencing).
 
 #![warn(missing_docs)]
 

@@ -1,13 +1,29 @@
 //! Lock-free request metrics.
 //!
-//! Every server operation records its service time into a per-operation
-//! [`OpStats`]: a count, a total, a min/max, and a log₂-bucketed latency
-//! histogram — all plain atomics so the hot path never takes a lock
-//! (recording is a handful of `fetch_add`/`fetch_min` operations; see the
-//! "Rust Atomics and Locks" guidance on statistics counters). Snapshots
-//! are taken with `Ordering::Relaxed` loads: the numbers are monotone
-//! counters, so a torn snapshot is at worst momentarily stale, never
-//! inconsistent in a way that matters for reporting.
+//! Every server operation records into per-operation [`OpStats`]: a count,
+//! a total, a min/max, and a log₂-bucketed latency histogram — all plain
+//! atomics so the hot path never takes a lock (recording is a handful of
+//! `fetch_add`/`fetch_min` operations; see the "Rust Atomics and Locks"
+//! guidance on statistics counters). Snapshots are taken with
+//! `Ordering::Relaxed` loads: the numbers are monotone counters, so a torn
+//! snapshot is at worst momentarily stale, never inconsistent in a way
+//! that matters for reporting.
+//!
+//! Since the write plane went asynchronous, each operation tracks **two**
+//! latency distributions instead of one:
+//!
+//! * **queue wait** — admission to dequeue: how long the request sat in
+//!   (or blocked on) the plane's bounded queue before a worker picked it
+//!   up. A saturated plane shows up here.
+//! * **run** — dequeue to reply: how long the handler actually took. A
+//!   slow handler shows up here. For a background training job this spans
+//!   the whole job (prepare → epochs on the executor → fenced completion),
+//!   so `update_model` run time still means "how long until my model was
+//!   published", while every *other* op's run time stays milliseconds.
+//!
+//! The old single number conflated the two: once training moved off the
+//! actor, "ingest took 3 s" could mean either a saturated queue or a slow
+//! handler, and dashboards could not tell which plane to scale.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -135,13 +151,25 @@ pub const OPS: [&str; 11] = [
     "metrics",
 ];
 
-/// The server-wide metrics registry: one [`OpStats`] per operation plus
-/// system-plane counters.
+/// The server-wide metrics registry: run-time and queue-wait [`OpStats`]
+/// per operation plus system-plane and training-executor counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
     ops: [OpStats; OPS.len()],
-    /// Certainty-triggered system-plane retrains.
+    queue: [OpStats; OPS.len()],
+    /// Certainty-triggered system-plane retrains that *completed and
+    /// installed* (an asynchronously superseded retrain never counts).
     pub system_retrains: AtomicU64,
+    /// Training jobs (model updates and system retrains) handed to the
+    /// training executor — or run inline when the executor is disabled.
+    pub training_jobs_started: AtomicU64,
+    /// Training jobs whose result was published (model registered /
+    /// system plane installed).
+    pub training_jobs_completed: AtomicU64,
+    /// Training jobs cancelled by a newer trigger for the same plane, or
+    /// whose completed result was rejected by the version fence because
+    /// the plane they trained from had been replaced mid-flight.
+    pub training_jobs_superseded: AtomicU64,
     /// Admission-queue-full events where the client *blocked* until the
     /// queue drained and the request then proceeded normally. Healthy
     /// backpressure, not failure — dashboards alerting on request loss
@@ -160,14 +188,21 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Stats slot for an operation name; panics on unknown names (the set
-    /// of operations is closed).
-    pub fn op(&self, name: &str) -> &OpStats {
-        let idx = OPS
-            .iter()
+    fn idx(name: &str) -> usize {
+        OPS.iter()
             .position(|&o| o == name)
-            .unwrap_or_else(|| panic!("unknown op '{name}'"));
-        &self.ops[idx]
+            .unwrap_or_else(|| panic!("unknown op '{name}'"))
+    }
+
+    /// Run-time stats slot for an operation name (dequeue → reply); panics
+    /// on unknown names (the set of operations is closed).
+    pub fn op(&self, name: &str) -> &OpStats {
+        &self.ops[Self::idx(name)]
+    }
+
+    /// Queue-wait stats slot for an operation name (admission → dequeue).
+    pub fn queue_of(&self, name: &str) -> &OpStats {
+        &self.queue[Self::idx(name)]
     }
 
     /// A point-in-time copy of everything.
@@ -177,7 +212,14 @@ impl Metrics {
                 .iter()
                 .map(|&name| (name, self.op(name).snapshot()))
                 .collect(),
+            queue: OPS
+                .iter()
+                .map(|&name| (name, self.queue_of(name).snapshot()))
+                .collect(),
             system_retrains: self.system_retrains.load(Ordering::Relaxed),
+            training_jobs_started: self.training_jobs_started.load(Ordering::Relaxed),
+            training_jobs_completed: self.training_jobs_completed.load(Ordering::Relaxed),
+            training_jobs_superseded: self.training_jobs_superseded.load(Ordering::Relaxed),
             backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
         }
@@ -187,10 +229,21 @@ impl Metrics {
 /// Plain-data copy of the whole registry.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
-    /// Per-operation snapshots, in [`OPS`] order.
+    /// Per-operation run-time snapshots (dequeue → reply), in [`OPS`]
+    /// order.
     pub ops: Vec<(&'static str, OpSnapshot)>,
-    /// Certainty-triggered system retrains so far.
+    /// Per-operation queue-wait snapshots (admission → dequeue), in
+    /// [`OPS`] order.
+    pub queue: Vec<(&'static str, OpSnapshot)>,
+    /// Certainty-triggered system retrains installed so far.
     pub system_retrains: u64,
+    /// Training jobs started (see [`Metrics::training_jobs_started`]).
+    pub training_jobs_started: u64,
+    /// Training jobs whose result was published.
+    pub training_jobs_completed: u64,
+    /// Training jobs cancelled by a newer trigger or rejected by the
+    /// version fence.
+    pub training_jobs_superseded: u64,
     /// Queue-full blocks where the request still succeeded (healthy
     /// backpressure).
     pub backpressure_waits: u64,
@@ -200,9 +253,14 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Snapshot for one operation.
+    /// Run-time snapshot for one operation.
     pub fn op(&self, name: &str) -> Option<&OpSnapshot> {
         self.ops.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// Queue-wait snapshot for one operation.
+    pub fn queue_op(&self, name: &str) -> Option<&OpSnapshot> {
+        self.queue.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
     }
 
     /// Total completed calls across operations.
@@ -290,5 +348,26 @@ mod tests {
     #[should_panic(expected = "unknown op")]
     fn unknown_op_panics() {
         Metrics::new().op("nope");
+    }
+
+    #[test]
+    fn queue_wait_and_run_time_are_independent_distributions() {
+        // The split exists so "slow op" can be attributed: a request that
+        // waited 8 ms and ran 1 ms must not read the same as one that
+        // waited 1 ms and ran 8 ms.
+        let m = Metrics::new();
+        m.queue_of("ingest").record(Duration::from_millis(8), true);
+        m.op("ingest").record(Duration::from_millis(1), true);
+        let snap = m.snapshot();
+        let q = snap.queue_op("ingest").unwrap();
+        let r = snap.op("ingest").unwrap();
+        assert_eq!(q.count, 1);
+        assert_eq!(r.count, 1);
+        assert!(q.mean() > r.mean(), "queue {q:?} vs run {r:?}");
+        // Ops without queue traffic stay zeroed.
+        assert_eq!(snap.queue_op("pdf").unwrap().count, 0);
+        assert_eq!(snap.training_jobs_started, 0);
+        assert_eq!(snap.training_jobs_completed, 0);
+        assert_eq!(snap.training_jobs_superseded, 0);
     }
 }

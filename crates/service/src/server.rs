@@ -1,42 +1,58 @@
-//! The fairDMS server: a split user plane.
+//! The fairDMS server: a split user plane *and* a split write plane.
 //!
-//! The service state is divided along the read/write axis (DESIGN.md §6):
+//! The service state is divided along the read/write axis (DESIGN.md §6)
+//! and, within the write side, along the cheap/heavy axis (DESIGN.md §7):
 //!
-//! * **Write plane** — an actor-style event loop on one thread owning the
-//!   mutable state (the [`RapidTrainer`]: trainable fairDS, live model
+//! * **Mutation actor** — an actor-style event loop on one thread owning
+//!   the mutable state (the [`RapidTrainer`]: trainable fairDS, live model
 //!   Zoo, fallback labeler). All mutating requests (`TrainSystem`,
 //!   `IngestLabeled`, `PseudoLabel`, `UpdateModel`, `PublishModel`)
 //!   serialize through it over a bounded channel — no shared mutable
 //!   state, no lock ordering; the channel *is* the synchronization. The
-//!   system plane (paper Fig 5, yellow) runs inside this loop: ingests and
-//!   updates are scored by the fuzzy-certainty monitor, and when certainty
-//!   drops below threshold the actor retrains embedding + clustering and
-//!   re-indexes the store **before acknowledging the request** (the Fig 16
-//!   "After Trigger" behaviour).
+//!   actor keeps only O(ms) work: ingest, the pseudo-label ledger, zoo
+//!   publication, snapshot swaps, and the *bookends* of training.
+//! * **Training executor** — a background
+//!   [`JobPool`](fairdms_flows::jobs::JobPool) owning the heavy work:
+//!   multi-epoch `UpdateModel` fine-tunes and certainty-triggered system
+//!   retrains. Jobs run against an **immutable input snapshot** prepared
+//!   by the actor ([`fairdms_core::workflow::UpdatePlan`],
+//!   [`fairdms_core::fairds::RetrainJob`]), poll a cancel token at every
+//!   epoch boundary, and complete by messaging their result back to the
+//!   actor, which **fences** it (the plane version the job trained from
+//!   must still be live) before registering + publishing. A newer trigger
+//!   for the same plane *supersedes* the running job: it is cancelled at
+//!   its next epoch boundary and its client answers
+//!   [`ServiceError::Superseded`] instead of publishing a stale model.
+//!   `training_pool_size: 0` disables the executor and restores the old
+//!   actor-serialized behaviour (training completes before the ack).
 //! * **Read plane** — a pool of worker threads serving all read-only
 //!   requests (`DatasetPdf`, `LookupMatching`, `Recommend`, `FetchModel`,
 //!   `Certainty`, `Metrics`) from an immutable [`ServiceView`] snapshot
 //!   (frozen embedder + k-means + Zoo index) fetched per request from a
-//!   lock-free [`SnapshotCell`]. Readers never touch the actor, so a slow
-//!   `UpdateModel` training run does not stall a single query — exactly as
-//!   the paper's trainer reads MongoDB directly while the service handles
-//!   updates.
+//!   lock-free [`SnapshotCell`]. Readers never touch the actor — and with
+//!   the training executor, neither does a training run, so ingest keeps
+//!   flowing *while* a model fine-tunes, exactly as the paper's trainer
+//!   reads MongoDB directly while the service handles updates (fairDMS
+//!   §III; the FAIR-HEDM follow-up runs fine-tuning as asynchronous
+//!   checkpointed jobs against the registry).
 //!
-//! Every mutation that changes published state makes the actor freeze and
-//! publish a fresh view — a single atomic `Arc` swap — before the client
-//! sees the acknowledgement, so a reader can never observe a torn or
-//! pre-trigger system plane after a mutation completes.
+//! Every publication is still publish-before-acknowledge: the actor
+//! freezes the post-mutation state into the read plane — a single atomic
+//! `Arc` swap — before the owning client sees its reply, so a client that
+//! hears an ack can immediately read the state the ack describes.
 
 use crate::api::{RankedModels, Reply, Request, RequestId, ServiceError, ServiceResult};
 use crate::metrics::Metrics;
 use crate::swap::SnapshotCell;
-use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use fairdms_core::embedding::EmbedTrainConfig;
-use fairdms_core::fairds::SystemSnapshot;
+use fairdms_core::fairds::{RetrainJob, RetrainedSystem, SystemSnapshot};
 use fairdms_core::fairms::{ModelManager, ZooSnapshot};
-use fairdms_core::workflow::RapidTrainer;
+use fairdms_core::workflow::{RapidTrainer, TrainedUpdate, UpdatePlan};
 use fairdms_core::ZooEntry;
+use fairdms_flows::jobs::{CancelToken, JobPool};
 use fairdms_nn::checkpoint;
+use fairdms_nn::trainer::TrainControl;
 use fairdms_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,6 +91,15 @@ pub struct DmsServerConfig {
     /// Read-plane worker count. `0` sizes the pool from the machine's
     /// available parallelism (capped at 8).
     pub read_pool_size: usize,
+    /// Training-executor worker count (default 1). Heavy training jobs —
+    /// `UpdateModel` fine-tunes and certainty-triggered system retrains —
+    /// run on this background pool so the mutation actor keeps serving
+    /// ingest while models train. `0` disables the executor and restores
+    /// the actor-serialized write plane: training runs inline and its
+    /// client waits out every epoch (the pre-split behaviour, kept as the
+    /// bench baseline and for deployments that need the synchronous
+    /// retrain-before-ack contract).
+    pub training_pool_size: usize,
 }
 
 impl Default for DmsServerConfig {
@@ -86,6 +111,7 @@ impl Default for DmsServerConfig {
             retrain_cooldown: 0,
             retrain_embed_cfg: EmbedTrainConfig::default(),
             read_pool_size: 0,
+            training_pool_size: 1,
         }
     }
 }
@@ -145,11 +171,168 @@ struct Envelope {
     id: RequestId,
     req: Request,
     reply: Sender<ServiceResult>,
+    /// When the client started admission; `dequeue − enqueued` is the
+    /// queue-wait metric (includes any backpressure block).
+    enqueued: Instant,
 }
 
 enum Msg {
     Req(Envelope),
+    /// Best-effort nudge from a training worker: a completion is waiting
+    /// on the actor's done channel. Carries nothing — the actor drains
+    /// completions at every iteration anyway; the wake only matters when
+    /// the actor is blocked on an empty request queue.
+    Wake,
     Shutdown,
+}
+
+/// A finished training job travelling back to the actor for fenced
+/// completion. The reply sender of the originating request rides along on
+/// update jobs (retrains have no waiting client).
+enum TrainOutcome {
+    Update {
+        job: u64,
+        reply: Sender<ServiceResult>,
+        /// When the actor dequeued the originating request; completion
+        /// records `started.elapsed()` as the op's run time.
+        started: Instant,
+        /// `None` when the job panicked (a bug in the training loop) —
+        /// the actor poisons the service loudly, the same contract a
+        /// panic on the actor itself has.
+        trained: Option<TrainedUpdate>,
+    },
+    Retrain {
+        job: u64,
+        result: RetrainResult,
+    },
+}
+
+/// How a retrain job ended on the executor.
+enum RetrainResult {
+    Completed(RetrainedSystem),
+    /// Observed its cancel token and wound down (benign).
+    Cancelled,
+    /// Panicked (a bug in the training loop); the actor poisons.
+    Panicked,
+}
+
+/// One in-flight training job (the latest trigger for its plane).
+struct InFlight {
+    job: u64,
+    token: CancelToken,
+}
+
+/// Actor-owned training-executor state: the pool, the completion channel,
+/// and the latest in-flight job per plane (model updates / system
+/// retrains). "Latest" is the supersession rule: submitting a newer job
+/// for a plane cancels the previous one's token.
+struct TrainingExec {
+    /// `None` ⇒ serialized mode (`training_pool_size: 0`): training runs
+    /// inline on the actor.
+    pool: Option<JobPool>,
+    done_tx: Sender<TrainOutcome>,
+    wake_tx: Sender<Msg>,
+    next_job: u64,
+    update: Option<InFlight>,
+    retrain: Option<InFlight>,
+}
+
+impl TrainingExec {
+    /// Cancels the in-flight update (a newer trigger supersedes it) and
+    /// counts the supersession.
+    fn supersede_update(&mut self, metrics: &Metrics) {
+        if let Some(prev) = self.update.take() {
+            prev.token.cancel();
+            metrics
+                .training_jobs_superseded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cancels the in-flight retrain (a newer trigger supersedes it) and
+    /// counts the supersession.
+    fn supersede_retrain(&mut self, metrics: &Metrics) {
+        if let Some(prev) = self.retrain.take() {
+            prev.token.cancel();
+            metrics
+                .training_jobs_superseded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Submits a prepared update plan to the executor; the reply sender
+    /// travels with the job and is answered at fenced completion. A panic
+    /// inside the epoch loop is caught on the worker and reported as a
+    /// failed outcome — never a silently vanished job.
+    fn submit_update(&mut self, plan: UpdatePlan, reply: Sender<ServiceResult>, started: Instant) {
+        let job = self.next_job;
+        self.next_job += 1;
+        let token = CancelToken::new();
+        self.update = Some(InFlight {
+            job,
+            token: token.clone(),
+        });
+        let done = self.done_tx.clone();
+        let wake = self.wake_tx.clone();
+        self.pool
+            .as_ref()
+            .expect("submit_update requires the executor")
+            .spawn_with(token, move |ctl| {
+                let ctl = TrainControl::from_flag(ctl.flag());
+                let trained =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.train(&ctl)))
+                        .ok();
+                let _ = done.send(TrainOutcome::Update {
+                    job,
+                    reply,
+                    started,
+                    trained,
+                });
+                let _ = wake.try_send(Msg::Wake);
+            });
+    }
+
+    /// Submits a prepared system-plane retrain to the executor.
+    fn submit_retrain(&mut self, rjob: RetrainJob, embed_cfg: EmbedTrainConfig) {
+        let job = self.next_job;
+        self.next_job += 1;
+        let token = CancelToken::new();
+        self.retrain = Some(InFlight {
+            job,
+            token: token.clone(),
+        });
+        let done = self.done_tx.clone();
+        let wake = self.wake_tx.clone();
+        self.pool
+            .as_ref()
+            .expect("submit_retrain requires the executor")
+            .spawn_with(token, move |ctl| {
+                let ctl = TrainControl::from_flag(ctl.flag());
+                let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    rjob.train(&embed_cfg, &ctl)
+                })) {
+                    Ok(Some(r)) => RetrainResult::Completed(r),
+                    Ok(None) => RetrainResult::Cancelled,
+                    Err(_) => RetrainResult::Panicked,
+                };
+                let _ = done.send(TrainOutcome::Retrain { job, result });
+                let _ = wake.try_send(Msg::Wake);
+            });
+    }
+
+    /// Shutdown path: cancel whatever is in flight (jobs wind down at
+    /// their next epoch boundary) and join the pool. In-flight clients
+    /// observe `Unavailable` when their reply senders drop with the
+    /// undrained completion channel.
+    fn shutdown(&mut self) {
+        if let Some(f) = self.update.take() {
+            f.token.cancel();
+        }
+        if let Some(f) = self.retrain.take() {
+            f.token.cancel();
+        }
+        drop(self.pool.take()); // joins the workers
+    }
 }
 
 /// Clone-able client handle. Every call is synchronous: it enqueues the
@@ -237,9 +420,10 @@ impl DmsServer {
 
         let read_pool = cfg.resolved_read_pool();
         let actor_shared = Arc::clone(&shared);
+        let wake_tx = write_tx.clone();
         let actor = std::thread::Builder::new()
             .name("fairdms-actor".into())
-            .spawn(move || actor_loop(trainer, labeler, cfg, write_rx, actor_shared))
+            .spawn(move || actor_loop(trainer, labeler, cfg, write_rx, wake_tx, actor_shared))
             .expect("failed to spawn fairdms-actor thread");
 
         let readers = (0..read_pool)
@@ -291,6 +475,7 @@ fn read_loop(rx: Receiver<Msg>, shared: Arc<Shared>) {
     while let Ok(msg) = rx.recv() {
         let env = match msg {
             Msg::Req(env) => env,
+            Msg::Wake => continue, // training wakes target the actor only
             Msg::Shutdown => break,
         };
         // A panicking read would otherwise shrink the pool one thread at
@@ -301,6 +486,10 @@ fn read_loop(rx: Receiver<Msg>, shared: Arc<Shared>) {
         let poison = PoisonOnPanic(Arc::clone(&shared));
         let op = env.req.op_name();
         let start = Instant::now();
+        shared
+            .metrics
+            .queue_of(op)
+            .record(start.saturating_duration_since(env.enqueued), true);
         let result = if shared.poisoned.load(Ordering::Acquire) {
             Err(ServiceError::Unavailable)
         } else {
@@ -436,46 +625,235 @@ fn actor_loop(
     mut labeler: FallbackLabeler,
     cfg: DmsServerConfig,
     rx: Receiver<Msg>,
+    wake_tx: Sender<Msg>,
     shared: Arc<Shared>,
 ) {
     let mut monitor = MonitorState::default();
-    while let Ok(msg) = rx.recv() {
+    let (done_tx, done_rx) = unbounded::<TrainOutcome>();
+    let mut exec = TrainingExec {
+        pool: (cfg.training_pool_size > 0)
+            .then(|| JobPool::new(cfg.training_pool_size, "fairdms-train")),
+        done_tx,
+        wake_tx,
+        next_job: 0,
+        update: None,
+        retrain: None,
+    };
+    'serve: while let Ok(msg) = rx.recv() {
+        // Completions first: a job that already finished must publish (or
+        // be fenced) before any queued request is allowed to supersede it
+        // retroactively, and its waiting client unblocks soonest. The
+        // drain also runs on `Wake`, the training workers' nudge for an
+        // otherwise idle actor.
+        while let Ok(outcome) = done_rx.try_recv() {
+            if handle_train_done(&mut trainer, &shared, &mut exec, outcome) {
+                // A training job panicked: the same contract as a panic on
+                // this thread — the service is poisoned and the write
+                // plane stops, loudly.
+                break 'serve;
+            }
+        }
         let env = match msg {
             Msg::Req(env) => env,
+            Msg::Wake => continue,
             Msg::Shutdown => break,
         };
-        // Declared *after* `env`, so during a panic unwind it drops (and
-        // sets the poison flag) *before* the reply sender disconnects: by
-        // the time the panicking request surfaces as `Unavailable` at its
-        // client, no follow-up read can slip through un-poisoned.
-        let poison = PoisonOnPanic(Arc::clone(&shared));
         let op = env.req.op_name();
         let start = Instant::now();
-        let result = handle_write(
+        shared
+            .metrics
+            .queue_of(op)
+            .record(start.saturating_duration_since(env.enqueued), true);
+        // Panic-poisoning order is handled *inside* handle_write (and
+        // handle_train_done): the guard there is declared after the reply
+        // sender, so an unwinding handler sets the poison flag before the
+        // client's reply channel disconnects.
+        match handle_write(
             &mut trainer,
             &mut labeler,
             &cfg,
             &mut monitor,
-            env.req,
+            env,
             &shared,
-        );
-        shared
-            .metrics
-            .op(op)
-            .record(start.elapsed(), result.is_ok());
-        let _ = env.reply.send(result);
-        drop(poison); // no panic this iteration
+            &mut exec,
+            start,
+        ) {
+            WriteOutcome::Reply(reply, result) => {
+                shared
+                    .metrics
+                    .op(op)
+                    .record(start.elapsed(), result.is_ok());
+                let _ = reply.send(result);
+            }
+            // The reply sender travels with the training job; run time is
+            // recorded at fenced completion.
+            WriteOutcome::Deferred => {}
+        }
+    }
+    // Shutdown: cancel in-flight jobs (they wind down at the next epoch
+    // boundary) and join the executor. Undrained completions — and with
+    // them the deferred reply senders — drop here, surfacing as
+    // `Unavailable` at their clients.
+    exec.shutdown();
+}
+
+/// Applies a completed training job on the actor: supersession and
+/// version fencing first, then registration + publication, then (for
+/// updates) the deferred reply. Returns `true` when the job *panicked* —
+/// the actor must poison and stop, matching the contract of a panic on
+/// the actor thread itself.
+fn handle_train_done(
+    trainer: &mut RapidTrainer,
+    shared: &Arc<Shared>,
+    exec: &mut TrainingExec,
+    outcome: TrainOutcome,
+) -> bool {
+    match outcome {
+        TrainOutcome::Update {
+            job,
+            reply,
+            started,
+            trained,
+        } => {
+            // Poison-before-reply-disconnect ordering, as in the request
+            // path: declared after `reply` so an unwinding completion
+            // (zoo/store panic) poisons the service before the client
+            // observes `Unavailable`.
+            let poison = PoisonOnPanic(Arc::clone(shared));
+            let is_latest = exec.update.as_ref().map(|f| f.job) == Some(job);
+            if is_latest {
+                exec.update = None;
+            }
+            let Some(trained) = trained else {
+                // The epoch loop panicked on the executor. Poison before
+                // the reply leaves (same ordering contract as `poison`),
+                // then tell the actor to stop.
+                shared.poisoned.store(true, Ordering::Release);
+                shared
+                    .metrics
+                    .op("update_model")
+                    .record(started.elapsed(), false);
+                let _ = reply.send(Err(ServiceError::Unavailable));
+                drop(poison);
+                return true;
+            };
+            let result: ServiceResult = if !is_latest || trained.cancelled() {
+                // Cancelled (or displaced) by a newer trigger; counted
+                // when the supersession happened.
+                Err(ServiceError::Superseded)
+            } else if trainer.fairds.snapshot().map(|s| s.version())
+                != Some(trained.trained_from_version())
+            {
+                // Version fence: the system plane the job trained from
+                // (its PDF key in particular) was replaced mid-flight; a
+                // stale model must not be registered.
+                shared
+                    .metrics
+                    .training_jobs_superseded
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Superseded)
+            } else {
+                let (net, report) = trainer
+                    .complete_update(trained)
+                    .expect("cancellation checked above");
+                shared
+                    .metrics
+                    .training_jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                // Publish-before-acknowledge: the new zoo entry goes live
+                // before the updating client hears about it.
+                shared.view.store(Arc::new(ServiceView::of(trainer)));
+                Ok(Reply::Updated {
+                    checkpoint: checkpoint::save(&net),
+                    report,
+                })
+            };
+            shared
+                .metrics
+                .op("update_model")
+                .record(started.elapsed(), result.is_ok());
+            let _ = reply.send(result);
+            drop(poison);
+            false
+        }
+        TrainOutcome::Retrain { job, result } => {
+            let poison = PoisonOnPanic(Arc::clone(shared));
+            let is_latest = exec.retrain.as_ref().map(|f| f.job) == Some(job);
+            if is_latest {
+                exec.retrain = None;
+            }
+            let fatal = match result {
+                RetrainResult::Panicked => {
+                    shared.poisoned.store(true, Ordering::Release);
+                    true
+                }
+                // Cancelled jobs produced nothing; displaced jobs were
+                // counted at supersession time. Both just drain.
+                RetrainResult::Cancelled => false,
+                RetrainResult::Completed(_) if !is_latest => false,
+                RetrainResult::Completed(retrained) => {
+                    if trainer.fairds.snapshot().map(|s| s.version())
+                        == retrained.trained_from_version()
+                    {
+                        trainer.fairds.install_retrained(retrained);
+                        shared
+                            .metrics
+                            .system_retrains
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .training_jobs_completed
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.view.store(Arc::new(ServiceView::of(trainer)));
+                    } else {
+                        // Fence: e.g. a manual TrainSystem replaced the
+                        // plane while the retrain was in flight.
+                        shared
+                            .metrics
+                            .training_jobs_superseded
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    false
+                }
+            };
+            drop(poison);
+            fatal
+        }
     }
 }
 
-/// Runs the certainty monitor on a batch; retrains the system plane when
-/// it fires and the cooldown allows. Returns whether a retrain happened.
+/// Runs the certainty monitor on a batch; triggers a system-plane retrain
+/// when it fires and the cooldown allows. Returns whether a retrain was
+/// triggered.
+///
+/// Scheduling, by caller:
+///
+/// * **Ingest** (`force_inline: false`, executor mode): the retrain is
+///   *submitted* and installs asynchronously after the fence. While one
+///   retrain is already in flight, new triggers are **skipped rather than
+///   superseding it** — every retrain refits the whole store, so the
+///   running job is not stale, and superseding per drifted batch would
+///   let a sustained drift stream cancel every retrain before it could
+///   install (starvation). The next monitored batch after installation
+///   re-evaluates the refreshed plane and re-triggers if drift remains.
+/// * **UpdateModel** (`force_inline: true`): the retrain completes inline
+///   on the actor before the update is prepared — the update's dataset
+///   PDF and pseudo-labels must be computed under the refreshed plane,
+///   and submitting it asynchronously would deterministically fence-
+///   reject the caller's own update. Any in-flight ingest-triggered
+///   retrain is superseded: the inline refit subsumes it.
+/// * **Serialized mode** (`training_pool_size: 0`): always inline.
+///
+/// Degenerate planes (fewer than 4 samples across store + batch) cannot
+/// be refit and never trigger.
 fn monitor_and_maybe_retrain(
     trainer: &mut RapidTrainer,
     cfg: &DmsServerConfig,
     state: &mut MonitorState,
     images: &Tensor,
     shared: &Shared,
+    exec: &mut TrainingExec,
+    force_inline: bool,
 ) -> bool {
     if !cfg.auto_retrain || !trainer.fairds.is_ready() {
         return false;
@@ -484,29 +862,73 @@ fn monitor_and_maybe_retrain(
     if state.since_retrain <= cfg.retrain_cooldown {
         return false;
     }
-    if trainer.fairds.needs_system_update(images) {
-        trainer
-            .fairds
-            .retrain_system(images, &cfg.retrain_embed_cfg);
+    let async_mode = exec.pool.is_some() && !force_inline;
+    if async_mode && exec.retrain.is_some() {
+        // One retrain at a time: let the running refit install instead of
+        // cancelling it per drifted batch. The counter stays advanced, so
+        // the next monitored batch re-checks immediately after install.
+        return false;
+    }
+    if !trainer.fairds.needs_system_update(images) {
+        return false;
+    }
+    let rjob = trainer.fairds.prepare_retrain(images);
+    if rjob.sample_count() < 4 {
+        return false; // nothing to refit on; trigger again when data exists
+    }
+    state.since_retrain = 0;
+    shared
+        .metrics
+        .training_jobs_started
+        .fetch_add(1, Ordering::Relaxed);
+    if async_mode {
+        exec.submit_retrain(rjob, cfg.retrain_embed_cfg.clone());
+    } else {
+        if exec.pool.is_some() {
+            // The inline refit subsumes whatever was in flight.
+            exec.supersede_retrain(&shared.metrics);
+        }
+        let trained = rjob
+            .train(&cfg.retrain_embed_cfg, &TrainControl::new())
+            .expect("uncancelled retrain always completes");
+        trainer.fairds.install_retrained(trained);
         shared
             .metrics
             .system_retrains
             .fetch_add(1, Ordering::Relaxed);
-        state.since_retrain = 0;
-        true
-    } else {
-        false
+        shared
+            .metrics
+            .training_jobs_completed
+            .fetch_add(1, Ordering::Relaxed);
     }
+    true
 }
 
+/// What the actor does with a handled write: reply now, or let the reply
+/// travel with a deferred training job.
+enum WriteOutcome {
+    Reply(Sender<ServiceResult>, ServiceResult),
+    Deferred,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_write(
     trainer: &mut RapidTrainer,
     labeler: &mut FallbackLabeler,
     cfg: &DmsServerConfig,
     monitor: &mut MonitorState,
-    req: Request,
-    shared: &Shared,
-) -> ServiceResult {
+    env: Envelope,
+    shared: &Arc<Shared>,
+    exec: &mut TrainingExec,
+    started: Instant,
+) -> WriteOutcome {
+    let Envelope { req, reply, .. } = env;
+    // Declared *after* `reply`, so during a panic unwind it drops (and
+    // sets the poison flag) *before* the reply sender disconnects: by the
+    // time the panicking request surfaces as `Unavailable` at its client,
+    // no follow-up read can slip through un-poisoned. Disarmed on normal
+    // return (`Drop` only acts while panicking).
+    let _poison = PoisonOnPanic(Arc::clone(shared));
     debug_assert!(
         !req.is_read_only(),
         "read op {} on the actor",
@@ -518,9 +940,16 @@ fn handle_write(
     let publish = |trainer: &RapidTrainer| {
         shared.view.store(Arc::new(ServiceView::of(trainer)));
     };
-    match req {
+    let result: ServiceResult = match req {
         Request::TrainSystem { images, embed_cfg } => {
-            validate_images(&images)?;
+            if let Err(e) = validate_images(&images) {
+                return WriteOutcome::Reply(reply, Err(e));
+            }
+            // A manual (re)bootstrap replaces the plane an in-flight
+            // retrain trained from; the fence would reject it at
+            // completion anyway — cancel it now instead of letting it
+            // burn executor time to a rejection.
+            exec.supersede_retrain(&shared.metrics);
             let k = trainer.fairds.train_system(&images, &embed_cfg);
             publish(trainer);
             Ok(Reply::SystemTrained { k })
@@ -529,7 +958,7 @@ fn handle_write(
             images,
             labels,
             scan,
-        } => {
+        } => (|| {
             validate_images(&images)?;
             if !trainer.fairds.is_ready() {
                 return Err(ServiceError::NotReady);
@@ -541,19 +970,22 @@ fn handle_write(
                     images.shape()[0]
                 )));
             }
-            let retrained = monitor_and_maybe_retrain(trainer, cfg, monitor, &images, shared);
+            let retrained =
+                monitor_and_maybe_retrain(trainer, cfg, monitor, &images, shared, exec, false);
             let ids = trainer.fairds.ingest_labeled(&images, &labels, scan);
-            if retrained {
-                // Store writes are visible to readers through the shared
-                // collection; only model changes need a republish.
+            if retrained && exec.pool.is_none() {
+                // Serialized mode completed the retrain inline: model
+                // changes need a republish. (Executor mode publishes at
+                // install; store writes are visible to readers through
+                // the shared collection either way.)
                 publish(trainer);
             }
             Ok(Reply::Ingested {
                 count: ids.len(),
                 retrained,
             })
-        }
-        Request::PseudoLabel { images, threshold } => {
+        })(),
+        Request::PseudoLabel { images, threshold } => (|| {
             validate_images(&images)?;
             if !trainer.fairds.is_ready() {
                 return Err(ServiceError::NotReady);
@@ -565,14 +997,52 @@ fn handle_write(
             };
             let (labels, stats) = trainer.fairds.pseudo_label(&images, thr, |p| labeler(p));
             Ok(Reply::Labeled { labels, stats })
-        }
+        })(),
         Request::UpdateModel { images, scan } => {
-            validate_images(&images)?;
-            if !trainer.fairds.is_ready() {
-                return Err(ServiceError::NotReady);
+            if let Err(e) = validate_images(&images) {
+                return WriteOutcome::Reply(reply, Err(e));
             }
-            monitor_and_maybe_retrain(trainer, cfg, monitor, &images, shared);
+            if images.shape()[0] < 2 {
+                // The update's train/validation split needs at least two
+                // rows; a single sample would panic the epoch loop.
+                return WriteOutcome::Reply(
+                    reply,
+                    Err(ServiceError::Invalid(
+                        "UpdateModel needs at least 2 samples for its train/val split".into(),
+                    )),
+                );
+            }
+            if !trainer.fairds.is_ready() {
+                return WriteOutcome::Reply(reply, Err(ServiceError::NotReady));
+            }
+            // The monitor runs *inline* for updates (even in executor
+            // mode): the update's PDF and pseudo-labels must be computed
+            // under the refreshed plane, and an async retrain would
+            // deterministically fence-reject this very request. Publish
+            // the refreshed plane immediately — if the update is later
+            // superseded, readers must still see the retrain.
+            if monitor_and_maybe_retrain(trainer, cfg, monitor, &images, shared, exec, true) {
+                publish(trainer);
+            }
+            shared
+                .metrics
+                .training_jobs_started
+                .fetch_add(1, Ordering::Relaxed);
+            if exec.pool.is_some() {
+                // The actor does only the O(ms) bookend: PDF + pseudo-
+                // labels + foundation resolution. The epoch loop runs on
+                // the executor; a newer UpdateModel supersedes this one.
+                let plan = trainer.prepare_update(&images, |p| labeler(p), scan);
+                exec.supersede_update(&shared.metrics);
+                exec.submit_update(plan, reply, started);
+                return WriteOutcome::Deferred;
+            }
+            // Serialized mode: train inline, client waits out every epoch.
             let (net, report) = trainer.update_model(&images, |p| labeler(p), scan);
+            shared
+                .metrics
+                .training_jobs_completed
+                .fetch_add(1, Ordering::Relaxed);
             publish(trainer); // new zoo entry (+ possible retrain) goes live
             Ok(Reply::Updated {
                 checkpoint: checkpoint::save(&net),
@@ -584,7 +1054,7 @@ fn handle_write(
             checkpoint,
             pdf,
             scan,
-        } => {
+        } => (|| {
             // Full mass validation, not just non-emptiness: registration
             // normalizes the PDF into the ranking index
             // (`ModelZoo::add_shared`), whose assertions would otherwise
@@ -605,9 +1075,10 @@ fn handle_write(
             });
             publish(trainer);
             Ok(Reply::Published { zoo_id })
-        }
+        })(),
         other => unreachable!("read request {:?} routed to the actor", other.op_name()),
-    }
+    };
+    WriteOutcome::Reply(reply, result)
 }
 
 // ---------------------------------------------------------------------
@@ -630,6 +1101,9 @@ impl DmsClient {
             id,
             req,
             reply: reply_tx,
+            // Queue wait is measured from here, so a backpressure block in
+            // `send` below is (correctly) attributed to the queue.
+            enqueued: Instant::now(),
         });
         match tx.try_send(env) {
             Ok(()) => {}

@@ -80,6 +80,21 @@ fn spawn_server(seed: u64, auto_retrain: bool) -> (DmsClient, ServerHandle) {
     spawn_server_k(seed, auto_retrain, 2)
 }
 
+/// Polls `cond` until it holds or a generous deadline passes. Background
+/// training jobs complete asynchronously; tests asserting on their
+/// *installed* effects wait for the installation instead of assuming the
+/// triggering ack already carries it.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !cond() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
+        thread::yield_now();
+    }
+}
+
 #[test]
 fn lifecycle_train_ingest_pdf_lookup() {
     let (client, handle) = spawn_server(0, false);
@@ -329,8 +344,14 @@ fn drift_triggers_system_plane_retrain() {
     let (_, retrained) = client.ingest(noise.clone(), labels, 1).unwrap();
     assert!(retrained, "drifted ingest should trigger the system plane");
 
+    // The retrain runs on the background training executor; wait for it
+    // to install before asserting on the refreshed models.
+    wait_until("the triggered retrain to install", || {
+        client.metrics().unwrap().system_retrains == 1
+    });
     let m = client.metrics().unwrap();
     assert_eq!(m.system_retrains, 1);
+    assert_eq!(m.training_jobs_completed, 1);
 
     // The refreshed models were fitted on blob+noise data, so the same
     // noise distribution no longer re-fires the trigger.
@@ -346,6 +367,152 @@ fn drift_triggers_system_plane_retrain() {
 
     drop(client);
     handle.shutdown();
+}
+
+#[test]
+fn update_whose_own_batch_triggers_retrain_still_publishes() {
+    // Regression: with the async executor, submitting the triggered
+    // retrain as a background job would deterministically fence-reject
+    // the very update that triggered it (the retrain installs first and
+    // bumps the plane version). The monitor must run inline for update
+    // requests, so the update trains against the refreshed plane and
+    // publishes normally.
+    let (client, handle) = spawn_server_k(14, true, 3);
+    let (x, y) = blob_images(30, 3, 15);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    client.ingest(x, y, 0).unwrap();
+
+    let noise = TensorRng::seeded(16).uniform(&[60, SIDE * SIDE], -1.0, 1.0);
+    let (_, report) = client
+        .update_model(noise, 1)
+        .expect("self-triggered update must not be superseded");
+    let m = client.metrics().unwrap();
+    assert_eq!(m.system_retrains, 1, "the update's batch fired the monitor");
+    assert_eq!(m.training_jobs_superseded, 0);
+    assert_eq!(m.training_jobs_started, 2, "one retrain + one update");
+    assert_eq!(m.training_jobs_completed, 2);
+    assert!(client.fetch(report.registered_id).is_ok());
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn sustained_drift_does_not_starve_the_retrain() {
+    // Regression: an ingest-triggered retrain used to be superseded by
+    // the next drifted batch, so a drift stream faster than one refit
+    // cancelled every retrain before it could install. New triggers are
+    // skipped while a retrain is in flight; the running one installs.
+    let (client, handle) = spawn_server_k(14, true, 3);
+    let (x, y) = blob_images(30, 3, 15);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    client.ingest(x, y, 0).unwrap();
+
+    let labels = Tensor::from_vec(vec![0.5; 120], &[60, 2]);
+    let noise1 = TensorRng::seeded(16).uniform(&[60, SIDE * SIDE], -1.0, 1.0);
+    let (_, retrained1) = client.ingest(noise1, labels.clone(), 1).unwrap();
+    assert!(retrained1, "first drifted batch triggers");
+    // Immediately drift again: either the retrain is still in flight
+    // (trigger skipped) or it already installed and absorbed the noise
+    // distribution (no trigger). Both must leave the first retrain
+    // un-superseded.
+    let noise2 = TensorRng::seeded(17).uniform(&[60, SIDE * SIDE], -1.0, 1.0);
+    let (_, retrained2) = client.ingest(noise2, labels, 2).unwrap();
+    assert!(!retrained2, "in-flight retrain must not be re-triggered");
+
+    wait_until("the first retrain to install", || {
+        client.metrics().unwrap().system_retrains == 1
+    });
+    let m = client.metrics().unwrap();
+    assert_eq!(m.training_jobs_started, 1);
+    assert_eq!(m.training_jobs_superseded, 0, "no retrain was cancelled");
+    assert_eq!(m.training_jobs_completed, 1);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn training_job_panic_poisons_the_service_loudly() {
+    use fairdms_core::embedding::{EmbedTrainConfig as ECfg, Embedder};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    // An embedder that trains normally once (the bootstrap) and panics on
+    // any refit — simulating a bug inside a background training job. The
+    // fit counter is shared across `clone_embedder` copies, so the
+    // retrain job's private clone still observes the bootstrap.
+    struct FaultyEmbedder {
+        inner: AutoencoderEmbedder,
+        fits: Arc<AtomicUsize>,
+    }
+    impl Embedder for FaultyEmbedder {
+        fn name(&self) -> &'static str {
+            "faulty"
+        }
+        fn embed_dim(&self) -> usize {
+            self.inner.embed_dim()
+        }
+        fn input_dim(&self) -> usize {
+            self.inner.input_dim()
+        }
+        fn fit(&mut self, images: &Tensor, cfg: &ECfg) {
+            if self.fits.fetch_add(1, std::sync::atomic::Ordering::SeqCst) >= 1 {
+                panic!("embedder exploded mid-refit");
+            }
+            self.inner.fit(images, cfg);
+        }
+        fn embed(&self, images: &Tensor) -> Tensor {
+            self.inner.embed(images)
+        }
+        fn clone_embedder(&self) -> Box<dyn Embedder> {
+            Box::new(FaultyEmbedder {
+                inner: self.inner.clone(),
+                fits: Arc::clone(&self.fits),
+            })
+        }
+    }
+
+    let embedder = FaultyEmbedder {
+        inner: AutoencoderEmbedder::new(SIDE * SIDE, 32, 8, 70),
+        fits: Arc::new(AtomicUsize::new(0)),
+    };
+    let fairds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(3),
+            certainty_threshold: 0.55,
+            ..FairDsConfig::default()
+        },
+    );
+    let mut tcfg = RapidTrainerConfig::new(ArchSpec::BraggNN { patch: SIDE }, SIDE);
+    tcfg.train.epochs = 2;
+    let trainer = RapidTrainer::new(fairds, ModelManager::new(0.9), tcfg);
+    let (client, handle) = DmsServer::spawn(
+        trainer,
+        Box::new(|_| vec![0.5, 0.5]),
+        DmsServerConfig {
+            auto_retrain: true,
+            retrain_embed_cfg: embed_cfg(),
+            ..DmsServerConfig::default()
+        },
+    );
+    let (x, y) = blob_images(30, 3, 71);
+    client.train_system(x.clone(), embed_cfg()).unwrap();
+    client.ingest(x.clone(), y, 0).unwrap();
+
+    // Drift triggers a background retrain whose embedder fit panics.
+    let noise = TensorRng::seeded(72).uniform(&[60, SIDE * SIDE], -1.0, 1.0);
+    let labels = Tensor::from_vec(vec![0.5; 120], &[60, 2]);
+    let (_, retrained) = client.ingest(noise, labels, 1).unwrap();
+    assert!(retrained, "drifted ingest should trigger the retrain");
+
+    // The panic must surface as a poisoned, stopped service — never a
+    // silently shrunk pool or a phantom forever-in-flight retrain.
+    wait_until("the panicking job to poison the service", || {
+        client.dataset_pdf(x.clone()) == Err(ServiceError::Unavailable)
+    });
+    assert_eq!(client.metrics().unwrap().system_retrains, 0);
+    drop(client);
+    handle.shutdown(); // joins the stopped actor without hanging
 }
 
 #[test]
@@ -604,11 +771,16 @@ fn ingest_triggered_retrain_republishes_sharing_zoo_entries() {
     let (_, retrained) = client.ingest(noise, labels, 1).unwrap();
     assert!(retrained, "drifted ingest should trigger the system plane");
 
+    // The retrain installs asynchronously; wait for the version to move.
+    let v1 = view1.system.as_ref().unwrap().version();
+    wait_until("the retrained snapshot to publish", || {
+        client
+            .current_view()
+            .system
+            .as_ref()
+            .is_some_and(|s| s.version() > v1)
+    });
     let view2 = client.current_view();
-    assert!(
-        view2.system.as_ref().unwrap().version() > view1.system.as_ref().unwrap().version(),
-        "retrain must publish a new system snapshot"
-    );
     assert!(
         Arc::ptr_eq(&view1.zoo.entries()[0], &view2.zoo.entries()[0]),
         "retrain republication must reuse the untouched zoo entry"

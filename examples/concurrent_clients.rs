@@ -1,14 +1,16 @@
 //! The split user plane under load: many clients querying PDFs and model
-//! recommendations while the system plane retrains.
+//! recommendations — and ingesting — while models train.
 //!
 //! Before the read/write split, every request — including pure reads —
 //! serialized through the single server actor, so one `UpdateModel`
-//! training run stalled every concurrent reader behind it. This example
-//! makes the difference visible: it starts a background loop of rapid
-//! model updates (each occupying the actor for a noticeable stretch),
-//! points a fleet of read-only clients at the service, and prints the
-//! read latencies observed *while training is in flight* next to how long
-//! each training run held the actor.
+//! training run stalled every concurrent reader behind it. And before the
+//! *write-plane* split, mutations still did: an ingest submitted while a
+//! model fine-tuned waited out the whole epoch loop. This example makes
+//! both decouplings visible: it starts a background loop of rapid model
+//! updates (each training for a noticeable stretch on the background
+//! executor), points a fleet of read-only clients *plus an ingest client*
+//! at the service, and prints the latencies observed *while training is
+//! in flight* next to how long each training run took.
 //!
 //! Run with: `cargo run --release --example concurrent_clients`
 
@@ -109,9 +111,34 @@ fn main() {
         })
     };
 
+    // --- The ingest client: mutations must not queue behind training. ----
+    let ingester = {
+        let client = client.clone();
+        let stop = Arc::clone(&stop);
+        let busy = Arc::clone(&training_busy);
+        std::thread::spawn(move || {
+            let mut during_training = Vec::new();
+            let mut scan = 1000;
+            while !stop.load(Ordering::Acquire) {
+                let (ix, iy) = flat(&BraggSimulator::new(DriftModel::none(), 90).scan(0, 8));
+                let was_busy = busy.load(Ordering::Acquire);
+                let t0 = Instant::now();
+                client.ingest(ix, iy, scan).expect("ingest");
+                if was_busy && busy.load(Ordering::Acquire) {
+                    during_training.push(t0.elapsed());
+                }
+                scan += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            during_training
+        })
+    };
+
     // --- The read fleet. ---------------------------------------------------
     let n_clients = 8;
-    println!("running {n_clients} read-only clients while the trainer loops...\n");
+    println!(
+        "running {n_clients} read-only clients + 1 ingest client while the trainer loops...\n"
+    );
     let readers: Vec<_> = (0..n_clients)
         .map(|t| {
             let client = client.clone();
@@ -153,6 +180,7 @@ fn main() {
     }
     stop.store(true, Ordering::Release);
     let updates = updater.join().expect("updater");
+    let mut ingests_during = ingester.join().expect("ingester");
 
     // --- Report. -----------------------------------------------------------
     let pct = |lat: &mut Vec<Duration>, q: usize| -> Duration {
@@ -167,7 +195,7 @@ fn main() {
         updates.len()
     );
     for (d, id) in &updates {
-        println!("  update -> zoo id {id} (actor busy {d:.2?})");
+        println!("  update -> zoo id {id} (trained in the background for {d:.2?})");
     }
     let (d50, d99) = (pct(&mut during, 50), pct(&mut during, 99));
     let (i50, i99) = (pct(&mut idle, 50), pct(&mut idle, 99));
@@ -180,12 +208,28 @@ fn main() {
         "  while actor idle:         {:>4} ops, p50 {i50:.2?}, p99 {i99:.2?}",
         idle.len()
     );
-    println!("\nreads never queued behind the actor: compare the p99 above with");
-    println!("the update durations — the old single-actor design would have");
-    println!("charged a full update to unlucky readers.");
+    let (g50, g99) = (pct(&mut ingests_during, 50), pct(&mut ingests_during, 99));
+    println!(
+        "\ningest round-trips while training in flight: {:>4} ops, p50 {g50:.2?}, p99 {g99:.2?}",
+        ingests_during.len()
+    );
+    println!("\nneither reads nor ingest queued behind training: compare the p99s");
+    println!("above with the update durations — the old serialized write plane");
+    println!("would have charged a full epoch loop to unlucky writers.");
 
     let m = client.metrics().expect("metrics");
     println!("\ntotal calls served: {}", m.total_calls());
+    println!(
+        "training jobs: {} started, {} completed, {} superseded",
+        m.training_jobs_started, m.training_jobs_completed, m.training_jobs_superseded
+    );
+    if let (Some(q), Some(r)) = (m.queue_op("ingest"), m.op("ingest")) {
+        println!(
+            "ingest attribution: queue-wait mean {:.2?} vs run mean {:.2?}",
+            q.mean(),
+            r.mean()
+        );
+    }
 
     drop(client);
     handle.shutdown();

@@ -74,9 +74,9 @@ fn main() {
     }
     println!(
         "\nbest = {}, median = {}, worst = {}",
-        zoo.get(rec.best().0).unwrap().name,
-        zoo.get(rec.median().0).unwrap().name,
-        zoo.get(rec.worst().0).unwrap().name
+        zoo.get(rec.best().unwrap().0).unwrap().name,
+        zoo.get(rec.median().unwrap().0).unwrap().name,
+        zoo.get(rec.worst().unwrap().0).unwrap().name
     );
 
     match manager.decide(&zoo, &q_pdf) {

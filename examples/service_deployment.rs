@@ -175,6 +175,13 @@ fn main() {
     let (dx, dy) = flat(&drift_sim.scan(20, 120));
     let (_, retrained) = client.ingest(dx.clone(), dy, 20).expect("drift ingest");
     println!("  certainty trigger fired: {retrained}");
+    if retrained {
+        // The retrain runs on the background training executor; wait for
+        // it to install so the probe below really is post-update.
+        while client.metrics().expect("metrics").system_retrains == 0 {
+            std::thread::yield_now();
+        }
+    }
     let certainty = client.certainty(dx).expect("certainty");
     println!("  post-update certainty on the drifted batch: {certainty:.2}");
 
@@ -199,6 +206,10 @@ fn main() {
         );
     }
     println!("system-plane retrains: {}", m.system_retrains);
+    println!(
+        "training jobs: {} started, {} completed, {} superseded",
+        m.training_jobs_started, m.training_jobs_completed, m.training_jobs_superseded
+    );
 
     drop(client);
     handle.shutdown();
