@@ -64,6 +64,7 @@ fn p50(lat: &mut [Duration]) -> Duration {
 fn bench_publication_cost(_c: &mut Criterion) {
     let publications = 32usize;
     let mut means = Vec::new();
+    let mut report = fairdms_bench::report::BenchReport::new();
     for &resident in &[16usize, 256] {
         let mut zoo = zoo_of(resident, PDF_BINS);
         let mut prev = zoo.snapshot();
@@ -91,6 +92,11 @@ fn bench_publication_cost(_c: &mut Criterion) {
         let deep: Vec<ZooEntry> = prev.entries().iter().map(|e| (**e).clone()).collect();
         let deep_cost = t0.elapsed();
         black_box(deep.len());
+        report.add_series(&format!("publication/resident_{resident}"), &lat);
+        report.add_metric(
+            &format!("deep_copy_baseline_s/resident_{resident}"),
+            deep_cost.as_secs_f64(),
+        );
         let mean: Duration = lat.iter().sum::<Duration>() / lat.len() as u32;
         println!(
             "publication/resident={resident:<5} mean {mean:>10.2?}  p50 {:>10.2?}  deep-copy baseline {deep_cost:>10.2?}  ({publications} publications, {} KiB checkpoints)",
@@ -109,6 +115,11 @@ fn bench_publication_cost(_c: &mut Criterion) {
         "publication cost growth 16→256 resident entries: {:.2}x (pointer work; a deep copy grows ~16x in *bytes*)",
         means[1].0.as_secs_f64() / means[0].0.as_secs_f64().max(1e-12)
     );
+    report.add_metric(
+        "cost_growth_16_to_256",
+        means[1].0.as_secs_f64() / means[0].0.as_secs_f64().max(1e-12),
+    );
+    report.write("publication");
 }
 
 /// Service-level publication: `PublishModel` round-trip p50 through the

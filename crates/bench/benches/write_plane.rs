@@ -157,6 +157,16 @@ fn bench_ingest_during_training(_c: &mut Criterion) {
     let mut serialized = run_mode("actor-serialized (baseline)", 0);
     let mut executor = run_mode("training executor", 1);
 
+    let mut report = fairdms_bench::report::BenchReport::new();
+    report.add_series("ingest_during_update/serialized", &serialized.ingests);
+    report.add_series("ingest_during_update/executor", &executor.ingests);
+    report.add_metric(
+        "update_wall_s/serialized",
+        serialized.update_took.as_secs_f64(),
+    );
+    report.add_metric("update_wall_s/executor", executor.update_took.as_secs_f64());
+    report.write("write_plane");
+
     for m in [&mut serialized, &mut executor] {
         let n = m.ingests.len();
         let (p50, p99) = (pct(&mut m.ingests, 50), pct(&mut m.ingests, 99));

@@ -16,6 +16,7 @@
 
 pub mod calibrate;
 pub mod figures;
+pub mod report;
 pub mod table;
 
 /// Run-scale selector for figure regenerators.

@@ -31,10 +31,11 @@
 //! serialize behind system-plane maintenance.
 
 use crate::embedding::{EmbedTrainConfig, Embedder};
+use crate::reuse::{EmbedCache, EmbedCacheConfig};
 use fairdms_clustering::{assignments_to_pdf, elbow, fuzzy, KMeans, KMeansConfig};
 use fairdms_datastore::{Collection, DocId, Document, RawCodec};
 use fairdms_nn::trainer::TrainControl;
-use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
+use fairdms_tensor::{hash::row_hashes, ops::sq_dist, rng::TensorRng, Tensor};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -58,6 +59,9 @@ pub struct FairDsConfig {
     pub certainty_threshold: f64,
     /// Seed for clustering and PDF-matched sampling.
     pub seed: u64,
+    /// Embedding-reuse cache sizing (the data-reuse plane, DESIGN.md §8).
+    /// `capacity: 0` disables memoization entirely.
+    pub embed_cache: EmbedCacheConfig,
 }
 
 impl Default for FairDsConfig {
@@ -69,6 +73,7 @@ impl Default for FairDsConfig {
             fuzzifier: 2.0,
             certainty_threshold: 0.8,
             seed: 0,
+            embed_cache: EmbedCacheConfig::default(),
         }
     }
 }
@@ -172,6 +177,12 @@ pub struct SystemSnapshot {
     /// Embedding cache, keyed on the store revision. Built lazily on the
     /// first nearest-neighbour read (one decode pass over the store).
     emb_cache: RwLock<Option<Arc<EmbeddingIndex>>>,
+    /// The data-reuse plane's content-addressed embedding memo table,
+    /// shared with the owning [`FairDS`] across publications. Entries are
+    /// generation-fenced to this snapshot's [`SystemSnapshot::version`]:
+    /// after a retrain the new snapshot's probes can never match (or be
+    /// poisoned by) embeddings of the replaced embedder.
+    reuse: Arc<EmbedCache>,
 }
 
 /// Cache-hit path shared by both indexes: a *shared* read lock and an
@@ -211,6 +222,33 @@ fn cache_install<T>(
 }
 
 impl SystemSnapshot {
+    /// The one place snapshots are constructed — both publication and
+    /// cache-reconfiguration go through here, so a new field cannot be
+    /// wired into one path and forgotten in the other. Index caches
+    /// start empty and the sampling sequence restarts (draws stay
+    /// deterministic-in-sequence per snapshot, which is all the contract
+    /// promises).
+    fn assemble(
+        embedder: Arc<dyn Embedder>,
+        kmeans: Arc<KMeans>,
+        store: Arc<Collection>,
+        cfg: FairDsConfig,
+        version: u64,
+        reuse: Arc<EmbedCache>,
+    ) -> SystemSnapshot {
+        SystemSnapshot {
+            embedder,
+            kmeans,
+            store,
+            cfg,
+            sample_seq: AtomicU64::new(0),
+            version,
+            members_cache: RwLock::new(None),
+            emb_cache: RwLock::new(None),
+            reuse,
+        }
+    }
+
     /// The current membership index, rebuilding if the store moved on.
     ///
     /// The revision is read *before* the index, so a mutation racing the
@@ -304,9 +342,73 @@ impl SystemSnapshot {
         self.embedder.as_ref()
     }
 
+    /// The embedding-reuse cache this snapshot probes (shared across
+    /// snapshots; fenced per generation).
+    pub fn embed_cache(&self) -> &Arc<EmbedCache> {
+        &self.reuse
+    }
+
+    /// Embeds a dataset through the data-reuse plane: rows the cache has
+    /// seen under this embedder generation are served from the memo
+    /// table; **only the misses** are gathered into one partial batch for
+    /// a single forward pass, scattered back, and installed.
+    ///
+    /// Bit-identical to `self.embedder().embed(images)` — every embedder
+    /// in this workspace is row-independent and deterministic, hits are
+    /// confirmed by full-row equality, and the generation fence rules out
+    /// cross-embedder reuse — so callers can switch freely.
+    pub fn embed_cached(&self, images: &Tensor) -> Tensor {
+        if !self.reuse.is_enabled() {
+            return self.embedder.embed(images);
+        }
+        let n = images.shape()[0];
+        let generation = self.version;
+        let hashes = row_hashes(images);
+        let mut out = Tensor::zeros(&[n, self.embedder.embed_dim()]);
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            if !self
+                .reuse
+                .get_into(generation, h, images.row(i), out.row_mut(i))
+            {
+                misses.push(i);
+            }
+        }
+        if misses.is_empty() {
+            return out;
+        }
+        let mz = if misses.len() == n {
+            // All-miss (cold or adversarial) batch: skip the gather copy
+            // and embed the input as-is — the cache must cost ~nothing
+            // when it cannot help.
+            self.embedder.embed(images)
+        } else {
+            // One gather buffer per reader thread, recycled across
+            // batches (taken before the gather, returned after the
+            // forward pass) — partial-miss gathers never churn the
+            // allocator no matter how many batches a worker serves.
+            thread_local! {
+                static GATHER_BUF: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+            }
+            let mut rows = GATHER_BUF.with(std::cell::Cell::take);
+            rows.clear();
+            images.gather_rows_into(&misses, &mut rows);
+            let partial = Tensor::from_vec(rows, &[misses.len(), images.shape()[1]]);
+            let mz = self.embedder.embed(&partial);
+            GATHER_BUF.with(|b| b.set(partial.into_vec()));
+            mz
+        };
+        out.scatter_rows_from(&misses, &mz);
+        for (j, &i) in misses.iter().enumerate() {
+            self.reuse
+                .insert(generation, hashes[i], images.row(i), mz.row(j));
+        }
+        out
+    }
+
     /// Embeds a dataset and returns its per-sample cluster assignments.
     pub fn assign(&self, images: &Tensor) -> Vec<usize> {
-        let z = self.embedder.embed(images);
+        let z = self.embed_cached(images);
         self.kmeans.predict(&z)
     }
 
@@ -407,7 +509,7 @@ impl SystemSnapshot {
     /// comparisons against cached embeddings — no per-sample `find_by`
     /// queries and no per-candidate document decoding.
     fn nearest_labels_parallel(&self, images: &Tensor) -> Vec<Option<(f32, Vec<f32>)>> {
-        let z = self.embedder.embed(images);
+        let z = self.embed_cached(images);
         let km = &self.kmeans;
         let n = images.shape()[0];
         let index = self.embedding_index();
@@ -428,7 +530,7 @@ impl SystemSnapshot {
     /// threshold. Parallel over samples; the candidate scan runs on cached
     /// embeddings and only the winning document is decoded.
     pub fn nearest_labeled(&self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
-        let z = self.embedder.embed(images);
+        let z = self.embed_cached(images);
         let km = &self.kmeans;
         let n = images.shape()[0];
         let store = &self.store;
@@ -454,7 +556,7 @@ impl SystemSnapshot {
 
     /// [`SystemSnapshot::certainty`] with explicit monitor parameters.
     pub fn certainty_with(&self, images: &Tensor, confidence: f32, fuzzifier: f32) -> f64 {
-        let z = self.embedder.embed(images);
+        let z = self.embed_cached(images);
         fuzzy::certainty_with_fuzzifier(&z, &self.kmeans, confidence, fuzzifier)
     }
 
@@ -571,6 +673,10 @@ pub struct FairDS {
     store: Arc<Collection>,
     cfg: FairDsConfig,
     versions_published: u64,
+    /// The data-reuse plane's memo table, shared into every published
+    /// snapshot. Publication advances its generation fence, atomically
+    /// invalidating entries computed under the replaced embedder.
+    reuse: Arc<EmbedCache>,
 }
 
 impl FairDS {
@@ -579,12 +685,14 @@ impl FairDS {
     /// indexes as data are written").
     pub fn new(embedder: Box<dyn Embedder>, store: Arc<Collection>, cfg: FairDsConfig) -> Self {
         store.create_index("cluster");
+        let reuse = Arc::new(EmbedCache::new(cfg.embed_cache));
         FairDS {
             embedder,
             current: None,
             store,
             cfg,
             versions_published: 0,
+            reuse,
         }
     }
 
@@ -615,6 +723,33 @@ impl FairDS {
         &mut self.cfg
     }
 
+    /// The embedding-reuse cache shared into every published snapshot.
+    pub fn embed_cache(&self) -> &Arc<EmbedCache> {
+        &self.reuse
+    }
+
+    /// Replaces the embedding-reuse cache with a fresh one of the given
+    /// sizing (deployment knob — e.g. the service config's
+    /// `embed_cache_capacity`/`embed_cache_shards`). The already-published
+    /// snapshot, if any, is re-issued over the new cache so readers start
+    /// using it immediately; its version (and thus the generation fence)
+    /// is unchanged.
+    pub fn configure_embed_cache(&mut self, cache_cfg: EmbedCacheConfig) {
+        self.cfg.embed_cache = cache_cfg;
+        self.reuse = Arc::new(EmbedCache::new(cache_cfg));
+        if let Some(old) = self.current.as_ref() {
+            self.reuse.advance_generation(old.version);
+            self.current = Some(Arc::new(SystemSnapshot::assemble(
+                Arc::clone(&old.embedder),
+                Arc::clone(&old.kmeans),
+                Arc::clone(&old.store),
+                old.cfg.clone(),
+                old.version,
+                Arc::clone(&self.reuse),
+            )));
+        }
+    }
+
     /// The currently-published snapshot, if the system plane is trained.
     pub fn snapshot(&self) -> Option<Arc<SystemSnapshot>> {
         self.current.clone()
@@ -643,16 +778,21 @@ impl FairDS {
     fn publish(&mut self, kmeans: KMeans) {
         let version = self.versions_published;
         self.versions_published += 1;
-        let snap = Arc::new(SystemSnapshot {
-            embedder: Arc::from(self.embedder.clone_embedder()),
-            kmeans: Arc::new(kmeans),
-            store: Arc::clone(&self.store),
-            cfg: self.cfg.clone(),
-            sample_seq: AtomicU64::new(0),
+        // The publication fence: from this line on, probes against older
+        // generations miss (stale) and inserts from superseded snapshots
+        // are dropped — a retrain can never serve a pre-publication
+        // embedding. Ordered *before* the snapshot swap so no reader ever
+        // holds the new snapshot while the cache still accepts old-
+        // generation inserts.
+        self.reuse.advance_generation(version);
+        let snap = Arc::new(SystemSnapshot::assemble(
+            Arc::from(self.embedder.clone_embedder()),
+            Arc::new(kmeans),
+            Arc::clone(&self.store),
+            self.cfg.clone(),
             version,
-            members_cache: RwLock::new(None),
-            emb_cache: RwLock::new(None),
-        });
+            Arc::clone(&self.reuse),
+        ));
         let _ = snap.membership_index();
         self.current = Some(snap);
     }
@@ -757,7 +897,10 @@ impl FairDS {
             return;
         }
         let x = Tensor::from_vec(rows, &[pending.len(), dim]);
-        let z = snap.embedder.embed(&x);
+        // Cached path: a reindex right after a retrain also *warms* the
+        // new generation with every stored frame, so the first post-
+        // retrain read burst starts hot.
+        let z = snap.embed_cached(&x);
         let clusters = snap.kmeans.predict(&z);
         for (row, (id, mut doc)) in pending.into_iter().enumerate() {
             doc.set("embedding", z.row(row).to_vec());
@@ -773,7 +916,7 @@ impl FairDS {
     pub fn ingest_labeled(&mut self, images: &Tensor, labels: &Tensor, scan: usize) -> Vec<DocId> {
         let snap = Arc::clone(self.ready("ingest"));
         assert_eq!(images.shape()[0], labels.shape()[0], "image/label mismatch");
-        let z = snap.embedder.embed(images);
+        let z = snap.embed_cached(images);
         let n = images.shape()[0];
         let label_w = labels.row_size();
         let mut ids = Vec::with_capacity(n);

@@ -17,6 +17,10 @@
 //! * [`workflow`] — the rapid model-update workflow combining both
 //!   services, with the legacy (Voigt + train-from-scratch) baselines and
 //!   the timing attribution used in the paper's case study (Fig 15);
+//! * [`reuse`] — the data-reuse plane: the content-addressed,
+//!   generation-fenced embedding memo table every snapshot read probes
+//!   before paying for a forward pass (the paper's hash-and-reuse
+//!   mechanism, §II-A);
 //! * [`models`] — BraggNN and CookieNetAE, the paper's two benchmark
 //!   applications (§III-A);
 //! * [`jsd`] — the divergence measure; [`uncertainty`] — MC-dropout
@@ -29,6 +33,7 @@ pub mod fairds;
 pub mod fairms;
 pub mod jsd;
 pub mod models;
+pub mod reuse;
 pub mod uncertainty;
 pub mod workflow;
 
@@ -39,4 +44,5 @@ pub use fairds::{
 pub use fairms::{ModelManager, ModelZoo, Recommendation, ZooEntry, ZooSnapshot};
 pub use jsd::jsd;
 pub use models::ArchSpec;
+pub use reuse::{EmbedCache, EmbedCacheConfig, EmbedCacheStats};
 pub use workflow::{RapidTrainer, TrainStrategy, TrainedUpdate, UpdatePlan, UpdateReport};

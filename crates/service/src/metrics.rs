@@ -25,7 +25,9 @@
 //! actor, "ingest took 3 s" could mean either a saturated queue or a slow
 //! handler, and dashboards could not tell which plane to scale.
 
+use fairdms_core::reuse::{EmbedCache, EmbedCacheStats};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Number of log₂ latency buckets: bucket *i* holds durations in
@@ -180,6 +182,11 @@ pub struct Metrics {
     /// was disconnected (server shut down or its worker died), so the
     /// client observed `Unavailable`.
     pub rejected: AtomicU64,
+    /// Handle onto the data-reuse plane's embedding cache, attached at
+    /// server spawn so snapshots can report
+    /// `embed_cache_{hits,misses,evictions,stale_generation}`. The cache
+    /// keeps its own lock-free counters; this is a read-only view.
+    embed_cache: OnceLock<Arc<EmbedCache>>,
 }
 
 impl Metrics {
@@ -205,6 +212,13 @@ impl Metrics {
         &self.queue[Self::idx(name)]
     }
 
+    /// Attaches the deployment's embedding-reuse cache so its counters
+    /// appear in every subsequent [`Metrics::snapshot`]. First attachment
+    /// wins (the registry outlives any one cache swap).
+    pub fn attach_embed_cache(&self, cache: Arc<EmbedCache>) {
+        let _ = self.embed_cache.set(cache);
+    }
+
     /// A point-in-time copy of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -222,6 +236,11 @@ impl Metrics {
             training_jobs_superseded: self.training_jobs_superseded.load(Ordering::Relaxed),
             backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            embed_cache: self
+                .embed_cache
+                .get()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
         }
     }
 }
@@ -250,9 +269,19 @@ pub struct MetricsSnapshot {
     /// Requests refused with `Unavailable` because the admission channel
     /// was disconnected.
     pub rejected: u64,
+    /// Data-reuse plane counters
+    /// (`embed_cache_{hits,misses,evictions,stale_generation}`), zeroed
+    /// when no cache is attached.
+    pub embed_cache: EmbedCacheStats,
 }
 
 impl MetricsSnapshot {
+    /// Fraction of embedding probes served from the data-reuse cache
+    /// (0 when idle or detached).
+    pub fn embed_cache_hit_ratio(&self) -> f64 {
+        self.embed_cache.hit_ratio()
+    }
+
     /// Run-time snapshot for one operation.
     pub fn op(&self, name: &str) -> Option<&OpSnapshot> {
         self.ops.iter().find(|(n, _)| *n == name).map(|(_, s)| s)

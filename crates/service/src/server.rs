@@ -48,6 +48,7 @@ use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use fairdms_core::embedding::EmbedTrainConfig;
 use fairdms_core::fairds::{RetrainJob, RetrainedSystem, SystemSnapshot};
 use fairdms_core::fairms::{ModelManager, ZooSnapshot};
+use fairdms_core::reuse::EmbedCacheConfig;
 use fairdms_core::workflow::{RapidTrainer, TrainedUpdate, UpdatePlan};
 use fairdms_core::ZooEntry;
 use fairdms_flows::jobs::{CancelToken, JobPool};
@@ -100,6 +101,14 @@ pub struct DmsServerConfig {
     /// bench baseline and for deployments that need the synchronous
     /// retrain-before-ack contract).
     pub training_pool_size: usize,
+    /// Total entry budget of the embedding-reuse cache (the data-reuse
+    /// plane, DESIGN.md §8): repeated frames served to `DatasetPdf`,
+    /// `Certainty`, `PseudoLabel` and the ingest path skip the encoder
+    /// forward pass. `0` disables memoization.
+    pub embed_cache_capacity: usize,
+    /// Shard count of the embedding-reuse cache (lock-light concurrency:
+    /// one short mutex per shard, no global lock).
+    pub embed_cache_shards: usize,
 }
 
 impl Default for DmsServerConfig {
@@ -112,6 +121,8 @@ impl Default for DmsServerConfig {
             retrain_embed_cfg: EmbedTrainConfig::default(),
             read_pool_size: 0,
             training_pool_size: 1,
+            embed_cache_capacity: EmbedCacheConfig::default().capacity,
+            embed_cache_shards: EmbedCacheConfig::default().shards,
         }
     }
 }
@@ -405,13 +416,21 @@ impl DmsServer {
     /// Zoo, and the recommendation policy; `labeler` is the conventional
     /// (expensive) labeling fallback.
     pub fn spawn(
-        trainer: RapidTrainer,
+        mut trainer: RapidTrainer,
         labeler: FallbackLabeler,
         cfg: DmsServerConfig,
     ) -> (DmsClient, ServerHandle) {
         let (write_tx, write_rx) = bounded::<Msg>(cfg.queue_capacity);
         let (read_tx, read_rx) = bounded::<Msg>(cfg.queue_capacity);
+        // Size the data-reuse plane to the deployment's knobs (replacing
+        // whatever the fairDS builder defaulted to) and expose its
+        // counters through the metrics registry.
+        trainer.fairds.configure_embed_cache(EmbedCacheConfig {
+            capacity: cfg.embed_cache_capacity,
+            shards: cfg.embed_cache_shards,
+        });
         let metrics = Arc::new(Metrics::new());
+        metrics.attach_embed_cache(Arc::clone(trainer.fairds.embed_cache()));
         let shared = Arc::new(Shared {
             view: SnapshotCell::new(Arc::new(ServiceView::of(&trainer))),
             metrics: Arc::clone(&metrics),
@@ -945,11 +964,15 @@ fn handle_write(
             if let Err(e) = validate_images(&images) {
                 return WriteOutcome::Reply(reply, Err(e));
             }
-            // A manual (re)bootstrap replaces the plane an in-flight
-            // retrain trained from; the fence would reject it at
-            // completion anyway — cancel it now instead of letting it
-            // burn executor time to a rejection.
+            // A manual (re)bootstrap replaces the plane that any
+            // in-flight training job trained from; the version fence
+            // would reject both kinds at completion anyway — cancel them
+            // now instead of letting them burn executor time (and, on a
+            // single-worker pool, block newly submitted jobs) on the way
+            // to a deterministic rejection. The update's client answers
+            // `Superseded`, exactly as it would have at the fence.
             exec.supersede_retrain(&shared.metrics);
+            exec.supersede_update(&shared.metrics);
             let k = trainer.fairds.train_system(&images, &embed_cfg);
             publish(trainer);
             Ok(Reply::SystemTrained { k })

@@ -36,6 +36,7 @@
 mod shape;
 mod tensor;
 
+pub mod hash;
 pub mod ops;
 pub mod rng;
 

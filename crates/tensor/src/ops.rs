@@ -28,12 +28,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let a_data = a.data();
     let b_data = b.data();
 
+    // No zero-skip branch: the activations these kernels actually see are
+    // dense (post-standardization inputs, pre-activation logits), so a
+    // per-element `a_ip == 0.0` test costs a compare+branch per FMA and
+    // defeats vectorization of the inner loop for nothing. Sparse inputs
+    // that would profit belong behind a dedicated sparsity-aware entry
+    // point, not in the dense hot loop (DESIGN.md §8).
     let row_kernel = |(i, out_row): (usize, &mut [f32])| {
         let a_row = &a_data[i * k..(i + 1) * k];
         for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
             let b_row = &b_data[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
                 *o += a_ip * b_pj;
@@ -100,12 +103,10 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
 
     // Accumulate row-by-row of the k dimension; each output row i gathers
     // a[p, i] * b[p, :]. Parallelize over output rows to stay race-free.
+    // Dense loop by design — no zero-skip branch (see `matmul`).
     let row_kernel = |(i, out_row): (usize, &mut [f32])| {
         for p in 0..k {
             let a_pi = a_data[p * m + i];
-            if a_pi == 0.0 {
-                continue;
-            }
             let b_row = &b_data[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
                 *o += a_pi * b_pj;

@@ -202,6 +202,55 @@ impl Tensor {
         Tensor::from_vec(data, &dims)
     }
 
+    /// Appends the selected rows onto `out` without allocating a fresh
+    /// tensor per call — the miss-gather path of the embedding cache
+    /// reuses one buffer across batches instead of churning the
+    /// allocator. `out` is *appended to* (clear it first for a fresh
+    /// gather); the caller shapes it afterwards.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Vec<f32>) {
+        assert!(self.rank() >= 1, "gather_rows_into requires rank ≥ 1");
+        let n = self.shape()[0];
+        let rs = self.row_size();
+        out.reserve(indices.len() * rs);
+        for &i in indices {
+            assert!(
+                i < n,
+                "gather_rows_into: index {i} out of bounds for {n} rows"
+            );
+            out.extend_from_slice(&self.data[i * rs..(i + 1) * rs]);
+        }
+    }
+
+    /// Scatters the rows of `src` into `self` at the given row indices
+    /// (`self[indices[j]] = src[j]`), in place — the write half of a
+    /// gather/compute/scatter round trip over a row subset. Row widths
+    /// must match; indices out of range panic.
+    pub fn scatter_rows_from(&mut self, indices: &[usize], src: &Tensor) {
+        assert!(self.rank() >= 1, "scatter_rows_from requires rank ≥ 1");
+        let rs = self.row_size();
+        assert_eq!(
+            src.row_size(),
+            rs,
+            "scatter_rows_from: row width mismatch ({} vs {rs})",
+            src.row_size()
+        );
+        assert_eq!(
+            src.shape()[0],
+            indices.len(),
+            "scatter_rows_from: {} source rows for {} indices",
+            src.shape()[0],
+            indices.len()
+        );
+        let n = self.shape()[0];
+        for (j, &i) in indices.iter().enumerate() {
+            assert!(
+                i < n,
+                "scatter_rows_from: index {i} out of bounds for {n} rows"
+            );
+            self.data[i * rs..(i + 1) * rs].copy_from_slice(&src.data[j * rs..(j + 1) * rs]);
+        }
+    }
+
     /// Contiguous row range `[start, end)` as a new tensor.
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         assert!(self.rank() >= 1, "slice_rows requires rank ≥ 1");
@@ -535,5 +584,37 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn gather_rows_rejects_bad_index() {
         Tensor::zeros(&[2, 2]).gather_rows(&[2]);
+    }
+
+    #[test]
+    fn gather_rows_into_appends_and_matches_gather_rows() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]);
+        let mut buf = vec![99.0f32]; // pre-existing content is preserved
+        t.gather_rows_into(&[3, 1], &mut buf);
+        assert_eq!(buf[0], 99.0);
+        assert_eq!(&buf[1..], t.gather_rows(&[3, 1]).data());
+        // Reuse without realloc churn: clear + regather into the same buffer.
+        buf.clear();
+        t.gather_rows_into(&[0], &mut buf);
+        assert_eq!(buf, t.row(0));
+    }
+
+    #[test]
+    fn scatter_rows_from_inverts_gather() {
+        let src = Tensor::from_vec((0..20).map(|x| x as f32).collect(), &[5, 4]);
+        let idx = [4usize, 0, 2];
+        let gathered = src.gather_rows(&idx);
+        let mut out = Tensor::zeros(&[5, 4]);
+        out.scatter_rows_from(&idx, &gathered);
+        for &i in &idx {
+            assert_eq!(out.row(i), src.row(i));
+        }
+        assert!(out.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn scatter_rows_rejects_width_mismatch() {
+        Tensor::zeros(&[2, 3]).scatter_rows_from(&[0], &Tensor::zeros(&[1, 2]));
     }
 }
