@@ -1,27 +1,38 @@
-//! Write-plane liveness bench: ingest latency while a model trains.
+//! Write-plane occupancy bench: ingest latency while a model trains, and
+//! actor occupancy during a retrain install.
 //!
-//! Guards the write-plane split's core claim (DESIGN.md §7): with the
-//! background training executor, a multi-epoch `UpdateModel` fine-tune
-//! does not stall ingest. The bench runs the same workload twice —
+//! Guards the write-plane split's core claims (DESIGN.md §7):
 //!
-//! * **serialized baseline** (`training_pool_size: 0`): training runs
-//!   inline on the mutation actor, the pre-split behaviour;
-//! * **executor** (`training_pool_size: 1`): training runs as a
-//!   background job, the actor only does the O(ms) bookends —
+//! 1. **Ingest-during-training.** With the background training executor,
+//!    a multi-epoch `UpdateModel` fine-tune does not stall ingest. The
+//!    same workload runs twice — the **serialized baseline**
+//!    (`training_pool_size: 0`, training inline on the mutation actor,
+//!    the pre-split behaviour) and the **executor**
+//!    (`training_pool_size: 1`) — measuring ingest round-trips issued
+//!    *while the update is in flight*, and **asserting** the executor's
+//!    worst ingest beats the serialized baseline's by a wide margin.
 //!
-//! measures ingest round-trips issued *while the update is in flight*,
-//! and **asserts** the executor's worst ingest beats the serialized
-//! baseline's by a wide margin, so a regression that re-couples training
-//! to the actor fails the run loudly rather than just skewing a number.
+//! 2. **O(copy) retrain install.** `FairDS::install_retrained` occupies
+//!    the mutation actor for O(store × copy) + O(mid-flight delta), not
+//!    the old O(store × forward-pass). The captured-store size is swept;
+//!    for each size the bench times the copy-path install against the
+//!    **recompute baseline** (a full-store re-embed with the reuse cache
+//!    disabled — exactly the work the pre-split install ran on the
+//!    actor) and **asserts** the copy path wins at every swept size.
 //!
-//! CI runs this bench at smoke scale (see `.github/workflows/ci.yml`).
+//! Both parts record p50/p99 series into `results/BENCH_write_plane.json`
+//! via `fairdms_bench::report`. CI runs this bench at smoke scale (see
+//! `.github/workflows/ci.yml`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fairdms_bench::report::BenchReport;
 use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
 use fairdms_core::fairds::{FairDS, FairDsConfig};
 use fairdms_core::models::ArchSpec;
+use fairdms_core::reuse::EmbedCacheConfig;
 use fairdms_core::workflow::{RapidTrainer, RapidTrainerConfig};
 use fairdms_core::ModelManager;
+use fairdms_nn::trainer::TrainControl;
 use fairdms_service::server::{DmsClient, DmsServer, DmsServerConfig, ServerHandle};
 use fairdms_tensor::rng::TensorRng;
 use fairdms_tensor::Tensor;
@@ -153,11 +164,10 @@ fn pct(lat: &mut [Duration], q: usize) -> Duration {
     lat[(lat.len() * q / 100).min(lat.len() - 1)]
 }
 
-fn bench_ingest_during_training(_c: &mut Criterion) {
+fn bench_ingest_during_training(report: &mut BenchReport) {
     let mut serialized = run_mode("actor-serialized (baseline)", 0);
     let mut executor = run_mode("training executor", 1);
 
-    let mut report = fairdms_bench::report::BenchReport::new();
     report.add_series("ingest_during_update/serialized", &serialized.ingests);
     report.add_series("ingest_during_update/executor", &executor.ingests);
     report.add_metric(
@@ -165,7 +175,6 @@ fn bench_ingest_during_training(_c: &mut Criterion) {
         serialized.update_took.as_secs_f64(),
     );
     report.add_metric("update_wall_s/executor", executor.update_took.as_secs_f64());
-    report.write("write_plane");
 
     for m in [&mut serialized, &mut executor] {
         let n = m.ingests.len();
@@ -204,6 +213,151 @@ fn bench_ingest_during_training(_c: &mut Criterion) {
     );
 }
 
+// -------------------------------------------------------------------
+// Part 2: actor occupancy during a retrain install
+// -------------------------------------------------------------------
+
+/// Frame width for the install sweep. Wider than the liveness part's
+/// 8×8 patches: the install contract is about *production* store sizes,
+/// where a full-store forward pass dwarfs a full-store document copy.
+const INSTALL_SIDE: usize = 16;
+const INSTALL_DIM: usize = INSTALL_SIDE * INSTALL_SIDE;
+const INSTALL_ITERS: usize = 10;
+/// Docs ingested mid-flight (between `prepare_retrain` and install) per
+/// iteration — the delta the copy path must freshly embed.
+const MID_FLIGHT: usize = 8;
+
+fn install_frames(n: usize, seed: u64) -> (Tensor, Tensor) {
+    let data = TensorRng::seeded(seed).uniform(&[n, INSTALL_DIM], 0.0, 1.0);
+    (data, Tensor::zeros(&[n, 2]))
+}
+
+fn install_fairds(cache: EmbedCacheConfig, store_size: usize, seed: u64) -> FairDS {
+    let embedder = AutoencoderEmbedder::new(INSTALL_DIM, 64, 16, seed);
+    let mut ds = FairDS::in_memory(
+        Box::new(embedder),
+        FairDsConfig {
+            k: Some(4),
+            embed_cache: cache,
+            ..FairDsConfig::default()
+        },
+    );
+    let (x, y) = install_frames(store_size, seed ^ 0x5EED);
+    let cfg = EmbedTrainConfig {
+        epochs: 2,
+        batch_size: 64,
+        lr: 2e-3,
+        ..EmbedTrainConfig::default()
+    };
+    ds.train_system(&x, &cfg);
+    ds.ingest_labeled(&x, &y, 0);
+    ds
+}
+
+/// One timed iteration of the O(copy) path: prepare + background-half
+/// train off-timer, `MID_FLIGHT` docs ingested mid-flight, then the
+/// actor-side `install_retrained` on-timer. The mid-flight docs are
+/// removed again afterwards so every iteration (and the series label)
+/// measures the same captured-store size.
+fn time_copy_install(ds: &mut FairDS, iter: u64) -> Duration {
+    let retrain_cfg = EmbedTrainConfig {
+        epochs: 1,
+        batch_size: 64,
+        lr: 2e-3,
+        ..EmbedTrainConfig::default()
+    };
+    let (fresh, _) = install_frames(MID_FLIGHT, 0xF00 + iter);
+    let trained = ds
+        .prepare_retrain(&fresh)
+        .train(&retrain_cfg, &TrainControl::new())
+        .expect("uncancelled");
+    let (mid, mid_y) = install_frames(MID_FLIGHT, 0xA11 + iter);
+    let mid_ids = ds.ingest_labeled(&mid, &mid_y, 1 + iter as usize);
+    let t0 = Instant::now();
+    let install = ds.install_retrained(trained);
+    let took = t0.elapsed();
+    assert_eq!(
+        install.delta_embedded, MID_FLIGHT,
+        "delta must stay bounded"
+    );
+    for id in mid_ids {
+        ds.store().delete(id);
+    }
+    took
+}
+
+fn bench_retrain_install_occupancy(report: &mut BenchReport) {
+    for &store_size in &[64usize, 256] {
+        // O(copy) path: the job's shipped embeddings write back by DocId.
+        let mut copy_lat = Vec::with_capacity(INSTALL_ITERS);
+        {
+            let mut ds = install_fairds(EmbedCacheConfig::default(), store_size, 7);
+            for i in 0..INSTALL_ITERS as u64 {
+                copy_lat.push(time_copy_install(&mut ds, i));
+            }
+        }
+        // Recompute baseline: what the pre-split install ran on the actor
+        // — a full-store forward pass + write-back. Measured as a full
+        // `reindex()` with the reuse cache disabled, over the same store
+        // shape and the same mid-flight ingest cadence.
+        let mut recompute_lat = Vec::with_capacity(INSTALL_ITERS);
+        {
+            let disabled = EmbedCacheConfig {
+                capacity: 0,
+                shards: 1,
+            };
+            let mut ds = install_fairds(disabled, store_size, 7);
+            for i in 0..INSTALL_ITERS as u64 {
+                let (mid, mid_y) = install_frames(MID_FLIGHT, 0xA11 + i);
+                let mid_ids = ds.ingest_labeled(&mid, &mid_y, 1 + i as usize);
+                let t0 = Instant::now();
+                ds.reindex();
+                recompute_lat.push(t0.elapsed());
+                for id in mid_ids {
+                    ds.store().delete(id);
+                }
+            }
+        }
+
+        let copy = report
+            .add_series(
+                &format!("retrain_install/copy/store{store_size}"),
+                &copy_lat,
+            )
+            .clone();
+        let recompute = report
+            .add_series(
+                &format!("retrain_install/recompute/store{store_size}"),
+                &recompute_lat,
+            )
+            .clone();
+        let speedup = recompute.p50.as_secs_f64() / copy.p50.as_secs_f64().max(1e-9);
+        report.add_metric(&format!("install_speedup_p50/store{store_size}"), speedup);
+        println!(
+            "write_plane/install store={store_size:<4} copy p50 {:>10.2?} p99 {:>10.2?}  \
+             recompute p50 {:>10.2?} p99 {:>10.2?}  ({speedup:.1}x)",
+            copy.p50, copy.p99, recompute.p50, recompute.p99
+        );
+        // Loud regression guard: a re-coupled install (full forward pass
+        // back on the actor) cannot beat the recompute baseline — it *is*
+        // the recompute baseline, plus the copy.
+        assert!(
+            copy.p50 < recompute.p50,
+            "O(copy) install (p50 {:?}) must beat the full-recompute baseline (p50 {:?}) \
+             at store size {store_size}",
+            copy.p50,
+            recompute.p50
+        );
+    }
+}
+
+fn bench_write_plane(_c: &mut Criterion) {
+    let mut report = BenchReport::new();
+    bench_ingest_during_training(&mut report);
+    bench_retrain_install_occupancy(&mut report);
+    report.write("write_plane");
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -214,6 +368,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_ingest_during_training
+    targets = bench_write_plane
 }
 criterion_main!(benches);

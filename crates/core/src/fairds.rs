@@ -587,6 +587,11 @@ fn select_k(cfg: &FairDsConfig, z: &Tensor) -> usize {
 /// heavy [`RetrainJob::train`] step touches no live service state at all.
 pub struct RetrainJob {
     all: Tensor,
+    /// Ids of the store documents whose pixels form the first
+    /// `captured.len()` rows of `all` (the fresh trigger batch follows).
+    /// Shipped through [`RetrainedSystem`] so installation can write the
+    /// job's embeddings back by id instead of re-embedding the store.
+    captured: Vec<DocId>,
     embedder: Box<dyn Embedder>,
     cfg: FairDsConfig,
     system_version: Option<u64>,
@@ -596,6 +601,12 @@ impl RetrainJob {
     /// Number of samples (store + fresh batch) the retrain will fit on.
     pub fn sample_count(&self) -> usize {
         self.all.shape()[0]
+    }
+
+    /// Number of store documents captured into the training matrix (their
+    /// embeddings ship back with the result and install as pure copies).
+    pub fn captured_docs(&self) -> usize {
+        self.captured.len()
     }
 
     /// Version of the system plane this job was prepared against (`None`
@@ -609,6 +620,11 @@ impl RetrainJob {
     /// (cancellable at epoch boundaries through `ctl`) and the clustering
     /// on the captured matrix. Returns `None` when the job was cancelled —
     /// partially-trained weights are dropped, nothing is published.
+    ///
+    /// The embedding matrix and cluster assignments the fit produces are
+    /// **kept** and shipped back with the result (keyed by the captured
+    /// [`DocId`]s), so [`FairDS::install_retrained`] never has to repeat
+    /// the full-store forward pass on the mutation actor.
     pub fn train(
         mut self,
         embed_cfg: &EmbedTrainConfig,
@@ -632,22 +648,42 @@ impl RetrainJob {
         let mut km_cfg = KMeansConfig::new(k);
         km_cfg.seed = self.cfg.seed;
         let kmeans = KMeans::fit(&z, &km_cfg);
+        // Assignments are O(n·k·d) — trivial next to the epoch loop, and
+        // computing them here (on the executor) is precisely what makes
+        // installation a pure write-back on the actor.
+        let clusters = kmeans.predict(&z);
         Some(RetrainedSystem {
             embedder: self.embedder,
             kmeans,
             k,
             system_version: self.system_version,
+            captured: self.captured,
+            pixels: self.all,
+            embeddings: z,
+            clusters,
         })
     }
 }
 
 /// A completed off-thread retrain, ready for
 /// [`FairDS::install_retrained`].
+///
+/// Besides the fitted models it carries everything the training job
+/// already computed over the captured store — the embedding matrix, the
+/// cluster assignments, and the captured pixel rows — keyed by the
+/// [`DocId`]s [`FairDS::prepare_retrain`] recorded. Installation copies
+/// these into the store documents instead of re-running the embedder.
 pub struct RetrainedSystem {
     embedder: Box<dyn Embedder>,
     kmeans: KMeans,
     k: usize,
     system_version: Option<u64>,
+    /// Row-parallel to the first `captured.len()` rows of `pixels`,
+    /// `embeddings` and `clusters`; the fresh trigger batch follows.
+    captured: Vec<DocId>,
+    pixels: Tensor,
+    embeddings: Tensor,
+    clusters: Vec<usize>,
 }
 
 impl RetrainedSystem {
@@ -663,6 +699,27 @@ impl RetrainedSystem {
     pub fn trained_from_version(&self) -> Option<u64> {
         self.system_version
     }
+
+    /// Number of store documents whose embeddings ship with this result
+    /// (and therefore install as a pure copy).
+    pub fn captured_docs(&self) -> usize {
+        self.captured.len()
+    }
+}
+
+/// What one [`FairDS::install_retrained`] did, for metrics and assertions:
+/// the split between O(copy) write-backs and the mid-flight delta that
+/// genuinely had to pay a fresh embed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetrainInstall {
+    /// The fitted cluster count of the installed plane.
+    pub k: usize,
+    /// Captured documents whose embedding/cluster was written back from
+    /// the job's shipped matrix — zero forward passes.
+    pub copied: usize,
+    /// Documents ingested mid-flight (present in the store, absent from
+    /// the captured set) that were freshly embedded in one delta batch.
+    pub delta_embedded: usize,
 }
 
 /// The FAIR data service builder: owns the trainable models, publishes
@@ -726,6 +783,14 @@ impl FairDS {
     /// The embedding-reuse cache shared into every published snapshot.
     pub fn embed_cache(&self) -> &Arc<EmbedCache> {
         &self.reuse
+    }
+
+    /// Flattened input width the builder's embedder expects. Available
+    /// before training (the architecture fixes it at construction), so
+    /// admission layers can reject mismatched batches instead of letting
+    /// them panic deep inside a forward pass.
+    pub fn input_dim(&self) -> usize {
+        self.embedder.input_dim()
     }
 
     /// Replaces the embedding-reuse cache with a fresh one of the given
@@ -802,6 +867,13 @@ impl FairDS {
     /// then publishes a fresh snapshot. Returns the selected K.
     pub fn train_system(&mut self, images: &Tensor, embed_cfg: &EmbedTrainConfig) -> usize {
         assert!(images.shape()[0] >= 4, "need at least a handful of samples");
+        assert_eq!(
+            images.shape()[1],
+            self.embedder.input_dim(),
+            "training batch width {} does not match the embedder's input dim {}",
+            images.shape()[1],
+            self.embedder.input_dim()
+        );
         self.embedder.fit(images, embed_cfg);
         let z = self.embedder.embed(images);
         let k = select_k(&self.cfg, &z);
@@ -824,23 +896,35 @@ impl FairDS {
             .prepare_retrain(fresh)
             .train(embed_cfg, &TrainControl::new())
             .expect("uncancelled retrain always completes");
-        self.install_retrained(trained)
+        self.install_retrained(trained).k
     }
 
     /// First retrain half (actor side, O(store bytes) copy, no training):
     /// captures everything a system-plane retrain needs — the training
-    /// matrix (full historical store + the fresh trigger batch), a deep
-    /// copy of the embedder to fit, the configuration, and the version of
-    /// the plane the job trains *from* (the staleness fence).
+    /// matrix (full historical store + the fresh trigger batch), the
+    /// [`DocId`] of every captured row (the installation write-back key),
+    /// a deep copy of the embedder to fit, the configuration, and the
+    /// version of the plane the job trains *from* (the staleness fence).
+    ///
+    /// The fresh batch must match the embedder's input width — a
+    /// mismatched batch would otherwise shear every subsequent row of the
+    /// flattened training matrix, silently corrupting the whole fit.
     pub fn prepare_retrain(&self, fresh: &Tensor) -> RetrainJob {
+        let dim = self.embedder.input_dim();
+        assert!(
+            fresh.rank() == 2 && fresh.shape()[1] == dim,
+            "fresh batch shape {:?} does not match the embedder's input dim {dim}",
+            fresh.shape()
+        );
         let system_version = self.current.as_ref().map(|s| s.version());
         let mut rows: Vec<f32> = Vec::new();
-        let dim = self.embedder.input_dim();
+        let mut captured: Vec<DocId> = Vec::new();
         for id in self.store.ids() {
             if let Some(doc) = self.store.get(id) {
                 if let Some(pixels) = doc.get_f32s("pixels") {
                     if pixels.len() == dim {
                         rows.extend_from_slice(pixels);
+                        captured.push(id);
                     }
                 }
             }
@@ -849,41 +933,112 @@ impl FairDS {
         let n = rows.len() / dim;
         RetrainJob {
             all: Tensor::from_vec(rows, &[n, dim]),
+            captured,
             embedder: self.embedder.clone_embedder(),
             cfg: self.cfg.clone(),
             system_version,
         }
     }
 
-    /// Last retrain half (actor side, O(ms)): installs the off-thread
-    /// training result — the freshly fitted embedder replaces the
-    /// builder's, the clustering is published as a new snapshot, and the
-    /// store is re-indexed under it. Returns the fitted K.
+    /// Last retrain half (actor side, **O(copy)**): installs the
+    /// off-thread training result without repeating any captured forward
+    /// pass —
+    ///
+    /// 1. the freshly fitted embedder replaces the builder's and the
+    ///    clustering is published as a new snapshot;
+    /// 2. the job's shipped embeddings and cluster assignments are
+    ///    *written back* into the captured store documents by [`DocId`]
+    ///    (pure copies — the training job already embedded every captured
+    ///    row when it fit the clustering);
+    /// 3. the new [`EmbedCache`] generation is bulk-warmed with the
+    ///    shipped rows, so the post-retrain read burst starts hot;
+    /// 4. only documents ingested *mid-flight* (present in the store but
+    ///    absent from the captured set) pay a fresh embed, in one delta
+    ///    batch ([`FairDS::reindex_ids`]).
     ///
     /// The caller is responsible for fencing: compare
     /// [`RetrainedSystem::trained_from_version`] against the live
     /// [`SystemSnapshot::version`] and *discard* results trained from a
     /// plane that has since been replaced.
-    pub fn install_retrained(&mut self, trained: RetrainedSystem) -> usize {
-        let k = trained.k;
-        self.embedder = trained.embedder;
-        self.publish(trained.kmeans);
-        self.reindex();
-        k
+    pub fn install_retrained(&mut self, trained: RetrainedSystem) -> RetrainInstall {
+        let RetrainedSystem {
+            embedder,
+            kmeans,
+            k,
+            system_version: _,
+            captured,
+            pixels,
+            embeddings,
+            clusters,
+        } = trained;
+        self.embedder = embedder;
+        // Write-back first: the publication below seeds the membership
+        // index eagerly, and it should see the re-clustered store, not the
+        // about-to-be-overwritten assignments of the replaced plane.
+        let mut copied = 0usize;
+        let mut written: std::collections::HashSet<DocId> =
+            std::collections::HashSet::with_capacity(captured.len());
+        for (row, &id) in captured.iter().enumerate() {
+            let Some(mut doc) = self.store.get(id) else {
+                continue; // deleted mid-flight
+            };
+            doc.set("embedding", embeddings.row(row).to_vec());
+            doc.set("cluster", clusters[row] as i64);
+            if self.store.update(id, &doc) {
+                copied += 1;
+                written.insert(id);
+            }
+        }
+        self.publish(kmeans);
+        // Warm the new generation with every shipped row (captured store
+        // docs *and* the fresh trigger batch — both are inputs the read
+        // plane is likely to see again): hashes + memo inserts only, no
+        // forward pass.
+        if self.reuse.is_enabled() {
+            let generation = self.current.as_ref().map(|s| s.version()).unwrap_or(0);
+            let hashes = row_hashes(&pixels);
+            self.reuse.warm_insert(
+                generation,
+                (0..pixels.shape()[0]).map(|i| (hashes[i], pixels.row(i), embeddings.row(i))),
+            );
+        }
+        // Delta reindex: only docs the job never saw pay a forward pass.
+        let delta: Vec<DocId> = self
+            .store
+            .ids()
+            .into_iter()
+            .filter(|id| !written.contains(id))
+            .collect();
+        let delta_embedded = self.reindex_ids(&delta);
+        RetrainInstall {
+            k,
+            copied,
+            delta_embedded,
+        }
     }
 
     /// Recomputes embeddings and cluster assignments of every stored
-    /// document under the currently-published system models.
+    /// document under the currently-published system models (the *full*
+    /// reindex; [`FairDS::reindex_ids`] is the delta variant).
+    pub fn reindex(&mut self) {
+        let ids = self.store.ids();
+        self.reindex_ids(&ids);
+    }
+
+    /// Recomputes embeddings and cluster assignments of the given
+    /// documents under the currently-published system models, skipping
+    /// ids that are missing or whose pixel width does not match the
+    /// embedder. Returns the number of documents re-embedded.
     ///
     /// Batched: all re-indexable pixel rows are gathered into one matrix
     /// and embedded with a single `embed` call (one forward pass over
     /// `[N, D]`), instead of N single-row tensors through the network.
-    pub fn reindex(&mut self) {
+    pub fn reindex_ids(&mut self, ids: &[DocId]) -> usize {
         let snap = Arc::clone(self.ready("reindex"));
         let dim = snap.embedder.input_dim();
         let mut pending: Vec<(DocId, Document)> = Vec::new();
         let mut rows: Vec<f32> = Vec::new();
-        for id in self.store.ids() {
+        for &id in ids {
             if let Some(doc) = self.store.get(id) {
                 if let Some(pixels) = doc.get_f32s("pixels") {
                     if pixels.len() == dim {
@@ -894,19 +1049,21 @@ impl FairDS {
             }
         }
         if pending.is_empty() {
-            return;
+            return 0;
         }
         let x = Tensor::from_vec(rows, &[pending.len(), dim]);
         // Cached path: a reindex right after a retrain also *warms* the
-        // new generation with every stored frame, so the first post-
+        // new generation with every re-embedded frame, so the first post-
         // retrain read burst starts hot.
         let z = snap.embed_cached(&x);
         let clusters = snap.kmeans.predict(&z);
+        let n = pending.len();
         for (row, (id, mut doc)) in pending.into_iter().enumerate() {
             doc.set("embedding", z.row(row).to_vec());
             doc.set("cluster", clusters[row] as i64);
             self.store.update(id, &doc);
         }
+        n
     }
 
     /// Ingests labeled samples: embeds, assigns clusters, stores documents
@@ -1217,14 +1374,77 @@ mod tests {
         assert_eq!(trained.trained_from_version(), Some(v0));
         assert_eq!(ds.snapshot().unwrap().version(), v0, "not yet installed");
 
-        let k = ds.install_retrained(trained);
-        assert_eq!(k, 2);
+        let install = ds.install_retrained(trained);
+        assert_eq!(install.k, 2);
+        assert_eq!(install.copied, 40, "every captured doc installs by copy");
+        assert_eq!(install.delta_embedded, 0, "no mid-flight ingest");
         assert!(ds.snapshot().unwrap().version() > v0);
         // Store was re-indexed under the new models.
         for id in ds.store().ids() {
             let doc = ds.store().get(id).unwrap();
             assert!(doc.get_i64("cluster").is_some());
         }
+    }
+
+    #[test]
+    fn install_delta_embeds_only_mid_flight_docs() {
+        let (x, y) = blob_images(15, 2, 70);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+
+        let (fresh, _) = blob_images(5, 2, 71);
+        let job = ds.prepare_retrain(&fresh);
+        assert_eq!(job.captured_docs(), 30);
+        let trained = job
+            .train(&quick_embed_cfg(), &TrainControl::new())
+            .expect("uncancelled");
+        assert_eq!(trained.captured_docs(), 30);
+
+        // Mid-flight ingest between prepare and install.
+        let (mid, mid_y) = blob_images(4, 2, 72);
+        ds.ingest_labeled(&mid, &mid_y, 1);
+
+        let install = ds.install_retrained(trained);
+        assert_eq!(install.copied, 30);
+        assert_eq!(install.delta_embedded, 8);
+        // Every stored doc — captured and mid-flight alike — now carries
+        // the *new* embedder's embedding and a consistent cluster id.
+        let snap = ds.snapshot().unwrap();
+        for id in ds.store().ids() {
+            let doc = ds.store().get(id).unwrap();
+            let pixels = doc.get_f32s("pixels").unwrap().to_vec();
+            let x1 = Tensor::from_vec(pixels, &[1, SIDE * SIDE]);
+            let z = snap.embedder().embed(&x1);
+            assert_eq!(
+                doc.get_f32s("embedding").unwrap(),
+                z.row(0),
+                "stored embedding must match the installed embedder"
+            );
+            let (cluster, _) = snap.kmeans.predict_one(z.row(0));
+            assert_eq!(doc.get_i64("cluster"), Some(cluster as i64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the embedder's input dim")]
+    fn prepare_retrain_rejects_sheared_batch() {
+        let (x, y) = blob_images(10, 2, 73);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        // One column short: appending this to the flattened training rows
+        // would shear every subsequent row. Must be rejected instead.
+        let bad = Tensor::zeros(&[6, SIDE * SIDE - 1]);
+        let _ = ds.prepare_retrain(&bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the embedder's input dim")]
+    fn train_system_rejects_sheared_batch() {
+        let mut ds = fairds_with_k(2);
+        let bad = Tensor::zeros(&[8, SIDE * SIDE + 3]);
+        ds.train_system(&bad, &quick_embed_cfg());
     }
 
     #[test]

@@ -91,6 +91,11 @@ impl EmbedCacheStats {
     }
 }
 
+/// One entry of a bulk warm: `(row hash, input row, embedding)` — the
+/// same triple [`EmbedCache::insert`] takes, borrowed from the warmer's
+/// matrices.
+pub type WarmEntry<'a> = (u64, &'a [f32], &'a [f32]);
+
 /// One memoized embedding.
 struct Entry {
     hash: u64,
@@ -282,11 +287,15 @@ impl EmbedCache {
     }
 
     #[inline]
-    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+    fn shard_index(&self, hash: u64) -> usize {
         // High bits select the shard; low bits feed the HashMap. The
         // splitmix finalizer avalanches fully, so both are uniform.
-        let i = ((hash >> 48) as usize) % self.shards.len();
-        &self.shards[i]
+        ((hash >> 48) as usize) % self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(hash)]
     }
 
     /// Probes for `row` under `generation`, copying the embedding into
@@ -331,6 +340,43 @@ impl EmbedCache {
             row,
             value,
         );
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Bulk-installs freshly computed embeddings for a (typically brand
+    /// new) generation — the warm path of an O(copy) retrain install:
+    /// the training job already embedded every captured row, so the new
+    /// generation can start hot without a single forward pass.
+    ///
+    /// Entries are bucketed by shard first and installed under **one lock
+    /// acquisition per shard** instead of one per row; the per-entry fence
+    /// check of [`EmbedCache::insert`] is hoisted to a single generation
+    /// comparison up front (callers pass the generation they are warming,
+    /// and a superseded warmer is dropped wholesale).
+    pub fn warm_insert<'a>(
+        &self,
+        generation: u64,
+        entries: impl IntoIterator<Item = WarmEntry<'a>>,
+    ) {
+        if !self.is_enabled() || generation != self.generation() {
+            return;
+        }
+        let mut buckets: Vec<Vec<WarmEntry<'_>>> = vec![Vec::new(); self.shards.len()];
+        for e in entries {
+            buckets[self.shard_index(e.0)].push(e);
+        }
+        let mut evicted = 0u64;
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[i].lock();
+            for (hash, row, value) in bucket {
+                evicted += shard.insert(self.per_shard_capacity, generation, hash, row, value);
+            }
+        }
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
@@ -482,6 +528,52 @@ mod tests {
             "the un-hit entry is the victim"
         );
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn warm_insert_populates_a_fresh_generation_in_bulk() {
+        let cache = EmbedCache::new(EmbedCacheConfig {
+            capacity: 64,
+            shards: 4,
+        });
+        cache.advance_generation(3);
+        let rows: Vec<Vec<f32>> = (0..16).map(|i| row(i as f32, 8)).collect();
+        let values: Vec<Vec<f32>> = (0..16).map(|i| row(100.0 + i as f32, 4)).collect();
+        let hashes: Vec<u64> = rows.iter().map(|r| hash_row(r)).collect();
+        cache.warm_insert(
+            3,
+            (0..16).map(|i| (hashes[i], rows[i].as_slice(), values[i].as_slice())),
+        );
+        for i in 0..16 {
+            assert_eq!(
+                probe(&cache, 3, &rows[i]).as_deref(),
+                Some(&values[i][..]),
+                "warmed row {i} must hit"
+            );
+        }
+        // A warm for a superseded generation is dropped wholesale.
+        let stale = row(99.0, 8);
+        let h = hash_row(&stale);
+        cache.warm_insert(2, [(h, stale.as_slice(), values[0].as_slice())]);
+        assert!(probe(&cache, 2, &stale).is_none());
+        assert!(probe(&cache, 3, &stale).is_none());
+    }
+
+    #[test]
+    fn warm_insert_respects_capacity_and_counts_evictions() {
+        let cache = EmbedCache::new(EmbedCacheConfig {
+            capacity: 8,
+            shards: 2,
+        });
+        let rows: Vec<Vec<f32>> = (0..32).map(|i| row(i as f32, 8)).collect();
+        let values = row(0.0, 4);
+        cache.warm_insert(
+            0,
+            rows.iter()
+                .map(|r| (hash_row(r), r.as_slice(), &values[..])),
+        );
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats().evictions > 0);
     }
 
     #[test]

@@ -90,9 +90,34 @@ impl FuncExecutor {
         let job_slot = Arc::clone(&slot);
         let args = args.to_vec();
         self.pool.spawn(move |_| {
+            // Completion drop-guard, armed *before* the function runs: a
+            // panicking function unwinds into the pool's `catch_unwind`,
+            // and without this the slot would never fill — `wait()` on the
+            // Condvar would block forever and `try_take()` would poll
+            // forever. The guard writes an `Err` into the slot and
+            // notifies during the unwind; the success path disarms it and
+            // delivers the real result.
+            struct Complete {
+                slot: Arc<TaskSlot>,
+                armed: bool,
+            }
+            impl Drop for Complete {
+                fn drop(&mut self) {
+                    if self.armed {
+                        *self.slot.result.lock() =
+                            Some(Err("task panicked inside the executor".to_string()));
+                        self.slot.ready.notify_all();
+                    }
+                }
+            }
+            let mut guard = Complete {
+                slot: job_slot,
+                armed: true,
+            };
             let result = func(&args);
-            *job_slot.result.lock() = Some(result);
-            job_slot.ready.notify_all();
+            guard.armed = false;
+            *guard.slot.result.lock() = Some(result);
+            guard.slot.ready.notify_all();
         });
         Ok(TaskHandle { slot })
     }
@@ -167,6 +192,49 @@ mod tests {
                 break;
             }
             assert!(t0.elapsed() < Duration::from_secs(2), "task never finished");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn panicked_function_resolves_wait_with_err_promptly() {
+        let ex = FuncExecutor::new(1);
+        ex.register("boom", |_| -> Result<Vec<f64>, String> {
+            panic!("deliberate test panic");
+        });
+        let h = ex.submit("boom", &[]).unwrap();
+        // wait() must return (an Err), not block forever on the Condvar.
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        std::thread::spawn(move || {
+            let _ = tx.send(h.wait());
+        });
+        let result = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("wait() hung on a panicked function");
+        let err = result.expect_err("a panicked function must surface as Err");
+        assert!(err.contains("panicked"), "unhelpful error: {err}");
+        // The worker survived the panic and keeps serving.
+        ex.register("ok", |_| Ok(vec![1.0]));
+        assert_eq!(ex.call("ok", &[]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn panicked_function_terminates_try_take_polling() {
+        let ex = FuncExecutor::new(1);
+        ex.register("boom", |_| -> Result<Vec<f64>, String> {
+            panic!("deliberate test panic");
+        });
+        let h = ex.submit("boom", &[]).unwrap();
+        let t0 = Instant::now();
+        loop {
+            if let Some(r) = h.try_take() {
+                assert!(r.is_err());
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "try_take polled forever on a panicked function"
+            );
             std::thread::yield_now();
         }
     }

@@ -88,11 +88,16 @@ impl JobPool {
                                     // A panicking job must not shrink the
                                     // pool: capacity silently decaying one
                                     // bad job at a time ends with every
-                                    // later job queued forever. The job's
-                                    // owned state (result channels etc.)
-                                    // drops during the unwind, so its
-                                    // submitter still observes the failure
-                                    // as a disconnect.
+                                    // later job queued forever. Failure
+                                    // delivery is the job's own duty: any
+                                    // completion signal it owes (a result
+                                    // channel, `FuncExecutor`'s task slot)
+                                    // must be wired to fire during the
+                                    // unwind — channels disconnect when
+                                    // they drop; Condvar-style slots need
+                                    // an armed drop-guard, or a waiter
+                                    // blocks forever on a panic nothing
+                                    // ever reports.
                                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                                         || job(&token),
                                     ));

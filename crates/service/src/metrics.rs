@@ -162,6 +162,15 @@ pub struct Metrics {
     /// Certainty-triggered system-plane retrains that *completed and
     /// installed* (an asynchronously superseded retrain never counts).
     pub system_retrains: AtomicU64,
+    /// Store documents installed by **copying** the retrain job's shipped
+    /// embeddings/clusters back (the O(copy) install path — zero forward
+    /// passes on the actor).
+    pub retrain_docs_copied: AtomicU64,
+    /// Store documents ingested mid-flight that a retrain install had to
+    /// freshly embed in its delta batch. Persistently large values mean
+    /// ingest outpaces retraining and the install is drifting back toward
+    /// O(store) work on the actor.
+    pub retrain_docs_delta_embedded: AtomicU64,
     /// Training jobs (model updates and system retrains) handed to the
     /// training executor — or run inline when the executor is disabled.
     pub training_jobs_started: AtomicU64,
@@ -231,6 +240,8 @@ impl Metrics {
                 .map(|&name| (name, self.queue_of(name).snapshot()))
                 .collect(),
             system_retrains: self.system_retrains.load(Ordering::Relaxed),
+            retrain_docs_copied: self.retrain_docs_copied.load(Ordering::Relaxed),
+            retrain_docs_delta_embedded: self.retrain_docs_delta_embedded.load(Ordering::Relaxed),
             training_jobs_started: self.training_jobs_started.load(Ordering::Relaxed),
             training_jobs_completed: self.training_jobs_completed.load(Ordering::Relaxed),
             training_jobs_superseded: self.training_jobs_superseded.load(Ordering::Relaxed),
@@ -256,6 +267,12 @@ pub struct MetricsSnapshot {
     pub queue: Vec<(&'static str, OpSnapshot)>,
     /// Certainty-triggered system retrains installed so far.
     pub system_retrains: u64,
+    /// Docs installed by copy across all retrain installs (see
+    /// [`Metrics::retrain_docs_copied`]).
+    pub retrain_docs_copied: u64,
+    /// Docs freshly embedded by install delta batches (see
+    /// [`Metrics::retrain_docs_delta_embedded`]).
+    pub retrain_docs_delta_embedded: u64,
     /// Training jobs started (see [`Metrics::training_jobs_started`]).
     pub training_jobs_started: u64,
     /// Training jobs whose result was published.

@@ -209,8 +209,10 @@ enum TrainOutcome {
         started: Instant,
         /// `None` when the job panicked (a bug in the training loop) —
         /// the actor poisons the service loudly, the same contract a
-        /// panic on the actor itself has.
-        trained: Option<TrainedUpdate>,
+        /// panic on the actor itself has. Boxed to keep the queued
+        /// completion message small (the payload carries the fine-tuned
+        /// network and report).
+        trained: Option<Box<TrainedUpdate>>,
     },
     Retrain {
         job: u64,
@@ -218,9 +220,12 @@ enum TrainOutcome {
     },
 }
 
-/// How a retrain job ended on the executor.
+/// How a retrain job ended on the executor. The completed payload is
+/// boxed: it now ships the job's full embedding/pixel matrices (the
+/// O(copy) install input), which would otherwise bloat every queued
+/// completion message to the largest variant's size.
 enum RetrainResult {
-    Completed(RetrainedSystem),
+    Completed(Box<RetrainedSystem>),
     /// Observed its cancel token and wound down (benign).
     Cancelled,
     /// Panicked (a bug in the training loop); the actor poisons.
@@ -292,7 +297,8 @@ impl TrainingExec {
                 let ctl = TrainControl::from_flag(ctl.flag());
                 let trained =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.train(&ctl)))
-                        .ok();
+                        .ok()
+                        .map(Box::new);
                 let _ = done.send(TrainOutcome::Update {
                     job,
                     reply,
@@ -322,7 +328,7 @@ impl TrainingExec {
                 let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     rjob.train(&embed_cfg, &ctl)
                 })) {
-                    Ok(Some(r)) => RetrainResult::Completed(r),
+                    Ok(Some(r)) => RetrainResult::Completed(Box::new(r)),
                     Ok(None) => RetrainResult::Cancelled,
                     Err(_) => RetrainResult::Panicked,
                 };
@@ -486,6 +492,24 @@ fn validate_images(images: &Tensor) -> Result<(), ServiceError> {
     Ok(())
 }
 
+/// Width check shared by both planes: every image-bearing request must
+/// match the embedder's input width *at admission* — reads check the
+/// snapshot's frozen embedder, writes the builder's. Without this, a
+/// mismatched batch would panic deep inside a forward pass (or, before
+/// the `prepare_retrain` width guard, silently shear the training matrix)
+/// — and a panic on the actor poisons the whole service. One bad client
+/// batch must cost one `Invalid` reply, not the deployment.
+fn validate_image_width(images: &Tensor, want: usize) -> Result<(), ServiceError> {
+    if images.shape()[1] != want {
+        return Err(ServiceError::Invalid(format!(
+            "expected {} features per image, got {}",
+            want,
+            images.shape()[1]
+        )));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Read plane
 // ---------------------------------------------------------------------
@@ -528,15 +552,7 @@ fn read_loop(rx: Receiver<Msg>, shared: Arc<Shared>) {
 /// Validates images against the fitted embedder's input width, turning
 /// what would be a snapshot-side assertion panic into a client error.
 fn validate_image_dim(images: &Tensor, sys: &Arc<SystemSnapshot>) -> Result<(), ServiceError> {
-    let want = sys.embedder().input_dim();
-    if images.shape()[1] != want {
-        return Err(ServiceError::Invalid(format!(
-            "expected {} features per image, got {}",
-            want,
-            images.shape()[1]
-        )));
-    }
-    Ok(())
+    validate_image_width(images, sys.embedder().input_dim())
 }
 
 /// Serves one read-only request from an immutable view. Never blocks on
@@ -773,7 +789,7 @@ fn handle_train_done(
                 Err(ServiceError::Superseded)
             } else {
                 let (net, report) = trainer
-                    .complete_update(trained)
+                    .complete_update(*trained)
                     .expect("cancellation checked above");
                 shared
                     .metrics
@@ -814,7 +830,20 @@ fn handle_train_done(
                     if trainer.fairds.snapshot().map(|s| s.version())
                         == retrained.trained_from_version()
                     {
-                        trainer.fairds.install_retrained(retrained);
+                        // O(copy) install: the job's shipped embeddings
+                        // write back by DocId; only docs ingested while
+                        // the job trained pay a fresh (delta) embed. The
+                        // actor is occupied for O(store × copy), not
+                        // O(store × forward-pass).
+                        let install = trainer.fairds.install_retrained(*retrained);
+                        shared
+                            .metrics
+                            .retrain_docs_copied
+                            .fetch_add(install.copied as u64, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .retrain_docs_delta_embedded
+                            .fetch_add(install.delta_embedded as u64, Ordering::Relaxed);
                         shared
                             .metrics
                             .system_retrains
@@ -910,7 +939,19 @@ fn monitor_and_maybe_retrain(
         let trained = rjob
             .train(&cfg.retrain_embed_cfg, &TrainControl::new())
             .expect("uncancelled retrain always completes");
-        trainer.fairds.install_retrained(trained);
+        // Inline retrains install through the same O(copy) path: nothing
+        // was ingested between prepare and install (both ran in this
+        // call), so the delta is empty and the write-back covers the
+        // whole store.
+        let install = trainer.fairds.install_retrained(trained);
+        shared
+            .metrics
+            .retrain_docs_copied
+            .fetch_add(install.copied as u64, Ordering::Relaxed);
+        shared
+            .metrics
+            .retrain_docs_delta_embedded
+            .fetch_add(install.delta_embedded as u64, Ordering::Relaxed);
         shared
             .metrics
             .system_retrains
@@ -961,7 +1002,9 @@ fn handle_write(
     };
     let result: ServiceResult = match req {
         Request::TrainSystem { images, embed_cfg } => {
-            if let Err(e) = validate_images(&images) {
+            if let Err(e) = validate_images(&images)
+                .and_then(|()| validate_image_width(&images, trainer.fairds.input_dim()))
+            {
                 return WriteOutcome::Reply(reply, Err(e));
             }
             // A manual (re)bootstrap replaces the plane that any
@@ -983,6 +1026,7 @@ fn handle_write(
             scan,
         } => (|| {
             validate_images(&images)?;
+            validate_image_width(&images, trainer.fairds.input_dim())?;
             if !trainer.fairds.is_ready() {
                 return Err(ServiceError::NotReady);
             }
@@ -1010,6 +1054,7 @@ fn handle_write(
         })(),
         Request::PseudoLabel { images, threshold } => (|| {
             validate_images(&images)?;
+            validate_image_width(&images, trainer.fairds.input_dim())?;
             if !trainer.fairds.is_ready() {
                 return Err(ServiceError::NotReady);
             }
@@ -1022,7 +1067,9 @@ fn handle_write(
             Ok(Reply::Labeled { labels, stats })
         })(),
         Request::UpdateModel { images, scan } => {
-            if let Err(e) = validate_images(&images) {
+            if let Err(e) = validate_images(&images)
+                .and_then(|()| validate_image_width(&images, trainer.fairds.input_dim()))
+            {
                 return WriteOutcome::Reply(reply, Err(e));
             }
             if images.shape()[0] < 2 {

@@ -74,21 +74,28 @@ fn retrain_publication_fences_cached_embeddings() {
     ds.ingest_labeled(&x, &y, 0);
     let snap_a = ds.snapshot().expect("trained");
 
-    // Warm the cache with generation-A embeddings of this exact batch.
+    // Warm the cache with generation-A embeddings of the stored batch
+    // *and* of a transient batch that is neither stored nor part of the
+    // upcoming retrain (so the O(copy) install's bulk warm cannot replace
+    // its entries — they stay resident under generation A).
     let z_a = snap_a.embed_cached(&x);
     assert_eq!(z_a, snap_a.embedder().embed(&x), "gen-A cached == direct");
+    let (x_extra, _) = blob_images(6, 2, 43);
+    let z_extra_a = snap_a.embed_cached(&x_extra);
     let warmed = snap_a.embed_cache().stats();
     assert!(warmed.misses > 0, "warm pass must have installed entries");
 
-    // Retrain: new embedder, new snapshot, same shared cache.
+    // Retrain: new embedder, new snapshot, same shared cache. The O(copy)
+    // install bulk-warms the new generation with the rows the training
+    // job embedded (the captured store + the fresh trigger batch).
     let (fresh, _) = blob_images(10, 2, 42);
     ds.retrain_system(&fresh, &embed_cfg());
     let snap_b = ds.snapshot().expect("retrained");
     assert!(snap_b.version() > snap_a.version());
 
-    // The poisoning scenario: the very batch that is resident under
-    // generation A is queried through the new snapshot. Every row must
-    // come from the *new* embedder, bit-for-bit.
+    // The poisoning scenario, warmed flavor: the stored batch's entries
+    // were *replaced* by the install's warm pass — reads through the new
+    // snapshot must serve the new embedder's output, bit-for-bit.
     let z_b = snap_b.embed_cached(&x);
     assert_eq!(
         z_b,
@@ -99,14 +106,21 @@ fn retrain_publication_fences_cached_embeddings() {
         z_a, z_b,
         "sanity: the retrain actually changed the embedding space"
     );
-    // And the fence was exercised, not bypassed: resident gen-A keys were
-    // found and refused. (reindex() inside retrain already probes the new
-    // generation against resident gen-A entries, so the counter is
-    // already positive; the read above may only grow it.)
-    assert!(
-        snap_b.embed_cache().stats().stale_generation > 0,
-        "the generation fence should have intercepted stale entries"
+    // The poisoning scenario, resident flavor: the transient batch still
+    // sits in the table under generation A. The fence must find those
+    // keys, refuse them, and recompute under the new embedder.
+    let stale_before = snap_b.embed_cache().stats().stale_generation;
+    let z_extra_b = snap_b.embed_cached(&x_extra);
+    assert_eq!(
+        z_extra_b,
+        snap_b.embedder().embed(&x_extra),
+        "resident gen-A entries must be refused, not served"
     );
+    assert!(
+        snap_b.embed_cache().stats().stale_generation > stale_before,
+        "the generation fence should have intercepted the resident stale entries"
+    );
+    assert_ne!(z_extra_a, z_extra_b, "sanity: geometry changed");
 
     // A reader still holding the old snapshot keeps its frozen geometry:
     // recomputation under generation A matches what it saw before the
@@ -158,8 +172,13 @@ fn update_model_triggered_retrain_never_serves_stale_embeddings() {
     );
     client.ingest(x.clone(), y, 0).expect("prime");
 
-    // Warm the read plane's cache with the historical batch.
+    // Warm the read plane's cache with the historical batch, plus a
+    // transient batch that is neither stored nor the retrain trigger —
+    // its entries stay resident under generation 0 across the install's
+    // bulk warm, so they exercise the fence's refuse-and-recompute path.
     let pdf_before = client.dataset_pdf(x.clone()).expect("pdf");
+    let (x_extra, _) = blob_images(8, 3, 53);
+    let _ = client.dataset_pdf(x_extra.clone()).expect("pdf");
     let sys_before = client.current_view().system.clone().expect("trained");
     let hits_baseline = client.metrics().expect("metrics").embed_cache;
 
@@ -180,6 +199,9 @@ fn update_model_triggered_retrain_never_serves_stale_embeddings() {
 
     // Post-publication reads of the *warmed* batch: must be computed by
     // the new embedder, never assembled from pre-publication entries.
+    // (The O(copy) install warmed these exact rows into the new
+    // generation, so this also checks the warm path shipped the right
+    // values.)
     let sys_after = client.current_view().system.clone().expect("retrained");
     assert!(sys_after.version() > sys_before.version());
     let z_cached = sys_after.embed_cached(&x);
@@ -188,10 +210,25 @@ fn update_model_triggered_retrain_never_serves_stale_embeddings() {
         sys_after.embedder().embed(&x),
         "read plane served a pre-publication cached embedding after UpdateModel"
     );
+    // The transient batch's gen-0 entries are still resident: the fence
+    // must refuse them and recompute under the new embedder.
+    let stale_before = client.metrics().expect("metrics").embed_cache;
+    assert_eq!(
+        sys_after.embed_cached(&x_extra),
+        sys_after.embedder().embed(&x_extra),
+        "resident gen-0 entries must be refused, not served"
+    );
     let stats = client.metrics().expect("metrics").embed_cache;
     assert!(
-        stats.stale_generation > 0,
+        stats.stale_generation > stale_before.stale_generation,
         "the fence should have intercepted resident gen-0 entries ({stats:?})"
+    );
+    // The install was O(copy): captured docs shipped as copies, and the
+    // installs (ingest-triggered or update-inline) never re-embedded them.
+    let snap_metrics = client.metrics().expect("metrics");
+    assert!(
+        snap_metrics.retrain_docs_copied > 0,
+        "retrain install must write captured docs back by copy"
     );
 
     // PDFs over the old and new planes are both valid distributions; the
@@ -261,6 +298,31 @@ fn ingest_triggered_async_retrain_fences_too() {
         sys.embedder().embed(&x),
         "async retrain publication must fence the cache atomically"
     );
+
+    // The async install ran O(copy): the captured store shipped back as
+    // copies, and the noise batch — ingested *after* `prepare_retrain`
+    // captured the store, i.e. mid-flight — was delta-embedded. Either
+    // way, every stored doc must carry the new embedder's embedding.
+    let m = client.metrics().expect("metrics");
+    assert!(
+        m.retrain_docs_copied > 0,
+        "async install must copy captured docs ({m:?})"
+    );
+    assert!(
+        m.retrain_docs_delta_embedded > 0,
+        "mid-flight ingested docs must be delta-embedded at install"
+    );
+    let store = sys.store();
+    for id in store.ids() {
+        let doc = store.get(id).expect("doc");
+        let pixels = doc.get_f32s("pixels").expect("pixels").to_vec();
+        let row = Tensor::from_vec(pixels, &[1, DIM]);
+        assert_eq!(
+            doc.get_f32s("embedding").expect("embedding"),
+            sys.embedder().embed(&row).row(0),
+            "stored embeddings must be consistent with the installed plane"
+        );
+    }
 
     drop(client);
     handle.shutdown();
