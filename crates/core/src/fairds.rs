@@ -362,48 +362,85 @@ impl SystemSnapshot {
             return self.embedder.embed(images);
         }
         let n = images.shape()[0];
+        let dim = self.embedder.embed_dim();
+        if n == 0 {
+            return Tensor::zeros(&[0, dim]);
+        }
         let generation = self.version;
         let hashes = row_hashes(images);
-        let mut out = Tensor::zeros(&[n, self.embedder.embed_dim()]);
-        let mut misses: Vec<usize> = Vec::new();
+
+        // Per-reader-thread scratch, recycled across batches: the miss index
+        // list, a single probe row, and the partial-miss gather buffer. With
+        // these, the probe loop and the all-miss path below perform zero
+        // heap allocations beyond what the forward pass itself needs.
+        thread_local! {
+            static MISS_IDX: std::cell::Cell<Vec<usize>> = const { std::cell::Cell::new(Vec::new()) };
+            static PROBE_ROW: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+            static GATHER_BUF: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+        }
+        let mut misses = MISS_IDX.take();
+        misses.clear();
+        let mut probe = PROBE_ROW.take();
+        probe.clear();
+        probe.resize(dim, 0.0);
+
+        // The output tensor is allocated lazily, on the first hit: a cold
+        // (all-miss) batch never materializes it and instead returns the
+        // forward pass's own output directly — no zeros fill, no scatter.
+        let mut out: Option<Tensor> = None;
         for (i, &h) in hashes.iter().enumerate() {
-            if !self
-                .reuse
-                .get_into(generation, h, images.row(i), out.row_mut(i))
-            {
+            let hit = match out.as_mut() {
+                Some(o) => self
+                    .reuse
+                    .get_into(generation, h, images.row(i), o.row_mut(i)),
+                None => {
+                    let hit = self
+                        .reuse
+                        .get_into(generation, h, images.row(i), &mut probe);
+                    if hit {
+                        let mut o = Tensor::zeros(&[n, dim]);
+                        o.row_mut(i).copy_from_slice(&probe);
+                        out = Some(o);
+                    }
+                    hit
+                }
+            };
+            if !hit {
                 misses.push(i);
             }
         }
-        if misses.is_empty() {
-            return out;
-        }
-        let mz = if misses.len() == n {
-            // All-miss (cold or adversarial) batch: skip the gather copy
-            // and embed the input as-is — the cache must cost ~nothing
-            // when it cannot help.
-            self.embedder.embed(images)
-        } else {
-            // One gather buffer per reader thread, recycled across
-            // batches (taken before the gather, returned after the
-            // forward pass) — partial-miss gathers never churn the
-            // allocator no matter how many batches a worker serves.
-            thread_local! {
-                static GATHER_BUF: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+        PROBE_ROW.set(probe);
+
+        let result = match out {
+            // All-miss (cold or adversarial) batch: embed the input as-is
+            // and hand the embedding back untouched — the cache must cost
+            // ~nothing when it cannot help.
+            None => {
+                let mz = self.embedder.embed(images);
+                for (i, &h) in hashes.iter().enumerate() {
+                    self.reuse.insert(generation, h, images.row(i), mz.row(i));
+                }
+                mz
             }
-            let mut rows = GATHER_BUF.with(std::cell::Cell::take);
-            rows.clear();
-            images.gather_rows_into(&misses, &mut rows);
-            let partial = Tensor::from_vec(rows, &[misses.len(), images.shape()[1]]);
-            let mz = self.embedder.embed(&partial);
-            GATHER_BUF.with(|b| b.set(partial.into_vec()));
-            mz
+            Some(mut out) => {
+                if !misses.is_empty() {
+                    let mut rows = GATHER_BUF.take();
+                    rows.clear();
+                    images.gather_rows_into(&misses, &mut rows);
+                    let partial = Tensor::from_vec(rows, &[misses.len(), images.shape()[1]]);
+                    let mz = self.embedder.embed(&partial);
+                    GATHER_BUF.set(partial.into_vec());
+                    out.scatter_rows_from(&misses, &mz);
+                    for (j, &i) in misses.iter().enumerate() {
+                        self.reuse
+                            .insert(generation, hashes[i], images.row(i), mz.row(j));
+                    }
+                }
+                out
+            }
         };
-        out.scatter_rows_from(&misses, &mz);
-        for (j, &i) in misses.iter().enumerate() {
-            self.reuse
-                .insert(generation, hashes[i], images.row(i), mz.row(j));
-        }
-        out
+        MISS_IDX.set(misses);
+        result
     }
 
     /// Embeds a dataset and returns its per-sample cluster assignments.

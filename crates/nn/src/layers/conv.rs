@@ -8,6 +8,15 @@ use super::{Layer, Mode};
 use crate::param::Param;
 use fairdms_tensor::{ops, rng::TensorRng, Tensor};
 use rayon::prelude::*;
+use std::cell::Cell;
+
+thread_local! {
+    /// Recycled im2col scratch for [`Conv2d::infer`]. `infer` takes `&self`
+    /// and is called concurrently from the snapshot read pool, so the scratch
+    /// cannot live on the layer — each thread keeps its own buffer and the
+    /// patch-matrix allocation amortizes to zero across inference batches.
+    static INFER_COLS: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
 
 /// 2-D convolution over `[N, C, H, W]` inputs.
 #[derive(Clone)]
@@ -64,13 +73,18 @@ impl Conv2d {
         (in_extent + 2 * self.padding - self.kernel) / self.stride + 1
     }
 
-    /// Lowers `[N, C, H, W]` input into the `[N*OH*OW, C*K*K]` patch matrix.
-    fn im2col(&self, x: &Tensor, oh: usize, ow: usize) -> Tensor {
+    /// Lowers `[N, C, H, W]` input into the `[N*OH*OW, C*K*K]` patch matrix,
+    /// reusing `scratch`'s allocation when it is large enough.
+    fn im2col(&self, x: &Tensor, oh: usize, ow: usize, scratch: Vec<f32>) -> Tensor {
         let (n, c, h, w) = dims4(x);
         let k = self.kernel;
         let patch = c * k * k;
         let rows_per_sample = oh * ow;
-        let mut cols = vec![0.0f32; n * rows_per_sample * patch];
+        let mut cols = scratch;
+        // Padding positions are never written below, so the buffer must be
+        // zeroed: clear() drops every stale element, resize() refills with 0.
+        cols.clear();
+        cols.resize(n * rows_per_sample * patch, 0.0);
         let xd = x.data();
         let stride = self.stride;
         let pad = self.padding as isize;
@@ -156,8 +170,10 @@ impl Conv2d {
 
 impl Conv2d {
     /// The full forward computation; returns `(output, cols)` so `forward`
-    /// can cache the patch matrix while `infer` drops it.
-    fn compute(&self, x: &Tensor) -> (Tensor, Tensor) {
+    /// can cache the patch matrix while `infer` recycles its allocation.
+    /// `col_scratch` seeds the im2col buffer (pass an empty `Vec` to allocate
+    /// fresh).
+    fn compute(&self, x: &Tensor, col_scratch: Vec<f32>) -> (Tensor, Tensor) {
         let (n, c, h, w) = dims4(x);
         assert_eq!(
             c, self.in_c,
@@ -167,22 +183,24 @@ impl Conv2d {
         let oh = self.out_extent(h);
         let ow = self.out_extent(w);
 
-        let cols = self.im2col(x, oh, ow); // [N*OH*OW, patch]
-        let gemm = ops::matmul_transb(&cols, &self.weight.value); // [N*OH*OW, out_c]
+        let cols = self.im2col(x, oh, ow, col_scratch); // [N*OH*OW, patch]
+                                                        // Bias rides in the GEMM epilogue — added once per output element as
+                                                        // the final depth block flushes, bit-identical to the separate
+                                                        // `+ bias[ci]` pass this replaces but without a second output sweep.
+        let gemm = ops::matmul_transb_bias(&cols, &self.weight.value, &self.bias.value);
 
-        // Permute [N*OH*OW, OC] → [N, OC, OH, OW] and add bias.
+        // Permute [N*OH*OW, OC] → [N, OC, OH, OW].
         let rows_per_sample = oh * ow;
         let oc = self.out_c;
         let mut out = vec![0.0f32; n * oc * rows_per_sample];
         let gd = gemm.data();
-        let bias = self.bias.value.data();
         out.par_chunks_mut(oc * rows_per_sample)
             .enumerate()
             .for_each(|(ni, out_sample)| {
                 let g_sample = &gd[ni * rows_per_sample * oc..(ni + 1) * rows_per_sample * oc];
                 for (r, g_row) in g_sample.chunks(oc).enumerate() {
                     for (ci, &v) in g_row.iter().enumerate() {
-                        out_sample[ci * rows_per_sample + r] = v + bias[ci];
+                        out_sample[ci * rows_per_sample + r] = v;
                     }
                 }
             });
@@ -193,14 +211,24 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let (out, cols) = self.compute(x);
+        // Reclaim last batch's patch matrix as this batch's scratch: steady
+        // state training performs zero im2col allocations per step.
+        let scratch = self
+            .cached_cols
+            .take()
+            .map(Tensor::into_vec)
+            .unwrap_or_default();
+        let (out, cols) = self.compute(x, scratch);
         self.cached_cols = Some(cols);
         self.cached_in_shape = Some(x.shape().to_vec());
         out
     }
 
     fn infer(&self, x: &Tensor) -> Tensor {
-        self.compute(x).0
+        let scratch = INFER_COLS.take();
+        let (out, cols) = self.compute(x, scratch);
+        INFER_COLS.set(cols.into_vec());
+        out
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {

@@ -57,9 +57,11 @@ impl Layer for Dense {
             self.in_features,
             x.shape()[1]
         );
-        let mut y = ops::matmul_transb(x, &self.weight.value);
-        y.add_row_broadcast(&self.bias.value);
-        y
+        // Bias is folded into the GEMM epilogue: it is added exactly once per
+        // output element as the final depth block flushes, which is the same
+        // final-add ordering as a separate broadcast pass — bit-identical,
+        // one sweep over the output instead of two.
+        ops::matmul_transb_bias(x, &self.weight.value, &self.bias.value)
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {

@@ -220,6 +220,12 @@ impl Trainer {
         let mut cancelled = false;
 
         let base_lr = opt.lr();
+        // Minibatch gather buffers, recycled across every batch of every
+        // epoch: the batch tensors are rebuilt from (and returned to) these
+        // vectors each step, so steady-state training performs zero
+        // gather-side allocations.
+        let mut bx_buf: Vec<f32> = Vec::new();
+        let mut by_buf: Vec<f32> = Vec::new();
         for epoch in 0..self.cfg.epochs {
             if ctl.is_cancelled() {
                 cancelled = true;
@@ -230,8 +236,18 @@ impl Trainer {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(self.cfg.batch_size) {
-                let bx = train_x.gather_rows(chunk);
-                let by = train_y.gather_rows(chunk);
+                bx_buf.clear();
+                train_x.gather_rows_into(chunk, &mut bx_buf);
+                let mut bx_dims = train_x.shape().to_vec();
+                bx_dims[0] = chunk.len();
+                let bx = Tensor::from_vec(std::mem::take(&mut bx_buf), &bx_dims);
+
+                by_buf.clear();
+                train_y.gather_rows_into(chunk, &mut by_buf);
+                let mut by_dims = train_y.shape().to_vec();
+                by_dims[0] = chunk.len();
+                let by = Tensor::from_vec(std::mem::take(&mut by_buf), &by_dims);
+
                 let pred = net.forward(&bx, Mode::Train);
                 epoch_loss += loss.forward(&pred, &by) as f64;
                 let grad = loss.backward(&pred, &by);
@@ -242,6 +258,9 @@ impl Trainer {
                 }
                 opt.step(net.params_mut());
                 batches += 1;
+
+                bx_buf = bx.into_vec();
+                by_buf = by.into_vec();
             }
             let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
             let val_loss = self.evaluate(net, loss, val_x, val_y);

@@ -1,0 +1,603 @@
+//! The blocked GEMM engine: cache-blocked, panel-packed, register-tiled
+//! dense matrix multiplication.
+//!
+//! Every forward pass, backward pass and retrain-install delta in this
+//! workspace bottoms out in one of four dense products (`A×B`, `A×Bᵀ`,
+//! `Aᵀ×B`, `A×x`), and `results/BENCH_embed_cache.json` showed the naive
+//! row-loop kernel paying ~4 ms per cache-miss batch. This module replaces
+//! that loop with the standard high-performance GEMM decomposition
+//! (Goto/BLIS-style), portable to stable Rust without intrinsics:
+//!
+//! * **Cache blocking.** The product is computed in `[MC×KC] × [KC×NC]`
+//!   blocks so the working set of the inner loops stays resident: one
+//!   packed B block (≤ `KC×NC` floats) per L2/L3, one `NR`-wide B panel
+//!   (`KC×NR` floats) per L1, `MR` rows of A streamed through registers.
+//! * **B-panel packing.** Each `[KC×NC]` block of B is repacked once into
+//!   contiguous `NR`-wide column panels (k-major inside a panel, zero-padded
+//!   at the right edge), so the micro-kernel's inner loop reads one
+//!   contiguous, aligned `[f32; NR]` row per k step regardless of B's
+//!   original layout — which is also what lets `matmul_transb` run at full
+//!   speed without materializing `Bᵀ`: transposition happens during the
+//!   pack, touching each element once.
+//! * **Register micro-kernel.** An `MR×NR` accumulator array of plain
+//!   `f32` lives entirely in registers; the hand-unrolled `NR`-wide inner
+//!   statements autovectorize on stable rustc (the accumulator array is
+//!   exactly the shape LLVM's SLP vectorizer wants). No `std::arch`
+//!   intrinsics, no nightly `portable_simd` — the offline shim toolchain
+//!   stays buildable everywhere.
+//! * **Deterministic parallelism.** Rayon parallelizes over `MC`-row
+//!   panels of C only. Each output row is always accumulated by exactly one
+//!   task in a **fixed order** — ascending k within a `KC` block, blocks in
+//!   ascending order, accumulator flushed into C once per block — so the
+//!   result is bit-identical regardless of thread count, pool width, or
+//!   whether the sequential or parallel dispatch ran. The embedding cache's
+//!   cached-vs-uncached bit-identity contract (DESIGN.md §8) rests on this:
+//!   a row's embedding must not depend on which batch, which thread, or
+//!   which panel position computed it.
+//!
+//! Because blocked accumulation *reassociates* floating-point sums relative
+//! to a naive `j`-inner loop, agreement with [`matmul_naive`] is a
+//! relative-tolerance contract, not bit equality (see DESIGN.md §9) —
+//! determinism of the blocked kernel itself is exact.
+//!
+//! [`matmul_naive`]: crate::ops::matmul_naive
+
+use crate::ops::PAR_THRESHOLD;
+use crate::Tensor;
+use rayon::prelude::*;
+use std::cell::Cell;
+
+/// Row-panel height: rows of C (and A) processed per parallel task. Kept
+/// small enough that medium batches still fan out across the pool, large
+/// enough that a panel's A rows (`MC×KC` floats ≈ 32 KiB) sit in L2.
+pub const MC: usize = 32;
+
+/// Depth block: k-extent of one packed B block (`KC×NR` floats ≈ 8 KiB per
+/// L1-resident panel).
+pub const KC: usize = 256;
+
+/// Column block: n-extent of one packed B block (`KC×NC` floats ≈ 256 KiB,
+/// L2/L3-resident, repacked once and reused by every row panel).
+pub const NC: usize = 256;
+
+/// Micro-kernel rows: A values broadcast per k step. Four rows give the
+/// SLP vectorizer four independent `[f32; NR]` accumulator chains — wider
+/// tiles were measured slower here because the deeper zip chains defeat
+/// vectorization of the inner statements.
+pub const MR: usize = 4;
+
+/// Micro-kernel columns: width of one packed B panel and of each
+/// accumulator row — 8 f32 lanes, one AVX2 vector, the unroll the inner
+/// statements are written for.
+pub const NR: usize = 8;
+
+/// Execution policy for the row-panel loop.
+///
+/// [`Threading::Auto`] switches on output size (≥ [`PAR_THRESHOLD`]
+/// elements ⇒ parallel); the forced variants exist so the determinism
+/// regression tests can pin "sequential and parallel dispatch produce
+/// bit-identical results" directly instead of straddling the threshold
+/// with carefully sized inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Threading {
+    /// Parallelize when the output has at least [`PAR_THRESHOLD`] elements.
+    Auto,
+    /// Always run the row-panel loop on the calling thread.
+    Sequential,
+    /// Always dispatch row panels through the rayon pool.
+    Parallel,
+}
+
+/// How the B operand is stored; the pack step normalizes both layouts into
+/// identical panels, so everything downstream is layout-oblivious.
+#[derive(Clone, Copy)]
+enum BSrc<'a> {
+    /// Row-major `[k, n]`.
+    Normal(&'a [f32]),
+    /// Row-major `[n, k]`; the logical operand is its transpose.
+    Transposed(&'a [f32]),
+}
+
+thread_local! {
+    /// Packed-B scratch, one per thread, recycled across calls so steady
+    /// state GEMM performs no allocations beyond the output itself.
+    static PACK_B: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Scratch for the pre-transposed A of [`matmul_transa`].
+    static TRANS_A: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// `C = A × B` through the blocked engine.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with(a, b, Threading::Auto)
+}
+
+/// [`matmul`] with an explicit [`Threading`] policy.
+pub fn matmul_with(a: &Tensor, b: &Tensor, threading: Threading) -> Tensor {
+    let (m, k) = dims2(a, "matmul: A");
+    let (k2, n) = dims2(b, "matmul: B");
+    assert_eq!(k, k2, "matmul: inner dimensions {k} vs {k2} differ");
+    let mut out = vec![0.0f32; m * n];
+    gemm_driver(
+        m,
+        k,
+        n,
+        a.data(),
+        BSrc::Normal(b.data()),
+        None,
+        &mut out,
+        threading,
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A × Bᵀ` (`B` stored `[n, k]`) through the blocked engine; the
+/// transpose happens inside the pack step, never materialized.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_transb_with(a, b, Threading::Auto)
+}
+
+/// [`matmul_transb`] with an explicit [`Threading`] policy.
+pub fn matmul_transb_with(a: &Tensor, b: &Tensor, threading: Threading) -> Tensor {
+    let (m, k) = dims2(a, "matmul_transb: A");
+    let (n, k2) = dims2(b, "matmul_transb: B");
+    assert_eq!(k, k2, "matmul_transb: inner dimensions {k} vs {k2} differ");
+    let mut out = vec![0.0f32; m * n];
+    gemm_driver(
+        m,
+        k,
+        n,
+        a.data(),
+        BSrc::Transposed(b.data()),
+        None,
+        &mut out,
+        threading,
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A × Bᵀ + bias` with the row-broadcast bias folded into the GEMM
+/// epilogue: the bias is added exactly once per element, when the final
+/// depth block's accumulator is flushed — no second pass over `[m, n]`.
+///
+/// Bit-identical to `matmul_transb(a, b)` followed by
+/// [`Tensor::add_row_broadcast`]: both orderings add the bias as one final
+/// operation after the full accumulation.
+pub fn matmul_transb_bias(a: &Tensor, b: &Tensor, bias: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_transb_bias: A");
+    let (n, k2) = dims2(b, "matmul_transb_bias: B");
+    assert_eq!(k, k2, "matmul_transb_bias: inner dimensions differ");
+    assert_eq!(
+        bias.numel(),
+        n,
+        "matmul_transb_bias: bias length {} must equal output columns {n}",
+        bias.numel()
+    );
+    let mut out = vec![0.0f32; m * n];
+    gemm_driver(
+        m,
+        k,
+        n,
+        a.data(),
+        BSrc::Transposed(b.data()),
+        Some(bias.data()),
+        &mut out,
+        Threading::Auto,
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ × B` (`A` stored `[k, m]`) through the blocked engine.
+///
+/// A is pre-transposed once into recycled thread-local scratch — an
+/// O(k·m) copy against the O(m·k·n) product — so the macro-kernel always
+/// streams unit-stride A rows and the accumulation order (hence the
+/// result) is exactly that of `matmul(Aᵀ, B)`.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_transa_with(a, b, Threading::Auto)
+}
+
+/// [`matmul_transa`] with an explicit [`Threading`] policy.
+pub fn matmul_transa_with(a: &Tensor, b: &Tensor, threading: Threading) -> Tensor {
+    let (k, m) = dims2(a, "matmul_transa: A");
+    let (k2, n) = dims2(b, "matmul_transa: B");
+    assert_eq!(k, k2, "matmul_transa: inner dimensions {k} vs {k2} differ");
+    let mut at = TRANS_A.with(Cell::take);
+    at.clear();
+    at.resize(m * k, 0.0);
+    let ad = a.data();
+    for (p, a_row) in ad.chunks_exact(m).enumerate() {
+        for (i, &v) in a_row.iter().enumerate() {
+            at[i * k + p] = v;
+        }
+    }
+    let mut out = vec![0.0f32; m * n];
+    gemm_driver(
+        m,
+        k,
+        n,
+        &at,
+        BSrc::Normal(b.data()),
+        None,
+        &mut out,
+        threading,
+    );
+    TRANS_A.with(|c| c.set(at));
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `y = A × x` (`[m,k] × [k] → [m]`), routed through
+/// the engine as a GEMM with `n = 1` so there is exactly one accumulation
+/// code path to verify.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matvec: A");
+    assert_eq!(x.numel(), k, "matvec: vector length mismatch");
+    let mut out = vec![0.0f32; m];
+    gemm_driver(
+        m,
+        k,
+        1,
+        a.data(),
+        BSrc::Normal(x.data()),
+        None,
+        &mut out,
+        Threading::Auto,
+    );
+    Tensor::from_vec(out, &[m])
+}
+
+/// Rank-2 extents with a uniform panic message.
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{what} must be rank-2");
+    (t.shape()[0], t.shape()[1])
+}
+
+/// The block-loop driver: packs one `[KC×NC]` block of B at a time and
+/// sweeps it across every `MC`-row panel of C (in parallel when the output
+/// is large enough). The bias, when present, is handed to the macro-kernel
+/// only for the final depth block — the epilogue position.
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: BSrc<'_>,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    threading: Threading,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Degenerate depth: the product is all-zero; the fused epilogue
+        // still owes the bias broadcast.
+        if let Some(bias) = bias {
+            for row in out.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+        return;
+    }
+
+    let parallel = match threading {
+        Threading::Auto => m * n >= PAR_THRESHOLD,
+        Threading::Sequential => false,
+        Threading::Parallel => true,
+    };
+    let k_blocks = k.div_ceil(KC);
+    let mut packed = PACK_B.with(Cell::take);
+
+    let mut jc = 0;
+    while jc < n {
+        let nc_b = NC.min(n - jc);
+        for kb in 0..k_blocks {
+            let pc = kb * KC;
+            let kc_b = KC.min(k - pc);
+            pack_b(b, k, n, pc, kc_b, jc, nc_b, &mut packed);
+            // Epilogue: bias rides on the last depth block only.
+            let ep = if kb + 1 == k_blocks { bias } else { None };
+            let run_panel = |(pi, c_panel): (usize, &mut [f32])| {
+                let row0 = pi * MC;
+                macro_kernel(a, k, row0, c_panel, n, &packed, kc_b, pc, jc, nc_b, ep);
+            };
+            if parallel {
+                out.par_chunks_mut(MC * n).enumerate().for_each(run_panel);
+            } else {
+                out.chunks_mut(MC * n).enumerate().for_each(run_panel);
+            }
+        }
+        jc += NC;
+    }
+    PACK_B.with(|c| c.set(packed));
+}
+
+/// Packs the `[pc..pc+kc_b, jc..jc+nc_b]` block of B into `NR`-wide column
+/// panels: panel `t` holds columns `jc + t·NR ..`, stored k-major
+/// (`packed[t·kc_b·NR + p·NR + v] = B[pc+p, jc + t·NR + v]`), zero-padded
+/// past the right edge so the micro-kernel never branches on column count.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: BSrc<'_>,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc_b: usize,
+    jc: usize,
+    nc_b: usize,
+    packed: &mut Vec<f32>,
+) {
+    let panels = nc_b.div_ceil(NR);
+    packed.clear();
+    packed.resize(panels * kc_b * NR, 0.0);
+    for t in 0..panels {
+        let j0 = jc + t * NR;
+        let jw = NR.min(jc + nc_b - j0);
+        let dst_panel = &mut packed[t * kc_b * NR..(t + 1) * kc_b * NR];
+        match b {
+            BSrc::Normal(bd) => {
+                for (p, dst) in dst_panel.chunks_exact_mut(NR).enumerate() {
+                    let src = &bd[(pc + p) * n + j0..(pc + p) * n + j0 + jw];
+                    dst[..jw].copy_from_slice(src);
+                }
+            }
+            BSrc::Transposed(bd) => {
+                // Stored [n, k]: logical B[p, j] = bd[j*k + p]. Walk each
+                // source row (contiguous in k) once, scattering into the
+                // k-major panel — every element touched exactly once.
+                for (v, j) in (j0..j0 + jw).enumerate() {
+                    let src = &bd[j * k + pc..j * k + pc + kc_b];
+                    for (p, &x) in src.iter().enumerate() {
+                        dst_panel[p * NR + v] = x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Updates one `MC`-row panel of C with one packed `[KC×NC]` block of B:
+/// `MR×NR` register tiles over the interior, single-row tiles over the
+/// row tail — both accumulating each output row in the identical order
+/// (ascending k, accumulator flushed once), so tile position never
+/// changes a row's floating-point result.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    a: &[f32],
+    k: usize,
+    row0: usize,
+    c_panel: &mut [f32],
+    n: usize,
+    packed: &[f32],
+    kc_b: usize,
+    pc: usize,
+    jc: usize,
+    nc_b: usize,
+    bias: Option<&[f32]>,
+) {
+    let rows = c_panel.len() / n;
+    let panels = nc_b.div_ceil(NR);
+    for t in 0..panels {
+        let j0 = jc + t * NR;
+        let jw = NR.min(jc + nc_b - j0);
+        let bpanel = &packed[t * kc_b * NR..(t + 1) * kc_b * NR];
+        let mut r = 0;
+        while r + MR <= rows {
+            micro_kernel_mr(
+                a,
+                k,
+                row0 + r,
+                pc,
+                kc_b,
+                bpanel,
+                c_panel,
+                n,
+                r,
+                j0,
+                jw,
+                bias,
+            );
+            r += MR;
+        }
+        while r < rows {
+            micro_kernel_1(
+                a,
+                k,
+                row0 + r,
+                pc,
+                kc_b,
+                bpanel,
+                c_panel,
+                n,
+                r,
+                j0,
+                jw,
+                bias,
+            );
+            r += 1;
+        }
+    }
+}
+
+/// The `MR×NR` register tile: `MR` A rows against one B panel. The
+/// accumulator array is `MR` rows of `[f32; NR]` — exactly the shape the
+/// SLP vectorizer turns into `MR` vector registers — and the inner loop is
+/// one broadcast-multiply-accumulate per row per k step.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_mr(
+    a: &[f32],
+    k: usize,
+    arow0: usize,
+    pc: usize,
+    kc_b: usize,
+    bpanel: &[f32],
+    c_panel: &mut [f32],
+    n: usize,
+    r: usize,
+    j0: usize,
+    jw: usize,
+    bias: Option<&[f32]>,
+) {
+    let arow = |r: usize| {
+        let base = (arow0 + r) * k + pc;
+        &a[base..base + kc_b]
+    };
+    let (a0, a1, a2, a3) = (arow(0), arow(1), arow(2), arow(3));
+    let mut acc = [[0.0f32; NR]; MR];
+    // Pure-iterator walk: `chunks_exact` + `zip` let the optimizer drop
+    // every per-iteration bounds check, which is what keeps the loop at
+    // vector throughput instead of branch throughput.
+    let ks = bpanel
+        .chunks_exact(NR)
+        .zip(a0.iter().zip(a1).zip(a2.iter().zip(a3)));
+    for (bv, ((&a0p, &a1p), (&a2p, &a3p))) in ks {
+        let bv: &[f32; NR] = bv.try_into().expect("NR panel");
+        let av = [a0p, a1p, a2p, a3p];
+        for (accr, &a_rp) in acc.iter_mut().zip(&av) {
+            for (x, &bj) in accr.iter_mut().zip(bv) {
+                *x += a_rp * bj;
+            }
+        }
+    }
+    for (ri, accr) in acc.iter().enumerate() {
+        let base = (r + ri) * n + j0;
+        let crow = &mut c_panel[base..base + jw];
+        for (o, &x) in crow.iter_mut().zip(accr) {
+            *o += x;
+        }
+        if let Some(bias) = bias {
+            for (o, &bv) in crow.iter_mut().zip(&bias[j0..j0 + jw]) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+/// Single-row tile for the panel's row tail. Accumulation order per output
+/// element is identical to [`micro_kernel_mr`] — `[f32; NR]` accumulator,
+/// ascending k, one flush — so a row computes the same bits whether it
+/// lands in an interior tile or the tail.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_1(
+    a: &[f32],
+    k: usize,
+    arow: usize,
+    pc: usize,
+    kc_b: usize,
+    bpanel: &[f32],
+    c_panel: &mut [f32],
+    n: usize,
+    r: usize,
+    j0: usize,
+    jw: usize,
+    bias: Option<&[f32]>,
+) {
+    let a0 = &a[arow * k + pc..arow * k + pc + kc_b];
+    let mut acc = [0.0f32; NR];
+    for (bv, &a_rp) in bpanel.chunks_exact(NR).zip(a0) {
+        let bv: &[f32; NR] = bv.try_into().expect("NR panel");
+        for (x, &bj) in acc.iter_mut().zip(bv) {
+            *x += a_rp * bj;
+        }
+    }
+    let base = r * n + j0;
+    let crow = &mut c_panel[base..base + jw];
+    for (o, &x) in crow.iter_mut().zip(&acc) {
+        *o += x;
+    }
+    if let Some(bias) = bias {
+        for (o, &bv) in crow.iter_mut().zip(&bias[j0..j0 + jw]) {
+            *o += bv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allclose_rel, ops, rng::TensorRng};
+
+    const RTOL: f32 = 1e-5;
+    const ATOL: f32 = 1e-6;
+
+    #[test]
+    fn blocked_matches_naive_across_tile_edges() {
+        // Shapes straddling every tile parameter: MR/NR/MC/KC/NC edges.
+        let cases = [
+            (1, 1, 1),
+            (MR, NR, KC),
+            (MR + 1, NR + 1, KC + 1),
+            (MC - 1, KC - 1, NC - 1),
+            (MC + 1, 7, NC + 3),
+            (2 * MC, KC, NR),
+            (3, 2 * KC + 5, 2 * NR + 3),
+        ];
+        for &(m, k, n) in &cases {
+            let mut rng = TensorRng::seeded((m * 31 + k * 7 + n) as u64);
+            let a = rng.uniform(&[m, k], -1.0, 1.0);
+            let b = rng.uniform(&[k, n], -1.0, 1.0);
+            assert!(
+                allclose_rel(&matmul(&a, &b), &ops::matmul_naive(&a, &b), RTOL, ATOL),
+                "mismatch at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_threading_modes_are_bit_identical() {
+        let mut rng = TensorRng::seeded(5);
+        let a = rng.uniform(&[77, 300], -1.0, 1.0);
+        let b = rng.uniform(&[300, 65], -1.0, 1.0);
+        let seq = matmul_with(&a, &b, Threading::Sequential);
+        let par = matmul_with(&a, &b, Threading::Parallel);
+        assert_eq!(
+            seq, par,
+            "sequential and parallel dispatch must agree bitwise"
+        );
+        assert_eq!(seq, matmul(&a, &b));
+    }
+
+    #[test]
+    fn fused_bias_is_bit_identical_to_broadcast() {
+        let mut rng = TensorRng::seeded(9);
+        let x = rng.uniform(&[33, 70], -1.0, 1.0);
+        let w = rng.uniform(&[19, 70], -1.0, 1.0);
+        let bias = rng.uniform(&[19], -0.5, 0.5);
+        let fused = matmul_transb_bias(&x, &w, &bias);
+        let mut unfused = matmul_transb(&x, &w);
+        unfused.add_row_broadcast(&bias);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn zero_depth_product_is_bias_only() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[2, 0]);
+        let bias = Tensor::from_vec(vec![1.5, -2.5], &[2]);
+        let y = matmul_transb_bias(&a, &b, &bias);
+        assert_eq!(y.shape(), &[3, 2]);
+        for r in 0..3 {
+            assert_eq!(y.row(r), bias.data());
+        }
+        assert!(matmul(&Tensor::zeros(&[3, 0]), &Tensor::zeros(&[0, 2]))
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matvec_routes_through_engine() {
+        let mut rng = TensorRng::seeded(11);
+        let a = rng.uniform(&[300, 70], -1.0, 1.0);
+        let x = rng.uniform(&[70], -1.0, 1.0);
+        let via_gemm = matmul(&a, &x.reshape(&[70, 1]));
+        let y = matvec(&a, &x);
+        assert_eq!(y.shape(), &[300]);
+        assert_eq!(y.data(), via_gemm.data());
+    }
+}

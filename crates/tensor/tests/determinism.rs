@@ -1,0 +1,184 @@
+//! Determinism regression tests for the blocked GEMM engine.
+//!
+//! The engine's contract is **bit-identical output for identical inputs**,
+//! regardless of thread count, of whether the sequential or parallel
+//! dispatch path runs, and of which other rows share the batch. The
+//! embedding cache's cached-vs-uncached bit-identity proptest
+//! (`crates/core/tests/proptest_reuse.rs`) rests on exactly this invariant:
+//! a cache hit replays bytes produced by an earlier forward pass, possibly
+//! computed at a different batch size or pool width, and must equal what
+//! embedding the row today would produce.
+//!
+//! Every assertion here is `assert_eq!` on raw `f32` buffers — tolerance
+//! has no place in these tests.
+
+use fairdms_tensor::gemm::{self, Threading};
+use fairdms_tensor::{ops, rng::TensorRng, Tensor};
+
+/// Runs `f` on a rayon pool of the given width.
+fn on_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    let mut rng = TensorRng::seeded(101);
+    // Big enough that Auto dispatch takes the parallel path (> PAR_THRESHOLD
+    // output elements), with edges off every tile multiple.
+    let a = rng.uniform(&[133, 67], -2.0, 2.0);
+    let b = rng.uniform(&[67, 131], -2.0, 2.0);
+    let reference = on_pool(1, || ops::matmul(&a, &b));
+    for threads in [2usize, 3, 8] {
+        let got = on_pool(threads, || ops::matmul(&a, &b));
+        assert_eq!(
+            reference.data(),
+            got.data(),
+            "matmul differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn all_entry_points_are_bit_identical_across_thread_counts() {
+    let mut rng = TensorRng::seeded(202);
+    let a = rng.uniform(&[130, 70], -2.0, 2.0);
+    let b = rng.uniform(&[70, 140], -2.0, 2.0);
+    let bt = b.transpose();
+    let at = a.transpose();
+    let x = rng.uniform(&[70], -2.0, 2.0);
+    let bias = rng.uniform(&[140], -1.0, 1.0);
+
+    let reference = on_pool(1, || {
+        (
+            ops::matmul_transb(&a, &bt),
+            ops::matmul_transa(&at, &b),
+            ops::matvec(&a, &x),
+            ops::matmul_transb_bias(&a, &bt, &bias),
+        )
+    });
+    for threads in [2usize, 7] {
+        let got = on_pool(threads, || {
+            (
+                ops::matmul_transb(&a, &bt),
+                ops::matmul_transa(&at, &b),
+                ops::matvec(&a, &x),
+                ops::matmul_transb_bias(&a, &bt, &bias),
+            )
+        });
+        assert_eq!(reference.0.data(), got.0.data(), "transb @ {threads}");
+        assert_eq!(reference.1.data(), got.1.data(), "transa @ {threads}");
+        assert_eq!(reference.2.data(), got.2.data(), "matvec @ {threads}");
+        assert_eq!(reference.3.data(), got.3.data(), "fused bias @ {threads}");
+    }
+}
+
+#[test]
+fn sequential_and_parallel_dispatch_are_bit_identical() {
+    let mut rng = TensorRng::seeded(303);
+    // One shape below PAR_THRESHOLD (Auto runs sequential) and one above
+    // (Auto runs parallel); forcing either path must not change a bit.
+    for (m, k, n) in [(37usize, 45usize, 29usize), (150, 80, 170)] {
+        let a = rng.uniform(&[m, k], -2.0, 2.0);
+        let b = rng.uniform(&[k, n], -2.0, 2.0);
+        let seq = gemm::matmul_with(&a, &b, Threading::Sequential);
+        let par = gemm::matmul_with(&a, &b, Threading::Parallel);
+        let auto = gemm::matmul_with(&a, &b, Threading::Auto);
+        assert_eq!(seq.data(), par.data(), "seq vs par at {m}x{k}x{n}");
+        assert_eq!(seq.data(), auto.data(), "seq vs auto at {m}x{k}x{n}");
+
+        let bt = b.transpose();
+        assert_eq!(
+            gemm::matmul_transb_with(&a, &bt, Threading::Sequential).data(),
+            gemm::matmul_transb_with(&a, &bt, Threading::Parallel).data(),
+            "transb seq vs par at {m}x{k}x{n}"
+        );
+        let at = a.transpose();
+        assert_eq!(
+            gemm::matmul_transa_with(&at, &b, Threading::Sequential).data(),
+            gemm::matmul_transa_with(&at, &b, Threading::Parallel).data(),
+            "transa seq vs par at {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn row_subsets_are_bit_identical_to_full_batch_rows() {
+    // The EmbedCache contract in miniature: embedding a gathered subset of
+    // rows must produce byte-for-byte the same vectors as those rows of the
+    // full-batch product. Holds because each output row's accumulation
+    // order is a function of (that row of A, B) only — independent of m,
+    // of panel position, and of which threads run.
+    let mut rng = TensorRng::seeded(404);
+    let a = rng.uniform(&[160, 48], -2.0, 2.0);
+    let b = rng.uniform(&[48, 120], -2.0, 2.0);
+    let full = ops::matmul(&a, &b);
+
+    for subset in [vec![0usize], vec![5, 17, 93], (0..160).step_by(7).collect()] {
+        let sub_a = a.gather_rows(&subset);
+        let sub = ops::matmul(&sub_a, &b);
+        for (j, &i) in subset.iter().enumerate() {
+            assert_eq!(
+                full.row(i),
+                sub.row(j),
+                "row {i} differs when embedded in a {}-row batch",
+                subset.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_bias_is_bit_identical_to_unfused_broadcast() {
+    let mut rng = TensorRng::seeded(505);
+    for (m, k, n) in [(9usize, 33usize, 17usize), (140, 64, 150)] {
+        let a = rng.uniform(&[m, k], -2.0, 2.0);
+        let w = rng.uniform(&[n, k], -2.0, 2.0);
+        let bias = rng.uniform(&[n], -1.0, 1.0);
+        let fused = ops::matmul_transb_bias(&a, &w, &bias);
+        let mut unfused = ops::matmul_transb(&a, &w);
+        unfused.add_row_broadcast(&bias);
+        assert_eq!(
+            fused.data(),
+            unfused.data(),
+            "fused bias differs at {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn repeated_calls_are_bit_identical() {
+    // Same inputs, same process, many calls: scratch-buffer recycling
+    // (packed panels, transpose scratch) must never leak state between
+    // calls of different shapes.
+    let mut rng = TensorRng::seeded(606);
+    let a1 = rng.uniform(&[50, 300], -2.0, 2.0);
+    let b1 = rng.uniform(&[300, 40], -2.0, 2.0);
+    let a2 = rng.uniform(&[7, 5], -2.0, 2.0);
+    let b2 = rng.uniform(&[5, 3], -2.0, 2.0);
+    let first_big = ops::matmul(&a1, &b1);
+    let first_small = ops::matmul(&a2, &b2);
+    for _ in 0..3 {
+        // Interleave shapes so each call inherits the other's scratch.
+        assert_eq!(ops::matmul(&a2, &b2).data(), first_small.data());
+        assert_eq!(ops::matmul(&a1, &b1).data(), first_big.data());
+    }
+}
+
+#[test]
+fn hash_of_large_product_is_stable_across_widths() {
+    // Belt-and-braces: fold the whole output through the repo's fnv-style
+    // hasher at several widths; any reassociation anywhere flips the hash.
+    let mut rng = TensorRng::seeded(707);
+    let a = rng.uniform(&[200, 96], -2.0, 2.0);
+    let b = rng.uniform(&[96, 180], -2.0, 2.0);
+    let digest = |t: &Tensor| fairdms_tensor::hash::hash_row(t.data());
+    let h1 = on_pool(1, || digest(&ops::matmul(&a, &b)));
+    for threads in [2usize, 4, 8] {
+        let h = on_pool(threads, || digest(&ops::matmul(&a, &b)));
+        assert_eq!(h1, h, "digest differs at {threads} threads");
+    }
+}

@@ -1,11 +1,50 @@
-//! Property-based tests for the tensor kernels: the parallel implementations
-//! must agree with naive references, and shape manipulations must be lossless.
+//! Property-based tests for the tensor kernels: the blocked GEMM engine
+//! must agree with the naive reference **to relative tolerance** (blocked
+//! accumulation reassociates the k-sum, so bit equality with the `ikj` loop
+//! is not the contract — determinism is, see `tests/determinism.rs`), and
+//! shape manipulations must be lossless.
 
-use fairdms_tensor::{allclose, ops, rng::TensorRng, Tensor};
+use fairdms_tensor::{allclose, allclose_rel, ops, rng::TensorRng, Tensor};
 use proptest::prelude::*;
+
+/// Relative/absolute tolerances for blocked-vs-naive agreement. Small dims
+/// accumulate few terms; the bound is generous against [-2,2] inputs.
+const RTOL: f32 = 1e-4;
+const ATOL: f32 = 1e-5;
 
 fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..24, 1usize..24, 1usize..24)
+}
+
+/// Shapes engineered to straddle the engine's tile boundaries: degenerate
+/// `1` edges, the register-tile sizes MR=4/NR=8 and their off-by-ones, the
+/// MC=32 row-panel edge, and depths crossing the KC=256 block boundary
+/// (paired with tiny m·n so the cases stay fast).
+fn awkward_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2usize),
+        Just(3usize),
+        Just(4usize),
+        Just(5usize),
+        Just(7usize),
+        Just(8usize),
+        Just(9usize),
+        Just(31usize),
+        Just(32usize),
+        Just(33usize),
+    ]
+}
+
+fn awkward_depth() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(7usize),
+        Just(255usize),
+        Just(256usize),
+        Just(257usize),
+        Just(300usize),
+    ]
 }
 
 proptest! {
@@ -18,7 +57,7 @@ proptest! {
         let b = rng.uniform(&[k, n], -2.0, 2.0);
         let fast = ops::matmul(&a, &b);
         let slow = ops::matmul_naive(&a, &b);
-        prop_assert!(allclose(&fast, &slow, 1e-3));
+        prop_assert!(allclose_rel(&fast, &slow, RTOL, ATOL));
     }
 
     #[test]
@@ -26,10 +65,11 @@ proptest! {
         let mut rng = TensorRng::seeded(seed);
         let a = rng.uniform(&[m, k], -2.0, 2.0);
         let b = rng.uniform(&[n, k], -2.0, 2.0);
-        prop_assert!(allclose(
+        prop_assert!(allclose_rel(
             &ops::matmul_transb(&a, &b),
             &ops::matmul(&a, &b.transpose()),
-            1e-3
+            RTOL,
+            ATOL
         ));
     }
 
@@ -38,11 +78,41 @@ proptest! {
         let mut rng = TensorRng::seeded(seed);
         let a = rng.uniform(&[k, m], -2.0, 2.0);
         let b = rng.uniform(&[k, n], -2.0, 2.0);
-        prop_assert!(allclose(
+        prop_assert!(allclose_rel(
             &ops::matmul_transa(&a, &b),
             &ops::matmul(&a.transpose(), &b),
-            1e-3
+            RTOL,
+            ATOL
         ));
+    }
+
+    #[test]
+    fn awkward_shapes_agree_across_all_entry_points(
+        m in awkward_dim(),
+        k in awkward_depth(),
+        n in awkward_dim(),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = TensorRng::seeded(seed);
+        let a = rng.uniform(&[m, k], -2.0, 2.0);
+        let b = rng.uniform(&[k, n], -2.0, 2.0);
+        let reference = ops::matmul_naive(&a, &b);
+
+        // matmul
+        prop_assert!(allclose_rel(&ops::matmul(&a, &b), &reference, RTOL, ATOL));
+        // matmul_transb on Bᵀ reaches the same product through the
+        // transposed packing path.
+        let bt = b.transpose();
+        prop_assert!(allclose_rel(&ops::matmul_transb(&a, &bt), &reference, RTOL, ATOL));
+        // matmul_transa on Aᵀ reaches it through the pre-transpose path.
+        let at = a.transpose();
+        prop_assert!(allclose_rel(&ops::matmul_transa(&at, &b), &reference, RTOL, ATOL));
+        // matvec is the n = 1 column of the engine.
+        let x = rng.uniform(&[k], -2.0, 2.0);
+        let xc = x.reshape(&[k, 1]);
+        let mv = ops::matvec(&a, &x);
+        let full = ops::matmul_naive(&a, &xc);
+        prop_assert!(allclose_rel(&mv.reshape(&[m, 1]), &full, RTOL, ATOL));
     }
 
     #[test]
