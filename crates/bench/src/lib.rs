@@ -13,6 +13,7 @@
 //! documented scale substitutions).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod calibrate;
 pub mod figures;

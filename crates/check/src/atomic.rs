@@ -1,0 +1,175 @@
+//! Model-aware atomics.
+//!
+//! Drop-in replacements for `std::sync::atomic::{AtomicUsize, AtomicU64,
+//! AtomicBool}` backed by the real std atomic. Without the `check`
+//! feature every method is an `#[inline]` delegation — identical
+//! codegen to std. With it, each operation on a model thread becomes a
+//! scheduler yield point and contributes happens-before edges matching
+//! its `Ordering`:
+//!
+//! * `Acquire` load / RMW — joins the location's release clock,
+//! * `Release` store / RMW — publishes the thread's clock to it,
+//! * `AcqRel` / `SeqCst` — both,
+//! * `Relaxed` — a yield point but **no** edge, so an algorithm that
+//!   leans on a `Relaxed` access for ordering shows up as a data race
+//!   on the cells it was supposed to order.
+//!
+//! The model serializes threads, so the underlying std operation always
+//! uses the caller's requested ordering unchanged — the wrapper only
+//! observes, never weakens.
+
+use std::sync::atomic::Ordering;
+
+#[cfg(feature = "check")]
+use crate::rt;
+
+#[cfg(feature = "check")]
+fn pre_op(this: u64, ord: Ordering, op: &'static str) {
+    rt::op_yield(op);
+    // Release half happens before the store side of the operation.
+    if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+        rt::sync_release(this);
+    }
+}
+
+#[cfg(feature = "check")]
+fn post_op(this: u64, ord: Ordering) {
+    if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+        rt::sync_acquire(this);
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Model-aware counterpart of the std atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $val) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            /// Loads the value; an `Acquire`-or-stronger ordering joins
+            /// the location's release clock under the model.
+            #[inline]
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> $val {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), Ordering::Relaxed, "atomic load");
+                let v = self.inner.load(ord);
+                #[cfg(feature = "check")]
+                post_op(rt::obj_id(self), ord);
+                v
+            }
+
+            /// Stores a value; a `Release`-or-stronger ordering
+            /// publishes the thread's clock under the model.
+            #[inline]
+            #[track_caller]
+            pub fn store(&self, v: $val, ord: Ordering) {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), ord, "atomic store");
+                self.inner.store(v, ord);
+            }
+
+            /// Atomic swap; read-modify-write edges per `ord`.
+            #[inline]
+            #[track_caller]
+            pub fn swap(&self, v: $val, ord: Ordering) -> $val {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), ord, "atomic swap");
+                let old = self.inner.swap(v, ord);
+                #[cfg(feature = "check")]
+                post_op(rt::obj_id(self), ord);
+                old
+            }
+
+            /// Compare-exchange; edges per `success` on success (the
+            /// model runs serialized, failure edges follow `failure`).
+            #[inline]
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), success, "atomic compare_exchange");
+                let r = self.inner.compare_exchange(current, new, success, failure);
+                #[cfg(feature = "check")]
+                post_op(rt::obj_id(self), if r.is_ok() { success } else { failure });
+                r
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $std:ty, $val:ty) => {
+        model_atomic!($name, $std, $val);
+
+        impl $name {
+            /// Atomic add, returning the previous value.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_add(&self, v: $val, ord: Ordering) -> $val {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), ord, "atomic fetch_add");
+                let old = self.inner.fetch_add(v, ord);
+                #[cfg(feature = "check")]
+                post_op(rt::obj_id(self), ord);
+                old
+            }
+
+            /// Atomic subtract, returning the previous value.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_sub(&self, v: $val, ord: Ordering) -> $val {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), ord, "atomic fetch_sub");
+                let old = self.inner.fetch_sub(v, ord);
+                #[cfg(feature = "check")]
+                post_op(rt::obj_id(self), ord);
+                old
+            }
+
+            /// Atomic maximum, returning the previous value.
+            #[inline]
+            #[track_caller]
+            pub fn fetch_max(&self, v: $val, ord: Ordering) -> $val {
+                #[cfg(feature = "check")]
+                pre_op(rt::obj_id(self), ord, "atomic fetch_max");
+                let old = self.inner.fetch_max(v, ord);
+                #[cfg(feature = "check")]
+                post_op(rt::obj_id(self), ord);
+                old
+            }
+        }
+    };
+}
+
+model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicBool {
+    /// Atomic logical OR, returning the previous value.
+    #[inline]
+    #[track_caller]
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        #[cfg(feature = "check")]
+        pre_op(rt::obj_id(self), ord, "atomic fetch_or");
+        let old = self.inner.fetch_or(v, ord);
+        #[cfg(feature = "check")]
+        post_op(rt::obj_id(self), ord);
+        old
+    }
+}

@@ -1,0 +1,61 @@
+//! A race-detector-aware `UnsafeCell`.
+//!
+//! Loom-style API: instead of handing out a raw pointer with
+//! `.get()`, access goes through [`UnsafeCell::with`] (read) and
+//! [`UnsafeCell::with_mut`] (write), scoping every access so the model
+//! can record it. Under the `check` feature each access is a yield
+//! point plus a FastTrack shadow-state update; two accesses to the same
+//! cell that are not ordered by a happens-before path (and at least one
+//! a write) fail the execution as a data race, pointing at both sites.
+//!
+//! The wrapper adds no `unsafe` of its own — the caller still writes
+//! the `unsafe` dereference (with its `// SAFETY:` comment), exactly as
+//! with `std::cell::UnsafeCell`.
+
+/// Shadow-state-tracked interior-mutability cell.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Scoped *read* access. The model records a read of this cell at
+    /// the caller's site; an unordered concurrent write is a failure.
+    #[inline]
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        #[cfg(feature = "check")]
+        crate::rt::cell_read(crate::rt::obj_id(self));
+        f(self.inner.get())
+    }
+
+    /// Scoped *write* access. The model records a write of this cell at
+    /// the caller's site; any unordered concurrent access is a failure.
+    #[inline]
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        #[cfg(feature = "check")]
+        crate::rt::cell_write(crate::rt::obj_id(self));
+        f(self.inner.get())
+    }
+
+    /// Exclusive access through `&mut self` — statically race-free, so
+    /// no shadow-state update is needed.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the cell, returning the value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}

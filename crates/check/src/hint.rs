@@ -1,0 +1,20 @@
+//! Model-aware spin hint.
+
+/// Drop-in replacement for `std::hint::spin_loop`.
+///
+/// In a normal build this compiles to `std::hint::spin_loop` — nothing
+/// else. Under the `check` feature it instead forces the scheduler
+/// token to another runnable thread: spinning can only ever re-observe
+/// the same state until someone else runs, so re-scheduling the spinner
+/// is wasted exploration — and an unmarked spin loop would make
+/// exhaustive DFS infinite. A thread that spins while being the *only*
+/// runnable thread is reported as a livelock (the condition it waits on
+/// can never change).
+#[inline]
+#[track_caller]
+pub fn spin_loop() {
+    #[cfg(feature = "check")]
+    crate::rt::spin_hint();
+    #[cfg(not(feature = "check"))]
+    std::hint::spin_loop();
+}

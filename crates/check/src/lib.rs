@@ -1,0 +1,61 @@
+//! # fairdms-check
+//!
+//! The concurrency-correctness plane (DESIGN.md §11). Every hand-rolled
+//! concurrent structure in this workspace — the left-right
+//! `SnapshotCell`, the generation-fenced `EmbedCache`, the
+//! `JobPool`/`FuncExecutor` supersession machinery — routes its
+//! synchronization through the project-owned shim crates. This crate
+//! exploits that seam three ways:
+//!
+//! * [`sched`] — a loom-lite **controlled scheduler**: tests register N
+//!   model threads, every shim `Mutex`/`RwLock`/`Condvar`/channel
+//!   operation (plus the [`atomic`] and [`cell`] wrappers) becomes a
+//!   yield point, and [`Model`] explores interleavings — exhaustive DFS
+//!   with a bounded-preemption budget (à la CHESS) for small models,
+//!   seeded random schedules for larger ones, with deterministic
+//!   schedule replay from a printed trace.
+//! * Dynamic analyses riding the same instrumentation: a vector-clock
+//!   **happens-before race detector** (FastTrack-style epochs per
+//!   [`cell::UnsafeCell`] location) and a **lock-order graph** with
+//!   cycle detection that turns a potential deadlock into a test
+//!   failure carrying both acquisition sites.
+//! * [`lint`] — `repolint`, an xtask-style source gate
+//!   (`cargo run -p fairdms-check --bin repolint`) enforcing repo
+//!   invariants clippy cannot express: no `std::sync` primitives or
+//!   sleep-polling outside the shims, `// SAFETY:` on every `unsafe`,
+//!   no `static mut`, and an allowlist for `Ordering::Relaxed`.
+//!
+//! The scheduler, detectors, and lint engine are always compiled (so the
+//! crate's own tests run in the tier-1 suite); the `check` *feature* only
+//! switches the wrappers and shim hooks from passthroughs to
+//! instrumented operations. A default build is therefore bit-identical
+//! to a world without this crate.
+//!
+//! ## Writing a model-check test
+//!
+//! ```
+//! use fairdms_check::Model;
+//!
+//! let report = Model::default().check_exhaustive(|| {
+//!     // Build the structure under test, spawn model threads with
+//!     // fairdms_check::thread::spawn, assert invariants, join.
+//! });
+//! report.assert_pass("empty model");
+//! ```
+//!
+//! On failure, [`Report::assert_pass`] panics with the failure kind, the
+//! schedule trace, and a ready-to-paste [`Model::replay`] call that
+//! reproduces it deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod cell;
+pub mod hint;
+pub mod lint;
+pub mod rt;
+pub mod sched;
+pub mod thread;
+
+pub use sched::{Failure, FailureKind, Model, Report, Trace};

@@ -1,0 +1,377 @@
+//! `repolint`: source-level invariants clippy cannot express.
+//!
+//! A line-based scanner over every `.rs` file in the workspace,
+//! enforcing the concurrency-hygiene rules the correctness plane
+//! depends on:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-std-sync` | no direct `std::sync::{Mutex, RwLock, Condvar}` outside the shim crates — all locking must route through `crates/shims/parking_lot` so the model checker sees it |
+//! | `sleep-polling` | no `thread::sleep` outside tests/benches — sleeping in product code is always a disguised poll loop; block on a channel or condvar instead |
+//! | `safety-comment` | every `unsafe` block / `unsafe impl` / `unsafe fn` is preceded (within a few lines) by a `// SAFETY:` comment stating the invariant it relies on |
+//! | `no-static-mut` | no `static mut` anywhere — use an atomic or a lock |
+//! | `relaxed-allowlist` | `Ordering::Relaxed` only at sites on the audited allowlist below, each with a recorded justification |
+//!
+//! Zones: the shim crates are exempt from `no-std-sync` / `sleep-polling`
+//! / `relaxed-allowlist` (they *implement* the sync layer), and
+//! `crates/check` is exempt entirely (the checker's own scheduler is
+//! built on `std::sync`, and this file spells the patterns out). Test
+//! code — `tests/`, `benches/`, or below a `#[cfg(test)]` line — may
+//! sleep.
+//!
+//! Findings are produced as structured values; the `repolint` binary
+//! renders them human-readable or as JSON (`--json`) and exits non-zero
+//! on any finding, which CI gates on.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (kebab-case, stable — scripts key on it).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the human-readable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} | {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+
+    /// One JSON object (hand-rolled; no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"excerpt\":\"{}\"}}",
+            esc(self.rule),
+            esc(&self.path),
+            self.line,
+            esc(&self.message),
+            esc(&self.excerpt)
+        )
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            '\t' => vec!['\\', 't'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Audited `Ordering::Relaxed` sites: (path suffix, justification).
+/// Adding a site here is a reviewed decision — the justification is
+/// printed by `repolint --allowlist`.
+pub const RELAXED_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/datastore/src/store.rs",
+        "monotonic id allocation: fetch_add uniqueness is all that is needed; ids never order other memory",
+    ),
+    (
+        "crates/service/src/metrics.rs",
+        "monotonic metric counters read only by the stats endpoint; no memory is published through them",
+    ),
+    (
+        "crates/service/src/server.rs",
+        "monotonic metric counters (requests, drops); approximate reads are acceptable and order nothing",
+    ),
+    (
+        "crates/service/src/swap.rs",
+        "test-only stop flag for reader soak threads; shutdown timing is irrelevant and the flag guards no data",
+    ),
+    (
+        "crates/core/src/reuse.rs",
+        "hit/miss statistics counters; generation fencing itself uses Acquire/AcqRel, only the stats are relaxed",
+    ),
+    (
+        "crates/core/src/fairds.rs",
+        "sampling sequence counter: uniqueness per draw, no cross-thread data guarded",
+    ),
+    (
+        "crates/flows/src/jobs.rs",
+        "test-only completion counters asserted after join(), which already orders them",
+    ),
+];
+
+/// Lints every `.rs` file under `root`. Paths in findings are relative
+/// to `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = fs::read_to_string(&f) else {
+            continue;
+        };
+        lint_file(&rel, &text, &mut findings);
+    }
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+struct Zone {
+    shim: bool,
+    check_crate: bool,
+    test_file: bool,
+}
+
+fn zone_of(rel: &str) -> Zone {
+    Zone {
+        shim: rel.contains("crates/shims/"),
+        check_crate: rel.contains("crates/check/"),
+        test_file: rel.contains("/tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/")
+            || rel.starts_with("tests/")
+            || rel.starts_with("benches/")
+            || rel.starts_with("examples/"),
+    }
+}
+
+fn is_comment(trimmed: &str) -> bool {
+    trimmed.starts_with("//")
+}
+
+/// Lints one file's text; appends findings.
+pub fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
+    let zone = zone_of(rel);
+    if zone.check_crate {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let mut in_cfg_test = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.starts_with("#[cfg(test)]") {
+            in_cfg_test = true;
+        }
+        let in_test = zone.test_file || in_cfg_test;
+        let comment = is_comment(line);
+
+        // no-std-sync
+        if !zone.shim
+            && !comment
+            && line.contains("std::sync::")
+            && ["Mutex", "RwLock", "Condvar"]
+                .iter()
+                .any(|p| line[line.find("std::sync::").unwrap()..].contains(p))
+        {
+            out.push(Finding {
+                rule: "no-std-sync",
+                path: rel.to_string(),
+                line: lineno,
+                excerpt: line.to_string(),
+                message: "use the parking_lot shim (crates/shims/parking_lot) so the model \
+                          checker can instrument this lock"
+                    .to_string(),
+            });
+        }
+
+        // sleep-polling
+        if !zone.shim && !in_test && !comment && line.contains("thread::sleep") {
+            out.push(Finding {
+                rule: "sleep-polling",
+                path: rel.to_string(),
+                line: lineno,
+                excerpt: line.to_string(),
+                message: "sleeping in product code is a disguised poll loop; block on a \
+                          channel/condvar (or move this under #[cfg(test)])"
+                    .to_string(),
+            });
+        }
+
+        // no-static-mut
+        if !comment && line.contains("static mut ") {
+            out.push(Finding {
+                rule: "no-static-mut",
+                path: rel.to_string(),
+                line: lineno,
+                excerpt: line.to_string(),
+                message: "static mut is unsynchronized shared state; use an atomic or a \
+                          shim lock"
+                    .to_string(),
+            });
+        }
+
+        // safety-comment
+        if !comment && has_unsafe_marker(line) {
+            // Same line or up to 10 lines above.
+            let ok = lines[i.saturating_sub(10)..=i]
+                .iter()
+                .any(|l| l.contains("SAFETY:"));
+            if !ok {
+                out.push(Finding {
+                    rule: "safety-comment",
+                    path: rel.to_string(),
+                    line: lineno,
+                    excerpt: line.to_string(),
+                    message: "every unsafe block/impl/fn needs a `// SAFETY:` comment \
+                              within the 10 preceding lines stating the invariant it \
+                              relies on"
+                        .to_string(),
+                });
+            }
+        }
+
+        // relaxed-allowlist
+        if !zone.shim && !comment && line.contains("Ordering::Relaxed") {
+            let allowed = RELAXED_ALLOWLIST.iter().any(|(p, _)| rel.ends_with(p));
+            if !allowed {
+                out.push(Finding {
+                    rule: "relaxed-allowlist",
+                    path: rel.to_string(),
+                    line: lineno,
+                    excerpt: line.to_string(),
+                    message: "Ordering::Relaxed outside the audited allowlist \
+                              (crates/check/src/lint.rs RELAXED_ALLOWLIST); justify and \
+                              allowlist it, or use Acquire/Release"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn has_unsafe_marker(line: &str) -> bool {
+    // Cheap tokenless scan: `unsafe` followed by `{`, `impl`, or `fn`.
+    // Good enough for this codebase (no raw strings containing these).
+    if let Some(pos) = line.find("unsafe") {
+        let rest = line[pos + "unsafe".len()..].trim_start();
+        return rest.starts_with('{') || rest.starts_with("impl") || rest.starts_with("fn");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, text: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_file(rel, text, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_std_sync_mutex() {
+        let f = lint_str("crates/core/src/x.rs", "use std::sync::Mutex;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-std-sync");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allows_std_sync_arc_and_atomics() {
+        let f = lint_str(
+            "crates/core/src/x.rs",
+            "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn shims_may_wrap_std_sync() {
+        let f = lint_str(
+            "crates/shims/parking_lot/src/lib.rs",
+            "use std::sync::Mutex;\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn flags_sleep_outside_tests_only() {
+        let body = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(
+            lint_str("crates/core/src/x.rs", body)[0].rule,
+            "sleep-polling"
+        );
+        assert!(lint_str("crates/core/tests/x.rs", body).is_empty());
+        let gated = format!("#[cfg(test)]\nmod tests {{ {body} }}\n");
+        assert!(lint_str("crates/core/src/x.rs", &gated).is_empty());
+    }
+
+    #[test]
+    fn flags_unsafe_without_safety_comment() {
+        let bad = "fn f() { unsafe { danger() } }\n";
+        let good = "// SAFETY: serialized by the write lock.\nfn f() { unsafe { danger() } }\n";
+        assert_eq!(
+            lint_str("crates/service/src/x.rs", bad)[0].rule,
+            "safety-comment"
+        );
+        assert!(lint_str("crates/service/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn flags_unsafe_impl_and_static_mut() {
+        let f = lint_str(
+            "crates/service/src/x.rs",
+            "unsafe impl Send for X {}\nstatic mut G: u8 = 0;\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"safety-comment"));
+        assert!(rules.contains(&"no-static-mut"));
+    }
+
+    #[test]
+    fn relaxed_needs_allowlist() {
+        let body = "x.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            lint_str("crates/core/src/other.rs", body)[0].rule,
+            "relaxed-allowlist"
+        );
+        assert!(lint_str("crates/core/src/reuse.rs", body).is_empty());
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let f = Finding {
+            rule: "r",
+            path: "p".into(),
+            line: 1,
+            excerpt: "say \"hi\"".into(),
+            message: "m".into(),
+        };
+        assert!(f.to_json().contains("say \\\"hi\\\""));
+    }
+}

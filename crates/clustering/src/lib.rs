@@ -12,6 +12,7 @@
 //! embedding+clustering stack has gone stale.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod elbow;
 pub mod fuzzy;

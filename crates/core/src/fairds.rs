@@ -36,9 +36,10 @@ use fairdms_clustering::{assignments_to_pdf, elbow, fuzzy, KMeans, KMeansConfig}
 use fairdms_datastore::{Collection, DocId, Document, RawCodec};
 use fairdms_nn::trainer::TrainControl;
 use fairdms_tensor::{hash::row_hashes, ops::sq_dist, rng::TensorRng, Tensor};
+use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// fairDS configuration.
 #[derive(Clone, Debug)]
@@ -193,7 +194,7 @@ fn cache_hit<T>(
     rev: u64,
     rev_of: impl Fn(&T) -> u64,
 ) -> Option<Arc<T>> {
-    let guard = cache.read().unwrap_or_else(|p| p.into_inner());
+    let guard = cache.read();
     guard
         .as_ref()
         .filter(|idx| rev_of(idx) == rev)
@@ -211,7 +212,7 @@ fn cache_install<T>(
     rev: u64,
     rev_of: impl Fn(&T) -> u64,
 ) -> Arc<T> {
-    let mut guard = cache.write().unwrap_or_else(|p| p.into_inner());
+    let mut guard = cache.write();
     if let Some(existing) = guard.as_ref() {
         if rev_of(existing) >= rev {
             return Arc::clone(existing);

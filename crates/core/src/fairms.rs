@@ -48,7 +48,7 @@ pub struct ModelZoo {
     /// Publication happens per *mutating service request*, so without the
     /// cache a triggered retrain would re-slice the entry list even
     /// though the zoo itself did not change.
-    snapshot_cache: std::sync::Mutex<Option<ZooSnapshot>>,
+    snapshot_cache: parking_lot::Mutex<Option<ZooSnapshot>>,
 }
 
 /// Precomputed ranking key of one zoo entry: its training PDF normalized
@@ -101,10 +101,7 @@ impl ModelZoo {
         );
         self.pdf_keys.push(PdfKey::of(&entry.train_pdf));
         self.entries.push(entry);
-        *self
-            .snapshot_cache
-            .get_mut()
-            .unwrap_or_else(|p| p.into_inner()) = None;
+        *self.snapshot_cache.lock() = None;
         self.entries.len() - 1
     }
 
@@ -162,10 +159,7 @@ impl ModelZoo {
     /// pointer slice itself is built at most once per mutation: repeat
     /// calls between `add`s hand back the cached snapshot.
     pub fn snapshot(&self) -> ZooSnapshot {
-        let mut cache = self
-            .snapshot_cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
+        let mut cache = self.snapshot_cache.lock();
         cache
             .get_or_insert_with(|| ZooSnapshot {
                 entries: Arc::from(self.entries.as_slice()),

@@ -27,6 +27,7 @@
 //!   degradation monitoring (Fig 2).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod embedding;
 pub mod fairds;

@@ -43,6 +43,8 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fairdms_check::atomic::AtomicU64 as CheckedAtomicU64;
+
 /// Embedding-cache sizing knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct EmbedCacheConfig {
@@ -221,7 +223,10 @@ pub struct EmbedCache {
     per_shard_capacity: usize,
     /// The only generation inserts are accepted for — advanced by each
     /// system-plane publication ([`EmbedCache::advance_generation`]).
-    generation: AtomicU64,
+    /// A `fairdms_check` wrapper (std passthrough in default builds) so
+    /// the fence-advance protocol is model-checkable; the stats counters
+    /// below stay plain std atomics (they guard nothing).
+    generation: CheckedAtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -248,7 +253,7 @@ impl EmbedCache {
             // silently below the configured one.
             per_shard_capacity: cfg.capacity.div_ceil(shards),
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
-            generation: AtomicU64::new(0),
+            generation: CheckedAtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),

@@ -14,6 +14,7 @@
 //! costs (see DESIGN.md for the substitution rationale).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod loader;
 pub mod pipesim;

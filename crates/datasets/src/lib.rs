@@ -24,6 +24,7 @@
 //! to/from [`fairdms_datastore::Document`] for storage experiments.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bragg;
 pub mod cookiebox;

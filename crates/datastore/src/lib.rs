@@ -21,6 +21,7 @@
 //!   (substitution documented in DESIGN.md).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod netsim;

@@ -18,7 +18,8 @@
 use crossbeam_channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+
+use fairdms_check::thread::JoinHandle;
 
 /// Shared cancellation flag of one job.
 ///
@@ -79,7 +80,10 @@ impl JobPool {
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
-                std::thread::Builder::new()
+                // fairdms_check::thread — std passthrough normally; under
+                // a model execution the worker becomes a model thread so
+                // the checker can explore pool interleavings.
+                fairdms_check::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || {
                         while let Ok(msg) = rx.recv() {
@@ -150,8 +154,9 @@ impl Drop for JobPool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
-    use std::sync::Mutex;
     use std::time::{Duration, Instant};
+
+    use parking_lot::Mutex;
 
     #[test]
     fn jobs_run_and_deliver_results_through_their_own_channel() {
@@ -201,15 +206,15 @@ mod tests {
             while !ctl.is_cancelled() && Instant::now() < deadline {
                 std::thread::yield_now();
             }
-            la.lock().unwrap().push(("a", ctl.is_cancelled()));
+            la.lock().push(("a", ctl.is_cancelled()));
         });
         let lb = Arc::clone(&log);
         let b = pool.spawn(move |ctl| {
-            lb.lock().unwrap().push(("b", ctl.is_cancelled()));
+            lb.lock().push(("b", ctl.is_cancelled()));
         });
         a.cancel(); // supersede A; B keeps its own un-cancelled token
         drop(pool); // joins: A winds down, then B runs
-        assert_eq!(*log.lock().unwrap(), vec![("a", true), ("b", false)]);
+        assert_eq!(*log.lock(), vec![("a", true), ("b", false)]);
         assert!(!b.is_cancelled());
     }
 

@@ -16,6 +16,7 @@
 //!   retries and per-step timing attribution (Globus Flows stand-in).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod executor;
 pub mod flow;

@@ -1,0 +1,157 @@
+//! Model checks for [`fairdms_flows::FuncExecutor`]'s panic-completion
+//! protocol: a function that panics inside a pool worker must still
+//! resolve its [`TaskHandle`] — `wait()` returns an `Err` instead of
+//! blocking on the condvar forever, and `try_take()` polling terminates
+//! (DESIGN.md §11).
+//!
+//! Run with `cargo test -p fairdms-flows --features check --test model_executor`.
+#![cfg(feature = "check")]
+
+use std::sync::Arc;
+
+use fairdms_check::{FailureKind, Model};
+use fairdms_flows::FuncExecutor;
+use parking_lot::{Condvar, Mutex};
+
+/// The flagship executor model: two workers, one panicking task and one
+/// healthy one, every interleaving of submission, execution, unwind and
+/// wait. The panic must surface as `Err` and must not poison the
+/// unrelated task or shrink the pool.
+#[test]
+fn executor_panic_vs_wait_exhaustive() {
+    let report = Model::with_preemption_bound(2).check_exhaustive(|| {
+        let ex = FuncExecutor::new(2);
+        ex.register("boom", |_| -> Result<Vec<f64>, String> {
+            panic!("deliberate model panic")
+        });
+        ex.register("ok", |args| Ok(vec![args[0] + 1.0]));
+        let boom = ex.submit("boom", &[]).unwrap();
+        let ok = ex.submit("ok", &[41.0]).unwrap();
+        let err = boom
+            .wait()
+            .expect_err("a panicked function must surface as Err");
+        assert!(err.contains("panicked"), "unhelpful error: {err}");
+        assert_eq!(
+            ok.wait().unwrap(),
+            vec![42.0],
+            "panic poisoned an unrelated task"
+        );
+    });
+    report.assert_pass("FuncExecutor panic-during-call vs wait");
+    report.assert_min_interleavings(1_000, "FuncExecutor panic-during-call vs wait");
+    assert!(report.exhausted, "schedule space not exhausted");
+}
+
+/// `try_take()` must never block and a panicked task must eventually
+/// resolve it. The poll loop is bounded (a model thread busy-polling
+/// forever would be a genuine livelock, and the scheduler would say so);
+/// the fallback `wait()` covers schedules where the worker hasn't run yet.
+#[test]
+fn executor_panic_vs_try_take_exhaustive() {
+    let report = Model::with_preemption_bound(3).check_exhaustive(|| {
+        let ex = FuncExecutor::new(1);
+        ex.register("boom", |_| -> Result<Vec<f64>, String> {
+            panic!("deliberate model panic")
+        });
+        let h = ex.submit("boom", &[]).unwrap();
+        let mut taken = None;
+        for _ in 0..2 {
+            taken = h.try_take();
+            if taken.is_some() {
+                break;
+            }
+        }
+        let result = match taken {
+            Some(r) => r,
+            None => h.wait(),
+        };
+        assert!(result.is_err(), "panicked task resolved as success");
+    });
+    report.assert_pass("FuncExecutor panic-during-call vs try_take");
+}
+
+/// Seeded random sweep over a deeper workload: three tasks racing two
+/// workers, the middle one panicking.
+#[test]
+fn executor_random_sweep() {
+    let report = Model::default().check_random(0xfa1d_0003, 300, || {
+        let ex = FuncExecutor::new(2);
+        ex.register("id", |args| Ok(args.to_vec()));
+        ex.register("boom", |_| -> Result<Vec<f64>, String> {
+            panic!("deliberate model panic")
+        });
+        let a = ex.submit("id", &[1.0]).unwrap();
+        let b = ex.submit("boom", &[]).unwrap();
+        let c = ex.submit("id", &[3.0]).unwrap();
+        assert_eq!(a.wait().unwrap(), vec![1.0]);
+        assert!(b.wait().is_err());
+        assert_eq!(c.wait().unwrap(), vec![3.0]);
+    });
+    report.assert_pass("FuncExecutor random sweep");
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: the completion drop-guard deleted
+// ---------------------------------------------------------------------------
+
+/// The executor's task-slot protocol with the armed drop-guard
+/// deliberately removed: the worker catches the panic (so the pool
+/// survives) but nothing fills the slot or notifies the condvar — the
+/// waiter blocks forever. The model must report the deadlock, naming
+/// the parked waiter.
+fn broken_no_guard_scenario() {
+    type Slot = (Mutex<Option<Result<Vec<f64>, String>>>, Condvar);
+    let slot: Arc<Slot> = Arc::new((Mutex::new(None), Condvar::new()));
+    let worker = {
+        let slot = Arc::clone(&slot);
+        fairdms_check::thread::spawn(move || {
+            // BUG (deliberate): no completion guard armed before the call.
+            // The real executor installs one in `FuncExecutor::submit` so
+            // the unwind itself delivers the `Err`.
+            let result =
+                std::panic::catch_unwind(|| -> Vec<f64> { panic!("deliberate model panic") });
+            if let Ok(v) = result {
+                *slot.0.lock() = Some(Ok(v));
+                slot.1.notify_all();
+            }
+        })
+    };
+    // TaskHandle::wait(), inlined.
+    let mut guard = slot.0.lock();
+    while guard.is_none() {
+        slot.1.wait(&mut guard);
+    }
+    drop(guard);
+    worker.join().expect("worker panicked");
+}
+
+/// Checked-in replay trace reproducing the missing-guard deadlock
+/// (regression: must keep failing without a search). Regenerate with
+/// `broken_no_guard_is_caught` if a scheduler change shifts yield points.
+const BROKEN_NO_GUARD_TRACE: &str = "0,0,1";
+
+#[test]
+fn broken_no_guard_is_caught() {
+    let model = Model::default();
+    let report = model.check_exhaustive(broken_no_guard_scenario);
+    let failure = report
+        .failure
+        .expect("the model missed the deleted completion guard");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{}", failure.message);
+
+    let replay = model.replay(&failure.trace.to_string(), broken_no_guard_scenario);
+    let replayed = replay
+        .failure
+        .expect("trace did not reproduce the deadlock");
+    assert_eq!(replayed.kind, FailureKind::Deadlock);
+}
+
+/// The checked-in trace (no search) still reproduces the deadlock.
+#[test]
+fn broken_no_guard_checked_in_trace_replays() {
+    let replay = Model::default().replay(BROKEN_NO_GUARD_TRACE, broken_no_guard_scenario);
+    let failure = replay
+        .failure
+        .expect("checked-in trace no longer reproduces the missing-guard deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{}", failure.message);
+}

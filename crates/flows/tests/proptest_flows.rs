@@ -3,10 +3,11 @@
 //! propagation.
 
 use fairdms_flows::{Flow, StepOutcome};
+use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Builds a random layered DAG: `layers` layers of up to `width` steps;
 /// each step depends on a random subset of the previous layer.
@@ -39,7 +40,7 @@ fn layered_flow(
             let name2 = name.clone();
             let dep_refs: Vec<&str> = deps.iter().map(|d| d.as_str()).collect();
             flow = flow.step(&name, &dep_refs, move |_| {
-                log2.lock().unwrap().push(name2.clone());
+                log2.lock().push(name2.clone());
                 Ok(StepOutcome::none())
             });
             structure.push((name.clone(), deps));
@@ -61,7 +62,7 @@ proptest! {
         let log = Arc::new(Mutex::new(Vec::new()));
         let (flow, structure) = layered_flow(&layer_sizes, &dep_mask, Arc::clone(&log));
         let report = flow.run().expect("layered DAGs are acyclic");
-        let order = log.lock().unwrap().clone();
+        let order = log.lock().clone();
 
         let total: usize = layer_sizes.iter().sum();
         prop_assert_eq!(order.len(), total);

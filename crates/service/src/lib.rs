@@ -56,10 +56,15 @@
 //! training executor, epoch-boundary cancellation, version fencing).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod api;
 pub mod metrics;
 pub mod server;
+// The left-right SnapshotCell is the one sanctioned unsafe island in the
+// workspace: every block carries a SAFETY comment (enforced by repolint)
+// and the protocol is model-checked in tests/model_swap.rs.
+#[allow(unsafe_code)]
 pub mod swap;
 
 pub use api::{RankedModels, Reply, Request, ServiceError, ServiceResult};

@@ -32,10 +32,50 @@
 //! never block behind a publisher; a publisher waits only for stragglers
 //! mid-clone on the slot it wants to reuse, which is a bounded handful of
 //! instructions.
+//!
+//! ## Verification
+//!
+//! This protocol is the flagship model-check target of the correctness
+//! plane (DESIGN.md §11). The atomics and the value cell go through
+//! `fairdms_check` wrappers — plain std operations in a default build;
+//! under `--features check`, scheduler yield points feeding a vector-clock
+//! race detector. `crates/service/tests/model_swap.rs` explores the
+//! publish-vs-read interleavings exhaustively and proves the re-check is
+//! load-bearing (deleting it yields a detected data race with a
+//! replayable schedule).
+//!
+//! ## Memory-ordering audit (per site)
+//!
+//! All five atomic sites use `SeqCst`. `Acquire`/`Release` would suffice
+//! for the publication edge alone, but two of the sites form an IRIW-style
+//! *store-load* fence pair that genuinely needs a total order, and the
+//! remaining sites are not on any measured hot path where weakening would
+//! be observable — so the cell keeps one uniform, auditable ordering:
+//!
+//! * `load` (a) `active.load` — must not be reordered after the announce
+//!   increment (b); `SeqCst` on both gives the pair a single total order.
+//! * `load` (b) `readers.fetch_add` — the *announce*. Must be globally
+//!   visible before the re-check (c) reads `active`; a publisher that
+//!   later drains this slot must observe the increment (store-load:
+//!   RMW here vs `readers.load` in `store`). This is the site where
+//!   `Release`/`Acquire` alone is insufficient.
+//! * `load` (c) `active.load` — the re-check; paired with (b) it closes
+//!   the announce-then-verify window.
+//! * `load` (d) `readers.fetch_sub` — releases the pin; must order after
+//!   the value clone so a drain cannot observe 0 mid-clone (`SeqCst`
+//!   keeps the clone inside the (b)/(d) window).
+//! * `store` `active.load` / `readers.load` — the drain loop; must
+//!   observe announces from (b) (store-load pair described above).
+//! * `store` `active.store` — the publication point; the slot write must
+//!   happen-before any reader observing the new index (`Release` would
+//!   do; `SeqCst` also participates in the (a)/(b) total order).
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use fairdms_check::atomic::AtomicUsize;
+use fairdms_check::cell::UnsafeCell;
+use parking_lot::Mutex;
 
 struct Slot<T> {
     readers: AtomicUsize,
@@ -50,11 +90,18 @@ pub struct SnapshotCell<T> {
     write_lock: Mutex<()>,
 }
 
-// Safety: the cell value is only written by the single publisher holding
-// `write_lock`, and only while the slot is inactive with a drained reader
-// count; readers only read it after proving the slot is active (see the
-// module docs). `Arc<T>` itself is Send+Sync for T: Send + Sync.
+// SAFETY: SnapshotCell is Send for T: Send + Sync because moving the cell
+// moves the slot values (`Arc<T>`, itself Send for such T) and every other
+// field is a plain sync primitive.
 unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+// SAFETY: SnapshotCell is Sync for T: Send + Sync because the interior
+// `UnsafeCell<Arc<T>>` is only ever (1) written by the single publisher
+// holding `write_lock`, targeting the inactive slot after its reader
+// count drained to zero, and (2) read by readers that have announced on
+// the slot and re-verified it is active — the left-right protocol proved
+// in the module docs and model-checked in tests/model_swap.rs. Shared
+// `&SnapshotCell` access therefore never yields unsynchronized aliasing
+// of the cell contents.
 unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
 
 impl<T> SnapshotCell<T> {
@@ -80,12 +127,26 @@ impl<T> SnapshotCell<T> {
     /// number of threads concurrently with [`SnapshotCell::store`].
     pub fn load(&self) -> Arc<T> {
         loop {
+            // (a) Which slot is active? (Ordering audit: module docs.)
             let i = self.active.load(Ordering::SeqCst);
+            // (b) Announce on it before trusting it.
             self.slots[i].readers.fetch_add(1, Ordering::SeqCst);
+            // (c) Re-check: if the slot is still active now that we are
+            // announced, no publisher can start writing it beneath us.
             if self.active.load(Ordering::SeqCst) == i {
                 // Slot i is active ⇒ fully written and not being mutated;
                 // our announced read pins it until the decrement below.
-                let value = unsafe { (*self.slots[i].value.get()).clone() };
+                let value = self.slots[i].value.with(|v| {
+                    // SAFETY: dereferencing the shared cell is sound
+                    // because the re-check above proved slot i active
+                    // while our announce (b) was visible: a publisher
+                    // writes a slot only after observing readers == 0
+                    // *and* only while the slot is inactive, so no write
+                    // overlaps this clone (left-right invariant, module
+                    // docs; model-checked in tests/model_swap.rs).
+                    unsafe { (*v).clone() }
+                });
+                // (d) Unpin after the clone completes.
                 self.slots[i].readers.fetch_sub(1, Ordering::SeqCst);
                 return value;
             }
@@ -99,17 +160,25 @@ impl<T> SnapshotCell<T> {
     /// of the active-slot index; readers that loaded the old snapshot keep
     /// their `Arc` until they drop it.
     pub fn store(&self, value: Arc<T>) {
-        let _publisher = self.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let _publisher = self.write_lock.lock();
         let target = 1 - self.active.load(Ordering::SeqCst);
         // Wait out readers still cloning from the slot we are about to
         // overwrite (they announced before the previous swap).
         while self.slots[target].readers.load(Ordering::SeqCst) != 0 {
-            std::hint::spin_loop();
+            fairdms_check::hint::spin_loop();
         }
         // Exclusive: slot is inactive, publisher lock held, readers drained.
-        unsafe {
-            *self.slots[target].value.get() = value;
-        }
+        self.slots[target].value.with_mut(|v| {
+            // SAFETY: exclusive access to the cell holds because (1) the
+            // publisher lock serializes all writers, (2) `target` is the
+            // inactive slot so no reader passes its re-check for it, and
+            // (3) the drain loop above saw readers == 0, so no
+            // pre-publication straggler is still cloning (module docs;
+            // model-checked in tests/model_swap.rs).
+            unsafe {
+                *v = value;
+            }
+        });
         self.active.store(target, Ordering::SeqCst);
     }
 }
@@ -154,6 +223,8 @@ mod tests {
             let stop = Arc::clone(&stop);
             readers.push(std::thread::spawn(move || {
                 let mut reads = 0u64;
+                // Relaxed: plain test stop flag — it guards no data and
+                // shutdown timing is irrelevant (repolint allowlist).
                 while !stop.load(Ordering::Relaxed) {
                     let snap = cell.load();
                     assert_eq!(snap.1, snap.0 * 2, "torn snapshot observed");

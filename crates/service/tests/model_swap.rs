@@ -1,0 +1,226 @@
+//! Model checks for [`fairdms_service::swap::SnapshotCell`] — the
+//! left-right publish/read protocol (DESIGN.md §11).
+//!
+//! Run with `cargo test -p fairdms-service --features check --test model_swap`.
+//! In a default build this file compiles to nothing: the instrumentation
+//! the models need is feature-gated out.
+#![cfg(feature = "check")]
+
+use std::sync::Arc;
+
+use fairdms_check::atomic::AtomicUsize;
+use fairdms_check::cell::UnsafeCell;
+use fairdms_check::{FailureKind, Model};
+use fairdms_service::swap::SnapshotCell;
+use std::sync::atomic::Ordering;
+
+/// Publish-vs-read, exhaustively: one reader racing a publisher that
+/// swaps twice (the second `store` reuses the slot the reader may be
+/// announced on — the exact window the re-check protects).
+#[test]
+fn snapshot_cell_publish_vs_read_exhaustive() {
+    let report = Model::with_preemption_bound(4).check_exhaustive(|| {
+        let cell = Arc::new(SnapshotCell::new(Arc::new(0u64)));
+        let reader = {
+            let cell = Arc::clone(&cell);
+            fairdms_check::thread::spawn(move || {
+                // Monotonic publication: each read sees one of the three
+                // published values, never garbage, never going backwards.
+                let a = *cell.load();
+                let b = *cell.load();
+                assert!(a <= 2 && b <= 2, "impossible snapshot {a}/{b}");
+                assert!(a <= b, "snapshots went backwards: {a} -> {b}");
+            })
+        };
+        cell.store(Arc::new(1));
+        cell.store(Arc::new(2));
+        reader.join().expect("reader panicked");
+        // After both publications, the cell must serve the latest.
+        assert_eq!(*cell.load(), 2);
+    });
+    report.assert_pass("SnapshotCell publish-vs-read");
+    report.assert_min_interleavings(1_000, "SnapshotCell publish-vs-read");
+    assert!(
+        report.exhausted,
+        "schedule space unexpectedly too large to exhaust ({} explored)",
+        report.interleavings
+    );
+}
+
+/// Two readers against one publication, exhaustively: both must see
+/// either the old or the new value, and reader announces on different
+/// slots must not interfere.
+#[test]
+fn snapshot_cell_two_readers_exhaustive() {
+    let report = Model::with_preemption_bound(3).check_exhaustive(|| {
+        let cell = Arc::new(SnapshotCell::new(Arc::new(10u64)));
+        let spawn_reader = |cell: &Arc<SnapshotCell<u64>>| {
+            let cell = Arc::clone(cell);
+            fairdms_check::thread::spawn(move || {
+                let v = *cell.load();
+                assert!(v == 10 || v == 11, "impossible snapshot {v}");
+            })
+        };
+        let r1 = spawn_reader(&cell);
+        let r2 = spawn_reader(&cell);
+        cell.store(Arc::new(11));
+        r1.join().expect("reader 1 panicked");
+        r2.join().expect("reader 2 panicked");
+        assert_eq!(*cell.load(), 11);
+    });
+    report.assert_pass("SnapshotCell two readers");
+    report.assert_min_interleavings(1_000, "SnapshotCell two readers");
+}
+
+/// Seeded random sweep with a deeper workload than the exhaustive
+/// models can afford: three publications against two readers looping.
+#[test]
+fn snapshot_cell_random_sweep() {
+    let report = Model::default().check_random(0xfa1d_0001, 400, || {
+        let cell = Arc::new(SnapshotCell::new(Arc::new(0u64)));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                fairdms_check::thread::spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..2 {
+                        let v = *cell.load();
+                        assert!(v <= 3, "impossible snapshot {v}");
+                        assert!(v >= last, "snapshots went backwards: {last} -> {v}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=3u64 {
+            cell.store(Arc::new(v));
+        }
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+    });
+    report.assert_pass("SnapshotCell random sweep");
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: the same protocol with the re-check deleted
+// ---------------------------------------------------------------------------
+
+/// `SnapshotCell` with the reader's re-check (step (c)) deliberately
+/// removed. The announce is now fiction: a publisher can observe
+/// `readers == 0`, start writing the slot, and have this reader clone
+/// from under it. The model must flag that as a data race.
+struct BrokenCell<T> {
+    active: AtomicUsize,
+    readers: [AtomicUsize; 2],
+    slots: [UnsafeCell<Arc<T>>; 2],
+    write_lock: parking_lot::Mutex<()>,
+}
+
+impl<T> BrokenCell<T> {
+    fn new(value: Arc<T>) -> Self {
+        BrokenCell {
+            active: AtomicUsize::new(0),
+            readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            slots: [UnsafeCell::new(Arc::clone(&value)), UnsafeCell::new(value)],
+            write_lock: parking_lot::Mutex::new(()),
+        }
+    }
+
+    fn load(&self) -> Arc<T> {
+        let i = self.active.load(Ordering::SeqCst);
+        self.readers[i].fetch_add(1, Ordering::SeqCst);
+        // BUG (deliberate): no re-check of `active` here.
+        let value = self.slots[i].with(|v| {
+            // SAFETY: intentionally unsound — this is the mutation the
+            // model must catch. Without the re-check there is no proof
+            // the slot is not being written; the race detector's vector
+            // clocks flag the overlap instead of UB going unnoticed.
+            unsafe { (*v).clone() }
+        });
+        self.readers[i].fetch_sub(1, Ordering::SeqCst);
+        value
+    }
+
+    fn store(&self, value: Arc<T>) {
+        let _publisher = self.write_lock.lock();
+        let target = 1 - self.active.load(Ordering::SeqCst);
+        while self.readers[target].load(Ordering::SeqCst) != 0 {
+            fairdms_check::hint::spin_loop();
+        }
+        self.slots[target].with_mut(|v| {
+            // SAFETY: same contract as the real cell — which the missing
+            // re-check above no longer upholds.
+            unsafe {
+                *v = value;
+            }
+        });
+        self.active.store(target, Ordering::SeqCst);
+    }
+}
+
+// SAFETY: mirrors the real cell's impls; the cell's soundness argument is
+// deliberately broken, which is exactly what the test demonstrates.
+unsafe impl<T: Send + Sync> Send for BrokenCell<T> {}
+// SAFETY: see above — test-only mutant.
+unsafe impl<T: Send + Sync> Sync for BrokenCell<T> {}
+
+fn broken_cell_scenario() {
+    let cell = Arc::new(BrokenCell::new(Arc::new(0u64)));
+    let reader = {
+        let cell = Arc::clone(&cell);
+        fairdms_check::thread::spawn(move || {
+            let _ = cell.load();
+        })
+    };
+    cell.store(Arc::new(1));
+    cell.store(Arc::new(2));
+    let _ = reader.join();
+}
+
+/// Checked-in replay trace reproducing the broken-cell race (regression:
+/// the detector must keep catching this exact schedule without a
+/// search). Regenerate with `broken_recheck_is_caught_as_data_race` if a
+/// shim/scheduler change legitimately shifts yield points.
+const BROKEN_RECHECK_RACE_TRACE: &str = "0,0,0,0,1,1,0,0,0,0,0,1";
+
+/// Deleting the re-check must be *caught*: the exhaustive model finds a
+/// schedule where the publisher writes a slot mid-clone, reports it as a
+/// data race naming both sites, and the printed trace replays to the
+/// same failure deterministically.
+#[test]
+fn broken_recheck_is_caught_as_data_race() {
+    let model = Model::with_preemption_bound(2);
+    let report = model.check_exhaustive(broken_cell_scenario);
+    let failure = report
+        .failure
+        .expect("the model missed the seeded re-check bug");
+    assert_eq!(
+        failure.kind,
+        FailureKind::DataRace,
+        "wrong failure class: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("swap") || failure.message.contains("model_swap"),
+        "diagnosis does not point at the cell accesses: {}",
+        failure.message
+    );
+
+    // The printed schedule is deterministic: replaying it reproduces the
+    // exact same race without any search.
+    let replay = model.replay(&failure.trace.to_string(), broken_cell_scenario);
+    let replayed = replay.failure.expect("trace did not reproduce the race");
+    assert_eq!(replayed.kind, FailureKind::DataRace);
+}
+
+/// The checked-in trace (no search involved) still reproduces the race.
+#[test]
+fn broken_recheck_checked_in_trace_replays() {
+    let replay =
+        Model::with_preemption_bound(2).replay(BROKEN_RECHECK_RACE_TRACE, broken_cell_scenario);
+    let failure = replay
+        .failure
+        .expect("checked-in trace no longer reproduces the broken-re-check race");
+    assert_eq!(failure.kind, FailureKind::DataRace, "{}", failure.message);
+}

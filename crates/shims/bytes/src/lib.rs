@@ -5,6 +5,7 @@
 //! properties the document store and model zoo rely on. The real crate's
 //! zero-copy splitting APIs are not implemented because nothing in the
 //! workspace uses them.
+#![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
 use std::fmt;

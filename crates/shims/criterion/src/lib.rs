@@ -7,6 +7,7 @@
 //! macros. Each benchmark warms up, then runs timed samples and prints
 //! mean / p50 / p99 per-iteration times. There is no statistical outlier
 //! analysis, plotting, or baseline persistence.
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

@@ -15,11 +15,15 @@
 //!
 //! The real crate's `select!` macro is intentionally not provided; the
 //! service layer was restructured around explicit control messages instead.
+#![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "check")]
+use fairdms_check::rt;
 
 /// Error returned by [`Sender::send`] when every receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +73,25 @@ struct Chan<T> {
 }
 
 impl<T> Chan<T> {
+    /// Base model resource: the channel's happens-before clock (every
+    /// send releases into it, every successful recv acquires from it).
+    #[cfg(feature = "check")]
+    fn res(&self) -> u64 {
+        rt::obj_id(self)
+    }
+
+    /// Model wait-queue for "channel has a message".
+    #[cfg(feature = "check")]
+    fn res_not_empty(&self) -> u64 {
+        rt::sub_res(self.res(), 1)
+    }
+
+    /// Model wait-queue for "channel has spare capacity".
+    #[cfg(feature = "check")]
+    fn res_not_full(&self) -> u64 {
+        rt::sub_res(self.res(), 2)
+    }
+
     fn disconnected_tx(&self) -> bool {
         self.senders.load(Ordering::Acquire) == 0
     }
@@ -129,6 +152,10 @@ impl<T> Drop for Sender<T> {
         if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender: wake receivers blocked on an empty queue.
             self.chan.not_empty.notify_all();
+            #[cfg(feature = "check")]
+            if rt::is_model_thread() {
+                rt::unblock_all(self.chan.res_not_empty());
+            }
         }
     }
 }
@@ -147,14 +174,48 @@ impl<T> Drop for Receiver<T> {
         if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last receiver: wake senders blocked on a full queue.
             self.chan.not_full.notify_all();
+            #[cfg(feature = "check")]
+            if rt::is_model_thread() {
+                rt::unblock_all(self.chan.res_not_full());
+            }
         }
     }
 }
 
 impl<T> Sender<T> {
+    /// Model-thread send: the real mutex is only held between yield
+    /// points (never across one), and full-channel blocking goes through
+    /// the scheduler instead of the condvar.
+    #[cfg(feature = "check")]
+    #[track_caller]
+    fn send_model(&self, value: T) -> Result<(), SendError<T>> {
+        loop {
+            rt::op_yield("channel send");
+            {
+                let mut q = self.chan.queue.lock().expect("channel mutex");
+                if self.chan.disconnected_rx() {
+                    return Err(SendError(value));
+                }
+                if q.len() < self.chan.capacity {
+                    q.push_back(value);
+                    drop(q);
+                    rt::sync_release(self.chan.res());
+                    rt::unblock_all(self.chan.res_not_empty());
+                    return Ok(());
+                }
+            }
+            rt::block_on(self.chan.res_not_full(), false, "channel send (full)");
+        }
+    }
+
     /// Sends, blocking while the channel is full. Fails only when every
     /// receiver is gone.
+    #[track_caller]
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            return self.send_model(value);
+        }
         let mut q = self.chan.queue.lock().expect("channel mutex");
         loop {
             if self.chan.disconnected_rx() {
@@ -170,7 +231,12 @@ impl<T> Sender<T> {
     }
 
     /// Sends without blocking.
+    #[track_caller]
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            rt::op_yield("channel try_send");
+        }
         let mut q = self.chan.queue.lock().expect("channel mutex");
         if self.chan.disconnected_rx() {
             return Err(TrySendError::Disconnected(value));
@@ -180,14 +246,48 @@ impl<T> Sender<T> {
         }
         q.push_back(value);
         self.chan.not_empty.notify_one();
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            drop(q);
+            rt::sync_release(self.chan.res());
+            rt::unblock_all(self.chan.res_not_empty());
+            return Ok(());
+        }
         Ok(())
     }
 }
 
 impl<T> Receiver<T> {
+    /// Model-thread receive: mirror of `send_model`.
+    #[cfg(feature = "check")]
+    #[track_caller]
+    fn recv_model(&self) -> Result<T, RecvError> {
+        loop {
+            rt::op_yield("channel recv");
+            {
+                let mut q = self.chan.queue.lock().expect("channel mutex");
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    rt::sync_acquire(self.chan.res());
+                    rt::unblock_all(self.chan.res_not_full());
+                    return Ok(v);
+                }
+                if self.chan.disconnected_tx() {
+                    return Err(RecvError);
+                }
+            }
+            rt::block_on(self.chan.res_not_empty(), false, "channel recv (empty)");
+        }
+    }
+
     /// Receives, blocking while the channel is empty. Fails only when the
     /// channel is empty and every sender is gone.
+    #[track_caller]
     pub fn recv(&self) -> Result<T, RecvError> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            return self.recv_model();
+        }
         let mut q = self.chan.queue.lock().expect("channel mutex");
         loop {
             if let Some(v) = q.pop_front() {
@@ -202,10 +302,22 @@ impl<T> Receiver<T> {
     }
 
     /// Receives without blocking.
+    #[track_caller]
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            rt::op_yield("channel try_recv");
+        }
         let mut q = self.chan.queue.lock().expect("channel mutex");
         if let Some(v) = q.pop_front() {
             self.chan.not_full.notify_one();
+            #[cfg(feature = "check")]
+            if rt::is_model_thread() {
+                drop(q);
+                rt::sync_acquire(self.chan.res());
+                rt::unblock_all(self.chan.res_not_full());
+                return Ok(v);
+            }
             return Ok(v);
         }
         if self.chan.disconnected_tx() {
@@ -214,8 +326,48 @@ impl<T> Receiver<T> {
         Err(TryRecvError::Empty)
     }
 
+    /// Model-thread timed receive. The model has no wall clock: the
+    /// timeout "fires" exactly when no other thread can make progress
+    /// first — the scheduler's deadlock-resolution rule — which both
+    /// keeps schedules time-independent and exercises the timeout path.
+    #[cfg(feature = "check")]
+    #[track_caller]
+    fn recv_timeout_model(&self) -> Result<T, RecvTimeoutError> {
+        loop {
+            rt::op_yield("channel recv_timeout");
+            {
+                let mut q = self.chan.queue.lock().expect("channel mutex");
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    rt::sync_acquire(self.chan.res());
+                    rt::unblock_all(self.chan.res_not_full());
+                    return Ok(v);
+                }
+                if self.chan.disconnected_tx() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+            }
+            let wake = rt::block_on(self.chan.res_not_empty(), true, "channel recv_timeout");
+            if wake == rt::Wake::Timeout {
+                let mut q = self.chan.queue.lock().expect("channel mutex");
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    rt::sync_acquire(self.chan.res());
+                    rt::unblock_all(self.chan.res_not_full());
+                    return Ok(v);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// Receives, blocking at most `timeout`.
+    #[track_caller]
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            return self.recv_timeout_model();
+        }
         let deadline = Instant::now() + timeout;
         let mut q = self.chan.queue.lock().expect("channel mutex");
         loop {

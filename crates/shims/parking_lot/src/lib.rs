@@ -5,10 +5,22 @@
 //! holding a lock does not poison it for later users (poison errors are
 //! swallowed via `into_inner`, matching parking_lot semantics closely
 //! enough for this workspace's usage).
+//!
+//! Under the `check` feature every operation performed on a
+//! `fairdms-check` model thread becomes a scheduler yield point: locks
+//! acquire through a try-lock/park loop driven by the model scheduler
+//! (never blocking in the OS), guards report release on drop, and
+//! condvar wait/notify are modeled entirely in the scheduler. Threads
+//! outside a model execution — and all builds without the feature — take
+//! the plain std path.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
+
+#[cfg(feature = "check")]
+use fairdms_check::rt;
 
 /// A mutual-exclusion lock (poison-free API).
 #[derive(Default)]
@@ -20,6 +32,12 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     // `Option` so Condvar::wait can temporarily take the std guard.
     guard: Option<sync::MutexGuard<'a, T>>,
+    /// Model resource id to release on drop (model threads only).
+    #[cfg(feature = "check")]
+    model_res: Option<u64>,
+    /// Owning lock, for the model condvar's explicit re-lock.
+    #[cfg(feature = "check")]
+    owner: &'a Mutex<T>,
 }
 
 impl<T> Mutex<T> {
@@ -39,20 +57,81 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
+    fn mk_guard<'a>(&'a self, g: sync::MutexGuard<'a, T>, _res: Option<u64>) -> MutexGuard<'a, T> {
         MutexGuard {
-            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            guard: Some(g),
+            #[cfg(feature = "check")]
+            model_res: _res,
+            #[cfg(feature = "check")]
+            owner: self,
         }
     }
 
+    /// Model-thread acquisition: a try-lock/park loop where the
+    /// scheduler decides who runs between attempts. Never blocks in the
+    /// OS, so the model can explore and diagnose contention.
+    #[cfg(feature = "check")]
+    #[track_caller]
+    fn lock_model(&self) -> MutexGuard<'_, T> {
+        let res = rt::obj_id(self);
+        loop {
+            rt::op_yield("mutex lock");
+            match self.inner.try_lock() {
+                Ok(g) => {
+                    rt::lock_acquired(res);
+                    return self.mk_guard(g, Some(res));
+                }
+                Err(sync::TryLockError::Poisoned(p)) => {
+                    rt::lock_acquired(res);
+                    return self.mk_guard(p.into_inner(), Some(res));
+                }
+                Err(sync::TryLockError::WouldBlock) => {
+                    rt::block_on(res, false, "mutex lock");
+                }
+            }
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            return self.lock_model();
+        }
+        self.mk_guard(
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            None,
+        )
+    }
+
     /// Tries to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(feature = "check")]
+        let model_res = if rt::is_model_thread() {
+            rt::op_yield("mutex try_lock");
+            Some(rt::obj_id(self))
+        } else {
+            None
+        };
+        #[cfg(not(feature = "check"))]
+        let model_res = None;
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { guard: Some(g) }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                guard: Some(p.into_inner()),
-            }),
+            Ok(g) => {
+                #[cfg(feature = "check")]
+                if let Some(res) = model_res {
+                    rt::lock_acquired(res);
+                }
+                Some(self.mk_guard(g, model_res))
+            }
+            Err(sync::TryLockError::Poisoned(p)) => {
+                #[cfg(feature = "check")]
+                if let Some(res) = model_res {
+                    rt::lock_acquired(res);
+                }
+                Some(self.mk_guard(p.into_inner(), model_res))
+            }
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -78,10 +157,36 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "check")]
+        if let Some(res) = self.model_res {
+            // Really unlock first, then tell the scheduler: a woken
+            // waiter must find the std lock free when it runs.
+            self.guard.take();
+            rt::lock_released(res);
+        }
+    }
+}
+
 /// A reader–writer lock (poison-free API).
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
     inner: sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: Option<sync::RwLockReadGuard<'a, T>>,
+    #[cfg(feature = "check")]
+    model_res: Option<u64>,
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: Option<sync::RwLockWriteGuard<'a, T>>,
+    #[cfg(feature = "check")]
+    model_res: Option<u64>,
 }
 
 impl<T> RwLock<T> {
@@ -102,19 +207,127 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    ///
+    /// Under the model, read locks participate in the lock-order graph
+    /// exactly like exclusive locks (conservative: a reported
+    /// read/read "cycle" may be benign, but mixed cycles are real).
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            let res = rt::obj_id(self);
+            loop {
+                rt::op_yield("rwlock read");
+                match self.inner.try_read() {
+                    Ok(g) => {
+                        rt::lock_acquired(res);
+                        return RwLockReadGuard {
+                            guard: Some(g),
+                            model_res: Some(res),
+                        };
+                    }
+                    Err(sync::TryLockError::Poisoned(p)) => {
+                        rt::lock_acquired(res);
+                        return RwLockReadGuard {
+                            guard: Some(p.into_inner()),
+                            model_res: Some(res),
+                        };
+                    }
+                    Err(sync::TryLockError::WouldBlock) => {
+                        rt::block_on(res, false, "rwlock read");
+                    }
+                }
+            }
+        }
+        RwLockReadGuard {
+            guard: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(feature = "check")]
+            model_res: None,
+        }
     }
 
     /// Acquires an exclusive write guard.
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            let res = rt::obj_id(self);
+            loop {
+                rt::op_yield("rwlock write");
+                match self.inner.try_write() {
+                    Ok(g) => {
+                        rt::lock_acquired(res);
+                        return RwLockWriteGuard {
+                            guard: Some(g),
+                            model_res: Some(res),
+                        };
+                    }
+                    Err(sync::TryLockError::Poisoned(p)) => {
+                        rt::lock_acquired(res);
+                        return RwLockWriteGuard {
+                            guard: Some(p.into_inner()),
+                            model_res: Some(res),
+                        };
+                    }
+                    Err(sync::TryLockError::WouldBlock) => {
+                        rt::block_on(res, false, "rwlock write");
+                    }
+                }
+            }
+        }
+        RwLockWriteGuard {
+            guard: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(feature = "check")]
+            model_res: None,
+        }
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_deref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_deref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_deref_mut().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "check")]
+        if let Some(res) = self.model_res {
+            self.guard.take();
+            rt::lock_released(res);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "check")]
+        if let Some(res) = self.model_res {
+            self.guard.take();
+            rt::lock_released(res);
+        }
     }
 }
 
@@ -135,7 +348,34 @@ impl Condvar {
     /// Atomically releases the guard's lock and blocks until notified,
     /// reacquiring before returning (parking_lot signature: the guard is
     /// updated in place).
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "check")]
+        if let Some(res) = guard.model_res {
+            let cv = rt::obj_id(self);
+            // Really unlock, then atomically (from the model's view)
+            // record the release and park as a waiter of `cv`.
+            guard.guard.take();
+            rt::cv_wait(cv, res);
+            // Notified and scheduled: reacquire through the model loop.
+            loop {
+                match guard.owner.inner.try_lock() {
+                    Ok(g) => {
+                        rt::lock_acquired(res);
+                        guard.guard = Some(g);
+                        return;
+                    }
+                    Err(sync::TryLockError::Poisoned(p)) => {
+                        rt::lock_acquired(res);
+                        guard.guard = Some(p.into_inner());
+                        return;
+                    }
+                    Err(sync::TryLockError::WouldBlock) => {
+                        rt::block_on(res, false, "condvar re-lock");
+                    }
+                }
+            }
+        }
         let std_guard = guard.guard.take().expect("guard already taken");
         let std_guard = self
             .inner
@@ -146,12 +386,22 @@ impl Condvar {
 
     /// Wakes one waiter.
     pub fn notify_one(&self) -> bool {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            rt::cv_notify(rt::obj_id(self), false);
+            return true;
+        }
         self.inner.notify_one();
         true
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) -> usize {
+        #[cfg(feature = "check")]
+        if rt::is_model_thread() {
+            rt::cv_notify(rt::obj_id(self), true);
+            return 0;
+        }
         self.inner.notify_all();
         0
     }

@@ -14,6 +14,7 @@
 //!   reproduce run-to-run; there is no persisted failure file.
 //! * String patterns support exactly the `[chars]{m,n}` character-class
 //!   form the workspace uses, not full regex.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};

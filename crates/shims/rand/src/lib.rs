@@ -8,6 +8,7 @@
 //! small-rng family uses for statistical quality without cryptographic
 //! claims. Streams are deterministic per seed, which is all the workspace
 //! relies on (it never asks for OS entropy).
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -17,6 +17,7 @@
 //!   `.enumerate().for_each(...)`;
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] (pool width applies to
 //!   work submitted from inside the closure).
+#![forbid(unsafe_code)]
 
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -28,6 +29,14 @@ thread_local! {
 
 /// Worker count for the calling context.
 fn pool_width() -> usize {
+    // Under a fairdms-check model execution, parallel kernels run
+    // sequentially: the scheduler owns thread interleaving, and data-
+    // parallel work over disjoint chunks has no schedule-dependent
+    // behaviour worth exploring (it would only blow up the state space).
+    #[cfg(feature = "check")]
+    if fairdms_check::rt::is_model_thread() {
+        return 1;
+    }
     let over = POOL_OVERRIDE.with(|c| c.get());
     if over > 0 {
         return over;

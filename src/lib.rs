@@ -22,6 +22,7 @@
 //! * [`datasets`] — synthetic instruments and the pseudo-Voigt labeler,
 //! * [`flows`] — orchestration (flows / executor / transfers),
 //! * [`service`] — the concurrent service deployment (DmsServer/DmsClient).
+#![forbid(unsafe_code)]
 
 pub use fairdms_clustering as clustering;
 pub use fairdms_core as core;
