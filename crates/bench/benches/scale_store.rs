@@ -1,0 +1,249 @@
+//! Read-index scaling bench: routed IVF reads vs the brute cluster scan.
+//!
+//! Guards the performance claim of the two-level read index (DESIGN.md
+//! §12): `nearest_labeled` served through ball routing + GEMM-batched
+//! refinement must pull away from the brute per-cluster scan as the store
+//! grows, while returning **bit-identical** results. The sweep covers
+//! 10³ → 10⁵ documents in CI (10⁶ when `SCALE_STORE_FULL=1`, release
+//! builds only — the insert alone takes minutes in debug), timing the two
+//! paths **interleaved and paired** on the same single-row queries so
+//! scheduler jitter hits both series alike.
+//!
+//! CI gates on the top swept size: routed p50 must be ≥3× below brute
+//! p50. Results land machine-readably in
+//! `results/BENCH_scale_store.json` — per-size p50/p99 for both paths,
+//! the speedup factors, and the fraction of candidate rows the pruning
+//! actually eliminated.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairdms_bench::report::BenchReport;
+use fairdms_core::embedding::{EmbedTrainConfig, Embedder};
+use fairdms_core::fairds::{FairDS, FairDsConfig, ReadIndexConfig};
+use fairdms_tensor::rng::TensorRng;
+use fairdms_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Embedding width. Identity embedder: the bench measures the *read
+/// path* — index routing, pruning, and the refine scan — not a neural
+/// forward pass, so frames are their own embeddings.
+const DIM: usize = 16;
+const K: usize = 15;
+const QUERIES: usize = 48;
+/// Rows per batched read — the read plane's designed workload
+/// (`pseudo_label` / `nearest_labeled` serve whole frame batches, routed
+/// as one GEMM-batched group per cluster). The CI gate runs here; the
+/// single-row series is reported for the latency story but not gated,
+/// since a lone read is dominated by per-call fixed costs (embed-cache
+/// probe, snapshot hop) that both paths pay identically.
+const BATCH: usize = 256;
+const BATCH_ITERS: usize = 40;
+
+#[derive(Clone)]
+struct PassthroughEmbedder;
+
+impl Embedder for PassthroughEmbedder {
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+    fn embed_dim(&self) -> usize {
+        DIM
+    }
+    fn input_dim(&self) -> usize {
+        DIM
+    }
+    fn fit(&mut self, _images: &Tensor, _cfg: &EmbedTrainConfig) {}
+    fn embed(&self, images: &Tensor) -> Tensor {
+        images.clone()
+    }
+    fn clone_embedder(&self) -> Box<dyn Embedder> {
+        Box::new(self.clone())
+    }
+}
+
+/// Sub-blobs per coarse cluster: instrument streams repeat near-identical
+/// frames (the paper's premise), so embeddings clump at two scales — the
+/// coarse quantizer's clusters and tight modes within them. Isotropic
+/// gaussians would be the metric-index worst case, not the workload.
+const SUBS: usize = 40;
+
+/// `n` rows drawn around `K` coarse blobs, each a mixture of [`SUBS`]
+/// tight modes.
+fn blob_rows(n: usize, seed: u64) -> Tensor {
+    let mut rng = TensorRng::seeded(seed);
+    // Shared geometry across calls: the blob layout is a function of the
+    // generator's seed stream, so every call re-derives the same centers
+    // before drawing its own rows.
+    let mut geo = TensorRng::seeded(0xB10B);
+    let centers: Vec<f32> = (0..K * DIM).map(|_| geo.next_uniform(-5.0, 5.0)).collect();
+    let subcenters: Vec<f32> = (0..K * SUBS * DIM)
+        .map(|i| centers[(i / (SUBS * DIM)) * DIM + i % DIM] + geo.next_normal_with(0.0, 1.0))
+        .collect();
+    let mut data = Vec::with_capacity(n * DIM);
+    for _ in 0..n {
+        let s = rng.next_index(K * SUBS);
+        for d in 0..DIM {
+            data.push(subcenters[s * DIM + d] + rng.next_normal_with(0.0, 0.15));
+        }
+    }
+    Tensor::from_vec(data, &[n, DIM])
+}
+
+/// A fairDS with `n` labeled documents ingested through the normal write
+/// path (embed → route → store), so stored cluster assignments are the
+/// coarse quantizer's own.
+fn populated_fairds(n: usize, seed: u64) -> FairDS {
+    let mut ds = FairDS::in_memory(
+        Box::new(PassthroughEmbedder),
+        FairDsConfig {
+            k: Some(K),
+            seed,
+            ..FairDsConfig::default()
+        },
+    );
+    ds.train_system(&blob_rows(2048, seed ^ 0xA5), &EmbedTrainConfig::default());
+    let mut inserted = 0;
+    while inserted < n {
+        let chunk = (n - inserted).min(25_000);
+        let x = blob_rows(chunk, seed.wrapping_add(inserted as u64));
+        let labels: Vec<f32> = (0..chunk * 2).map(|i| (inserted + i) as f32).collect();
+        let y = Tensor::from_vec(labels, &[chunk, 2]);
+        ds.ingest_labeled(&x, &y, inserted);
+        inserted += chunk;
+    }
+    ds
+}
+
+fn bench_scale_store(_c: &mut Criterion) {
+    let mut sizes: Vec<usize> = vec![1_000, 10_000, 100_000];
+    if std::env::var("SCALE_STORE_FULL").is_ok_and(|v| v == "1") {
+        sizes.push(1_000_000);
+    }
+    let top = *sizes.last().expect("non-empty sweep");
+
+    let mut report = BenchReport::new();
+    let mut top_speedup = 0.0f64;
+    for &n in &sizes {
+        let mut ds = populated_fairds(n, 42);
+        let routed = ds.snapshot().expect("trained");
+        ds.configure_read_index(ReadIndexConfig {
+            enabled: false,
+            ..ReadIndexConfig::default()
+        });
+        let brute = ds.snapshot().expect("trained");
+
+        let queries = blob_rows(QUERIES, 9_000 + n as u64);
+        let rows: Vec<Tensor> = (0..QUERIES)
+            .map(|i| Tensor::from_vec(queries.row(i).to_vec(), &[1, DIM]))
+            .collect();
+
+        // Correctness first: routing must be invisible. (Also warms both
+        // snapshots' index + embed caches so the timed loop measures
+        // steady-state reads, not the one-off index build.)
+        let rh = routed.nearest_labeled(&queries);
+        let bh = brute.nearest_labeled(&queries);
+        assert_eq!(rh.len(), bh.len());
+        for (i, (r, b)) in rh.iter().zip(&bh).enumerate() {
+            let (rd, rdoc) = r.as_ref().expect("dense labeled store always hits");
+            let (bd, bdoc) = b.as_ref().expect("dense labeled store always hits");
+            assert_eq!(
+                rd.to_bits(),
+                bd.to_bits(),
+                "query {i} at n={n}: routed distance diverged from brute"
+            );
+            assert_eq!(
+                rdoc.get_f32s("embedding"),
+                bdoc.get_f32s("embedding"),
+                "query {i} at n={n}: routed winner diverged from brute"
+            );
+        }
+
+        // Paired single-row reads, brute leg then routed leg, counters
+        // diffed around the routed legs only.
+        let counters = ds.read_index_counters();
+        let scanned0 = counters.candidates_scanned();
+        let pruned0 = counters.balls_pruned();
+        let probes0 = counters.probes();
+        let mut brute_lat = Vec::with_capacity(QUERIES);
+        let mut routed_lat = Vec::with_capacity(QUERIES);
+        for q in &rows {
+            let t0 = Instant::now();
+            black_box(brute.nearest_labeled(q));
+            brute_lat.push(t0.elapsed());
+            let t1 = Instant::now();
+            black_box(routed.nearest_labeled(q));
+            routed_lat.push(t1.elapsed());
+        }
+        let probes = counters.probes() - probes0;
+        let scanned = counters.candidates_scanned() - scanned0;
+        let pruned = counters.balls_pruned() - pruned0;
+        // Brute work for the same probes is ~rows-per-cluster each; the
+        // scanned fraction is what pruning + margin refinement left over.
+        let brute_rows = probes as f64 * (n as f64 / K as f64);
+        let scanned_fraction = scanned as f64 / brute_rows.max(1.0);
+
+        // The gated series: whole-batch reads, brute leg then routed leg.
+        let batch = blob_rows(BATCH, 77_000 + n as u64);
+        let mut brute_batch = Vec::with_capacity(BATCH_ITERS);
+        let mut routed_batch = Vec::with_capacity(BATCH_ITERS);
+        for _ in 0..BATCH_ITERS {
+            let t0 = Instant::now();
+            black_box(brute.nearest_labeled(&batch));
+            brute_batch.push(t0.elapsed());
+            let t1 = Instant::now();
+            black_box(routed.nearest_labeled(&batch));
+            routed_batch.push(t1.elapsed());
+        }
+
+        let bs = report.add_series(&format!("nearest_labeled/one/brute/{n}"), &brute_lat);
+        let (bp50, bthr) = (bs.p50, bs.throughput);
+        let rs = report.add_series(&format!("nearest_labeled/one/routed/{n}"), &routed_lat);
+        let one_speedup = bp50.as_secs_f64() / rs.p50.as_secs_f64().max(1e-12);
+        let (rp50, rthr) = (rs.p50, rs.throughput);
+        let bbs = report.add_series(&format!("nearest_labeled/batch/brute/{n}"), &brute_batch);
+        let (bbp50, bbthr) = (bbs.p50, bbs.throughput);
+        let rbs = report.add_series(&format!("nearest_labeled/batch/routed/{n}"), &routed_batch);
+        let speedup = bbp50.as_secs_f64() / rbs.p50.as_secs_f64().max(1e-12);
+        println!(
+            "n={n:>7}  one: brute p50 {bp50:>9.2?} ({bthr:>6.0}/s) routed p50 {rp50:>9.2?} \
+             ({rthr:>6.0}/s) {one_speedup:>4.1}x | batch{BATCH}: brute p50 {bbp50:>9.2?} \
+             ({bbthr:>5.0}/s) routed p50 {:>9.2?} ({:>5.0}/s) {speedup:>4.1}x | \
+             scanned {:.2}% of brute rows, {pruned} balls pruned",
+            rbs.p50,
+            rbs.throughput,
+            scanned_fraction * 100.0,
+        );
+        report.add_metric(&format!("speedup_single_{n}"), one_speedup);
+        report.add_metric(&format!("speedup_batch_{n}"), speedup);
+        report.add_metric(&format!("scanned_fraction_{n}"), scanned_fraction);
+        report.add_metric(&format!("pruned_fraction_{n}"), 1.0 - scanned_fraction);
+        report.add_metric(&format!("balls_pruned_{n}"), pruned as f64);
+        if n == top {
+            top_speedup = speedup;
+        }
+    }
+
+    let path = report.write("scale_store");
+    println!("wrote {}", path.display());
+
+    // The CI gate: at the largest swept store, batched routed reads must
+    // be at least 3x below the brute scan at the median.
+    assert!(
+        top_speedup >= 3.0,
+        "batched routed reads must be >=3x faster than brute at n={top} \
+         (measured {top_speedup:.1}x)"
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scale_store
+}
+criterion_main!(benches);

@@ -101,7 +101,8 @@ pub const RELAXED_ALLOWLIST: &[(&str, &str)] = &[
     ),
     (
         "crates/core/src/fairds.rs",
-        "sampling sequence counter: uniqueness per draw, no cross-thread data guarded",
+        "sampling sequence counter (uniqueness per draw) and read-index probe/prune statistics; \
+         neither guards cross-thread data",
     ),
     (
         "crates/flows/src/jobs.rs",

@@ -5,8 +5,36 @@
 //! scalability and fast convergence" (§II-A); this implementation keeps
 //! those properties.
 
-use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
+use fairdms_tensor::gemm::Threading;
+use fairdms_tensor::{
+    ops::{row_sq_norms, sq_dist, sq_dist_into},
+    rng::TensorRng,
+    Tensor,
+};
 use rayon::prelude::*;
+use std::cell::Cell;
+
+/// Relative error margin granted to a GEMM-normed squared distance
+/// (`‖q‖² + ‖x‖² − 2·q·x`) against the exact [`sq_dist`] loop, scaled by
+/// `‖q‖² + ‖x‖²` — the magnitude the expansion's cancellation error is
+/// proportional to. f32 GEMM error is O(d·ε) ≈ 1e-4 at the dimensions in
+/// this workspace; 1e-3 is a deliberately loose bound, because a too-tight
+/// margin silently breaks exactness while a loose one only costs a few
+/// extra exact re-evaluations.
+pub const NORMED_EPS_REL: f32 = 1e-3;
+
+/// Absolute floor of the normed-distance error margin (covers rows at the
+/// origin, where the relative term vanishes).
+pub const NORMED_EPS_ABS: f32 = 1e-12;
+
+/// The error margin of a GEMM-normed squared distance between rows with
+/// squared norms `qn` and `xn`: exact [`sq_dist`] is guaranteed inside
+/// `normed ± margin`. The pruning and candidate-selection contracts of the
+/// batched assigner and the core read index both rest on this bound.
+#[inline]
+pub fn normed_margin(qn: f32, xn: f32) -> f32 {
+    NORMED_EPS_REL * (qn + xn) + NORMED_EPS_ABS
+}
 
 /// K-means hyperparameters.
 #[derive(Clone, Debug)]
@@ -210,14 +238,98 @@ fn nearest_center(sample: &[f32], centers: &Tensor) -> (usize, f32) {
     (best, best_d)
 }
 
+/// Output elements (`n·k`) below which assignment stays on the scalar
+/// per-row scan: the GEMM's norm/pack setup costs more than it saves on
+/// tiny batches, and the refine step makes both paths agree exactly, so
+/// the switch is invisible to callers.
+const BATCH_ASSIGN_MIN: usize = 2048;
+
+thread_local! {
+    /// Normed-distance scratch (`[n, k]`), recycled across assignment
+    /// calls so the Lloyd loop and steady-state `predict` allocate
+    /// nothing per call beyond the assignments themselves.
+    static ASSIGN_DIST: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
 /// Parallel assignment of every sample to its nearest center.
+///
+/// Large batches route through **one** fused-epilogue GEMM
+/// (`‖x‖² + ‖c‖² − 2·X·Cᵀ`, [`sq_dist_into`]) instead of `n·k` scalar
+/// [`sq_dist`] scans. Because the normed distances are only
+/// relative-tolerance accurate, each row is *refined to exact*: every
+/// center whose normed distance could possibly be the true minimum (within
+/// [`normed_margin`]) is re-evaluated with the exact `sq_dist` loop, and
+/// the winner is the lowest-index center with the smallest exact distance
+/// — precisely the answer the scalar [`nearest_center`] scan produces.
+/// Assignments are therefore identical on both paths, for fitting and
+/// prediction alike; only the cost changes.
 fn assign_parallel(data: &Tensor, centers: &Tensor, out: &mut [usize]) {
     let d = data.shape()[1];
+    let n = data.shape()[0];
+    let k = centers.shape()[0];
     let raw = data.data();
-    out.par_iter_mut().enumerate().for_each(|(i, a)| {
-        let row = &raw[i * d..(i + 1) * d];
-        *a = nearest_center(row, centers).0;
-    });
+    if n * k < BATCH_ASSIGN_MIN || d == 0 {
+        out.par_iter_mut().enumerate().for_each(|(i, a)| {
+            let row = &raw[i * d..(i + 1) * d];
+            *a = nearest_center(row, centers).0;
+        });
+        return;
+    }
+    let dn = row_sq_norms(raw, d);
+    let cn = row_sq_norms(centers.data(), d);
+    let mut dist = ASSIGN_DIST.with(Cell::take);
+    dist.clear();
+    dist.resize(n * k, 0.0);
+    sq_dist_into(
+        n,
+        d,
+        k,
+        raw,
+        centers.data(),
+        &dn,
+        &cn,
+        &mut dist,
+        Threading::Auto,
+    );
+    {
+        let dist = &dist;
+        out.par_iter_mut().enumerate().for_each(|(i, a)| {
+            let row = &raw[i * d..(i + 1) * d];
+            *a = refine_nearest(&dist[i * k..(i + 1) * k], dn[i], &cn, row, centers);
+        });
+    }
+    ASSIGN_DIST.with(|c| c.set(dist));
+}
+
+/// Exact argmin recovery from one row of normed distances: centers within
+/// the error margin of the best normed value are re-scored with the exact
+/// [`sq_dist`] loop; ties break to the lowest center index (the scalar
+/// scan's strict-`<` rule).
+fn refine_nearest(drow: &[f32], qn: f32, cn: &[f32], row: &[f32], centers: &Tensor) -> usize {
+    let mut cutoff = f32::INFINITY;
+    for (j, &dj) in drow.iter().enumerate() {
+        cutoff = cutoff.min(dj + normed_margin(qn, cn[j]));
+    }
+    let is_candidate = |j: usize| drow[j] - normed_margin(qn, cn[j]) <= cutoff;
+    let mut candidates = (0..drow.len()).filter(|&j| is_candidate(j));
+    let first = candidates
+        .next()
+        .expect("normed argmin is always a candidate of itself");
+    // A lone candidate needs no exact pass: no other center can beat it
+    // even under worst-case normed error.
+    let Some(second) = candidates.next() else {
+        return first;
+    };
+    let mut best = first;
+    let mut best_d = sq_dist(row, centers.row(first));
+    for j in std::iter::once(second).chain(candidates) {
+        let e = sq_dist(row, centers.row(j));
+        if e < best_d {
+            best_d = e;
+            best = j;
+        }
+    }
+    best
 }
 
 /// Within-cluster sum of squared errors.
@@ -298,6 +410,32 @@ mod tests {
             let (nearest, _) = model.predict_one(data.row(i));
             assert_eq!(a, nearest);
         }
+    }
+
+    #[test]
+    fn batched_assignment_matches_scalar_scan_exactly() {
+        // 750 points × 3 centers crosses BATCH_ASSIGN_MIN, so predict runs
+        // the GEMM + refine path; every assignment must still equal the
+        // scalar per-row scan, including on duplicated (tie-heavy) rows.
+        let (data, _) = blobs(250, 8);
+        let n = data.shape()[0];
+        assert!(
+            n * 3 >= BATCH_ASSIGN_MIN,
+            "test must exercise the GEMM path"
+        );
+        let model = KMeans::fit(&data, &KMeansConfig::new(3));
+        let pred = model.predict(&data);
+        for (i, &a) in pred.iter().enumerate() {
+            assert_eq!(a, nearest_center(data.row(i), model.centers()).0, "row {i}");
+        }
+        // Duplicate the matrix: identical rows must get identical
+        // assignments regardless of batch position.
+        let mut twice = data.data().to_vec();
+        twice.extend_from_slice(data.data());
+        let twice = Tensor::from_vec(twice, &[2 * n, 2]);
+        let pred2 = model.predict(&twice);
+        assert_eq!(&pred2[..n], &pred[..]);
+        assert_eq!(&pred2[n..], &pred[..]);
     }
 
     #[test]

@@ -19,12 +19,14 @@ pub mod fuzzy;
 pub mod kmeans;
 pub mod metrics;
 pub mod minibatch;
+pub mod partition;
 
 pub use elbow::{select_k, ElbowReport};
 pub use fuzzy::{certainty, certainty_with_fuzzifier, memberships};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use metrics::{davies_bouldin, silhouette};
 pub use minibatch::{fit_minibatch, MiniBatchConfig};
+pub use partition::{partition_balls, Ball, BallPartitionConfig};
 
 /// Normalizes a histogram of cluster counts into a probability distribution.
 ///

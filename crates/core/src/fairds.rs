@@ -32,10 +32,19 @@
 
 use crate::embedding::{EmbedTrainConfig, Embedder};
 use crate::reuse::{EmbedCache, EmbedCacheConfig};
-use fairdms_clustering::{assignments_to_pdf, elbow, fuzzy, KMeans, KMeansConfig};
+use fairdms_clustering::kmeans::normed_margin;
+use fairdms_clustering::{
+    assignments_to_pdf, elbow, fuzzy, partition_balls, BallPartitionConfig, KMeans, KMeansConfig,
+};
 use fairdms_datastore::{Collection, DocId, Document, RawCodec};
 use fairdms_nn::trainer::TrainControl;
-use fairdms_tensor::{hash::row_hashes, ops::sq_dist, rng::TensorRng, Tensor};
+use fairdms_tensor::gemm::Threading;
+use fairdms_tensor::{
+    hash::row_hashes,
+    ops::{row_sq_norms, sq_dist, sq_dist_into},
+    rng::TensorRng,
+    Tensor,
+};
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +72,8 @@ pub struct FairDsConfig {
     /// Embedding-reuse cache sizing (the data-reuse plane, DESIGN.md §8).
     /// `capacity: 0` disables memoization entirely.
     pub embed_cache: EmbedCacheConfig,
+    /// Read-index layout (the two-level IVF read plane, DESIGN.md §12).
+    pub read_index: ReadIndexConfig,
 }
 
 impl Default for FairDsConfig {
@@ -75,7 +86,67 @@ impl Default for FairDsConfig {
             certainty_threshold: 0.8,
             seed: 0,
             embed_cache: EmbedCacheConfig::default(),
+            read_index: ReadIndexConfig::default(),
         }
+    }
+}
+
+/// Layout knobs of the two-level IVF read index (DESIGN.md §12).
+#[derive(Clone, Copy, Debug)]
+pub struct ReadIndexConfig {
+    /// `false` routes every nearest-neighbour read through the brute
+    /// per-cluster scan — the exactness oracle the routed path is tested
+    /// (and benched) against.
+    pub enabled: bool,
+    /// Target rows per ball in the within-cluster sub-partition.
+    pub ball_target: usize,
+    /// Clusters below this row count are not sub-partitioned: a linear
+    /// scan of a few hundred cached rows beats the ball bookkeeping.
+    pub min_cluster_rows: usize,
+}
+
+impl Default for ReadIndexConfig {
+    fn default() -> Self {
+        ReadIndexConfig {
+            enabled: true,
+            ball_target: 64,
+            min_cluster_rows: 256,
+        }
+    }
+}
+
+/// Monotone statistics of the routed read path, shared by every published
+/// snapshot of one [`FairDS`] (and surfaced through the service's metrics
+/// endpoint). Counters only — all `Relaxed`, nothing is ordered by them.
+#[derive(Debug, Default)]
+pub struct ReadIndexCounters {
+    probes: AtomicU64,
+    balls_pruned: AtomicU64,
+    candidates_scanned: AtomicU64,
+}
+
+impl ReadIndexCounters {
+    #[inline]
+    fn record(&self, probes: u64, pruned: u64, scanned: u64) {
+        self.probes.fetch_add(probes, Ordering::Relaxed);
+        self.balls_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.candidates_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+    }
+
+    /// Queries routed through the read index so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Balls excluded by the triangle-inequality bound, summed over probes.
+    pub fn balls_pruned(&self) -> u64 {
+        self.balls_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Rows that reached the exact-refine scan, summed over probes.
+    pub fn candidates_scanned(&self) -> u64 {
+        self.candidates_scanned.load(Ordering::Relaxed)
     }
 }
 
@@ -113,25 +184,145 @@ struct MembershipIndex {
     all_ids: Vec<DocId>,
 }
 
-/// Per-cluster cached embeddings (and labels) at one revision: one decode
-/// pass over the store, after which nearest-neighbour reads never touch
-/// (or decode) stored documents until the best match is known.
+/// Decoded rows of one store shard at one shard revision — the unit of
+/// incremental index rebuild. Rows are ascending by id; only documents
+/// carrying an `embedding` of the snapshot's width are kept.
+struct ShardRows {
+    /// The shard's [`Collection::shard_revisions`] entry observed before
+    /// decoding. A later rebuild reuses this decode verbatim (`Arc` clone,
+    /// zero document reads) while the entry is unchanged.
+    revision: u64,
+    docs: Vec<ShardDoc>,
+}
+
+/// One decoded document row inside [`ShardRows`].
+struct ShardDoc {
+    id: DocId,
+    /// The stored cluster id (`-1` when the document carries none).
+    cluster: i64,
+    emb: Vec<f32>,
+    label: Option<Vec<f32>>,
+}
+
+/// Per-cluster cached embeddings (and labels) at one revision: one
+/// *sharded* decode pass over the store, after which nearest-neighbour
+/// reads never touch (or decode) stored documents until the best match is
+/// known. Two-level IVF (DESIGN.md §12): the k-means plane routes a query
+/// to a cluster, and large clusters carry a ball sub-partition that the
+/// triangle inequality prunes — exactly, results stay bit-identical to
+/// the brute per-cluster scan.
 struct EmbeddingIndex {
     revision: u64,
-    clusters: Vec<ClusterEmbeddings>,
+    /// Per-shard decodes, reusable across rebuilds while the shard's
+    /// revision holds still.
+    shards: Vec<Arc<ShardRows>>,
+    clusters: Vec<Arc<ClusterEmbeddings>>,
+}
+
+/// One ball of a cluster's sub-partition: member rows (indices into the
+/// cluster's embedding matrix, ascending), a conservative radius around
+/// the ball center (stored flattened in
+/// [`ClusterEmbeddings::ball_centers`]), and whether any member carries a
+/// label (the eligibility bit for label-donating searches).
+struct IndexBall {
+    members: Vec<usize>,
+    radius: f32,
+    labeled: bool,
 }
 
 /// The embedding cache of one cluster. Rows are documents that carry an
-/// `embedding` field of the snapshot's embedding width.
+/// `embedding` field of the snapshot's embedding width, ascending by id
+/// (the deterministic tie order of the brute scan).
 struct ClusterEmbeddings {
     ids: Vec<DocId>,
     /// Flattened `[rows, embed_dim]` embeddings, row-parallel to `ids`.
     emb: Vec<f32>,
     /// Stored label per row (`None` when the document carries none).
     labels: Vec<Option<Vec<f32>>>,
+    /// Cached `‖x‖²` per row — the store-side half of the
+    /// `‖q−x‖² = ‖q‖² + ‖x‖² − 2·q·x` GEMM expansion.
+    norms: Vec<f32>,
+    /// Ball sub-partition (empty for small clusters, which scan linearly).
+    balls: Vec<IndexBall>,
+    /// Flattened `[balls, embed_dim]` ball centers.
+    ball_centers: Vec<f32>,
+    /// `‖c‖²` per ball center.
+    ball_center_norms: Vec<f32>,
+    /// Ball-contiguous copy of `emb`: ball j's member rows packed densely
+    /// from row offset `ball_block[j]`, in `members` order, so per-ball
+    /// GEMMs read one dense panel with no per-query gather.
+    ball_emb: Vec<f32>,
+    /// Row norms parallel to `ball_emb`.
+    ball_norms: Vec<f32>,
+    /// Row offset of each ball's block in `ball_emb`.
+    ball_block: Vec<u32>,
 }
 
+/// Pruning slack applied on top of [`normed_margin`] when comparing ball
+/// bounds: the bounds pass through a `sqrt` and a radius addition, so the
+/// lower bound is deflated and the upper bound inflated by this relative
+/// factor before any ball is discarded. Generous against f32 rounding
+/// (real GEMM error is ~1e-6 relative); pruning stays exact.
+const PRUNE_SLACK: f32 = 1e-3;
+
 impl ClusterEmbeddings {
+    /// Builds one cluster's cache; rows of `ids.len() ≥ min_cluster_rows`
+    /// clusters are sub-partitioned into balls (deterministic in the
+    /// cluster content and seed).
+    fn build(
+        ids: Vec<DocId>,
+        emb: Vec<f32>,
+        labels: Vec<Option<Vec<f32>>>,
+        dim: usize,
+        ri: &ReadIndexConfig,
+        seed: u64,
+    ) -> ClusterEmbeddings {
+        let norms = row_sq_norms(&emb, dim);
+        let rows = ids.len();
+        let mut cl = ClusterEmbeddings {
+            ids,
+            emb,
+            labels,
+            norms,
+            balls: Vec::new(),
+            ball_centers: Vec::new(),
+            ball_center_norms: Vec::new(),
+            ball_emb: Vec::new(),
+            ball_norms: Vec::new(),
+            ball_block: Vec::new(),
+        };
+        if !ri.enabled || dim == 0 || rows < ri.min_cluster_rows.max(1) {
+            return cl;
+        }
+        let parts = partition_balls(
+            &cl.emb,
+            dim,
+            &BallPartitionConfig {
+                target: ri.ball_target.max(1),
+                max_depth: 3,
+                seed,
+            },
+        );
+        for b in parts {
+            let labeled = b.members.iter().any(|&r| cl.labels[r].is_some());
+            cl.ball_center_norms
+                .push(b.center.iter().map(|&v| v * v).sum());
+            cl.ball_centers.extend_from_slice(&b.center);
+            cl.ball_block.push(cl.ball_norms.len() as u32);
+            for &r in &b.members {
+                cl.ball_emb
+                    .extend_from_slice(&cl.emb[r * dim..(r + 1) * dim]);
+                cl.ball_norms.push(cl.norms[r]);
+            }
+            cl.balls.push(IndexBall {
+                members: b.members,
+                radius: b.radius,
+                labeled,
+            });
+        }
+        cl
+    }
+
     /// Nearest row to `z` (Euclidean over embeddings). `labeled_only`
     /// restricts the search to rows that carry a stored label — the
     /// pseudo-labeling contract, where an unlabeled neighbour can never
@@ -184,6 +375,9 @@ pub struct SystemSnapshot {
     /// after a retrain the new snapshot's probes can never match (or be
     /// poisoned by) embeddings of the replaced embedder.
     reuse: Arc<EmbedCache>,
+    /// Routed-read statistics, shared with the owning [`FairDS`] across
+    /// publications (counters survive snapshot turnover).
+    read_stats: Arc<ReadIndexCounters>,
 }
 
 /// Cache-hit path shared by both indexes: a *shared* read lock and an
@@ -236,6 +430,7 @@ impl SystemSnapshot {
         cfg: FairDsConfig,
         version: u64,
         reuse: Arc<EmbedCache>,
+        read_stats: Arc<ReadIndexCounters>,
     ) -> SystemSnapshot {
         SystemSnapshot {
             embedder,
@@ -247,6 +442,7 @@ impl SystemSnapshot {
             members_cache: RwLock::new(None),
             emb_cache: RwLock::new(None),
             reuse,
+            read_stats,
         }
     }
 
@@ -273,28 +469,42 @@ impl SystemSnapshot {
         cache_install(&self.members_cache, idx, rev, |i| i.revision)
     }
 
-    /// The current embedding index, rebuilding (one decode pass over the
-    /// store) if the store moved on. Rows whose stored embedding width
-    /// differs from this snapshot's embedder (stale documents from an
-    /// earlier system plane) are excluded, mirroring the per-query width
-    /// check the uncached path applied.
+    /// The current embedding index, rebuilding if the store moved on.
+    /// Rows whose stored embedding width differs from this snapshot's
+    /// embedder (stale documents from an earlier system plane) are
+    /// excluded, mirroring the per-query width check the uncached path
+    /// applied.
+    ///
+    /// The rebuild is **sharded**: documents are decoded shard-by-shard
+    /// (in parallel), each decode tagged with the shard's own mutation
+    /// counter, and a rebuild reuses every shard whose counter is
+    /// unchanged — one store mutation re-decodes one shard, not the whole
+    /// store. Cluster layouts are then scatter-gathered from the shard
+    /// decodes in ascending-id order (the brute scan's deterministic tie
+    /// order); a cluster whose membership and contributing shards are
+    /// untouched reuses its previous layout (and ball sub-partition)
+    /// wholesale.
     fn embedding_index(&self) -> Arc<EmbeddingIndex> {
         let rev = self.store.revision();
         if let Some(idx) = cache_hit(&self.emb_cache, rev, |i| i.revision) {
             return idx;
         }
-        let members = self.membership_index();
+        // The previous index (any revision) is the reuse donor: its
+        // shard decodes and cluster layouts are recycled wherever the
+        // per-shard counters prove them still current.
+        let prev = self.emb_cache.read().clone();
         let dim = self.embedder.embed_dim();
-        let clusters = members
-            .members
-            .iter()
-            .map(|ids| {
-                let mut cl = ClusterEmbeddings {
-                    ids: Vec::with_capacity(ids.len()),
-                    emb: Vec::with_capacity(ids.len() * dim),
-                    labels: Vec::with_capacity(ids.len()),
-                };
-                for &id in ids {
+        let shard_revs = self.store.shard_revisions();
+        let shards: Vec<Arc<ShardRows>> = (0..self.store.shard_count())
+            .into_par_iter()
+            .map(|s| {
+                if let Some(ps) = prev.as_ref().and_then(|p| p.shards.get(s)) {
+                    if ps.revision == shard_revs[s] {
+                        return Arc::clone(ps);
+                    }
+                }
+                let mut docs = Vec::new();
+                for id in self.store.shard_ids(s) {
                     let Some(doc) = self.store.get(id) else {
                         continue;
                     };
@@ -304,15 +514,85 @@ impl SystemSnapshot {
                     if emb.len() != dim {
                         continue;
                     }
-                    cl.ids.push(id);
-                    cl.emb.extend_from_slice(emb);
-                    cl.labels.push(doc.get_f32s("label").map(|l| l.to_vec()));
+                    docs.push(ShardDoc {
+                        id,
+                        cluster: doc.get_i64("cluster").unwrap_or(-1),
+                        emb: emb.to_vec(),
+                        label: doc.get_f32s("label").map(|l| l.to_vec()),
+                    });
                 }
-                cl
+                Arc::new(ShardRows {
+                    revision: shard_revs[s],
+                    docs,
+                })
+            })
+            .collect();
+        let changed: Vec<bool> = shards
+            .iter()
+            .enumerate()
+            .map(|(s, sh)| {
+                prev.as_ref()
+                    .and_then(|p| p.shards.get(s))
+                    .map(|ps| !Arc::ptr_eq(ps, sh))
+                    .unwrap_or(true)
+            })
+            .collect();
+        // Scatter-gather: merge the shard decodes into per-cluster row
+        // lists, ascending by id across shards.
+        let k = self.k();
+        let mut order: Vec<(DocId, usize, usize)> = Vec::new();
+        for (s, sh) in shards.iter().enumerate() {
+            order.extend(sh.docs.iter().enumerate().map(|(r, d)| (d.id, s, r)));
+        }
+        order.sort_unstable_by_key(|e| e.0);
+        let mut per_cluster: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+        for (_, s, r) in order {
+            let c = shards[s].docs[r].cluster;
+            if (0..k as i64).contains(&c) {
+                per_cluster[c as usize].push((s, r));
+            }
+        }
+        let clusters: Vec<Arc<ClusterEmbeddings>> = (0..k)
+            .into_par_iter()
+            .map(|c| {
+                let rows = &per_cluster[c];
+                // Unchanged membership drawn entirely from unchanged
+                // shards ⇒ byte-identical cluster; reuse the previous
+                // layout and its ball partition outright.
+                if let Some(pc) = prev.as_ref().and_then(|p| p.clusters.get(c)) {
+                    if pc.ids.len() == rows.len()
+                        && rows.iter().all(|&(s, _)| !changed[s])
+                        && pc
+                            .ids
+                            .iter()
+                            .zip(rows)
+                            .all(|(&pid, &(s, r))| pid == shards[s].docs[r].id)
+                    {
+                        return Arc::clone(pc);
+                    }
+                }
+                let mut ids = Vec::with_capacity(rows.len());
+                let mut emb = Vec::with_capacity(rows.len() * dim);
+                let mut labels = Vec::with_capacity(rows.len());
+                for &(s, r) in rows {
+                    let d = &shards[s].docs[r];
+                    ids.push(d.id);
+                    emb.extend_from_slice(&d.emb);
+                    labels.push(d.label.clone());
+                }
+                Arc::new(ClusterEmbeddings::build(
+                    ids,
+                    emb,
+                    labels,
+                    dim,
+                    &self.cfg.read_index,
+                    self.cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ))
             })
             .collect();
         let idx = Arc::new(EmbeddingIndex {
             revision: rev,
+            shards,
             clusters,
         });
         cache_install(&self.emb_cache, idx, rev, |i| i.revision)
@@ -485,7 +765,7 @@ impl SystemSnapshot {
         let mut rng =
             TensorRng::seeded((self.cfg.seed ^ 0xDA7A).wrapping_add(draw.wrapping_mul(0x9E37)));
         let weights: Vec<f32> = pdf.iter().map(|&p| p as f32).collect();
-        for _ in 0..count {
+        'draws: for _ in 0..count {
             let cluster = rng.next_weighted(&weights);
             let ids = &index.members[cluster];
             let pick = if ids.is_empty() {
@@ -495,7 +775,35 @@ impl SystemSnapshot {
             };
             if let Some(doc) = self.store.get(pick) {
                 out.push(doc);
+                continue;
             }
+            // The drawn id vanished (a delete raced this lookup against the
+            // revision-keyed index): backfill from the global pool so a
+            // non-empty store always serves the requested count. A few
+            // redraws first; if the pool is badly decayed, a deterministic
+            // wrap-around scan from a random start finds any survivor.
+            let mut filled = false;
+            for _ in 0..8 {
+                let cand = index.all_ids[rng.next_index(index.all_ids.len())];
+                if let Some(doc) = self.store.get(cand) {
+                    out.push(doc);
+                    filled = true;
+                    break;
+                }
+            }
+            if filled {
+                continue;
+            }
+            let start = rng.next_index(index.all_ids.len());
+            for off in 0..index.all_ids.len() {
+                let cand = index.all_ids[(start + off) % index.all_ids.len()];
+                if let Some(doc) = self.store.get(cand) {
+                    out.push(doc);
+                    continue 'draws;
+                }
+            }
+            // Every indexed id is gone: the store emptied mid-call.
+            break;
         }
         out
     }
@@ -543,21 +851,16 @@ impl SystemSnapshot {
     /// for each input row, `None` when its cluster holds no labeled docs.
     ///
     /// Served entirely from the embedding index: one decode pass per store
-    /// revision, then each sample costs O(cluster members) float
-    /// comparisons against cached embeddings — no per-sample `find_by`
+    /// revision, routed through the IVF read path — no per-sample `find_by`
     /// queries and no per-candidate document decoding.
     fn nearest_labels_parallel(&self, images: &Tensor) -> Vec<Option<(f32, Vec<f32>)>> {
         let z = self.embed_cached(images);
-        let km = &self.kmeans;
-        let n = images.shape()[0];
         let index = self.embedding_index();
-        (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let (cluster, _) = km.predict_one(z.row(i));
-                let cl = &index.clusters[cluster];
-                let (dist, row) = cl.nearest(z.row(i), true)?;
-                Some((dist, cl.labels[row].as_ref()?.clone()))
+        self.routed_nearest(&z, &index, true)
+            .into_iter()
+            .map(|hit| {
+                let (dist, cluster, row) = hit?;
+                Some((dist, index.clusters[cluster].labels[row].as_ref()?.clone()))
             })
             .collect()
     }
@@ -565,24 +868,328 @@ impl SystemSnapshot {
     /// For each input sample, the nearest stored document in its cluster
     /// together with the embedding distance — the §III-E `BO` construction
     /// uses the *stored* `{p, l(p)}` pair when the distance is below the
-    /// threshold. Parallel over samples; the candidate scan runs on cached
-    /// embeddings and only the winning document is decoded.
+    /// threshold. Routed through the IVF read path; only the winning
+    /// document is decoded.
     pub fn nearest_labeled(&self, images: &Tensor) -> Vec<Option<(f32, Document)>> {
         let z = self.embed_cached(images);
-        let km = &self.kmeans;
-        let n = images.shape()[0];
-        let store = &self.store;
         let index = self.embedding_index();
-        (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let (cluster, _) = km.predict_one(z.row(i));
-                let cl = &index.clusters[cluster];
-                let (dist, row) = cl.nearest(z.row(i), false)?;
-                let doc = store.get(cl.ids[row])?;
+        self.routed_nearest(&z, &index, false)
+            .into_iter()
+            .map(|hit| {
+                let (dist, cluster, row) = hit?;
+                let doc = self.store.get(index.clusters[cluster].ids[row])?;
                 Some((dist, doc))
             })
             .collect()
+    }
+
+    /// The shared nearest-row search behind [`SystemSnapshot::pseudo_label`]
+    /// and [`SystemSnapshot::nearest_labeled`]: routes the whole batch with
+    /// one GEMM-batched `predict`, groups queries by routed cluster, and
+    /// searches each cluster group through the ball-pruned, GEMM-batched
+    /// read index. Returns `(distance, cluster, row)` per query.
+    ///
+    /// **Exactness contract:** results — distance bits *and* winner row —
+    /// are identical to the brute per-cluster scan ([`ClusterEmbeddings::
+    /// nearest`]). GEMM distances only ever *pre-select*: every candidate
+    /// within [`normed_margin`] of the best GEMM distance is re-evaluated
+    /// with the scalar `sq_dist(..).sqrt()` the brute scan uses, in
+    /// ascending row order with the same strict-`<` tie rule, and ball
+    /// pruning discards a ball only when its triangle-inequality lower
+    /// bound (slack-deflated) exceeds a slack-inflated upper bound some
+    /// probed stored row is proven to realize.
+    fn routed_nearest(
+        &self,
+        z: &Tensor,
+        index: &EmbeddingIndex,
+        labeled_only: bool,
+    ) -> Vec<Option<(f32, usize, usize)>> {
+        let n = z.shape()[0];
+        if n == 0 {
+            return Vec::new();
+        }
+        let routed = self.kmeans.predict(z);
+        if !self.cfg.read_index.enabled {
+            // Brute reference path (the pre-index read plane): per-row
+            // linear scan of the routed cluster's cached embeddings.
+            return (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let cl = &index.clusters[routed[i]];
+                    cl.nearest(z.row(i), labeled_only)
+                        .map(|(d, row)| (d, routed[i], row))
+                })
+                .collect();
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); index.clusters.len()];
+        for (i, &c) in routed.iter().enumerate() {
+            groups[c].push(i);
+        }
+        // Only touched clusters are dispatched, and a lone group runs on
+        // the calling thread: the shim's parallel iterators spawn scoped
+        // OS threads per call, which would cost a single-row read (one
+        // query → one cluster) orders of magnitude more than the search
+        // itself.
+        let touched: Vec<(usize, Vec<usize>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, qs)| !qs.is_empty())
+            .collect();
+        type GroupHits = Vec<(usize, Option<(f32, usize)>)>;
+        let search = |(c, qs): &(usize, Vec<usize>)| {
+            self.search_cluster(&index.clusters[*c], qs, z, labeled_only)
+        };
+        let grouped: Vec<(usize, GroupHits)> = if touched.len() <= 1 {
+            touched.iter().map(|g| (g.0, search(g))).collect()
+        } else {
+            touched.par_iter().map(|g| (g.0, search(g))).collect()
+        };
+        let mut out = vec![None; n];
+        for (c, hits) in grouped {
+            for (q, hit) in hits {
+                out[q] = hit.map(|(d, row)| (d, c, row));
+            }
+        }
+        out
+    }
+
+    /// Searches one cluster for one query group (see
+    /// [`SystemSnapshot::routed_nearest`] for the exactness argument).
+    fn search_cluster(
+        &self,
+        cl: &ClusterEmbeddings,
+        qs: &[usize],
+        z: &Tensor,
+        labeled_only: bool,
+    ) -> Vec<(usize, Option<(f32, usize)>)> {
+        if qs.is_empty() {
+            return Vec::new();
+        }
+        if cl.ids.is_empty() {
+            self.read_stats.record(qs.len() as u64, 0, 0);
+            return qs.iter().map(|&q| (q, None)).collect();
+        }
+        // Small cluster (no ball partition): the brute scan *is* the read
+        // path; every row is a scanned candidate.
+        if cl.balls.is_empty() {
+            self.read_stats
+                .record(qs.len() as u64, 0, (qs.len() * cl.ids.len()) as u64);
+            return qs
+                .iter()
+                .map(|&q| (q, cl.nearest(z.row(q), labeled_only)))
+                .collect();
+        }
+        let d = z.shape()[1];
+        let m = qs.len();
+        let mut qdata = Vec::with_capacity(m * d);
+        for &q in qs {
+            qdata.extend_from_slice(z.row(q));
+        }
+        let qnorms = row_sq_norms(&qdata, d);
+        // Level-2 routing: one GEMM of the query group against the ball
+        // centers, then per-query triangle-inequality pruning.
+        let nb = cl.balls.len();
+        let mut bd = vec![0.0f32; m * nb];
+        sq_dist_into(
+            m,
+            d,
+            nb,
+            &qdata,
+            &cl.ball_centers,
+            &qnorms,
+            &cl.ball_center_norms,
+            &mut bd,
+            Threading::Auto,
+        );
+        // Probe stage: each query's closest eligible ball (by center
+        // distance) is evaluated first, via one GEMM over the union of
+        // probe balls. The best margin-inflated squared distance among a
+        // probe ball's eligible rows upper-bounds the winner's true
+        // distance with a *realized* point distance — far tighter than
+        // any center-plus-radius bound, which in high dimensions barely
+        // prunes (ball radii rival inter-point distances).
+        let mut probe_ball: Vec<usize> = Vec::with_capacity(m);
+        for drow in bd.chunks_exact(nb) {
+            let mut best = usize::MAX;
+            let mut best_d = f32::INFINITY;
+            for (j, ball) in cl.balls.iter().enumerate() {
+                if labeled_only && !ball.labeled {
+                    continue;
+                }
+                if best == usize::MAX || drow[j] < best_d {
+                    best = j;
+                    best_d = drow[j];
+                }
+            }
+            probe_ball.push(best);
+        }
+        // Per-ball GEMM batching over the ball-contiguous embedding copy:
+        // queries needing the same ball are evaluated as one GEMM against
+        // that ball's dense block. The alternative — one GEMM over the
+        // *union* of surviving rows across the query group — makes every
+        // query pay for every other query's survivors (m × union work,
+        // quadratic in group size); per-ball subgrouping does exactly the
+        // distances some query needs, with no per-row gather at all.
+        let ball_dists = |j: usize, qi: &[u32]| -> Vec<f32> {
+            let len = cl.balls[j].members.len();
+            let off = cl.ball_block[j] as usize;
+            let mut sub_q = Vec::with_capacity(qi.len() * d);
+            let mut sub_n = Vec::with_capacity(qi.len());
+            for &i in qi {
+                let i = i as usize;
+                sub_q.extend_from_slice(&qdata[i * d..(i + 1) * d]);
+                sub_n.push(qnorms[i]);
+            }
+            let mut dd = vec![0.0f32; qi.len() * len];
+            sq_dist_into(
+                qi.len(),
+                d,
+                len,
+                &sub_q,
+                &cl.ball_emb[off * d..(off + len) * d],
+                &sub_n,
+                &cl.ball_norms[off..off + len],
+                &mut dd,
+                Threading::Auto,
+            );
+            dd
+        };
+        let mut probe_queries: Vec<Vec<u32>> = vec![Vec::new(); nb];
+        for (i, &j) in probe_ball.iter().enumerate() {
+            if j != usize::MAX {
+                probe_queries[j].push(i as u32);
+            }
+        }
+        // Upper bound on each query's winner distance, anchored to its
+        // probe ball: `gd + margin ≥ exact d²` by the GEMM error
+        // contract, so the sqrt of the best such value is a distance some
+        // eligible stored row provably realizes (slack-inflated for the
+        // f32 sqrt). The winner — and any exact tie — sits at or below
+        // it, so a ball whose slack-deflated lower bound exceeds it
+        // cannot contain either.
+        let mut bound = vec![f32::NEG_INFINITY; m];
+        for (j, qi) in probe_queries.iter().enumerate() {
+            if qi.is_empty() {
+                continue;
+            }
+            let pd = ball_dists(j, qi);
+            let len = cl.balls[j].members.len();
+            for (a, &iq) in qi.iter().enumerate() {
+                let i = iq as usize;
+                let qn = qnorms[i];
+                let mut cut = f32::INFINITY;
+                for (t, &r) in cl.balls[j].members.iter().enumerate() {
+                    if labeled_only && cl.labels[r].is_none() {
+                        continue;
+                    }
+                    cut = cut.min(pd[a * len + t] + normed_margin(qn, cl.norms[r]));
+                }
+                if cut < f32::INFINITY {
+                    bound[i] = cut.max(0.0).sqrt() * (1.0 + PRUNE_SLACK);
+                }
+            }
+        }
+        // Triangle-inequality pass: per query, a ball survives when its
+        // slack-deflated lower bound does not clear the probe-anchored
+        // upper bound. Survivors are recorded ball-major, feeding the
+        // per-ball GEMM batches below.
+        let mut surv_queries: Vec<Vec<u32>> = vec![Vec::new(); nb];
+        let mut pruned_total = 0u64;
+        for (i, drow) in bd.chunks_exact(nb).enumerate() {
+            let qn = qnorms[i];
+            let mut eligible = 0usize;
+            let mut kept = 0usize;
+            for (j, ball) in cl.balls.iter().enumerate() {
+                if labeled_only && !ball.labeled {
+                    continue;
+                }
+                eligible += 1;
+                let margin = normed_margin(qn, cl.ball_center_norms[j]);
+                let lb = ((drow[j] - margin).max(0.0).sqrt() - ball.radius).max(0.0)
+                    * (1.0 - PRUNE_SLACK);
+                if lb <= bound[i] {
+                    surv_queries[j].push(i as u32);
+                    kept += 1;
+                }
+            }
+            pruned_total += (eligible - kept) as u64;
+        }
+        // cutoff = min over a query's surviving rows of (GEMM dist +
+        // margin): an upper bound on the exact squared distance of the
+        // true winner, so every row whose GEMM interval reaches it — the
+        // winner and all its ties included — survives to the exact pass.
+        let mut cutoff = vec![f32::INFINITY; m];
+        let mut surv_dist: Vec<Vec<f32>> = vec![Vec::new(); nb];
+        for (j, qi) in surv_queries.iter().enumerate() {
+            if qi.is_empty() {
+                continue;
+            }
+            let dd = ball_dists(j, qi);
+            let len = cl.balls[j].members.len();
+            for (a, &iq) in qi.iter().enumerate() {
+                let i = iq as usize;
+                let qn = qnorms[i];
+                for (t, &r) in cl.balls[j].members.iter().enumerate() {
+                    if labeled_only && cl.labels[r].is_none() {
+                        continue;
+                    }
+                    cutoff[i] = cutoff[i].min(dd[a * len + t] + normed_margin(qn, cl.norms[r]));
+                }
+            }
+            surv_dist[j] = dd;
+        }
+        let mut cands: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (j, qi) in surv_queries.iter().enumerate() {
+            let dd = &surv_dist[j];
+            let len = cl.balls[j].members.len();
+            for (a, &iq) in qi.iter().enumerate() {
+                let i = iq as usize;
+                if cutoff[i] == f32::INFINITY {
+                    continue;
+                }
+                let qn = qnorms[i];
+                for (t, &r) in cl.balls[j].members.iter().enumerate() {
+                    if labeled_only && cl.labels[r].is_none() {
+                        continue;
+                    }
+                    if dd[a * len + t] - normed_margin(qn, cl.norms[r]) <= cutoff[i] {
+                        cands[i].push(r);
+                    }
+                }
+            }
+        }
+        // Exact refine, in the brute scan's ascending-row order with its
+        // strict-`<` rule: bit-identical winner and bits.
+        let mut scanned_total = 0u64;
+        let out = qs
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                if cutoff[i] == f32::INFINITY {
+                    return (q, None);
+                }
+                let c = &mut cands[i];
+                c.sort_unstable();
+                scanned_total += c.len() as u64;
+                let zrow = z.row(q);
+                let mut best: Option<(f32, usize)> = None;
+                for &r in c.iter() {
+                    let dist_e = sq_dist(zrow, &cl.emb[r * d..(r + 1) * d]).sqrt();
+                    if best.map(|(bd, _)| dist_e < bd).unwrap_or(true) {
+                        best = Some((dist_e, r));
+                    }
+                }
+                (q, best)
+            })
+            .collect();
+        self.read_stats
+            .record(m as u64, pruned_total, scanned_total);
+        out
+    }
+
+    /// The routed-read statistics shared across this service's snapshots.
+    pub fn read_index_counters(&self) -> &Arc<ReadIndexCounters> {
+        &self.read_stats
     }
 
     /// Fuzzy-clustering certainty of a dataset under this snapshot's
@@ -772,6 +1379,9 @@ pub struct FairDS {
     /// snapshot. Publication advances its generation fence, atomically
     /// invalidating entries computed under the replaced embedder.
     reuse: Arc<EmbedCache>,
+    /// Routed-read statistics, shared into every published snapshot so
+    /// counters survive snapshot turnover.
+    read_stats: Arc<ReadIndexCounters>,
 }
 
 impl FairDS {
@@ -788,6 +1398,7 @@ impl FairDS {
             cfg,
             versions_published: 0,
             reuse,
+            read_stats: Arc::new(ReadIndexCounters::default()),
         }
     }
 
@@ -849,8 +1460,37 @@ impl FairDS {
                 old.cfg.clone(),
                 old.version,
                 Arc::clone(&self.reuse),
+                Arc::clone(&self.read_stats),
             )));
         }
+    }
+
+    /// Replaces the read-index layout (deployment knob — ball sizing, or
+    /// disabling routing entirely to fall back to the brute per-cluster
+    /// scan). The already-published snapshot, if any, is re-issued under
+    /// the new layout so readers pick it up immediately; its version and
+    /// models are unchanged, and the next nearest-neighbour read rebuilds
+    /// the index caches under the new configuration.
+    pub fn configure_read_index(&mut self, ri: ReadIndexConfig) {
+        self.cfg.read_index = ri;
+        if let Some(old) = self.current.as_ref() {
+            let mut cfg = old.cfg.clone();
+            cfg.read_index = ri;
+            self.current = Some(Arc::new(SystemSnapshot::assemble(
+                Arc::clone(&old.embedder),
+                Arc::clone(&old.kmeans),
+                Arc::clone(&old.store),
+                cfg,
+                old.version,
+                Arc::clone(&self.reuse),
+                Arc::clone(&self.read_stats),
+            )));
+        }
+    }
+
+    /// The routed-read statistics shared into every published snapshot.
+    pub fn read_index_counters(&self) -> &Arc<ReadIndexCounters> {
+        &self.read_stats
     }
 
     /// The currently-published snapshot, if the system plane is trained.
@@ -895,6 +1535,7 @@ impl FairDS {
             self.cfg.clone(),
             version,
             Arc::clone(&self.reuse),
+            Arc::clone(&self.read_stats),
         ));
         let _ = snap.membership_index();
         self.current = Some(snap);
@@ -1114,9 +1755,12 @@ impl FairDS {
         let z = snap.embed_cached(images);
         let n = images.shape()[0];
         let label_w = labels.row_size();
+        // One GEMM-batched routing pass for the whole batch — bit-identical
+        // to the per-row centroid scan (`predict` refines every near-tie
+        // with the exact scalar distance).
+        let clusters = snap.kmeans.predict(&z);
         let mut ids = Vec::with_capacity(n);
-        for i in 0..n {
-            let (cluster, _) = snap.kmeans.predict_one(z.row(i));
+        for (i, &cluster) in clusters.iter().enumerate() {
             let doc = Document::new()
                 .with("pixels", images.row(i).to_vec())
                 .with("embedding", z.row(i).to_vec())
@@ -1274,6 +1918,35 @@ mod tests {
         let docs = ds.lookup_matching(&[1.0, 0.0], 40);
         assert_eq!(docs.len(), 40);
         assert!(docs.iter().all(|d| d.get_i64("cluster") == Some(0)));
+    }
+
+    #[test]
+    fn lookup_matching_backfills_ids_deleted_mid_call() {
+        let (x, y) = blob_images(25, 2, 90);
+        let mut ds = fairds_with_k(2);
+        ds.train_system(&x, &quick_embed_cfg());
+        ds.ingest_labeled(&x, &y, 0);
+        let snap = ds.snapshot().unwrap();
+        // Simulate the race window: a lookup holds a membership index
+        // built just before concurrent deletes landed. Build the index,
+        // delete a third of the store, then restore the stale index under
+        // the post-delete revision so the next lookup draws dead ids.
+        let idx = snap.membership_index();
+        for &id in idx.all_ids.iter().step_by(3) {
+            assert!(ds.store().delete(id));
+        }
+        let stale = Arc::new(MembershipIndex {
+            revision: ds.store().revision(),
+            members: idx.members.clone(),
+            all_ids: idx.all_ids.clone(),
+        });
+        *snap.members_cache.write() = Some(stale);
+        // Every draw that hits a deleted id must backfill from the pool:
+        // a non-empty store always serves the full requested count.
+        for _ in 0..20 {
+            let docs = snap.lookup_matching(&[0.5, 0.5], 30);
+            assert_eq!(docs.len(), 30, "deleted draws must be backfilled");
+        }
     }
 
     #[test]

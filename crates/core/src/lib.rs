@@ -40,7 +40,8 @@ pub mod workflow;
 
 pub use embedding::{AutoencoderEmbedder, ByolEmbedder, ContrastiveEmbedder, Embedder};
 pub use fairds::{
-    FairDS, FairDsConfig, PseudoLabelStats, RetrainJob, RetrainedSystem, SystemSnapshot,
+    FairDS, FairDsConfig, PseudoLabelStats, ReadIndexConfig, ReadIndexCounters, RetrainJob,
+    RetrainedSystem, SystemSnapshot,
 };
 pub use fairms::{ModelManager, ModelZoo, Recommendation, ZooEntry, ZooSnapshot};
 pub use jsd::jsd;

@@ -1,0 +1,281 @@
+//! Property and concurrency tests for the two-level IVF read index
+//! (DESIGN.md §12).
+//!
+//! The index's one non-negotiable contract: **routing must be invisible**.
+//! For any store — dense, empty, degenerate clusters, tie-heavy duplicate
+//! embeddings — the routed + ball-pruned + GEMM-batched read path must
+//! return *bit-identical* results (distance bits AND winner document) to
+//! the brute per-cluster scan. Not "close": identical, because
+//! pseudo-labeling sits on knife-edge threshold comparisons.
+
+use fairdms_core::embedding::{EmbedTrainConfig, Embedder};
+use fairdms_core::fairds::{FairDS, FairDsConfig, ReadIndexConfig};
+use fairdms_datastore::Document;
+use fairdms_tensor::{ops::sq_dist, rng::TensorRng, Tensor};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 6;
+
+/// Identity embedder: rows pass through untouched, so tests control the
+/// embedding geometry (duplicates, exact ties, magnitudes) directly.
+#[derive(Clone)]
+struct PassthroughEmbedder;
+
+impl Embedder for PassthroughEmbedder {
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+    fn embed_dim(&self) -> usize {
+        DIM
+    }
+    fn input_dim(&self) -> usize {
+        DIM
+    }
+    fn fit(&mut self, _images: &Tensor, _cfg: &EmbedTrainConfig) {}
+    fn embed(&self, images: &Tensor) -> Tensor {
+        images.clone()
+    }
+    fn clone_embedder(&self) -> Box<dyn Embedder> {
+        Box::new(self.clone())
+    }
+}
+
+/// Tie-heavy embedding rows: coordinates quantized to a handful of
+/// values, so exact duplicates and exact distance ties are common.
+fn quantized_row(rng: &mut TensorRng, spread: f32) -> Vec<f32> {
+    (0..DIM)
+        .map(|_| (rng.next_index(5) as f32 - 2.0) * spread)
+        .collect()
+}
+
+/// A fairDS over the identity embedder with an aggressive read-index
+/// layout (tiny balls, sub-partitioning from 4 rows up) so even small
+/// generated stores exercise routing, pruning, and the GEMM batch path.
+fn routed_fairds(k: usize, seed: u64) -> FairDS {
+    let mut ds = FairDS::in_memory(
+        Box::new(PassthroughEmbedder),
+        FairDsConfig {
+            k: Some(k),
+            seed,
+            read_index: ReadIndexConfig {
+                enabled: true,
+                ball_target: 4,
+                min_cluster_rows: 4,
+            },
+            ..FairDsConfig::default()
+        },
+    );
+    // Train pool: spread-out quantized rows; identity embedding means
+    // k-means fits directly on these.
+    let mut rng = TensorRng::seeded(seed ^ 0xBEEF);
+    let mut pool = Vec::new();
+    for _ in 0..32 {
+        pool.extend(quantized_row(&mut rng, 1.0));
+    }
+    ds.train_system(
+        &Tensor::from_vec(pool, &[32, DIM]),
+        &EmbedTrainConfig::default(),
+    );
+    ds
+}
+
+/// Inserts `rows` documents directly: embedding + cluster (+ label for
+/// labeled rows). Cluster ids are arbitrary in `0..k` — both read paths
+/// consult the same stored field, and skewed/empty clusters are exactly
+/// the degenerate shapes the property must cover.
+fn fill_store(ds: &FairDS, rows: &[(Vec<f32>, usize, bool)]) {
+    for (emb, cluster, labeled) in rows {
+        let mut doc = Document::new()
+            .with("pixels", emb.clone())
+            .with("embedding", emb.clone())
+            .with("cluster", *cluster as i64);
+        if *labeled {
+            doc.set("label", vec![emb[0], emb[1]]);
+        }
+        ds.store().insert(&doc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Routed + pruned nearest == brute-force nearest: distance bits and
+    /// winner id, across random stores (including empty, singleton and
+    /// all-unlabeled clusters) and tie-heavy embeddings.
+    #[test]
+    fn routed_read_is_bit_identical_to_brute_scan(
+        k in 2usize..5,
+        seed in 0u64..1000,
+        specs in proptest::collection::vec((0usize..8, any::<bool>()), 0..120),
+        n_queries in 1usize..12,
+        spread in 1usize..3,
+    ) {
+        let mut ds = routed_fairds(k, seed);
+        let mut rng = TensorRng::seeded(seed.wrapping_mul(31) + 7);
+        let rows: Vec<(Vec<f32>, usize, bool)> = specs
+            .iter()
+            .map(|&(c, labeled)| (quantized_row(&mut rng, spread as f32), c % k, labeled))
+            .collect();
+        fill_store(&ds, &rows);
+
+        let routed = ds.snapshot().expect("trained");
+        ds.configure_read_index(ReadIndexConfig {
+            enabled: false,
+            ..ReadIndexConfig::default()
+        });
+        let brute = ds.snapshot().expect("trained");
+
+        let mut qdata = Vec::with_capacity(n_queries * DIM);
+        for _ in 0..n_queries {
+            qdata.extend(quantized_row(&mut rng, spread as f32));
+        }
+        let queries = Tensor::from_vec(qdata, &[n_queries, DIM]);
+
+        // nearest_labeled: distance bits and winner doc must agree.
+        let r = routed.nearest_labeled(&queries);
+        let b = brute.nearest_labeled(&queries);
+        prop_assert_eq!(r.len(), b.len());
+        for (i, (rh, bh)) in r.iter().zip(&b).enumerate() {
+            match (rh, bh) {
+                (None, None) => {}
+                (Some((rd, rdoc)), Some((bd, bdoc))) => {
+                    prop_assert_eq!(
+                        rd.to_bits(), bd.to_bits(),
+                        "query {}: routed dist {} != brute dist {}", i, rd, bd
+                    );
+                    prop_assert_eq!(
+                        rdoc.get_f32s("embedding"), bdoc.get_f32s("embedding"),
+                        "query {}: different winner document", i
+                    );
+                }
+                _ => prop_assert!(false, "query {}: hit/miss disagreement", i),
+            }
+        }
+
+        // pseudo_label (the labeled-only path): label matrix and reuse
+        // stats must be bit-identical too.
+        let fallback = |row: &[f32]| vec![row[0] + 100.0, row[1] + 100.0];
+        let (rl, rs) = routed.pseudo_label(&queries, f32::INFINITY, fallback);
+        let (bl, bs) = brute.pseudo_label(&queries, f32::INFINITY, fallback);
+        prop_assert_eq!(rl, bl);
+        prop_assert_eq!(rs, bs);
+    }
+}
+
+/// The routed path must actually route on a store big enough to ball-split
+/// — and record its pruning work in the shared counters.
+#[test]
+fn routed_path_prunes_and_counts_on_a_dense_store() {
+    let ds = {
+        let ds = routed_fairds(3, 5);
+        let mut rng = TensorRng::seeded(99);
+        let rows: Vec<(Vec<f32>, usize, bool)> = (0..600)
+            .map(|i| (quantized_row(&mut rng, 2.0), i % 3, true))
+            .collect();
+        fill_store(&ds, &rows);
+        ds
+    };
+    let snap = ds.snapshot().unwrap();
+    let mut rng = TensorRng::seeded(100);
+    let mut qdata = Vec::new();
+    for _ in 0..40 {
+        qdata.extend(quantized_row(&mut rng, 2.0));
+    }
+    let queries = Tensor::from_vec(qdata, &[40, DIM]);
+    let hits = snap.nearest_labeled(&queries);
+    assert!(hits.iter().all(|h| h.is_some()), "dense store always hits");
+    let counters = ds.read_index_counters();
+    assert_eq!(counters.probes(), 40, "every query is a probe");
+    assert!(
+        counters.balls_pruned() > 0,
+        "600 rows in ~4-row balls must prune something"
+    );
+    assert!(
+        counters.candidates_scanned() > 0 && counters.candidates_scanned() < 40 * 600,
+        "refine must scan some candidates but far fewer than brute ({})",
+        counters.candidates_scanned()
+    );
+}
+
+/// Index rebuild under concurrent mutation and snapshot publication never
+/// serves a torn index. With the identity embedder a document's stored
+/// embedding never changes bits (even across retrains), so every hit the
+/// readers get must satisfy `dist == ‖q − doc.embedding‖` *exactly* — a
+/// torn index (ids/embeddings/labels out of step, or rows from different
+/// revisions interleaved) would break that equality or panic on
+/// mismatched lengths.
+#[test]
+fn concurrent_rebuild_never_serves_a_torn_index() {
+    let mut ds = routed_fairds(3, 17);
+    let mut rng = TensorRng::seeded(1234);
+    let rows: Vec<(Vec<f32>, usize, bool)> = (0..300)
+        .map(|i| (quantized_row(&mut rng, 1.0), i % 3, true))
+        .collect();
+    fill_store(&ds, &rows);
+    let snap = ds.snapshot().unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for t in 0..4u64 {
+        let snap = Arc::clone(&snap);
+        let done = Arc::clone(&done);
+        let mut qrng = TensorRng::seeded(5000 + t);
+        let mut qdata = Vec::new();
+        for _ in 0..8 {
+            qdata.extend(quantized_row(&mut qrng, 1.0));
+        }
+        let queries = Tensor::from_vec(qdata, &[8, DIM]);
+        readers.push(std::thread::spawn(move || {
+            let mut served = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let hits = snap.nearest_labeled(&queries);
+                assert_eq!(hits.len(), 8);
+                for (i, hit) in hits.iter().enumerate() {
+                    let Some((dist, doc)) = hit else { continue };
+                    assert!(dist.is_finite() && *dist >= 0.0);
+                    let emb = doc
+                        .get_f32s("embedding")
+                        .expect("served doc must carry an embedding");
+                    assert_eq!(emb.len(), DIM, "torn row width");
+                    let expect = sq_dist(queries.row(i), emb).sqrt();
+                    assert_eq!(
+                        dist.to_bits(),
+                        expect.to_bits(),
+                        "distance does not match the served document: torn index"
+                    );
+                    served += 1;
+                }
+            }
+            served
+        }));
+    }
+
+    // Mutation + publication storm: interleaved ingests, deletes, and a
+    // full retrain (snapshot publication + store-wide reindex) while the
+    // readers hammer the old snapshot's rebuilding index.
+    let mut wrng = TensorRng::seeded(777);
+    for round in 0..6 {
+        let mut batch = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..20 {
+            let row = quantized_row(&mut wrng, 1.0);
+            labels.push(row[0]);
+            labels.push(row[1]);
+            batch.extend(row);
+        }
+        let x = Tensor::from_vec(batch, &[20, DIM]);
+        let y = Tensor::from_vec(labels, &[20, 2]);
+        ds.ingest_labeled(&x, &y, round);
+        for &id in ds.store().ids().iter().step_by(17).take(5) {
+            ds.store().delete(id);
+        }
+        if round == 3 {
+            ds.retrain_system(&x, &EmbedTrainConfig::default());
+        }
+    }
+    done.store(true, Ordering::Release);
+    let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers must have served real hits");
+}

@@ -43,6 +43,12 @@ pub struct Collection {
     /// (e.g. fairDS's cluster-membership index) on this so they rebuild
     /// exactly once per store change instead of re-querying per call.
     revision: AtomicU64,
+    /// Per-shard mutation counters (same Release-publish / Acquire-read
+    /// protocol as the global `revision`). A derived cache that decodes
+    /// documents shard-by-shard — fairDS's read index — compares these to
+    /// re-decode only the shards that actually changed, making rebuild
+    /// after a mutation O(changed shard) instead of O(store).
+    shard_revisions: Vec<AtomicU64>,
 }
 
 impl std::fmt::Debug for Collection {
@@ -73,6 +79,7 @@ impl Collection {
             indexes: RwLock::new(Vec::new()),
             next_id: AtomicU64::new(0),
             revision: AtomicU64::new(0),
+            shard_revisions: (0..DEFAULT_SHARDS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -85,8 +92,38 @@ impl Collection {
     }
 
     #[inline]
-    fn bump_revision(&self) {
+    fn bump_revision(&self, id: DocId) {
+        self.shard_revisions[(id as usize) % self.shards.len()].fetch_add(1, Ordering::Release);
         self.revision.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of hash shards documents are distributed over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a document id hashes to (stable for the collection's
+    /// lifetime — shard count never changes after construction).
+    #[inline]
+    pub fn shard_index(&self, id: DocId) -> usize {
+        (id as usize) % self.shards.len()
+    }
+
+    /// Snapshot of every per-shard mutation counter (`Acquire` loads, same
+    /// stability contract as [`Collection::revision`] but scoped to one
+    /// shard each).
+    pub fn shard_revisions(&self) -> Vec<u64> {
+        self.shard_revisions
+            .iter()
+            .map(|r| r.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// All document ids living in one shard, ascending.
+    pub fn shard_ids(&self, shard: usize) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self.shards[shard].read().docs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Collection name.
@@ -117,7 +154,7 @@ impl Collection {
             }
         }
         drop(indexes);
-        self.bump_revision();
+        self.bump_revision(id);
         id
     }
 
@@ -166,7 +203,7 @@ impl Collection {
             }
         }
         drop(indexes);
-        self.bump_revision();
+        self.bump_revision(id);
         true
     }
 
@@ -186,7 +223,7 @@ impl Collection {
             }
         }
         drop(indexes);
-        self.bump_revision();
+        self.bump_revision(id);
         true
     }
 
@@ -241,7 +278,7 @@ impl Collection {
     /// [`Collection::create_index`] afterwards).
     pub(crate) fn insert_raw_with_id(&self, id: DocId, payload: Bytes) {
         self.shard_of(id).write().docs.insert(id, payload);
-        self.bump_revision();
+        self.bump_revision(id);
     }
 
     /// Forces the id counter (snapshot restore path).
@@ -580,6 +617,34 @@ mod tests {
         assert!(!coll.update(id, &doc(0, 0)));
         let _ = coll.find_by("cluster", 1);
         assert_eq!(coll.revision(), r3);
+    }
+
+    #[test]
+    fn shard_revisions_bump_only_the_touched_shard() {
+        let coll = Collection::new("t", Arc::new(RawCodec));
+        let id = coll.insert(&doc(1, 0));
+        let shard = coll.shard_index(id);
+        let before = coll.shard_revisions();
+        assert_eq!(before.len(), coll.shard_count());
+        assert!(coll.update(id, &doc(2, 0)));
+        let after = coll.shard_revisions();
+        for (s, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if s == shard {
+                assert!(a > b, "touched shard {s} must bump");
+            } else {
+                assert_eq!(a, b, "untouched shard {s} must not bump");
+            }
+        }
+        assert!(coll.delete(id));
+        assert!(coll.shard_revisions()[shard] > after[shard]);
+        // Ids land in their hashed shard and nowhere else.
+        let id2 = coll.insert(&doc(3, 1));
+        assert!(coll.shard_ids(coll.shard_index(id2)).contains(&id2));
+        let elsewhere: usize = (0..coll.shard_count())
+            .filter(|&s| s != coll.shard_index(id2))
+            .map(|s| coll.shard_ids(s).len())
+            .sum();
+        assert_eq!(elsewhere, 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! actor, "ingest took 3 s" could mean either a saturated queue or a slow
 //! handler, and dashboards could not tell which plane to scale.
 
+use fairdms_core::fairds::ReadIndexCounters;
 use fairdms_core::reuse::{EmbedCache, EmbedCacheStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -196,6 +197,11 @@ pub struct Metrics {
     /// `embed_cache_{hits,misses,evictions,stale_generation}`. The cache
     /// keeps its own lock-free counters; this is a read-only view.
     embed_cache: OnceLock<Arc<EmbedCache>>,
+    /// Handle onto the read plane's IVF index counters, attached at server
+    /// spawn so snapshots report `read_index_{probes,balls_pruned,
+    /// candidates_scanned}` (DESIGN.md §12). Read-only view, same contract
+    /// as [`Metrics::attach_embed_cache`].
+    read_index: OnceLock<Arc<ReadIndexCounters>>,
 }
 
 impl Metrics {
@@ -228,6 +234,13 @@ impl Metrics {
         let _ = self.embed_cache.set(cache);
     }
 
+    /// Attaches the deployment's read-index counters so IVF probe/prune
+    /// statistics appear in every subsequent [`Metrics::snapshot`]. First
+    /// attachment wins.
+    pub fn attach_read_index(&self, counters: Arc<ReadIndexCounters>) {
+        let _ = self.read_index.set(counters);
+    }
+
     /// A point-in-time copy of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -251,6 +264,21 @@ impl Metrics {
                 .embed_cache
                 .get()
                 .map(|c| c.stats())
+                .unwrap_or_default(),
+            read_index_probes: self
+                .read_index
+                .get()
+                .map(|c| c.probes())
+                .unwrap_or_default(),
+            read_index_balls_pruned: self
+                .read_index
+                .get()
+                .map(|c| c.balls_pruned())
+                .unwrap_or_default(),
+            read_index_candidates_scanned: self
+                .read_index
+                .get()
+                .map(|c| c.candidates_scanned())
                 .unwrap_or_default(),
         }
     }
@@ -290,6 +318,15 @@ pub struct MetricsSnapshot {
     /// (`embed_cache_{hits,misses,evictions,stale_generation}`), zeroed
     /// when no cache is attached.
     pub embed_cache: EmbedCacheStats,
+    /// Read-index probes served (one per routed query); zeroed when no
+    /// counters are attached.
+    pub read_index_probes: u64,
+    /// Balls discarded by triangle-inequality pruning across all probes.
+    pub read_index_balls_pruned: u64,
+    /// Candidate rows whose distances the GEMM batch actually evaluated
+    /// (brute work would be `probes × cluster rows`; the gap is the
+    /// read-index win).
+    pub read_index_candidates_scanned: u64,
 }
 
 impl MetricsSnapshot {

@@ -437,6 +437,7 @@ impl DmsServer {
         });
         let metrics = Arc::new(Metrics::new());
         metrics.attach_embed_cache(Arc::clone(trainer.fairds.embed_cache()));
+        metrics.attach_read_index(Arc::clone(trainer.fairds.read_index_counters()));
         let shared = Arc::new(Shared {
             view: SnapshotCell::new(Arc::new(ServiceView::of(&trainer))),
             metrics: Arc::clone(&metrics),

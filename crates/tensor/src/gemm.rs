@@ -98,6 +98,29 @@ enum BSrc<'a> {
     Transposed(&'a [f32]),
 }
 
+/// Fused operation applied exactly once per output element, when the
+/// **final** depth block's accumulator flushes into C — the epilogue
+/// position. Earlier depth blocks always flush with `Epilogue::None`, so
+/// the transform sees the completed dot product.
+#[derive(Clone, Copy)]
+enum Epilogue<'a> {
+    /// Plain GEMM: flush the accumulator, nothing else.
+    None,
+    /// `C[i,j] += bias[j]` (row-broadcast bias of the dense layers).
+    Bias(&'a [f32]),
+    /// `C[i,j] = max(a_norms[i] + b_norms[j] − 2·C[i,j], 0)`: turns the
+    /// accumulated dot product into the squared Euclidean distance
+    /// `‖aᵢ − bⱼ‖²` via the norm expansion, clamped at zero against the
+    /// catastrophic cancellation the expansion suffers for near-identical
+    /// rows. The result is a *pruning-grade* distance (relative-tolerance
+    /// agreement with [`crate::ops::sq_dist`], not bit equality) — exact
+    /// consumers must re-derive the winner with `sq_dist` afterwards.
+    SqDist {
+        a_norms: &'a [f32],
+        b_norms: &'a [f32],
+    },
+}
+
 thread_local! {
     /// Packed-B scratch, one per thread, recycled across calls so steady
     /// state GEMM performs no allocations beyond the output itself.
@@ -123,7 +146,7 @@ pub fn matmul_with(a: &Tensor, b: &Tensor, threading: Threading) -> Tensor {
         n,
         a.data(),
         BSrc::Normal(b.data()),
-        None,
+        Epilogue::None,
         &mut out,
         threading,
     );
@@ -148,11 +171,81 @@ pub fn matmul_transb_with(a: &Tensor, b: &Tensor, threading: Threading) -> Tenso
         n,
         a.data(),
         BSrc::Transposed(b.data()),
-        None,
+        Epilogue::None,
         &mut out,
         threading,
     );
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Pairwise squared Euclidean distances `D[i,j] = ‖aᵢ − bⱼ‖²` between the
+/// rows of `A` (`[m, k]`) and the rows of `B` (`[n, k]`), computed as one
+/// `A × Bᵀ` GEMM with the norm expansion `‖a‖² + ‖b‖² − 2·a·b` fused into
+/// the epilogue — no second pass over the `[m, n]` output, no materialized
+/// dot-product matrix.
+///
+/// `a_norms`/`b_norms` are the precomputed squared row norms (see
+/// [`crate::ops::row_sq_norms`]); callers cache them alongside the rows so
+/// repeated distance evaluations pay only the GEMM.
+///
+/// The result is clamped at zero but **reassociated**: agreement with a
+/// per-pair [`crate::ops::sq_dist`] loop is a relative-tolerance contract
+/// (the norm expansion cancels catastrophically for near-identical rows).
+/// Exact consumers — the read index's bit-identity protocol — use these
+/// values only to *bound* candidates and recompute the survivors with
+/// `sq_dist`.
+pub fn sq_dist_matrix(a: &Tensor, b: &Tensor, a_norms: &[f32], b_norms: &[f32]) -> Tensor {
+    let (m, k) = dims2(a, "sq_dist_matrix: A");
+    let (n, k2) = dims2(b, "sq_dist_matrix: B");
+    assert_eq!(k, k2, "sq_dist_matrix: inner dimensions {k} vs {k2} differ");
+    let mut out = vec![0.0f32; m * n];
+    sq_dist_into(
+        m,
+        k,
+        n,
+        a.data(),
+        b.data(),
+        a_norms,
+        b_norms,
+        &mut out,
+        Threading::Auto,
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Slice-level [`sq_dist_matrix`] writing into caller-owned scratch, so a
+/// steady-state read path recycles one buffer instead of allocating a
+/// fresh `[m, n]` tensor per probe batch (the §9 scratch-recycling
+/// contract). `out` is fully overwritten; its previous contents are
+/// irrelevant.
+#[allow(clippy::too_many_arguments)]
+pub fn sq_dist_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    a_norms: &[f32],
+    b_norms: &[f32],
+    out: &mut [f32],
+    threading: Threading,
+) {
+    assert_eq!(a.len(), m * k, "sq_dist_into: A extent");
+    assert_eq!(b.len(), n * k, "sq_dist_into: B extent");
+    assert_eq!(a_norms.len(), m, "sq_dist_into: a_norms length");
+    assert_eq!(b_norms.len(), n, "sq_dist_into: b_norms length");
+    assert_eq!(out.len(), m * n, "sq_dist_into: output extent");
+    out.fill(0.0);
+    gemm_driver(
+        m,
+        k,
+        n,
+        a,
+        BSrc::Transposed(b),
+        Epilogue::SqDist { a_norms, b_norms },
+        out,
+        threading,
+    );
 }
 
 /// `C = A × Bᵀ + bias` with the row-broadcast bias folded into the GEMM
@@ -179,7 +272,7 @@ pub fn matmul_transb_bias(a: &Tensor, b: &Tensor, bias: &Tensor) -> Tensor {
         n,
         a.data(),
         BSrc::Transposed(b.data()),
-        Some(bias.data()),
+        Epilogue::Bias(bias.data()),
         &mut out,
         Threading::Auto,
     );
@@ -217,7 +310,7 @@ pub fn matmul_transa_with(a: &Tensor, b: &Tensor, threading: Threading) -> Tenso
         n,
         &at,
         BSrc::Normal(b.data()),
-        None,
+        Epilogue::None,
         &mut out,
         threading,
     );
@@ -238,7 +331,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
         1,
         a.data(),
         BSrc::Normal(x.data()),
-        None,
+        Epilogue::None,
         &mut out,
         Threading::Auto,
     );
@@ -253,8 +346,8 @@ fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
 
 /// The block-loop driver: packs one `[KC×NC]` block of B at a time and
 /// sweeps it across every `MC`-row panel of C (in parallel when the output
-/// is large enough). The bias, when present, is handed to the macro-kernel
-/// only for the final depth block — the epilogue position.
+/// is large enough). The epilogue is handed to the macro-kernel only for
+/// the final depth block — every earlier block flushes plain.
 #[allow(clippy::too_many_arguments)]
 fn gemm_driver(
     m: usize,
@@ -262,7 +355,7 @@ fn gemm_driver(
     n: usize,
     a: &[f32],
     b: BSrc<'_>,
-    bias: Option<&[f32]>,
+    epilogue: Epilogue<'_>,
     out: &mut [f32],
     threading: Threading,
 ) {
@@ -272,11 +365,21 @@ fn gemm_driver(
     }
     if k == 0 {
         // Degenerate depth: the product is all-zero; the fused epilogue
-        // still owes the bias broadcast.
-        if let Some(bias) = bias {
-            for row in out.chunks_mut(n) {
-                for (o, &bv) in row.iter_mut().zip(bias) {
-                    *o += bv;
+        // still owes its transform over the zero dot products.
+        match epilogue {
+            Epilogue::None => {}
+            Epilogue::Bias(bias) => {
+                for row in out.chunks_mut(n) {
+                    for (o, &bv) in row.iter_mut().zip(bias) {
+                        *o += bv;
+                    }
+                }
+            }
+            Epilogue::SqDist { a_norms, b_norms } => {
+                for (i, row) in out.chunks_mut(n).enumerate() {
+                    for (o, &bn) in row.iter_mut().zip(b_norms) {
+                        *o = (a_norms[i] + bn).max(0.0);
+                    }
                 }
             }
         }
@@ -298,8 +401,12 @@ fn gemm_driver(
             let pc = kb * KC;
             let kc_b = KC.min(k - pc);
             pack_b(b, k, n, pc, kc_b, jc, nc_b, &mut packed);
-            // Epilogue: bias rides on the last depth block only.
-            let ep = if kb + 1 == k_blocks { bias } else { None };
+            // The epilogue rides on the last depth block only.
+            let ep = if kb + 1 == k_blocks {
+                epilogue
+            } else {
+                Epilogue::None
+            };
             let run_panel = |(pi, c_panel): (usize, &mut [f32])| {
                 let row0 = pi * MC;
                 macro_kernel(a, k, row0, c_panel, n, &packed, kc_b, pc, jc, nc_b, ep);
@@ -376,7 +483,7 @@ fn macro_kernel(
     pc: usize,
     jc: usize,
     nc_b: usize,
-    bias: Option<&[f32]>,
+    epilogue: Epilogue<'_>,
 ) {
     let rows = c_panel.len() / n;
     let panels = nc_b.div_ceil(NR);
@@ -398,7 +505,7 @@ fn macro_kernel(
                 r,
                 j0,
                 jw,
-                bias,
+                epilogue,
             );
             r += MR;
         }
@@ -415,9 +522,30 @@ fn macro_kernel(
                 r,
                 j0,
                 jw,
-                bias,
+                epilogue,
             );
             r += 1;
+        }
+    }
+}
+
+/// Applies the epilogue transform to the `jw`-wide slice of output row
+/// `grow` (the *global* C row index, which selects `a_norms[grow]`) after
+/// the final depth block's accumulator has been added in.
+#[inline]
+fn apply_epilogue(crow: &mut [f32], epilogue: Epilogue<'_>, grow: usize, j0: usize) {
+    match epilogue {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            for (o, &bv) in crow.iter_mut().zip(&bias[j0..]) {
+                *o += bv;
+            }
+        }
+        Epilogue::SqDist { a_norms, b_norms } => {
+            let an = a_norms[grow];
+            for (o, &bn) in crow.iter_mut().zip(&b_norms[j0..]) {
+                *o = (an + bn - 2.0 * *o).max(0.0);
+            }
         }
     }
 }
@@ -440,7 +568,7 @@ fn micro_kernel_mr(
     r: usize,
     j0: usize,
     jw: usize,
-    bias: Option<&[f32]>,
+    epilogue: Epilogue<'_>,
 ) {
     let arow = |r: usize| {
         let base = (arow0 + r) * k + pc;
@@ -469,11 +597,7 @@ fn micro_kernel_mr(
         for (o, &x) in crow.iter_mut().zip(accr) {
             *o += x;
         }
-        if let Some(bias) = bias {
-            for (o, &bv) in crow.iter_mut().zip(&bias[j0..j0 + jw]) {
-                *o += bv;
-            }
-        }
+        apply_epilogue(crow, epilogue, arow0 + ri, j0);
     }
 }
 
@@ -495,7 +619,7 @@ fn micro_kernel_1(
     r: usize,
     j0: usize,
     jw: usize,
-    bias: Option<&[f32]>,
+    epilogue: Epilogue<'_>,
 ) {
     let a0 = &a[arow * k + pc..arow * k + pc + kc_b];
     let mut acc = [0.0f32; NR];
@@ -510,11 +634,7 @@ fn micro_kernel_1(
     for (o, &x) in crow.iter_mut().zip(&acc) {
         *o += x;
     }
-    if let Some(bias) = bias {
-        for (o, &bv) in crow.iter_mut().zip(&bias[j0..j0 + jw]) {
-            *o += bv;
-        }
-    }
+    apply_epilogue(crow, epilogue, arow, j0);
 }
 
 #[cfg(test)]
@@ -588,6 +708,95 @@ mod tests {
             .data()
             .iter()
             .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sq_dist_matrix_matches_pairwise_loop() {
+        // Shapes straddling the tile edges, like the GEMM agreement test.
+        for &(m, k, n) in &[(1, 1, 1), (5, 9, 3), (MC + 1, KC + 3, NR + 1), (33, 16, 70)] {
+            let mut rng = TensorRng::seeded((m * 13 + k * 5 + n) as u64);
+            let a = rng.uniform(&[m, k], -1.0, 1.0);
+            let b = rng.uniform(&[n, k], -1.0, 1.0);
+            let an = ops::row_sq_norms(a.data(), k);
+            let bn = ops::row_sq_norms(b.data(), k);
+            let d = sq_dist_matrix(&a, &b, &an, &bn);
+            for (i, &ani) in an.iter().enumerate() {
+                for (j, &bnj) in bn.iter().enumerate() {
+                    let exact = ops::sq_dist(a.row(i), b.row(j));
+                    let got = d.data()[i * n + j];
+                    assert!(got >= 0.0, "negative distance at ({i},{j})");
+                    let tol = 1e-4 * (ani + bnj) + 1e-6;
+                    assert!(
+                        (got - exact).abs() <= tol,
+                        "({i},{j}): fused {got} vs exact {exact} (tol {tol})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_into_recycles_scratch_bit_identically() {
+        let mut rng = TensorRng::seeded(17);
+        let (m, k, n) = (9, 40, 21);
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[n, k], -1.0, 1.0);
+        let an = ops::row_sq_norms(a.data(), k);
+        let bn = ops::row_sq_norms(b.data(), k);
+        let mut first = vec![f32::NAN; m * n];
+        sq_dist_into(
+            m,
+            k,
+            n,
+            a.data(),
+            b.data(),
+            &an,
+            &bn,
+            &mut first,
+            Threading::Sequential,
+        );
+        // Same dirty buffer, parallel dispatch: same bits.
+        let mut second = first.clone();
+        second.reverse();
+        sq_dist_into(
+            m,
+            k,
+            n,
+            a.data(),
+            b.data(),
+            &an,
+            &bn,
+            &mut second,
+            Threading::Parallel,
+        );
+        assert_eq!(first, second, "scratch reuse or threading changed bits");
+        assert_eq!(first, sq_dist_matrix(&a, &b, &an, &bn).data());
+    }
+
+    #[test]
+    fn sq_dist_row_subset_is_bit_identical_to_full_batch() {
+        // The read index slices query groups out of a batch; each row's
+        // distances must not depend on which rows ride along.
+        let mut rng = TensorRng::seeded(23);
+        let (m, k, n) = (12, 33, 17);
+        let a = rng.uniform(&[m, k], -1.0, 1.0);
+        let b = rng.uniform(&[n, k], -1.0, 1.0);
+        let an = ops::row_sq_norms(a.data(), k);
+        let bn = ops::row_sq_norms(b.data(), k);
+        let full = sq_dist_matrix(&a, &b, &an, &bn);
+        for i in [0usize, 5, 11] {
+            let one = Tensor::from_vec(a.row(i).to_vec(), &[1, k]);
+            let d1 = sq_dist_matrix(&one, &b, &an[i..i + 1], &bn);
+            assert_eq!(d1.data(), &full.data()[i * n..(i + 1) * n], "row {i}");
+        }
+    }
+
+    #[test]
+    fn sq_dist_zero_depth_is_norm_sum() {
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[3, 0]);
+        let d = sq_dist_matrix(&a, &b, &[1.0, 2.0], &[0.5, 0.0, 4.0]);
+        assert_eq!(d.data(), &[1.5, 1.0, 5.0, 2.5, 2.0, 6.0]);
     }
 
     #[test]

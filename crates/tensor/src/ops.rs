@@ -14,7 +14,9 @@
 
 use crate::Tensor;
 
-pub use crate::gemm::{matmul, matmul_transa, matmul_transb, matmul_transb_bias, matvec};
+pub use crate::gemm::{
+    matmul, matmul_transa, matmul_transb, matmul_transb_bias, matvec, sq_dist_into, sq_dist_matrix,
+};
 
 /// Minimum number of output elements before a kernel uses the rayon pool.
 pub const PAR_THRESHOLD: usize = 16 * 1024;
@@ -42,6 +44,21 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
             d * d
         })
         .sum()
+}
+
+/// Squared L2 norm of every `d`-wide row of a flattened `[n, d]` matrix —
+/// the cached half of the `‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b` expansion that
+/// [`sq_dist_matrix`] fuses into the GEMM epilogue. Each norm is a plain
+/// ascending-index sum, so the value is deterministic and independent of
+/// which batch the row was normed in.
+pub fn row_sq_norms(data: &[f32], d: usize) -> Vec<f32> {
+    if d == 0 {
+        return Vec::new();
+    }
+    debug_assert_eq!(data.len() % d, 0, "row_sq_norms: ragged matrix");
+    data.chunks_exact(d)
+        .map(|row| row.iter().map(|&v| v * v).sum())
+        .collect()
 }
 
 /// Cosine similarity between two flat vectors (0 when either is all-zero).
@@ -155,6 +172,20 @@ mod tests {
         assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
         assert!(cosine_similarity(&a, &b).abs() < 1e-6);
         assert_eq!(cosine_similarity(&[0.0, 0.0], &b), 0.0);
+    }
+
+    #[test]
+    fn row_sq_norms_match_self_distance_to_zero() {
+        let mut rng = TensorRng::seeded(19);
+        let x = rng.uniform(&[7, 12], -2.0, 2.0);
+        let norms = row_sq_norms(x.data(), 12);
+        assert_eq!(norms.len(), 7);
+        let zero = vec![0.0f32; 12];
+        for (i, &n) in norms.iter().enumerate() {
+            assert_eq!(n, sq_dist(x.row(i), &zero), "row {i}");
+        }
+        assert!(row_sq_norms(&[], 4).is_empty());
+        assert!(row_sq_norms(&[], 0).is_empty());
     }
 
     #[test]

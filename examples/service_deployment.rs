@@ -218,6 +218,10 @@ fn main() {
         m.embed_cache.evictions,
         m.embed_cache.stale_generation
     );
+    println!(
+        "read index: {} probes, {} balls pruned, {} candidates scanned",
+        m.read_index_probes, m.read_index_balls_pruned, m.read_index_candidates_scanned
+    );
 
     drop(client);
     handle.shutdown();
