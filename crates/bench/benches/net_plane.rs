@@ -1,0 +1,156 @@
+//! Wire-plane bench (DESIGN.md §13): pipelining speedup and kilo-client
+//! sustain.
+//!
+//! Two experiments against one trained TCP deployment:
+//!
+//! 1. **Pipelining speedup.** The same read-heavy workload runs at 256
+//!    connections twice — strict request-response (`window = 1`, one
+//!    round trip per request) and pipelined (`window = 32`, the client
+//!    keeps a window on the wire and the server's reply sequencer batches
+//!    its flushes). The per-request syscall + scheduler-wakeup cost
+//!    amortizes across the window, and the bench **asserts** the
+//!    pipelined run clears ≥3× the strict-RPC throughput — the wire
+//!    plane's headline perf claim, gated in CI.
+//!
+//! 2. **Kilo-client sustain.** 1,000 concurrent connections (within the
+//!    default 1,024 admission limit) each push a pipelined read/write
+//!    mix; the bench **asserts** every request is answered successfully —
+//!    zero protocol errors client-side, zero decode errors and zero busy
+//!    rejections server-side.
+//!
+//! Results land in `results/BENCH_net_plane.json` via
+//! `fairdms_bench::report`. CI runs this bench at exactly this scale (see
+//! `.github/workflows/ci.yml`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairdms_bench::netload::{
+    run_load, spawn_wire_deployment, LoadConfig, ReadKind, WireDeployment,
+};
+use fairdms_bench::report::BenchReport;
+use fairdms_service::net::NetServerConfig;
+use std::time::Duration;
+
+fn bench_pipelining_speedup(dep: &WireDeployment, report: &mut BenchReport) {
+    const CONNS: usize = 256;
+    const REQS: usize = 32;
+
+    let strict = run_load(
+        dep.addr(),
+        &LoadConfig {
+            connections: CONNS,
+            requests_per_connection: REQS,
+            window: 1,
+            read_fraction: 1.0,
+            read_kind: ReadKind::RoutedProbe,
+            seed: 11,
+        },
+    );
+    let pipelined = run_load(
+        dep.addr(),
+        &LoadConfig {
+            connections: CONNS,
+            requests_per_connection: REQS,
+            window: 32,
+            read_fraction: 1.0,
+            read_kind: ReadKind::RoutedProbe,
+            seed: 12,
+        },
+    );
+
+    for (label, r) in [("window1", &strict), ("pipelined", &pipelined)] {
+        let s = report.add_series(&format!("{label}/{CONNS}conn"), &r.latencies);
+        println!(
+            "net_plane/{label:<10} conns {CONNS}  reqs {:>6}  wall {:>8.2?}  thr {:>9.0} req/s  p50 {:>9.2?}  p99 {:>9.2?}",
+            r.requests,
+            r.wall,
+            r.throughput(),
+            s.p50,
+            s.p99
+        );
+        assert_eq!(r.protocol_errors, 0, "{label}: protocol errors under load");
+        assert_eq!(r.service_errors, 0, "{label}: service errors under load");
+    }
+
+    let speedup = pipelined.throughput() / strict.throughput().max(1e-9);
+    report.add_metric("pipeline_speedup_256conn", speedup);
+    report.add_metric("throughput_window1_256conn", strict.throughput());
+    report.add_metric("throughput_pipelined_256conn", pipelined.throughput());
+    println!("net_plane/speedup    pipelined vs window-1 at {CONNS} connections: {speedup:.1}x");
+
+    // Loud regression guard (the CI gate): pipelining must amortize the
+    // per-request round-trip cost by at least 3x.
+    assert!(
+        speedup >= 3.0,
+        "pipelined throughput ({:.0} req/s) must be >= 3x strict request-response \
+         ({:.0} req/s) at {CONNS} connections, got {speedup:.2}x",
+        pipelined.throughput(),
+        strict.throughput()
+    );
+}
+
+fn bench_kilo_client_sustain(dep: &WireDeployment, report: &mut BenchReport) {
+    const CONNS: usize = 1000;
+
+    let load = run_load(
+        dep.addr(),
+        &LoadConfig {
+            connections: CONNS,
+            requests_per_connection: 4,
+            window: 4,
+            read_fraction: 0.9,
+            read_kind: ReadKind::RoutedLookup,
+            seed: 13,
+        },
+    );
+    let s = report.add_series(&format!("kilo_mix/{CONNS}conn"), &load.latencies);
+    println!(
+        "net_plane/kilo_mix   conns {CONNS} reqs {:>6}  wall {:>8.2?}  thr {:>9.0} req/s  p50 {:>9.2?}  p99 {:>9.2?}",
+        load.requests,
+        load.wall,
+        load.throughput(),
+        s.p50,
+        s.p99
+    );
+    report.add_metric("kilo_connections", CONNS as f64);
+    report.add_metric("kilo_protocol_errors", load.protocol_errors as f64);
+    report.add_metric("kilo_throughput", load.throughput());
+
+    assert_eq!(
+        load.protocol_errors, 0,
+        "kilo-client sustain saw protocol errors"
+    );
+    assert_eq!(
+        load.ok, load.requests,
+        "every request must succeed against the trained deployment"
+    );
+    let stats = dep.net.counters().snapshot();
+    assert_eq!(stats.decode_errors, 0, "server saw malformed frames");
+    assert_eq!(
+        stats.connections_busy_rejected, 0,
+        "kilo load must fit the admission limit"
+    );
+}
+
+fn bench_net_plane(_c: &mut Criterion) {
+    let dep = spawn_wire_deployment(21, NetServerConfig::default());
+    let mut report = BenchReport::new();
+    bench_pipelining_speedup(&dep, &mut report);
+    bench_kilo_client_sustain(&dep, &mut report);
+    let path = report.write("net_plane");
+    println!("net_plane: wrote {}", path.display());
+    dep.shutdown();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_net_plane
+}
+criterion_main!(benches);

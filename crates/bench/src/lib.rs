@@ -17,6 +17,7 @@
 
 pub mod calibrate;
 pub mod figures;
+pub mod netload;
 pub mod report;
 pub mod table;
 

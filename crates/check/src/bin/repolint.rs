@@ -6,7 +6,8 @@
 //! Flags:
 //! * `--json` — one JSON object per finding (machine-readable).
 //! * `--root <dir>` — lint a tree other than the current workspace.
-//! * `--allowlist` — print the audited `Ordering::Relaxed` sites and exit.
+//! * `--allowlist` — print the audited `Ordering::Relaxed` and blocking-
+//!   socket sites with their justifications, then exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,7 +36,12 @@ fn main() -> ExitCode {
     }
 
     if show_allowlist {
+        println!("# Ordering::Relaxed");
         for (path, why) in lint::RELAXED_ALLOWLIST {
+            println!("{path}\n    {why}");
+        }
+        println!("# blocking sockets");
+        for (path, why) in lint::NET_ALLOWLIST {
             println!("{path}\n    {why}");
         }
         return ExitCode::SUCCESS;
@@ -64,7 +70,7 @@ fn main() -> ExitCode {
             println!("{}", f.render());
         }
         if findings.is_empty() {
-            println!("repolint: clean ({} rules enforced)", 5);
+            println!("repolint: clean ({} rules enforced)", 6);
         } else {
             println!("repolint: {} finding(s)", findings.len());
         }

@@ -11,6 +11,7 @@
 //! | `safety-comment` | every `unsafe` block / `unsafe impl` / `unsafe fn` is preceded (within a few lines) by a `// SAFETY:` comment stating the invariant it relies on |
 //! | `no-static-mut` | no `static mut` anywhere — use an atomic or a lock |
 //! | `relaxed-allowlist` | `Ordering::Relaxed` only at sites on the audited allowlist below, each with a recorded justification |
+//! | `blocking-net` | blocking `std::net` / Unix-socket stream and listener types only in files on the audited `NET_ALLOWLIST` — the wire plane owns every socket, and each exempt file records where its blocking reads park and what unblocks them |
 //!
 //! Zones: the shim crates are exempt from `no-std-sync` / `sleep-polling`
 //! / `relaxed-allowlist` (they *implement* the sync layer), and
@@ -107,6 +108,29 @@ pub const RELAXED_ALLOWLIST: &[(&str, &str)] = &[
     (
         "crates/flows/src/jobs.rs",
         "test-only completion counters asserted after join(), which already orders them",
+    ),
+];
+
+/// Audited blocking-socket files: (path suffix, justification). The wire
+/// plane (DESIGN.md §13) is built on blocking `std::net` I/O with
+/// thread-per-connection state machines; that is a deliberate design, but
+/// *only there*. Every exempt file must say where its blocking reads park
+/// and what unblocks them, so a stray `TcpStream::read` in a request
+/// handler (which would wedge the service plane on a slow peer) fails
+/// repolint instead of shipping.
+pub const NET_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/service/src/net/server.rs",
+        "wire-plane server: blocking reads live on dedicated per-connection reader threads, \
+         blocking writes on the per-connection reply sequencer; accept blocks on its own \
+         listener thread. Drain unblocks all of them by closing the sockets (shutdown + a \
+         self-connect to wake the accept loop)",
+    ),
+    (
+        "crates/service/src/net/client.rs",
+        "wire-plane client: the only blocking read is the demux loop on each connection's \
+         dedicated reader thread; callers block on a channel, never on the socket. Dropping \
+         the client shuts the socket down, which unblocks the reader with a clean EOF",
     ),
 ];
 
@@ -255,6 +279,29 @@ pub fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
             }
         }
 
+        // blocking-net
+        if !zone.shim
+            && !in_test
+            && !comment
+            && ["TcpListener", "TcpStream", "UnixListener", "UnixStream"]
+                .iter()
+                .any(|t| line.contains(t))
+        {
+            let allowed = NET_ALLOWLIST.iter().any(|(p, _)| rel.ends_with(p));
+            if !allowed {
+                out.push(Finding {
+                    rule: "blocking-net",
+                    path: rel.to_string(),
+                    line: lineno,
+                    excerpt: line.to_string(),
+                    message: "blocking sockets outside the audited wire plane \
+                              (crates/check/src/lint.rs NET_ALLOWLIST); route I/O through \
+                              fairdms_service::net, or justify and allowlist the file"
+                        .to_string(),
+                });
+            }
+        }
+
         // relaxed-allowlist
         if !zone.shim && !comment && line.contains("Ordering::Relaxed") {
             let allowed = RELAXED_ALLOWLIST.iter().any(|(p, _)| rel.ends_with(p));
@@ -362,6 +409,22 @@ mod tests {
             "relaxed-allowlist"
         );
         assert!(lint_str("crates/core/src/reuse.rs", body).is_empty());
+    }
+
+    #[test]
+    fn blocking_net_needs_allowlist() {
+        let body = "let s = std::net::TcpStream::connect(addr)?;\n";
+        assert_eq!(
+            lint_str("crates/core/src/x.rs", body)[0].rule,
+            "blocking-net"
+        );
+        // The wire plane's own files are the audited exemptions.
+        assert!(lint_str("crates/service/src/net/server.rs", body).is_empty());
+        assert!(lint_str("crates/service/src/net/client.rs", body).is_empty());
+        // Tests may open raw sockets (hostile-bytes injection needs them).
+        assert!(lint_str("crates/service/tests/x.rs", body).is_empty());
+        // Address *types* are not blocking I/O.
+        assert!(lint_str("crates/bench/src/netload.rs", "use std::net::SocketAddr;\n").is_empty());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`netsim`] — latency+bandwidth link models and the [`netsim::SampleStore`]
 //!   backends that pair real (de)serialization cost with modeled wire time,
 //!   which is how the repo reproduces the authors' 100 GbE testbed
-//!   (substitution documented in DESIGN.md).
+//!   (substitution documented in DESIGN.md);
+//! * [`wire`] — the bounds-checked little-endian primitives all of the
+//!   above (and the service's real socket protocol, DESIGN.md §13) are
+//!   built from.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,8 +31,7 @@ pub mod netsim;
 pub mod snapshot;
 pub mod store;
 pub mod value;
-
-mod wire;
+pub mod wire;
 
 pub use codec::{BloscCodec, Codec, CodecError, PickleCodec, RawCodec};
 pub use snapshot::SnapshotError;

@@ -1,30 +1,44 @@
 //! Shared little-endian binary read/write helpers for the codecs.
+//!
+//! Originally private to the storage codecs (§2's MongoDB stand-ins),
+//! these primitives are now the substrate of every binary format in the
+//! workspace: the document codecs here, and the service's wire-plane
+//! message codecs (`fairdms_service::net`) that frame `Request`/`Reply`
+//! over real sockets. Everything is little-endian; every read is
+//! bounds-checked and fails with [`OutOfBounds`] instead of panicking,
+//! which is what makes the wire plane's decoder safe to point at
+//! arbitrary network bytes.
 
 /// Incremental reader over a byte slice with bounds-checked primitives.
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 /// Error raised when a reader runs off the end of its input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct OutOfBounds;
+pub struct OutOfBounds;
 
 impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, pos: 0 }
     }
 
+    /// Bytes left to read.
     pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
+    /// Whether every byte has been consumed.
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
 
+    /// Takes the next `n` bytes as a slice. The position is unchanged on
+    /// failure, so callers can recover (or report) precisely.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], OutOfBounds> {
-        if self.pos + n > self.bytes.len() {
+        if n > self.bytes.len() - self.pos {
             return Err(OutOfBounds);
         }
         let s = &self.bytes[self.pos..self.pos + n];
@@ -32,46 +46,57 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, OutOfBounds> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, OutOfBounds> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
+    /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, OutOfBounds> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    #[allow(dead_code)] // kept for wire-format completeness
+    /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, OutOfBounds> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, OutOfBounds> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    #[allow(dead_code)] // kept for wire-format completeness
+    /// Reads a little-endian `f32` (bit pattern preserved exactly).
     pub fn f32(&mut self) -> Result<f32, OutOfBounds> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Reads a little-endian `f64` (bit pattern preserved exactly).
     pub fn f64(&mut self) -> Result<f64, OutOfBounds> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
 /// Write helpers over a growable buffer.
-pub(crate) trait WriteExt {
+pub trait WriteExt {
+    /// Appends one byte.
     fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
     fn put_u16(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
     fn put_u32(&mut self, v: u32);
-    #[allow(dead_code)] // kept for wire-format completeness
+    /// Appends a little-endian `u64`.
     fn put_u64(&mut self, v: u64);
+    /// Appends a little-endian `i64`.
     fn put_i64(&mut self, v: i64);
+    /// Appends a little-endian `f32` (bit pattern preserved exactly).
     fn put_f32(&mut self, v: f32);
+    /// Appends a little-endian `f64` (bit pattern preserved exactly).
     fn put_f64(&mut self, v: f64);
 }
 
@@ -131,5 +156,16 @@ mod tests {
         assert_eq!(r.u32(), Err(OutOfBounds));
         // Position unchanged after a failed read.
         assert_eq!(r.u16().unwrap(), 513);
+    }
+
+    #[test]
+    fn huge_take_does_not_overflow() {
+        // A hostile length prefix near usize::MAX must not wrap the
+        // bounds check into a success.
+        let buf = vec![0u8; 4];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.take(usize::MAX), Err(OutOfBounds));
+        assert_eq!(r.take(usize::MAX - 2), Err(OutOfBounds));
+        assert_eq!(r.remaining(), 4);
     }
 }

@@ -38,6 +38,17 @@ pub enum ServiceError {
     /// and was rejected by the version fence. The request can be retried
     /// against the current state; nothing was registered.
     Superseded,
+    /// The wire plane's connection limit was reached: the server accepted
+    /// the socket, answered this error, and closed it without dropping a
+    /// byte on the floor (DESIGN.md §13). Retry after backing off, or
+    /// against another endpoint.
+    Busy,
+    /// The wire protocol broke down between a network client and the
+    /// server: a frame failed to decode, the transport died mid-message,
+    /// or the peer spoke something that is not the fairDMS framing. The
+    /// connection this happened on is no longer usable. Never produced by
+    /// the in-process client.
+    Protocol(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -50,6 +61,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Superseded => {
                 write!(f, "training job superseded by a newer trigger")
             }
+            ServiceError::Busy => write!(f, "connection limit reached"),
+            ServiceError::Protocol(msg) => write!(f, "wire protocol error: {msg}"),
         }
     }
 }

@@ -20,7 +20,11 @@
 //!   reads *nor ingest* ever stall behind a training run;
 //! * [`metrics`] — lock-free per-operation queue-wait/run-time statistics
 //!   and training-job counters, served to clients without ever entering
-//!   an admission queue.
+//!   an admission queue;
+//! * [`net`] — the wire plane (DESIGN.md §13): a pipelined TCP/UDS
+//!   listener over the same deployment ([`net::NetServer`]) and the
+//!   matching socket clients ([`net::DmsTcpClient`],
+//!   [`net::PipelinedClient`]).
 //!
 //! ```no_run
 //! use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
@@ -60,6 +64,7 @@
 
 pub mod api;
 pub mod metrics;
+pub mod net;
 pub mod server;
 // The left-right SnapshotCell is the one sanctioned unsafe island in the
 // workspace: every block carries a SAFETY comment (enforced by repolint)
@@ -68,7 +73,8 @@ pub mod server;
 pub mod swap;
 
 pub use api::{RankedModels, Reply, Request, ServiceError, ServiceResult};
-pub use metrics::{Metrics, MetricsSnapshot, OpSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, NetStats, OpSnapshot};
+pub use net::{DmsTcpClient, NetServer, NetServerConfig, NetServerHandle, PipelinedClient};
 pub use server::{
     DmsClient, DmsServer, DmsServerConfig, FallbackLabeler, ServerHandle, ServiceView,
 };

@@ -202,6 +202,131 @@ pub struct Metrics {
     /// candidates_scanned}` (DESIGN.md §12). Read-only view, same contract
     /// as [`Metrics::attach_embed_cache`].
     read_index: OnceLock<Arc<ReadIndexCounters>>,
+    /// Handle onto the wire plane's connection/frame counters, attached
+    /// when a network listener is spawned over this deployment
+    /// (DESIGN.md §13). Zeroed in snapshots until then.
+    net: OnceLock<Arc<NetCounters>>,
+}
+
+/// Lock-free counters of the wire plane (DESIGN.md §13): one instance per
+/// deployment, shared by every listener's accept loop and every
+/// connection's reader/writer threads. All monotone except
+/// `connections_active`, a gauge.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    connections_opened: AtomicU64,
+    connections_active: AtomicU64,
+    connections_busy_rejected: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    decode_errors: AtomicU64,
+    drains_graceful: AtomicU64,
+    drains_abrupt: AtomicU64,
+}
+
+impl NetCounters {
+    /// A fresh, zeroed counter block.
+    pub fn new() -> Self {
+        NetCounters::default()
+    }
+
+    /// Records an accepted connection; returns the new active count
+    /// (after increment), which the accept loop compares against the
+    /// configured connection limit.
+    pub fn conn_opened(&self) -> u64 {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current active-connection gauge.
+    pub fn active(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection close with its drain outcome: `graceful` means
+    /// every request read off the socket was answered (and flushed) before
+    /// the close; abrupt means the peer vanished or the transport failed
+    /// mid-stream and in-flight replies were discarded.
+    pub fn conn_closed(&self, graceful: bool) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+        if graceful {
+            self.drains_graceful.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.drains_abrupt.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an over-limit connection answered `Busy` and closed.
+    pub fn busy_rejected(&self) {
+        self.connections_busy_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one decoded inbound frame of `bytes` total wire bytes
+    /// (header included).
+    pub fn frame_in(&self, bytes: u64) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one written outbound frame of `bytes` total wire bytes.
+    pub fn frame_out(&self, bytes: u64) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a frame or message that failed to decode (hostile length
+    /// prefix, unknown tag, truncated payload).
+    pub fn decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_busy_rejected: self.connections_busy_rejected.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            drains_graceful: self.drains_graceful.load(Ordering::Relaxed),
+            drains_abrupt: self.drains_abrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`NetCounters`], carried in every
+/// [`MetricsSnapshot`] (zeroed when no listener is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted over the lifetime of the deployment
+    /// (over-limit rejections not included).
+    pub connections_opened: u64,
+    /// Currently open connections (gauge).
+    pub connections_active: u64,
+    /// Connections answered [`crate::api::ServiceError::Busy`] at accept
+    /// because the limit was reached.
+    pub connections_busy_rejected: u64,
+    /// Request frames decoded off sockets.
+    pub frames_in: u64,
+    /// Reply frames written to sockets.
+    pub frames_out: u64,
+    /// Total inbound wire bytes (frame headers included).
+    pub bytes_in: u64,
+    /// Total outbound wire bytes (frame headers included).
+    pub bytes_out: u64,
+    /// Frames/messages rejected by the decoder (each also ends its
+    /// connection with a protocol-error frame).
+    pub decode_errors: u64,
+    /// Connections that closed with every accepted request answered.
+    pub drains_graceful: u64,
+    /// Connections torn down mid-stream (peer vanished, transport error).
+    pub drains_abrupt: u64,
 }
 
 impl Metrics {
@@ -239,6 +364,19 @@ impl Metrics {
     /// attachment wins.
     pub fn attach_read_index(&self, counters: Arc<ReadIndexCounters>) {
         let _ = self.read_index.set(counters);
+    }
+
+    /// Attaches the deployment's wire-plane counters so connection/frame
+    /// statistics appear in every subsequent [`Metrics::snapshot`]. First
+    /// attachment wins: every listener spawned over the same deployment
+    /// shares one counter block.
+    pub fn attach_net(&self, counters: Arc<NetCounters>) {
+        let _ = self.net.set(counters);
+    }
+
+    /// The attached wire-plane counters, if any listener was spawned.
+    pub fn net_counters(&self) -> Option<&Arc<NetCounters>> {
+        self.net.get()
     }
 
     /// A point-in-time copy of everything.
@@ -280,6 +418,7 @@ impl Metrics {
                 .get()
                 .map(|c| c.candidates_scanned())
                 .unwrap_or_default(),
+            net: self.net.get().map(|c| c.snapshot()).unwrap_or_default(),
         }
     }
 }
@@ -327,6 +466,9 @@ pub struct MetricsSnapshot {
     /// (brute work would be `probes × cluster rows`; the gap is the
     /// read-index win).
     pub read_index_candidates_scanned: u64,
+    /// Wire-plane connection/frame counters (DESIGN.md §13), zeroed when
+    /// no network listener is attached to this deployment.
+    pub net: NetStats,
 }
 
 impl MetricsSnapshot {

@@ -1,0 +1,544 @@
+//! Socket clients for the wire plane (DESIGN.md §13).
+//!
+//! Two layers:
+//!
+//! * [`PipelinedClient`] — the real machinery. One socket, one background
+//!   reader thread, any number of cheap [`PipelinedClient::clone`]
+//!   handles. [`PipelinedClient::submit`] encodes and writes a request
+//!   frame and returns a [`Pending`] ticket *without waiting*; dozens of
+//!   requests can be in flight on one connection and the server's reply
+//!   sequencer answers them in order. Writes buffer in userspace —
+//!   [`Pending::wait`] flushes lazily, so a pipelined burst pays one
+//!   syscall, not one per request.
+//! * [`DmsTcpClient`] — a drop-in mirror of
+//!   [`crate::server::DmsClient`]'s blocking convenience API (same method
+//!   names, same signatures) for code that wants the remote deployment to
+//!   feel in-process. Each call is submit + wait on the wrapped
+//!   [`PipelinedClient`], so even "synchronous" callers on different
+//!   threads share the socket efficiently.
+//!
+//! ## Failure model
+//!
+//! The transport can die at any moment (server drain, peer reset, torn
+//! frame). When the reader thread observes any terminal condition it
+//! records a *sticky* [`ServiceError`] and answers every in-flight and
+//! future request with it — a [`Pending::wait`] never hangs on a dead
+//! connection. `Busy` frames (connection-limit rejection) surface as
+//! [`ServiceError::Busy`]; protocol violations as
+//! [`ServiceError::Protocol`]; everything else as
+//! [`ServiceError::Unavailable`].
+
+use crate::api::{RankedModels, Reply, Request, ServiceError, ServiceResult};
+use crate::metrics::MetricsSnapshot;
+use crate::net::codec::{decode_error, decode_reply, encode_request};
+use crate::net::frame::{read_frame, write_frame, FrameError, FrameKind};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use fairdms_core::embedding::EmbedTrainConfig;
+use fairdms_core::PseudoLabelStats;
+use fairdms_core::UpdateReport;
+use fairdms_datastore::Document;
+use fairdms_tensor::Tensor;
+use parking_lot::Mutex;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Frame-size cap a client accepts from the server. Replies carry model
+/// checkpoints and label tensors, so this is generous; it exists to bound
+/// memory against a corrupt length prefix, not to police the server.
+const CLIENT_MAX_FRAME: u32 = 256 << 20;
+
+/// Write half of a client connection (type-erased over TCP/UDS).
+trait WriteHalf: Write + Send {
+    /// Full-closes the socket so the reader thread unblocks.
+    fn shut(&self);
+}
+
+impl WriteHalf for TcpStream {
+    fn shut(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(unix)]
+impl WriteHalf for std::os::unix::net::UnixStream {
+    fn shut(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+/// Serialized writer state: frame encoding order on the socket equals
+/// registration order with the reader, because both happen under this
+/// lock.
+struct WriterState {
+    stream: io::BufWriter<Box<dyn WriteHalf>>,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Highest sequence number written into the buffer.
+    written_seq: u64,
+}
+
+/// Terminal-failure state, shared between handles and the reader thread.
+/// Split out of [`ClientInner`] so the reader does not keep the whole
+/// client alive: connection teardown is driven by [`ClientInner`]'s drop,
+/// which must run as soon as the last *handle* is gone.
+struct ConnShared {
+    /// Set once the connection is terminally dead.
+    closed: AtomicBool,
+    /// The sticky terminal error (populated before `closed` is set).
+    error: Mutex<Option<ServiceError>>,
+}
+
+impl ConnShared {
+    fn sticky_error(&self) -> ServiceError {
+        self.error
+            .lock()
+            .clone()
+            .unwrap_or(ServiceError::Unavailable)
+    }
+}
+
+/// One in-flight registration handed to the reader: the request's
+/// sequence number and the channel its reply resolves.
+type PendingSlot = (u64, Sender<ServiceResult>);
+
+struct ClientInner {
+    writer: Mutex<WriterState>,
+    /// Highest sequence number known flushed to the kernel.
+    flushed_seq: AtomicU64,
+    conn: Arc<ConnShared>,
+    /// Registration channel to the reader thread, in seq order. `None`
+    /// once teardown has begun.
+    pending_tx: Mutex<Option<Sender<PendingSlot>>>,
+    /// Reader thread handle, joined on teardown.
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        // Sever the socket so a reader blocked mid-read unblocks, drop
+        // the registration sender so a reader parked on its channel
+        // unblocks, then join. Order matters: joining before dropping the
+        // sender would deadlock an idle reader.
+        self.writer.lock().stream.get_ref().shut();
+        self.pending_tx.lock().take();
+        let handle = self.reader.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A pipelined, multi-handle client connection to a fairDMS wire-plane
+/// listener. Cloning shares the socket; all clones' requests interleave
+/// on one pipeline. See the module docs for the failure model.
+#[derive(Clone)]
+pub struct PipelinedClient {
+    inner: Arc<ClientInner>,
+}
+
+/// An in-flight request ticket from [`PipelinedClient::submit`]. Redeem
+/// with [`Pending::wait`]; dropping it abandons the reply (the connection
+/// is unaffected).
+pub struct Pending {
+    seq: u64,
+    rx: Receiver<ServiceResult>,
+    inner: Arc<ClientInner>,
+}
+
+impl PipelinedClient {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Self::new(Box::new(stream), Box::new(read_half))
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let read_half = stream.try_clone()?;
+        Self::new(Box::new(stream), Box::new(read_half))
+    }
+
+    fn new(write_half: Box<dyn WriteHalf>, read_half: Box<dyn Read + Send>) -> io::Result<Self> {
+        let (pending_tx, pending_rx) = unbounded();
+        let conn = Arc::new(ConnShared {
+            closed: AtomicBool::new(false),
+            error: Mutex::new(None),
+        });
+        let inner = Arc::new(ClientInner {
+            writer: Mutex::new(WriterState {
+                stream: io::BufWriter::with_capacity(64 * 1024, write_half),
+                next_seq: 1,
+                written_seq: 0,
+            }),
+            flushed_seq: AtomicU64::new(0),
+            conn: Arc::clone(&conn),
+            pending_tx: Mutex::new(Some(pending_tx)),
+            reader: Mutex::new(None),
+        });
+        let reader = thread::Builder::new()
+            .name("dms-net-client".into())
+            .spawn(move || client_reader(conn, read_half, pending_rx))?;
+        *inner.reader.lock() = Some(reader);
+        Ok(PipelinedClient { inner })
+    }
+
+    /// Encodes `req`, queues it on the socket, and returns immediately
+    /// with a ticket for its reply. The frame may sit in the userspace
+    /// buffer until [`Pending::wait`] (or a later submit filling the
+    /// buffer) flushes it.
+    pub fn submit(&self, req: &Request) -> Pending {
+        let (tx, rx) = bounded(1);
+        let payload = encode_request(req);
+        let mut w = self.inner.writer.lock();
+        let seq = w.next_seq;
+        w.next_seq += 1;
+        let registered = if self.inner.conn.closed.load(Ordering::SeqCst) {
+            false
+        } else {
+            // Register before writing: the reader must know about `seq`
+            // before the server can possibly answer it. Channel order
+            // equals seq order because both happen under the writer lock.
+            match &*self.inner.pending_tx.lock() {
+                Some(ptx) => ptx.send((seq, tx.clone())).is_ok(),
+                None => false,
+            }
+        };
+        if registered {
+            let mut frame = Vec::with_capacity(payload.len() + 16);
+            write_frame(&mut frame, seq, FrameKind::Request, &payload);
+            if w.stream.write_all(&frame).is_err() {
+                // The reader will observe the dead socket and answer this
+                // (and everything else) with the sticky error.
+                self.inner.conn.closed.store(true, Ordering::SeqCst);
+            } else {
+                w.written_seq = seq;
+            }
+        } else {
+            let _ = tx.send(Err(self.inner.conn.sticky_error()));
+        }
+        drop(w);
+        Pending {
+            seq,
+            rx,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Submit-and-wait in one step (window-1 pipelining).
+    pub fn call(&self, req: &Request) -> ServiceResult {
+        self.submit(req).wait()
+    }
+
+    /// Whether the connection has terminally failed (all further requests
+    /// will answer the same sticky error without touching the socket).
+    pub fn is_closed(&self) -> bool {
+        self.inner.conn.closed.load(Ordering::SeqCst)
+    }
+
+    /// Flushes buffered request frames through `seq`.
+    fn flush_to(&self, seq: u64) {
+        if self.inner.flushed_seq.load(Ordering::SeqCst) >= seq {
+            return;
+        }
+        let mut w = self.inner.writer.lock();
+        let written = w.written_seq;
+        if self.inner.flushed_seq.load(Ordering::SeqCst) >= seq {
+            return; // raced with another waiter
+        }
+        if w.stream.flush().is_err() {
+            self.inner.conn.closed.store(true, Ordering::SeqCst);
+            return;
+        }
+        self.inner.flushed_seq.store(written, Ordering::SeqCst);
+    }
+}
+
+impl Pending {
+    /// Blocks until the reply arrives (flushing the request first if it
+    /// is still buffered). Never hangs on a dead connection: terminal
+    /// transport failures resolve every ticket with the sticky error.
+    pub fn wait(self) -> ServiceResult {
+        PipelinedClient {
+            inner: Arc::clone(&self.inner),
+        }
+        .flush_to(self.seq);
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(self.inner.conn.sticky_error()))
+    }
+}
+
+/// The connection's reader thread: matches reply frames to pending
+/// tickets in order; on any terminal condition, records the sticky error
+/// and answers everything with it.
+fn client_reader(
+    conn: Arc<ConnShared>,
+    read_half: Box<dyn Read + Send>,
+    pending_rx: Receiver<PendingSlot>,
+) {
+    let mut r = BufReader::with_capacity(64 * 1024, read_half);
+    // On a terminal condition, the ticket being served breaks out with the
+    // loop so it can be answered with the sticky error *after* the error
+    // is latched — dropping its sender early would race a waiter into
+    // seeing `Unavailable` instead of the real cause.
+    let (terminal, unanswered): (ServiceError, Option<Sender<ServiceResult>>) = loop {
+        // Tickets arrive in seq order; the server answers in seq order.
+        let (seq, tx) = match pending_rx.recv() {
+            Ok(p) => p,
+            Err(_) => return, // all handles dropped, nothing in flight
+        };
+        match read_frame(&mut r, CLIENT_MAX_FRAME) {
+            Ok(frame) => {
+                if frame.kind == FrameKind::Busy {
+                    break (ServiceError::Busy, Some(tx));
+                }
+                if frame.kind == FrameKind::ProtocolError {
+                    let msg = String::from_utf8_lossy(&frame.payload).into_owned();
+                    break (
+                        ServiceError::Protocol(format!("server rejected stream: {msg}")),
+                        Some(tx),
+                    );
+                }
+                if frame.seq != seq {
+                    break (
+                        ServiceError::Protocol(format!(
+                            "reply seq {} arrived while waiting for {}",
+                            frame.seq, seq
+                        )),
+                        Some(tx),
+                    );
+                }
+                let result = match frame.kind {
+                    FrameKind::ReplyOk => match decode_reply(&frame.payload) {
+                        Ok(rep) => Ok(rep),
+                        Err(e) => {
+                            break (
+                                ServiceError::Protocol(format!("undecodable reply: {e}")),
+                                Some(tx),
+                            )
+                        }
+                    },
+                    FrameKind::ReplyErr => match decode_error(&frame.payload) {
+                        Ok(err) => Err(err),
+                        Err(e) => {
+                            break (
+                                ServiceError::Protocol(format!("undecodable error: {e}")),
+                                Some(tx),
+                            )
+                        }
+                    },
+                    other => {
+                        break (
+                            ServiceError::Protocol(format!("unexpected {other:?} frame")),
+                            Some(tx),
+                        )
+                    }
+                };
+                let _ = tx.send(result);
+            }
+            Err(FrameError::Eof) => break (ServiceError::Unavailable, Some(tx)),
+            Err(FrameError::Io(_)) => break (ServiceError::Unavailable, Some(tx)),
+            Err(e) => break (ServiceError::Protocol(e.to_string()), Some(tx)),
+        }
+    };
+    // Terminal: latch the sticky error *before* marking closed so a
+    // racing submit that sees `closed` reads a populated error, then
+    // answer everything in flight (and everything still arriving) until
+    // every handle is gone.
+    *conn.error.lock() = Some(terminal.clone());
+    conn.closed.store(true, Ordering::SeqCst);
+    if let Some(tx) = unanswered {
+        let _ = tx.send(Err(terminal.clone()));
+    }
+    while let Ok((_, tx)) = pending_rx.recv() {
+        let _ = tx.send(Err(terminal.clone()));
+    }
+}
+
+/// Blocking socket client mirroring [`crate::server::DmsClient`]'s
+/// convenience API method-for-method, so application code can switch
+/// between in-process and remote deployments by swapping the client type.
+/// Internally a window-1 [`PipelinedClient`]; clone it (cheap) and call
+/// from many threads to pipeline.
+#[derive(Clone)]
+pub struct DmsTcpClient {
+    pipe: PipelinedClient,
+}
+
+impl DmsTcpClient {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(DmsTcpClient {
+            pipe: PipelinedClient::connect_tcp(addr)?,
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(DmsTcpClient {
+            pipe: PipelinedClient::connect_uds(path)?,
+        })
+    }
+
+    /// Wraps an existing pipelined connection (sharing its socket).
+    pub fn from_pipelined(pipe: PipelinedClient) -> Self {
+        DmsTcpClient { pipe }
+    }
+
+    /// The underlying pipelined connection.
+    pub fn pipelined(&self) -> &PipelinedClient {
+        &self.pipe
+    }
+
+    /// Sends one request and blocks for its reply.
+    pub fn call(&self, req: &Request) -> ServiceResult {
+        self.pipe.call(req)
+    }
+
+    /// Remote [`crate::server::DmsClient::train_system`].
+    pub fn train_system(
+        &self,
+        images: Tensor,
+        embed_cfg: EmbedTrainConfig,
+    ) -> Result<usize, ServiceError> {
+        match self.call(&Request::TrainSystem { images, embed_cfg })? {
+            Reply::SystemTrained { k } => Ok(k),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::ingest`].
+    pub fn ingest(
+        &self,
+        images: Tensor,
+        labels: Tensor,
+        scan: usize,
+    ) -> Result<(usize, bool), ServiceError> {
+        match self.call(&Request::IngestLabeled {
+            images,
+            labels,
+            scan,
+        })? {
+            Reply::Ingested { count, retrained } => Ok((count, retrained)),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::dataset_pdf`].
+    pub fn dataset_pdf(&self, images: Tensor) -> Result<Vec<f64>, ServiceError> {
+        match self.call(&Request::DatasetPdf { images })? {
+            Reply::Pdf(p) => Ok(p),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::pseudo_label`].
+    pub fn pseudo_label(
+        &self,
+        images: Tensor,
+        threshold: f32,
+    ) -> Result<(Tensor, PseudoLabelStats), ServiceError> {
+        match self.call(&Request::PseudoLabel { images, threshold })? {
+            Reply::Labeled { labels, stats } => Ok((labels, stats)),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::lookup`].
+    pub fn lookup(&self, pdf: Vec<f64>, count: usize) -> Result<Vec<Document>, ServiceError> {
+        match self.call(&Request::LookupMatching { pdf, count })? {
+            Reply::Documents(d) => Ok(d),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::recommend`].
+    pub fn recommend(&self, pdf: Vec<f64>) -> Result<RankedModels, ServiceError> {
+        match self.call(&Request::Recommend { pdf, top_k: None })? {
+            Reply::Ranked(r) => Ok(r),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::recommend_top_k`].
+    pub fn recommend_top_k(&self, pdf: Vec<f64>, k: usize) -> Result<RankedModels, ServiceError> {
+        match self.call(&Request::Recommend {
+            pdf,
+            top_k: Some(k),
+        })? {
+            Reply::Ranked(r) => Ok(r),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::update_model`].
+    pub fn update_model(
+        &self,
+        images: Tensor,
+        scan: usize,
+    ) -> Result<(Vec<u8>, UpdateReport), ServiceError> {
+        match self.call(&Request::UpdateModel { images, scan })? {
+            Reply::Updated { checkpoint, report } => Ok((checkpoint, report)),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::publish`].
+    pub fn publish(
+        &self,
+        name: &str,
+        checkpoint: Vec<u8>,
+        pdf: Vec<f64>,
+        scan: usize,
+    ) -> Result<usize, ServiceError> {
+        match self.call(&Request::PublishModel {
+            name: name.to_string(),
+            checkpoint,
+            pdf,
+            scan,
+        })? {
+            Reply::Published { zoo_id } => Ok(zoo_id),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::fetch`].
+    pub fn fetch(&self, zoo_id: usize) -> Result<(Vec<u8>, Vec<f64>), ServiceError> {
+        match self.call(&Request::FetchModel { zoo_id })? {
+            Reply::Model { checkpoint, pdf } => Ok((checkpoint, pdf)),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote [`crate::server::DmsClient::certainty`].
+    pub fn certainty(&self, images: Tensor) -> Result<f64, ServiceError> {
+        match self.call(&Request::Certainty { images })? {
+            Reply::Certainty(c) => Ok(c),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Remote metrics snapshot (round-trips through the wire, unlike the
+    /// in-process client's registry shortcut — the numbers are the same).
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ServiceError> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(m) => Ok(m),
+            other => Err(mismatch(&other)),
+        }
+    }
+}
+
+/// A reply variant that doesn't match the request we sent: on the wire
+/// that is a protocol fault, not a local invariant violation, so it
+/// surfaces as an error instead of a panic.
+fn mismatch(got: &Reply) -> ServiceError {
+    ServiceError::Protocol(format!("mismatched reply variant for request: {got:?}"))
+}

@@ -1,0 +1,634 @@
+//! The threaded, pipelined socket front-end of a fairDMS deployment
+//! (DESIGN.md §13).
+//!
+//! [`NetServer::serve_tcp`] (and [`NetServer::serve_uds`] on Unix) bolts a
+//! real listener onto an existing [`DmsClient`]. Each accepted connection
+//! gets two threads:
+//!
+//! * a **reader** that decodes request frames and *immediately* dispatches
+//!   them into the deployment's admission queues via
+//!   [`DmsClient::dispatch`] — it never waits for a reply before reading
+//!   the next frame, which is what makes the wire pipelined: a client can
+//!   keep dozens of requests in flight on one socket and the read pool /
+//!   mutation actor overlap them exactly as they do for in-process
+//!   clients;
+//! * a **writer** (the reply sequencer) that receives the one-shot reply
+//!   receivers *in dispatch order* and writes each response back as it
+//!   resolves, preserving request order on the wire. Writes are batched:
+//!   the writer flushes only when its queue goes momentarily empty, so a
+//!   burst of pipelined replies costs one syscall, not one per reply.
+//!
+//! Backpressure composes with the deployment's own admission control: a
+//! reader blocked in `dispatch` (queue full) simply stops reading, which
+//! fills the kernel socket buffer and eventually blocks the remote writer
+//! — end-to-end flow control with no new machinery.
+//!
+//! The accept loop enforces [`NetServerConfig::max_connections`]:
+//! over-limit sockets are *answered* — a `Busy` frame, flushed, then
+//! close — never silently dropped. [`NetServerHandle::shutdown`] drains
+//! gracefully: it stops the accept loop, half-closes every connection's
+//! read side so readers observe EOF, and joins the writers, which answer
+//! every already-accepted request before exiting.
+
+use crate::api::{ServiceError, ServiceResult};
+use crate::metrics::NetCounters;
+use crate::net::codec::{encode_error, encode_reply};
+use crate::net::frame::{
+    read_frame, write_frame, Frame, FrameError, FrameKind, BODY_HEADER, LEN_PREFIX,
+};
+use crate::server::DmsClient;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Stack size for connection reader/writer threads. They hold only frame
+/// buffers, so the default 8 MiB would waste address space at kilo-client
+/// scale.
+const CONN_STACK: usize = 256 * 1024;
+
+/// Wire-plane deployment knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Connections served concurrently; the `max_connections + 1`-th
+    /// socket is answered [`ServiceError::Busy`] and closed.
+    pub max_connections: usize,
+    /// Largest accepted frame body in bytes ([`FrameError::TooLong`]
+    /// above it). Bounds per-connection memory against hostile or corrupt
+    /// length prefixes.
+    pub max_frame_len: u32,
+    /// `TCP_NODELAY` on accepted sockets (ignored for Unix sockets).
+    /// Leave on: the writer already batches, so Nagle only adds latency.
+    pub nodelay: bool,
+    /// Serve read-only requests directly on the connection's reader
+    /// thread against the read snapshot, instead of dispatching them to
+    /// the read pool. Saves two context switches per read — the
+    /// difference between ~2x and ~4x pipelining speedup in
+    /// `benches/net_plane.rs` — at the cost of serializing one
+    /// connection's reads behind each other (reads from *different*
+    /// connections still run in parallel, one reader thread each). Turn
+    /// off for workloads that pipeline many *expensive* reads on few
+    /// connections and want the pool's intra-connection parallelism.
+    pub inline_reads: bool,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 1024,
+            max_frame_len: 64 << 20,
+            nodelay: true,
+            inline_reads: true,
+        }
+    }
+}
+
+/// Transport abstraction: TCP and Unix sockets differ only in these five
+/// operations, so the accept loop and connection threads are written once.
+trait NetStream: Read + Write + Send + Sized + 'static {
+    /// A second handle onto the same socket (reader and writer threads
+    /// each own one).
+    fn duplicate(&self) -> io::Result<Self>;
+    /// Half- or full-closes the socket.
+    fn shut(&self, how: Shutdown) -> io::Result<()>;
+    /// Applies `TCP_NODELAY` where it exists (no-op otherwise).
+    fn set_nodelay_opt(&self, on: bool);
+}
+
+impl NetStream for TcpStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn shut(&self, how: Shutdown) -> io::Result<()> {
+        self.shutdown(how)
+    }
+    fn set_nodelay_opt(&self, on: bool) {
+        let _ = self.set_nodelay(on);
+    }
+}
+
+#[cfg(unix)]
+impl NetStream for std::os::unix::net::UnixStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn shut(&self, how: Shutdown) -> io::Result<()> {
+        self.shutdown(how)
+    }
+    fn set_nodelay_opt(&self, _on: bool) {}
+}
+
+/// Listener side of the transport abstraction. Unblocking a thread parked
+/// in `accept_stream` during drain is done with a throwaway
+/// self-connection (see [`wake_listener`]) — the alternative to polling
+/// with timeouts, which the repo's lint plane forbids.
+trait NetListener: Send + 'static {
+    /// Stream type this listener yields.
+    type Stream: NetStream;
+    /// Blocks for the next connection.
+    fn accept_stream(&self) -> io::Result<Self::Stream>;
+}
+
+impl NetListener for TcpListener {
+    type Stream = TcpStream;
+    fn accept_stream(&self) -> io::Result<TcpStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+#[cfg(unix)]
+impl NetListener for std::os::unix::net::UnixListener {
+    type Stream = std::os::unix::net::UnixStream;
+    fn accept_stream(&self) -> io::Result<Self::Stream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+/// What the reader hands the reply sequencer, in dispatch order.
+enum OutMsg {
+    /// A dispatched request: echo `seq` on whatever the service resolves.
+    Reply {
+        seq: u64,
+        rx: Receiver<ServiceResult>,
+    },
+    /// A request already served on the reader thread (the inline-read
+    /// fast path): the sequencer never waits on these. Boxed so the
+    /// queued message stays channel-slot-sized regardless of reply size.
+    Ready {
+        seq: u64,
+        result: Box<ServiceResult>,
+    },
+    /// The peer broke the protocol: answer with a `ProtocolError` frame
+    /// (after everything queued before it) and close.
+    Fatal { seq: u64, msg: String },
+}
+
+/// State shared by one connection's two threads.
+struct ConnState {
+    /// Set by the reader when the peer closed cleanly on a frame boundary
+    /// or the server drained it; a close without this is abrupt.
+    clean_eof: AtomicBool,
+}
+
+/// Everything the accept loop and connection threads share.
+struct NetShared {
+    client: DmsClient,
+    cfg: NetServerConfig,
+    counters: Arc<NetCounters>,
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, Conn>>,
+}
+
+/// Registry entry for one live connection (type-erased over transports).
+struct Conn {
+    /// Half-closes the read side, making the reader observe EOF.
+    drain: Box<dyn Fn() + Send>,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+    /// Set by the writer as its last act, so the accept loop can reap.
+    finished: Arc<AtomicBool>,
+}
+
+/// Entry points for serving a deployment over real sockets.
+pub struct NetServer;
+
+impl NetServer {
+    /// Serves `client`'s deployment over TCP. Binds `addr` (use port 0
+    /// for an ephemeral port, then [`NetServerHandle::local_addr`]) and
+    /// returns once the listener is live.
+    pub fn serve_tcp(
+        client: DmsClient,
+        addr: impl ToSocketAddrs,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let handle = spawn_accept(client, listener, cfg)?;
+        Ok(NetServerHandle {
+            local_addr: Some(local),
+            #[cfg(unix)]
+            uds_path: None,
+            ..handle
+        })
+    }
+
+    /// Serves `client`'s deployment over a Unix-domain socket at `path`
+    /// (removed on [`NetServerHandle::shutdown`]). Binding fails if the
+    /// path exists.
+    #[cfg(unix)]
+    pub fn serve_uds(
+        client: DmsClient,
+        path: impl Into<std::path::PathBuf>,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServerHandle> {
+        let path = path.into();
+        let listener = std::os::unix::net::UnixListener::bind(&path)?;
+        let handle = spawn_accept(client, listener, cfg)?;
+        Ok(NetServerHandle {
+            uds_path: Some(path),
+            ..handle
+        })
+    }
+}
+
+fn spawn_accept<L: NetListener>(
+    client: DmsClient,
+    listener: L,
+    cfg: NetServerConfig,
+) -> io::Result<NetServerHandle> {
+    let counters = Arc::new(NetCounters::new());
+    // Attach to the deployment's registry so `Request::Metrics` (from any
+    // client, local or remote) reports wire traffic. First listener wins;
+    // later listeners keep their own counters but snapshots follow the
+    // first — one deployment, one wire plane, is the intended topology.
+    client.metrics_registry().attach_net(Arc::clone(&counters));
+    let shared = Arc::new(NetShared {
+        client,
+        cfg,
+        counters: Arc::clone(&counters),
+        shutting_down: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("dms-net-accept".into())
+        .spawn(move || accept_loop(accept_shared, listener))?;
+    Ok(NetServerHandle {
+        shared,
+        accept: Some(accept),
+        counters,
+        local_addr: None,
+        #[cfg(unix)]
+        uds_path: None,
+    })
+}
+
+fn accept_loop<L: NetListener>(shared: Arc<NetShared>, listener: L) {
+    let mut next_conn_id = 0u64;
+    let mut consecutive_errors = 0u32;
+    loop {
+        let stream = match listener.accept_stream() {
+            Ok(s) => s,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
+            Err(_) => {
+                // Transient accept errors (ECONNABORTED, EMFILE bursts)
+                // are retried; a listener that only ever errors is dead
+                // and spinning on it would burn a core.
+                consecutive_errors += 1;
+                if consecutive_errors > 64 {
+                    break;
+                }
+                continue;
+            }
+        };
+        consecutive_errors = 0;
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // Either the drain's self-connect wake or a client racing the
+            // drain; both get a clean close.
+            break;
+        }
+        reap_finished(&shared);
+        if shared.counters.active() >= shared.cfg.max_connections as u64 {
+            reject_busy(&shared, stream);
+            continue;
+        }
+        shared.counters.conn_opened();
+        next_conn_id += 1;
+        if let Err(e) = spawn_connection(&shared, next_conn_id, stream) {
+            // Thread spawn failed (fd/thread exhaustion): undo the gauge
+            // and keep serving existing connections.
+            shared.counters.conn_closed(false);
+            let _ = e;
+        }
+    }
+}
+
+/// Joins connections whose writer finished, keeping the registry bounded
+/// by *live* connections rather than lifetime connections.
+fn reap_finished(shared: &NetShared) {
+    let mut done = Vec::new();
+    {
+        let mut conns = shared.conns.lock();
+        let ids: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| c.finished.load(Ordering::SeqCst))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            if let Some(conn) = conns.remove(&id) {
+                done.push(conn);
+            }
+        }
+    }
+    for conn in done {
+        let _ = conn.reader.join();
+        let _ = conn.writer.join();
+    }
+}
+
+/// Answers an over-limit socket with a `Busy` frame and closes it.
+fn reject_busy<S: NetStream>(shared: &NetShared, mut stream: S) {
+    shared.counters.busy_rejected();
+    let mut buf = Vec::with_capacity(LEN_PREFIX + BODY_HEADER);
+    let n = write_frame(&mut buf, 0, FrameKind::Busy, &[]);
+    if stream.write_all(&buf).and_then(|()| stream.flush()).is_ok() {
+        shared.counters.frame_out(n as u64);
+    }
+    let _ = stream.shut(Shutdown::Both);
+}
+
+fn spawn_connection<S: NetStream>(
+    shared: &Arc<NetShared>,
+    conn_id: u64,
+    stream: S,
+) -> io::Result<()> {
+    stream.set_nodelay_opt(shared.cfg.nodelay);
+    let write_half = stream.duplicate()?;
+    let drain_half = stream.duplicate()?;
+    let (out_tx, out_rx) = unbounded::<OutMsg>();
+    let state = Arc::new(ConnState {
+        clean_eof: AtomicBool::new(false),
+    });
+    let finished = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let shared = Arc::clone(shared);
+        let state = Arc::clone(&state);
+        thread::Builder::new()
+            .name(format!("dms-net-r{conn_id}"))
+            .stack_size(CONN_STACK)
+            .spawn(move || reader_loop(shared, stream, out_tx, state))?
+    };
+    let writer = {
+        let shared = Arc::clone(shared);
+        let state = Arc::clone(&state);
+        let finished = Arc::clone(&finished);
+        thread::Builder::new()
+            .name(format!("dms-net-w{conn_id}"))
+            .stack_size(CONN_STACK)
+            .spawn(move || {
+                writer_loop(&shared, write_half, out_rx, &state);
+                finished.store(true, Ordering::SeqCst);
+            })
+    };
+    let writer = match writer {
+        Ok(w) => w,
+        Err(e) => {
+            // Reader is already running; sever its socket so it exits.
+            let _ = drain_half.shut(Shutdown::Both);
+            let _ = reader.join();
+            return Err(e);
+        }
+    };
+    shared.conns.lock().insert(
+        conn_id,
+        Conn {
+            drain: Box::new(move || {
+                let _ = drain_half.shut(Shutdown::Read);
+            }),
+            reader,
+            writer,
+            finished,
+        },
+    );
+    Ok(())
+}
+
+/// Decodes frames and dispatches them without waiting for replies — the
+/// pipelining half of the connection.
+fn reader_loop<S: NetStream>(
+    shared: Arc<NetShared>,
+    stream: S,
+    out_tx: Sender<OutMsg>,
+    state: Arc<ConnState>,
+) {
+    let mut r = BufReader::with_capacity(64 * 1024, stream);
+    loop {
+        let frame = match read_frame(&mut r, shared.cfg.max_frame_len) {
+            Ok(f) => f,
+            Err(FrameError::Eof) => {
+                state.clean_eof.store(true, Ordering::SeqCst);
+                break;
+            }
+            Err(e) if e.is_protocol_violation() => {
+                shared.counters.decode_error();
+                let _ = out_tx.send(OutMsg::Fatal {
+                    seq: 0,
+                    msg: e.to_string(),
+                });
+                break;
+            }
+            Err(_) => break, // transport error: abrupt
+        };
+        shared
+            .counters
+            .frame_in((LEN_PREFIX + BODY_HEADER + frame.payload.len()) as u64);
+        if let Err(fatal) = handle_frame(&shared, frame, &out_tx) {
+            shared.counters.decode_error();
+            let _ = out_tx.send(fatal);
+            break;
+        }
+    }
+    // Dropping out_tx is the writer's signal that no more requests are
+    // coming; it answers what's queued, then exits.
+}
+
+/// Dispatches one decoded frame, or returns the fatal message that ends
+/// the connection.
+fn handle_frame(shared: &NetShared, frame: Frame, out_tx: &Sender<OutMsg>) -> Result<(), OutMsg> {
+    let Frame { seq, kind, payload } = frame;
+    if kind != FrameKind::Request {
+        return Err(OutMsg::Fatal {
+            seq,
+            msg: format!("unexpected {kind:?} frame from client"),
+        });
+    }
+    let req = crate::net::codec::decode_request(&payload).map_err(|e| OutMsg::Fatal {
+        seq,
+        msg: e.to_string(),
+    })?;
+    if shared.cfg.inline_reads && req.is_read_only() {
+        // Fast path: answer on this thread from the read snapshot. The
+        // writer receives a resolved reply and never parks for it.
+        let result = shared.client.serve_read_inline(req);
+        let _ = out_tx.send(OutMsg::Ready {
+            seq,
+            result: Box::new(result),
+        });
+        return Ok(());
+    }
+    match shared.client.dispatch(req) {
+        Ok(rx) => {
+            let _ = out_tx.send(OutMsg::Reply { seq, rx });
+            Ok(())
+        }
+        Err(e) => {
+            // Admission failed (service shutting down): answer this
+            // request with the error; the connection itself stays up.
+            let (tx, rx) = crossbeam_channel::bounded(1);
+            let _ = tx.send(Err(e));
+            let _ = out_tx.send(OutMsg::Reply { seq, rx });
+            Ok(())
+        }
+    }
+}
+
+/// Writes replies in dispatch order, flushing when the queue goes idle —
+/// the sequencing half of the connection.
+fn writer_loop<S: NetStream>(
+    shared: &NetShared,
+    stream: S,
+    out_rx: Receiver<OutMsg>,
+    state: &ConnState,
+) {
+    let mut w = io::BufWriter::with_capacity(64 * 1024, stream);
+    let mut buf = Vec::with_capacity(4 * 1024);
+    let mut broken = false;
+    'outer: loop {
+        let first = match out_rx.recv() {
+            Ok(m) => m,
+            Err(_) => break, // reader gone and every reply written
+        };
+        let mut next = Some(first);
+        while let Some(msg) = next {
+            let fatal = matches!(msg, OutMsg::Fatal { .. });
+            if write_msg(shared, &mut w, &mut buf, msg).is_err() {
+                broken = true;
+                break 'outer;
+            }
+            if fatal {
+                broken = true; // protocol violation: answered, now close
+                break 'outer;
+            }
+            next = out_rx.try_recv().ok();
+        }
+        if w.flush().is_err() {
+            broken = true;
+            break;
+        }
+    }
+    if broken {
+        // Unblock the reader (it may be mid-read on a live peer) and
+        // discard whatever replies were still queued.
+        let _ = w.flush();
+        if let Ok(stream) = w.into_inner() {
+            let _ = stream.shut(Shutdown::Both);
+        }
+        while out_rx.recv().is_ok() {}
+        shared.counters.conn_closed(false);
+    } else {
+        let _ = w.flush();
+        if let Ok(stream) = w.into_inner() {
+            let _ = stream.shut(Shutdown::Both);
+        }
+        let graceful = state.clean_eof.load(Ordering::SeqCst);
+        shared.counters.conn_closed(graceful);
+    }
+}
+
+/// Encodes and writes one queued message. For `Reply`, blocks until the
+/// service resolves it — in-order delivery is the contract.
+fn write_msg<W: Write>(
+    shared: &NetShared,
+    w: &mut W,
+    buf: &mut Vec<u8>,
+    msg: OutMsg,
+) -> io::Result<()> {
+    buf.clear();
+    let n = match msg {
+        OutMsg::Reply { seq, rx } => {
+            let result = rx.recv().unwrap_or(Err(ServiceError::Unavailable));
+            match result {
+                Ok(reply) => write_frame(buf, seq, FrameKind::ReplyOk, &encode_reply(&reply)),
+                Err(err) => write_frame(buf, seq, FrameKind::ReplyErr, &encode_error(&err)),
+            }
+        }
+        OutMsg::Ready { seq, result } => match *result {
+            Ok(reply) => write_frame(buf, seq, FrameKind::ReplyOk, &encode_reply(&reply)),
+            Err(err) => write_frame(buf, seq, FrameKind::ReplyErr, &encode_error(&err)),
+        },
+        OutMsg::Fatal { seq, msg } => {
+            write_frame(buf, seq, FrameKind::ProtocolError, msg.as_bytes())
+        }
+    };
+    w.write_all(buf)?;
+    shared.counters.frame_out(n as u64);
+    Ok(())
+}
+
+/// Handle onto a running listener; dropping it *without* calling
+/// [`NetServerHandle::shutdown`] leaves the listener running for the
+/// process lifetime (detached), mirroring `ServerHandle`'s contract.
+pub struct NetServerHandle {
+    shared: Arc<NetShared>,
+    accept: Option<JoinHandle<()>>,
+    counters: Arc<NetCounters>,
+    local_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    uds_path: Option<std::path::PathBuf>,
+}
+
+impl NetServerHandle {
+    /// The bound TCP address (`None` for Unix-socket listeners) — the
+    /// thing to hand to [`crate::net::client::DmsTcpClient::connect`]
+    /// after binding port 0.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Live view of this listener's wire counters (the same numbers
+    /// `Request::Metrics` reports under `net`).
+    pub fn counters(&self) -> &Arc<NetCounters> {
+        &self.counters
+    }
+
+    /// Graceful drain: stop accepting, half-close every connection's read
+    /// side, and join connection threads — every request already read off
+    /// a socket is answered and flushed before this returns. The
+    /// underlying deployment keeps running; shut it down separately via
+    /// its own `ServerHandle` once its listeners are drained.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        let accept = match self.accept.take() {
+            Some(a) => a,
+            None => return,
+        };
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        wake_listener(self);
+        let _ = accept.join();
+        let conns: Vec<Conn> = {
+            let mut map = self.shared.conns.lock();
+            map.drain().map(|(_, c)| c).collect()
+        };
+        for conn in &conns {
+            (conn.drain)();
+        }
+        for conn in conns {
+            let _ = conn.reader.join();
+            let _ = conn.writer.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Unblocks the accept thread with a throwaway self-connection.
+fn wake_listener(handle: &NetServerHandle) {
+    if let Some(addr) = handle.local_addr {
+        let _ = TcpStream::connect(addr);
+        return;
+    }
+    #[cfg(unix)]
+    if let Some(path) = &handle.uds_path {
+        let _ = std::os::unix::net::UnixStream::connect(path);
+    }
+}

@@ -967,6 +967,9 @@ fn monitor_and_maybe_retrain(
 
 /// What the actor does with a handled write: reply now, or let the reply
 /// travel with a deferred training job.
+// One short-lived value per handled write; boxing the reply to shrink the
+// enum would cost an allocation on the hot path for no win.
+#[allow(clippy::large_enum_variant)]
 enum WriteOutcome {
     Reply(Sender<ServiceResult>, ServiceResult),
     Deferred,
@@ -1161,6 +1164,20 @@ impl DmsClient {
     /// to the snapshot-serving pool, mutating requests to the actor.
     /// Returns [`ServiceError::Unavailable`] when the server is gone.
     pub fn call(&self, req: Request) -> ServiceResult {
+        self.dispatch(req)?
+            .recv()
+            .map_err(|_| ServiceError::Unavailable)?
+    }
+
+    /// Enqueues a request and returns the one-shot reply receiver without
+    /// waiting for completion — the wire plane's pipelining primitive
+    /// (DESIGN.md §13): a connection's reader thread dispatches decoded
+    /// requests as fast as they arrive while its reply sequencer awaits
+    /// the receivers in admission order. Admission still applies
+    /// backpressure: a full plane queue blocks this call until the
+    /// request is accepted (counted in `backpressure_waits`), which is
+    /// what propagates server overload back onto the socket.
+    pub fn dispatch(&self, req: Request) -> Result<Receiver<ServiceResult>, ServiceError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let tx = if req.is_read_only() {
             &self.read_tx
@@ -1198,7 +1215,7 @@ impl DmsClient {
                 return Err(ServiceError::Unavailable);
             }
         }
-        reply_rx.recv().map_err(|_| ServiceError::Unavailable)?
+        Ok(reply_rx)
     }
 
     /// Bootstrap the system plane. Returns the fitted K.
@@ -1337,6 +1354,46 @@ impl DmsClient {
     /// through the read pool for wire-protocol completeness.)
     pub fn metrics(&self) -> Result<crate::metrics::MetricsSnapshot, ServiceError> {
         Ok(self.shared.metrics.snapshot())
+    }
+
+    /// Serves a read-only request *on the calling thread* against the
+    /// current read-plane snapshot — the wire plane's fast path
+    /// (DESIGN.md §13): a connection's reader thread answers cheap reads
+    /// directly instead of round-tripping through the read pool, saving
+    /// two context switches per request. Records the same per-op metrics
+    /// as the pool (with zero queue wait, since there is no queue), and
+    /// poisons the service on panic exactly like a pool worker would.
+    ///
+    /// Callers must only pass requests for which
+    /// [`Request::is_read_only`] holds; mutating requests would hit
+    /// `handle_read`'s unreachable arm.
+    pub(crate) fn serve_read_inline(&self, req: Request) -> ServiceResult {
+        debug_assert!(req.is_read_only(), "inline path is for reads only");
+        let poison = PoisonOnPanic(Arc::clone(&self.shared));
+        let op = req.op_name();
+        let start = Instant::now();
+        self.shared
+            .metrics
+            .queue_of(op)
+            .record(std::time::Duration::ZERO, true);
+        let result = if self.shared.poisoned.load(Ordering::Acquire) {
+            Err(ServiceError::Unavailable)
+        } else {
+            handle_read(&self.shared.view.load(), &self.shared.metrics, req)
+        };
+        self.shared
+            .metrics
+            .op(op)
+            .record(start.elapsed(), result.is_ok());
+        drop(poison); // no panic while serving
+        result
+    }
+
+    /// The shared metrics registry. Crate-internal: the wire plane
+    /// ([`crate::net`]) attaches its connection/frame counters here when a
+    /// listener is spawned over this client.
+    pub(crate) fn metrics_registry(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
     }
 
     /// The currently-published read-plane view (None for `system` before
