@@ -19,6 +19,7 @@ pub mod calibrate;
 pub mod figures;
 pub mod netload;
 pub mod report;
+pub mod scenario;
 pub mod table;
 
 /// Run-scale selector for figure regenerators.

@@ -1,4 +1,5 @@
-//! A generic background job pool with cooperative cancellation.
+//! A generic background job pool with cooperative cancellation and fair
+//! multi-tenant scheduling.
 //!
 //! [`FuncExecutor`](crate::executor::FuncExecutor) wraps this pool behind a
 //! funcX-style registry; [`JobPool`] is the underlying worker-pool pattern
@@ -14,12 +15,49 @@
 //! their results however they like (typically by sending a message back to
 //! the submitting actor), which keeps the pool free of result-type
 //! generics and lets one pool run heterogeneous job kinds.
+//!
+//! # Tenancy and fairness
+//!
+//! One pool can be shared by N tenants (DESIGN.md §14): every job is
+//! enqueued under a [`TenantId`] into that tenant's own bounded FIFO, and
+//! idle workers pick the next job by **deficit-weighted round-robin**
+//! across the tenant queues. Each tenant holds a deficit counter; a worker
+//! sweeps the tenants from a rotating cursor and serves the first
+//! backlogged tenant with deficit remaining, decrementing it. When no
+//! backlogged tenant has deficit left, every deficit refills to the
+//! tenant's weight and the sweep repeats. The bound this buys: between two
+//! jobs of one backlogged tenant with weight *w*, at most
+//! `sum(other weights)` jobs of other tenants can be served per *w* of its
+//! own — a flooding tenant cannot starve anyone.
+//!
+//! # Bounded admission
+//!
+//! Per-tenant queues are **bounded** ([`TenantQueueConfig::capacity`]).
+//! A tenant that enqueues faster than the workers drain gets
+//! [`QueueFull`] backpressure from [`JobPool::try_spawn_for`] — the
+//! service layer answers `Busy` — instead of unbounded queue growth
+//! (superseded-but-still-queued jobs used to pile up behind a long-running
+//! job without limit). Queue depths are observable via [`JobPool::queued`]
+//! for metrics gauges.
 
-use crossbeam_channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fairdms_check::thread::JoinHandle;
+
+/// Identifies one tenant's queue inside a shared [`JobPool`]. Single-tenant
+/// deployments use [`DEFAULT_TENANT`].
+pub type TenantId = u32;
+
+/// The tenant the single-tenant convenience API ([`JobPool::spawn`],
+/// [`JobPool::spawn_with`]) submits under.
+pub const DEFAULT_TENANT: TenantId = 0;
+
+/// Default per-tenant queue capacity: generous enough that only a genuine
+/// flood hits it, small enough that a flood is bounded memory.
+pub const DEFAULT_TENANT_CAPACITY: usize = 1024;
 
 /// Shared cancellation flag of one job.
 ///
@@ -55,20 +93,129 @@ impl CancelToken {
     }
 }
 
-enum PoolMsg {
-    Run(Box<dyn FnOnce(&CancelToken) + Send>, CancelToken),
-    Shutdown,
+/// Per-tenant scheduling parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantQueueConfig {
+    /// Round-robin weight: how many jobs this tenant may take per deficit
+    /// round relative to the others. Clamped to ≥ 1.
+    pub weight: u32,
+    /// Maximum queued (not yet running) jobs before
+    /// [`JobPool::try_spawn_for`] answers [`QueueFull`].
+    pub capacity: usize,
 }
 
-/// A fixed pool of named worker threads draining a queue of cancellable
-/// jobs.
+impl Default for TenantQueueConfig {
+    fn default() -> Self {
+        TenantQueueConfig {
+            weight: 1,
+            capacity: DEFAULT_TENANT_CAPACITY,
+        }
+    }
+}
+
+/// Admission refusal: the tenant's queue is at capacity. The job was *not*
+/// enqueued; the caller owns the backpressure decision (the service layer
+/// answers `Busy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The tenant whose queue is full.
+    pub tenant: TenantId,
+    /// That tenant's configured capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant {} training queue is full ({} queued jobs)",
+            self.tenant, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+type Job = Box<dyn FnOnce(&CancelToken) + Send>;
+
+struct TenantQueue {
+    tenant: TenantId,
+    weight: u32,
+    capacity: usize,
+    deficit: u32,
+    jobs: VecDeque<(Job, CancelToken)>,
+}
+
+struct PoolState {
+    tenants: Vec<TenantQueue>,
+    /// Index into `tenants` where the next deficit sweep starts.
+    cursor: usize,
+    /// Total queued jobs across tenants (not counting running ones).
+    queued: usize,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn tenant_mut(&mut self, tenant: TenantId) -> &mut TenantQueue {
+        if let Some(i) = self.tenants.iter().position(|t| t.tenant == tenant) {
+            return &mut self.tenants[i];
+        }
+        let cfg = TenantQueueConfig::default();
+        self.tenants.push(TenantQueue {
+            tenant,
+            weight: cfg.weight,
+            capacity: cfg.capacity,
+            deficit: 0,
+            jobs: VecDeque::new(),
+        });
+        self.tenants.last_mut().expect("just pushed")
+    }
+
+    /// Deficit-weighted round-robin pop: serve the first backlogged tenant
+    /// with deficit remaining, starting at the cursor; if none, refill
+    /// every deficit from the weights and sweep once more.
+    fn pop_next(&mut self) -> Option<(Job, CancelToken)> {
+        if self.queued == 0 {
+            return None;
+        }
+        let n = self.tenants.len();
+        for round in 0..2 {
+            for i in 0..n {
+                let idx = (self.cursor + i) % n;
+                let t = &mut self.tenants[idx];
+                if t.deficit > 0 && !t.jobs.is_empty() {
+                    t.deficit -= 1;
+                    // Exhausted deficit passes the turn; remaining deficit
+                    // lets the tenant finish its weighted burst first.
+                    self.cursor = if t.deficit == 0 { (idx + 1) % n } else { idx };
+                    self.queued -= 1;
+                    return self.tenants[idx].jobs.pop_front();
+                }
+            }
+            debug_assert!(round == 0, "queued > 0 but no backlogged tenant found");
+            for t in &mut self.tenants {
+                t.deficit = t.weight.max(1);
+            }
+        }
+        unreachable!("refilled deficits must admit one of the queued jobs")
+    }
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Signalled on every enqueue and on shutdown.
+    available: Condvar,
+}
+
+/// A fixed pool of named worker threads draining per-tenant bounded queues
+/// of cancellable jobs under deficit-weighted round-robin (see the module
+/// docs for the fairness and admission contracts).
 ///
-/// The queue is unbounded by design: submitters are actors that must never
-/// block on the pool (backpressure belongs at *their* admission edge), and
-/// supersession keeps the queue short — a superseded job is cancelled, runs
-/// to its next safe point, and drains quickly.
+/// Submitters never block: admission either succeeds immediately or
+/// answers [`QueueFull`], so backpressure is explicit and the actors that
+/// submit training work stay responsive.
 pub struct JobPool {
-    queue: Sender<PoolMsg>,
+    inner: Arc<PoolInner>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -76,74 +223,154 @@ impl JobPool {
     /// A pool of `workers` threads named `{name}-{i}`.
     pub fn new(workers: usize, name: &str) -> Self {
         assert!(workers > 0, "job pool needs at least one worker");
-        let (tx, rx) = unbounded::<PoolMsg>();
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                tenants: Vec::new(),
+                cursor: 0,
+                queued: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
         let handles = (0..workers)
             .map(|i| {
-                let rx = rx.clone();
+                let inner = Arc::clone(&inner);
                 // fairdms_check::thread — std passthrough normally; under
                 // a model execution the worker becomes a model thread so
                 // the checker can explore pool interleavings.
                 fairdms_check::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || {
-                        while let Ok(msg) = rx.recv() {
-                            match msg {
-                                PoolMsg::Run(job, token) => {
-                                    // A panicking job must not shrink the
-                                    // pool: capacity silently decaying one
-                                    // bad job at a time ends with every
-                                    // later job queued forever. Failure
-                                    // delivery is the job's own duty: any
-                                    // completion signal it owes (a result
-                                    // channel, `FuncExecutor`'s task slot)
-                                    // must be wired to fire during the
-                                    // unwind — channels disconnect when
-                                    // they drop; Condvar-style slots need
-                                    // an armed drop-guard, or a waiter
-                                    // blocks forever on a panic nothing
-                                    // ever reports.
-                                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                        || job(&token),
-                                    ));
-                                }
-                                PoolMsg::Shutdown => break,
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(&inner))
                     .unwrap_or_else(|e| panic!("failed to spawn {name} worker: {e}"))
             })
             .collect();
         JobPool {
-            queue: tx,
+            inner,
             workers: handles,
         }
     }
 
-    /// Submits a job with a fresh token and returns the token, through
-    /// which the submitter can later cancel (supersede) the job.
+    /// Sets (or creates) a tenant's weight and queue capacity. Jobs already
+    /// queued are kept even if the new capacity is below the current depth;
+    /// the bound applies to subsequent admissions.
+    pub fn configure_tenant(&self, tenant: TenantId, cfg: TenantQueueConfig) {
+        let mut st = self.inner.state.lock();
+        let t = st.tenant_mut(tenant);
+        t.weight = cfg.weight.max(1);
+        t.capacity = cfg.capacity;
+    }
+
+    /// Submits a job for `tenant` under a caller-provided token. Answers
+    /// [`QueueFull`] — without enqueueing — when the tenant's queue is at
+    /// capacity. A job whose token is already cancelled when a worker picks
+    /// it up still runs; it is expected to observe the token at its first
+    /// safe point and return immediately.
+    pub fn try_spawn_for(
+        &self,
+        tenant: TenantId,
+        token: CancelToken,
+        job: impl FnOnce(&CancelToken) + Send + 'static,
+    ) -> Result<(), QueueFull> {
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.shutdown, "spawn after job pool shutdown");
+            let t = st.tenant_mut(tenant);
+            if t.jobs.len() >= t.capacity {
+                return Err(QueueFull {
+                    tenant,
+                    capacity: t.capacity,
+                });
+            }
+            t.jobs.push_back((Box::new(job), token));
+            st.queued += 1;
+        }
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Submits a job for [`DEFAULT_TENANT`] with a fresh token and returns
+    /// the token, through which the submitter can later cancel (supersede)
+    /// the job. Panics if the default tenant's queue is at capacity — the
+    /// single-tenant convenience API treats a thousand-deep backlog as a
+    /// bug, not a load condition; admission-aware callers use
+    /// [`JobPool::try_spawn_for`].
     pub fn spawn(&self, job: impl FnOnce(&CancelToken) + Send + 'static) -> CancelToken {
         let token = CancelToken::new();
         self.spawn_with(token.clone(), job);
         token
     }
 
-    /// Submits a job under a caller-provided token (lets the submitter
-    /// register the token *before* the job can possibly run). A job whose
-    /// token is already cancelled when a worker picks it up still runs —
-    /// it is expected to observe the token at its first safe point and
-    /// return immediately.
+    /// Submits a job for [`DEFAULT_TENANT`] under a caller-provided token
+    /// (lets the submitter register the token *before* the job can possibly
+    /// run). Panics if the queue is at capacity; see [`JobPool::spawn`].
     pub fn spawn_with(&self, token: CancelToken, job: impl FnOnce(&CancelToken) + Send + 'static) {
-        if self.queue.send(PoolMsg::Run(Box::new(job), token)).is_err() {
-            unreachable!("job pool queue disconnected before shutdown");
+        if let Err(full) = self.try_spawn_for(DEFAULT_TENANT, token, job) {
+            panic!("job pool overflow on the non-admission-aware path: {full}");
+        }
+    }
+
+    /// Whether `tenant` has queue capacity for one more job right now. A
+    /// submitter that is the *only* enqueuer for its tenant (the fairDMS
+    /// actor is, by construction) can use this as a race-free admission
+    /// pre-check before committing resources to preparing the job.
+    pub fn has_capacity(&self, tenant: TenantId) -> bool {
+        let mut st = self.inner.state.lock();
+        let t = st.tenant_mut(tenant);
+        t.jobs.len() < t.capacity
+    }
+
+    /// Queued (not yet running) jobs of one tenant — the
+    /// `training_jobs_queued` gauge.
+    pub fn queued(&self, tenant: TenantId) -> usize {
+        self.inner
+            .state
+            .lock()
+            .tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map_or(0, |t| t.jobs.len())
+    }
+
+    /// Queued (not yet running) jobs across all tenants.
+    pub fn queued_total(&self) -> usize {
+        self.inner.state.lock().queued
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let next = {
+            let mut st = inner.state.lock();
+            loop {
+                match st.pop_next() {
+                    Some(job) => break Some(job),
+                    // Shutdown drains: exit only once every queue is empty.
+                    None if st.shutdown => break None,
+                    None => inner.available.wait(&mut st),
+                }
+            }
+        };
+        match next {
+            Some((job, token)) => {
+                // A panicking job must not shrink the pool: capacity
+                // silently decaying one bad job at a time ends with every
+                // later job queued forever. Failure delivery is the job's
+                // own duty: any completion signal it owes (a result
+                // channel, `FuncExecutor`'s task slot) must be wired to
+                // fire during the unwind — channels disconnect when they
+                // drop; Condvar-style slots need an armed drop-guard, or a
+                // waiter blocks forever on a panic nothing ever reports.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&token)));
+            }
+            None => return,
         }
     }
 }
 
 impl Drop for JobPool {
     fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.queue.send(PoolMsg::Shutdown);
-        }
+        self.inner.state.lock().shutdown = true;
+        self.inner.available.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -229,7 +456,128 @@ mod tests {
                     c.fetch_add(1, Ordering::Relaxed);
                 });
             }
-        } // drop: shutdown messages queue behind the jobs, then join
+        } // drop: shutdown notifies the workers, which drain, then join
         assert_eq!(counter.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn admission_is_bounded_per_tenant() {
+        let pool = JobPool::new(1, "bounded-pool");
+        pool.configure_tenant(
+            7,
+            TenantQueueConfig {
+                weight: 1,
+                capacity: 2,
+            },
+        );
+        // Occupy the single worker so queued jobs cannot drain.
+        let (hold_tx, hold_rx) = crossbeam_channel::bounded::<()>(1);
+        let (running_tx, running_rx) = crossbeam_channel::bounded::<()>(1);
+        pool.spawn(move |_| {
+            running_tx.send(()).unwrap();
+            let _ = hold_rx.recv();
+        });
+        running_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        assert_eq!(pool.try_spawn_for(7, CancelToken::new(), |_| {}), Ok(()));
+        assert_eq!(pool.try_spawn_for(7, CancelToken::new(), |_| {}), Ok(()));
+        assert_eq!(
+            pool.try_spawn_for(7, CancelToken::new(), |_| {}),
+            Err(QueueFull {
+                tenant: 7,
+                capacity: 2
+            })
+        );
+        assert_eq!(pool.queued(7), 2);
+        // Another tenant is unaffected by 7's full queue.
+        assert_eq!(pool.try_spawn_for(8, CancelToken::new(), |_| {}), Ok(()));
+        assert_eq!(pool.queued_total(), 3); // tenant 7's two + tenant 8's one
+        hold_tx.send(()).unwrap();
+        drop(pool);
+    }
+
+    #[test]
+    fn deficit_round_robin_interleaves_backlogged_tenants() {
+        let pool = JobPool::new(1, "drr-pool");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Occupy the worker while both backlogs build, so the scheduling
+        // decision happens with everything queued.
+        let (hold_tx, hold_rx) = crossbeam_channel::bounded::<()>(1);
+        let (running_tx, running_rx) = crossbeam_channel::bounded::<()>(1);
+        pool.spawn(move |_| {
+            running_tx.send(()).unwrap();
+            let _ = hold_rx.recv();
+        });
+        running_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        for i in 0..4u32 {
+            for tenant in [1u32, 2u32] {
+                let order = Arc::clone(&order);
+                pool.try_spawn_for(tenant, CancelToken::new(), move |_| {
+                    order.lock().push((tenant, i));
+                })
+                .unwrap();
+            }
+        }
+        hold_tx.send(()).unwrap();
+        drop(pool); // drains, then joins
+        let got = order.lock().clone();
+        assert_eq!(got.len(), 8);
+        // Equal weights ⇒ strict alternation: never two consecutive jobs
+        // from the same tenant while the other is backlogged.
+        for w in got.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "tenants must alternate: {got:?}");
+        }
+        // FIFO within each tenant.
+        for tenant in [1u32, 2u32] {
+            let seq: Vec<u32> = got
+                .iter()
+                .filter(|(t, _)| *t == tenant)
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(seq, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn weights_bias_the_round_robin() {
+        let pool = JobPool::new(1, "weight-pool");
+        pool.configure_tenant(
+            1,
+            TenantQueueConfig {
+                weight: 3,
+                capacity: 64,
+            },
+        );
+        pool.configure_tenant(
+            2,
+            TenantQueueConfig {
+                weight: 1,
+                capacity: 64,
+            },
+        );
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (hold_tx, hold_rx) = crossbeam_channel::bounded::<()>(1);
+        let (running_tx, running_rx) = crossbeam_channel::bounded::<()>(1);
+        pool.spawn(move |_| {
+            running_tx.send(()).unwrap();
+            let _ = hold_rx.recv();
+        });
+        running_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        for tenant in [1u32, 2u32] {
+            for _ in 0..6 {
+                let order = Arc::clone(&order);
+                pool.try_spawn_for(tenant, CancelToken::new(), move |_| {
+                    order.lock().push(tenant);
+                })
+                .unwrap();
+            }
+        }
+        hold_tx.send(()).unwrap();
+        drop(pool);
+        let got = order.lock().clone();
+        // First deficit round: three of tenant 1, one of tenant 2.
+        assert_eq!(&got[..4], &[1, 1, 1, 2], "weighted burst order: {got:?}");
+        assert_eq!(got.iter().filter(|&&t| t == 1).count(), 6);
+        assert_eq!(got.iter().filter(|&&t| t == 2).count(), 6);
     }
 }

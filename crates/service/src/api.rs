@@ -21,6 +21,11 @@ use fairdms_tensor::Tensor;
 /// Identifier assigned to every accepted request (monotonic per server).
 pub type RequestId = u64;
 
+/// Identifier of one tenant — one isolated experiment deployment — inside
+/// a shared service process (DESIGN.md §14). Carried on every wire frame;
+/// single-tenant deployments are tenant [`fairdms_flows::jobs::DEFAULT_TENANT`].
+pub type TenantId = fairdms_flows::jobs::TenantId;
+
 /// Errors surfaced to clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {

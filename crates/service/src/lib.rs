@@ -24,7 +24,11 @@
 //! * [`net`] — the wire plane (DESIGN.md §13): a pipelined TCP/UDS
 //!   listener over the same deployment ([`net::NetServer`]) and the
 //!   matching socket clients ([`net::DmsTcpClient`],
-//!   [`net::PipelinedClient`]).
+//!   [`net::PipelinedClient`]);
+//! * [`multi`] — the tenant plane (DESIGN.md §14): [`multi::MultiDms`]
+//!   hosts N isolated deployments behind one process, sharing one
+//!   fair-scheduled training pool and one wire listener, with per-tenant
+//!   admission quotas.
 //!
 //! ```no_run
 //! use fairdms_core::embedding::{AutoencoderEmbedder, EmbedTrainConfig};
@@ -64,6 +68,7 @@
 
 pub mod api;
 pub mod metrics;
+pub mod multi;
 pub mod net;
 pub mod server;
 // The left-right SnapshotCell is the one sanctioned unsafe island in the
@@ -72,9 +77,12 @@ pub mod server;
 #[allow(unsafe_code)]
 pub mod swap;
 
-pub use api::{RankedModels, Reply, Request, ServiceError, ServiceResult};
+pub use api::{RankedModels, Reply, Request, ServiceError, ServiceResult, TenantId};
 pub use metrics::{Metrics, MetricsSnapshot, NetStats, OpSnapshot};
-pub use net::{DmsTcpClient, NetServer, NetServerConfig, NetServerHandle, PipelinedClient};
+pub use multi::{MultiDms, MultiDmsBuilder, TenantSpec};
+pub use net::{
+    DmsTcpClient, NetServer, NetServerConfig, NetServerHandle, PipelinedClient, TenantRouter,
+};
 pub use server::{
     DmsClient, DmsServer, DmsServerConfig, FallbackLabeler, ServerHandle, ServiceView,
 };

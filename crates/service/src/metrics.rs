@@ -27,8 +27,9 @@
 
 use fairdms_core::fairds::ReadIndexCounters;
 use fairdms_core::reuse::{EmbedCache, EmbedCacheStats};
+use fairdms_flows::jobs::{JobPool, TenantId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
 /// Number of log₂ latency buckets: bucket *i* holds durations in
@@ -206,6 +207,12 @@ pub struct Metrics {
     /// when a network listener is spawned over this deployment
     /// (DESIGN.md §13). Zeroed in snapshots until then.
     net: OnceLock<Arc<NetCounters>>,
+    /// Weak handle onto the training [`JobPool`] plus this deployment's
+    /// tenant id, attached at server spawn so snapshots report the
+    /// `training_jobs_queued` gauge (DESIGN.md §14). Weak on purpose: the
+    /// registry outlives the server teardown path and must not keep the
+    /// pool's worker threads alive past shutdown.
+    training_pool: OnceLock<(Weak<JobPool>, TenantId)>,
 }
 
 /// Lock-free counters of the wire plane (DESIGN.md §13): one instance per
@@ -379,6 +386,14 @@ impl Metrics {
         self.net.get()
     }
 
+    /// Attaches the training pool this deployment submits to (and the
+    /// tenant it submits as) so snapshots report the `training_jobs_queued`
+    /// gauge. First attachment wins. The handle is weak; once the pool
+    /// shuts down the gauge reads 0.
+    pub fn attach_training_pool(&self, pool: Weak<JobPool>, tenant: TenantId) {
+        let _ = self.training_pool.set((pool, tenant));
+    }
+
     /// A point-in-time copy of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -419,6 +434,11 @@ impl Metrics {
                 .map(|c| c.candidates_scanned())
                 .unwrap_or_default(),
             net: self.net.get().map(|c| c.snapshot()).unwrap_or_default(),
+            training_jobs_queued: self
+                .training_pool
+                .get()
+                .and_then(|(pool, tenant)| pool.upgrade().map(|p| p.queued(*tenant) as u64))
+                .unwrap_or_default(),
         }
     }
 }
@@ -469,6 +489,10 @@ pub struct MetricsSnapshot {
     /// Wire-plane connection/frame counters (DESIGN.md §13), zeroed when
     /// no network listener is attached to this deployment.
     pub net: NetStats,
+    /// Training jobs admitted but not yet picked up by a pool worker — the
+    /// bounded-admission gauge (DESIGN.md §14). Zeroed when no training
+    /// pool is attached (serialized mode) or after pool shutdown.
+    pub training_jobs_queued: u64,
 }
 
 impl MetricsSnapshot {

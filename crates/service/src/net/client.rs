@@ -28,7 +28,7 @@
 //! [`ServiceError::Protocol`]; everything else as
 //! [`ServiceError::Unavailable`].
 
-use crate::api::{RankedModels, Reply, Request, ServiceError, ServiceResult};
+use crate::api::{RankedModels, Reply, Request, ServiceError, ServiceResult, TenantId};
 use crate::metrics::MetricsSnapshot;
 use crate::net::codec::{decode_error, decode_reply, encode_request};
 use crate::net::frame::{read_frame, write_frame, FrameError, FrameKind};
@@ -37,6 +37,7 @@ use fairdms_core::embedding::EmbedTrainConfig;
 use fairdms_core::PseudoLabelStats;
 use fairdms_core::UpdateReport;
 use fairdms_datastore::Document;
+use fairdms_flows::jobs::DEFAULT_TENANT;
 use fairdms_tensor::Tensor;
 use parking_lot::Mutex;
 use std::io::{self, BufReader, Read, Write};
@@ -137,6 +138,10 @@ impl Drop for ClientInner {
 #[derive(Clone)]
 pub struct PipelinedClient {
     inner: Arc<ClientInner>,
+    /// The tenant every frame from this handle addresses (DESIGN.md §14).
+    /// Per-handle, not per-connection: [`PipelinedClient::for_tenant`]
+    /// clones share the socket while talking to different tenants.
+    tenant: TenantId,
 }
 
 /// An in-flight request ticket from [`PipelinedClient::submit`]. Redeem
@@ -149,23 +154,56 @@ pub struct Pending {
 }
 
 impl PipelinedClient {
-    /// Connects over TCP.
+    /// Connects over TCP, addressing tenant 0 (the single-tenant default).
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_tcp_tenant(addr, DEFAULT_TENANT)
+    }
+
+    /// Connects over TCP, addressing `tenant` on a multi-tenant listener.
+    pub fn connect_tcp_tenant(addr: impl ToSocketAddrs, tenant: TenantId) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
-        Self::new(Box::new(stream), Box::new(read_half))
+        Self::new(Box::new(stream), Box::new(read_half), tenant)
     }
 
-    /// Connects over a Unix-domain socket.
+    /// Connects over a Unix-domain socket, addressing tenant 0.
     #[cfg(unix)]
     pub fn connect_uds(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
-        let stream = std::os::unix::net::UnixStream::connect(path)?;
-        let read_half = stream.try_clone()?;
-        Self::new(Box::new(stream), Box::new(read_half))
+        Self::connect_uds_tenant(path, DEFAULT_TENANT)
     }
 
-    fn new(write_half: Box<dyn WriteHalf>, read_half: Box<dyn Read + Send>) -> io::Result<Self> {
+    /// Connects over a Unix-domain socket, addressing `tenant`.
+    #[cfg(unix)]
+    pub fn connect_uds_tenant(
+        path: impl AsRef<std::path::Path>,
+        tenant: TenantId,
+    ) -> io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let read_half = stream.try_clone()?;
+        Self::new(Box::new(stream), Box::new(read_half), tenant)
+    }
+
+    /// A handle sharing this connection (same socket, same pipeline)
+    /// whose frames address `tenant` instead. Lets one physical
+    /// connection interleave requests to several tenants.
+    pub fn for_tenant(&self, tenant: TenantId) -> Self {
+        PipelinedClient {
+            inner: Arc::clone(&self.inner),
+            tenant,
+        }
+    }
+
+    /// The tenant this handle addresses.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    fn new(
+        write_half: Box<dyn WriteHalf>,
+        read_half: Box<dyn Read + Send>,
+        tenant: TenantId,
+    ) -> io::Result<Self> {
         let (pending_tx, pending_rx) = unbounded();
         let conn = Arc::new(ConnShared {
             closed: AtomicBool::new(false),
@@ -186,7 +224,7 @@ impl PipelinedClient {
             .name("dms-net-client".into())
             .spawn(move || client_reader(conn, read_half, pending_rx))?;
         *inner.reader.lock() = Some(reader);
-        Ok(PipelinedClient { inner })
+        Ok(PipelinedClient { inner, tenant })
     }
 
     /// Encodes `req`, queues it on the socket, and returns immediately
@@ -212,7 +250,7 @@ impl PipelinedClient {
         };
         if registered {
             let mut frame = Vec::with_capacity(payload.len() + 16);
-            write_frame(&mut frame, seq, FrameKind::Request, &payload);
+            write_frame(&mut frame, seq, self.tenant, FrameKind::Request, &payload);
             if w.stream.write_all(&frame).is_err() {
                 // The reader will observe the dead socket and answer this
                 // (and everything else) with the sticky error.
@@ -241,22 +279,24 @@ impl PipelinedClient {
     pub fn is_closed(&self) -> bool {
         self.inner.conn.closed.load(Ordering::SeqCst)
     }
+}
 
+impl ClientInner {
     /// Flushes buffered request frames through `seq`.
     fn flush_to(&self, seq: u64) {
-        if self.inner.flushed_seq.load(Ordering::SeqCst) >= seq {
+        if self.flushed_seq.load(Ordering::SeqCst) >= seq {
             return;
         }
-        let mut w = self.inner.writer.lock();
+        let mut w = self.writer.lock();
         let written = w.written_seq;
-        if self.inner.flushed_seq.load(Ordering::SeqCst) >= seq {
+        if self.flushed_seq.load(Ordering::SeqCst) >= seq {
             return; // raced with another waiter
         }
         if w.stream.flush().is_err() {
-            self.inner.conn.closed.store(true, Ordering::SeqCst);
+            self.conn.closed.store(true, Ordering::SeqCst);
             return;
         }
-        self.inner.flushed_seq.store(written, Ordering::SeqCst);
+        self.flushed_seq.store(written, Ordering::SeqCst);
     }
 }
 
@@ -265,10 +305,7 @@ impl Pending {
     /// is still buffered). Never hangs on a dead connection: terminal
     /// transport failures resolve every ticket with the sticky error.
     pub fn wait(self) -> ServiceResult {
-        PipelinedClient {
-            inner: Arc::clone(&self.inner),
-        }
-        .flush_to(self.seq);
+        self.inner.flush_to(self.seq);
         self.rx
             .recv()
             .unwrap_or_else(|_| Err(self.inner.conn.sticky_error()))
@@ -373,19 +410,33 @@ pub struct DmsTcpClient {
 }
 
 impl DmsTcpClient {
-    /// Connects over TCP.
+    /// Connects over TCP, addressing tenant 0.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         Ok(DmsTcpClient {
             pipe: PipelinedClient::connect_tcp(addr)?,
         })
     }
 
-    /// Connects over a Unix-domain socket.
+    /// Connects over TCP, addressing `tenant` on a multi-tenant listener.
+    pub fn connect_tenant(addr: impl ToSocketAddrs, tenant: TenantId) -> io::Result<Self> {
+        Ok(DmsTcpClient {
+            pipe: PipelinedClient::connect_tcp_tenant(addr, tenant)?,
+        })
+    }
+
+    /// Connects over a Unix-domain socket, addressing tenant 0.
     #[cfg(unix)]
     pub fn connect_uds(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
         Ok(DmsTcpClient {
             pipe: PipelinedClient::connect_uds(path)?,
         })
+    }
+
+    /// A handle sharing this connection whose requests address `tenant`.
+    pub fn for_tenant(&self, tenant: TenantId) -> Self {
+        DmsTcpClient {
+            pipe: self.pipe.for_tenant(tenant),
+        }
     }
 
     /// Wraps an existing pipelined connection (sharing its socket).

@@ -455,6 +455,7 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
     out.put_u64(m.training_jobs_started);
     out.put_u64(m.training_jobs_completed);
     out.put_u64(m.training_jobs_superseded);
+    out.put_u64(m.training_jobs_queued);
     out.put_u64(m.backpressure_waits);
     out.put_u64(m.rejected);
     out.put_u64(m.embed_cache.hits);
@@ -492,6 +493,7 @@ fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
         training_jobs_started: r.u64()?,
         training_jobs_completed: r.u64()?,
         training_jobs_superseded: r.u64()?,
+        training_jobs_queued: r.u64()?,
         backpressure_waits: r.u64()?,
         rejected: r.u64()?,
         embed_cache: EmbedCacheStats {

@@ -3,28 +3,30 @@
 //! Every message on a connection — either direction — is one frame:
 //!
 //! ```text
-//! ┌────────────┬───────────┬─────────┬─────────────────┐
-//! │ u32 length │  u64 seq  │ u8 kind │     payload     │
-//! │  (of body) │           │         │ (length−9 bytes)│
-//! └────────────┴───────────┴─────────┴─────────────────┘
+//! ┌────────────┬───────────┬────────────┬─────────┬──────────────────┐
+//! │ u32 length │  u64 seq  │ u32 tenant │ u8 kind │     payload      │
+//! │  (of body) │           │            │         │ (length−13 bytes)│
+//! └────────────┴───────────┴────────────┴─────────┴──────────────────┘
 //! ```
 //!
-//! all little-endian. `length` covers the body (seq + kind + payload),
-//! not itself; `seq` is the connection-local request sequence number,
-//! echoed on the matching reply. The decoder enforces a configurable
-//! `max_frame_len` **before** allocating anything: a hostile or corrupt
-//! length prefix answers [`FrameError::TooLong`] — which the server turns
-//! into a protocol-error frame — instead of an unbounded allocation.
-//! Frames shorter than the 9-byte body header are equally rejected
-//! without being read.
+//! all little-endian. `length` covers the body (seq + tenant + kind +
+//! payload), not itself; `seq` is the connection-local request sequence
+//! number, echoed on the matching reply; `tenant` addresses one tenant of
+//! a multi-tenant deployment (DESIGN.md §14) and is echoed on the reply —
+//! single-tenant clients send tenant 0. The decoder enforces a
+//! configurable `max_frame_len` **before** allocating anything: a hostile
+//! or corrupt length prefix answers [`FrameError::TooLong`] — which the
+//! server turns into a protocol-error frame — instead of an unbounded
+//! allocation. Frames shorter than the 13-byte body header are equally
+//! rejected without being read.
 
 use fairdms_datastore::wire::{Reader, WriteExt};
 use std::io::{self, Read};
 
 /// Bytes of the `u32` length prefix.
 pub const LEN_PREFIX: usize = 4;
-/// Bytes of the fixed body header (`u64` seq + `u8` kind).
-pub const BODY_HEADER: usize = 9;
+/// Bytes of the fixed body header (`u64` seq + `u32` tenant + `u8` kind).
+pub const BODY_HEADER: usize = 13;
 
 /// Frame kinds. Clients send only [`FrameKind::Request`]; the server
 /// answers with one of the reply kinds.
@@ -75,6 +77,8 @@ impl FrameKind {
 pub struct Frame {
     /// Connection-local sequence number (echoed on replies).
     pub seq: u64,
+    /// Addressed tenant (echoed on replies); 0 for single-tenant use.
+    pub tenant: u32,
     /// Message kind.
     pub kind: FrameKind,
     /// Message payload (codec bytes; empty for `Busy`).
@@ -135,11 +139,18 @@ impl FrameError {
 
 /// Appends one encoded frame to `out` and returns the frame's total wire
 /// size in bytes.
-pub fn write_frame(out: &mut Vec<u8>, seq: u64, kind: FrameKind, payload: &[u8]) -> usize {
+pub fn write_frame(
+    out: &mut Vec<u8>,
+    seq: u64,
+    tenant: u32,
+    kind: FrameKind,
+    payload: &[u8],
+) -> usize {
     let body = BODY_HEADER + payload.len();
     assert!(body <= u32::MAX as usize, "frame body over u32::MAX bytes");
     out.put_u32(body as u32);
     out.put_u64(seq);
+    out.put_u32(tenant);
     out.put_u8(kind.to_u8());
     out.extend_from_slice(payload);
     LEN_PREFIX + body
@@ -181,10 +192,16 @@ pub fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<Frame, FrameE
     r.read_exact(&mut body).map_err(FrameError::Io)?;
     let mut rd = Reader::new(&body);
     let seq = rd.u64().expect("length checked");
+    let tenant = rd.u32().expect("length checked");
     let kind_byte = rd.u8().expect("length checked");
     let kind = FrameKind::from_u8(kind_byte).ok_or(FrameError::BadKind(kind_byte))?;
     let payload = body.split_off(BODY_HEADER);
-    Ok(Frame { seq, kind, payload })
+    Ok(Frame {
+        seq,
+        tenant,
+        kind,
+        payload,
+    })
 }
 
 #[cfg(test)]
@@ -195,10 +212,11 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut buf = Vec::new();
-        let n = write_frame(&mut buf, 42, FrameKind::Request, b"hello");
+        let n = write_frame(&mut buf, 42, 7, FrameKind::Request, b"hello");
         assert_eq!(n, buf.len());
         let f = read_frame(&mut Cursor::new(&buf), 1024).unwrap();
         assert_eq!(f.seq, 42);
+        assert_eq!(f.tenant, 7);
         assert_eq!(f.kind, FrameKind::Request);
         assert_eq!(f.payload, b"hello");
     }
@@ -232,7 +250,7 @@ mod tests {
             Err(FrameError::Eof)
         ));
         let mut buf = Vec::new();
-        write_frame(&mut buf, 1, FrameKind::ReplyOk, b"xyz");
+        write_frame(&mut buf, 1, 0, FrameKind::ReplyOk, b"xyz");
         for cut in 1..buf.len() {
             let err = read_frame(&mut Cursor::new(&buf[..cut]), 1024).unwrap_err();
             assert!(
@@ -245,8 +263,8 @@ mod tests {
     #[test]
     fn unknown_kind_is_rejected() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, 7, FrameKind::Busy, &[]);
-        buf[LEN_PREFIX + 8] = 0xEE; // corrupt the kind byte
+        write_frame(&mut buf, 7, 0, FrameKind::Busy, &[]);
+        buf[LEN_PREFIX + 12] = 0xEE; // corrupt the kind byte
         assert!(matches!(
             read_frame(&mut Cursor::new(&buf), 1024),
             Err(FrameError::BadKind(0xEE))

@@ -37,4 +37,4 @@ pub mod server;
 pub use client::{DmsTcpClient, Pending, PipelinedClient};
 pub use codec::WireError;
 pub use frame::{Frame, FrameError, FrameKind};
-pub use server::{NetServer, NetServerConfig, NetServerHandle};
+pub use server::{NetServer, NetServerConfig, NetServerHandle, TenantRouter};

@@ -30,7 +30,7 @@
 //! read side so readers observe EOF, and joins the writers, which answer
 //! every already-accepted request before exiting.
 
-use crate::api::{ServiceError, ServiceResult};
+use crate::api::{ServiceError, ServiceResult, TenantId};
 use crate::metrics::NetCounters;
 use crate::net::codec::{encode_error, encode_reply};
 use crate::net::frame::{
@@ -148,11 +148,61 @@ impl NetListener for std::os::unix::net::UnixListener {
     }
 }
 
-/// What the reader hands the reply sequencer, in dispatch order.
+/// Routes each frame's tenant id to that tenant's in-process client — the
+/// wire plane's half of the multi-tenant refactor (DESIGN.md §14). One
+/// listener serves N isolated deployments; a frame addressed to a tenant
+/// the router does not know is *answered* (`Invalid`), never dropped.
+///
+/// Tenant counts are small (one per live experiment), so a sorted slice
+/// beats a hash map and keeps lookup allocation-free on the reader's hot
+/// path.
+#[derive(Clone)]
+pub struct TenantRouter {
+    tenants: Arc<[(TenantId, DmsClient)]>,
+}
+
+impl TenantRouter {
+    /// A single-tenant router: every deployment so far is "tenant 0".
+    pub fn single(client: DmsClient) -> Self {
+        TenantRouter::new(vec![(0, client)])
+    }
+
+    /// A router over explicit `(tenant, client)` pairs. Panics on
+    /// duplicate tenant ids (two deployments claiming one id is a wiring
+    /// bug, not a runtime condition) or an empty set.
+    pub fn new(mut tenants: Vec<(TenantId, DmsClient)>) -> Self {
+        assert!(!tenants.is_empty(), "router needs at least one tenant");
+        tenants.sort_by_key(|(id, _)| *id);
+        assert!(
+            tenants.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate tenant id in router"
+        );
+        TenantRouter {
+            tenants: tenants.into(),
+        }
+    }
+
+    /// The client owning `tenant`, if registered.
+    pub fn client(&self, tenant: TenantId) -> Option<&DmsClient> {
+        self.tenants
+            .binary_search_by_key(&tenant, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.tenants[i].1)
+    }
+
+    /// All registered tenants, ascending.
+    pub fn tenants(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.tenants.iter().map(|(id, _)| *id)
+    }
+}
+
+/// What the reader hands the reply sequencer, in dispatch order. Every
+/// variant echoes the request's `seq` and `tenant` on its reply frame.
 enum OutMsg {
     /// A dispatched request: echo `seq` on whatever the service resolves.
     Reply {
         seq: u64,
+        tenant: TenantId,
         rx: Receiver<ServiceResult>,
     },
     /// A request already served on the reader thread (the inline-read
@@ -160,11 +210,16 @@ enum OutMsg {
     /// queued message stays channel-slot-sized regardless of reply size.
     Ready {
         seq: u64,
+        tenant: TenantId,
         result: Box<ServiceResult>,
     },
     /// The peer broke the protocol: answer with a `ProtocolError` frame
     /// (after everything queued before it) and close.
-    Fatal { seq: u64, msg: String },
+    Fatal {
+        seq: u64,
+        tenant: TenantId,
+        msg: String,
+    },
 }
 
 /// State shared by one connection's two threads.
@@ -176,7 +231,7 @@ struct ConnState {
 
 /// Everything the accept loop and connection threads share.
 struct NetShared {
-    client: DmsClient,
+    router: TenantRouter,
     cfg: NetServerConfig,
     counters: Arc<NetCounters>,
     shutting_down: AtomicBool,
@@ -197,17 +252,29 @@ struct Conn {
 pub struct NetServer;
 
 impl NetServer {
-    /// Serves `client`'s deployment over TCP. Binds `addr` (use port 0
-    /// for an ephemeral port, then [`NetServerHandle::local_addr`]) and
-    /// returns once the listener is live.
+    /// Serves `client`'s deployment over TCP as tenant 0. Binds `addr`
+    /// (use port 0 for an ephemeral port, then
+    /// [`NetServerHandle::local_addr`]) and returns once the listener is
+    /// live.
     pub fn serve_tcp(
         client: DmsClient,
         addr: impl ToSocketAddrs,
         cfg: NetServerConfig,
     ) -> io::Result<NetServerHandle> {
+        Self::serve_tcp_router(TenantRouter::single(client), addr, cfg)
+    }
+
+    /// Serves every tenant of `router` over one TCP listener
+    /// (DESIGN.md §14): frames route by their tenant header; unknown
+    /// tenants are answered `Invalid` on a live socket.
+    pub fn serve_tcp_router(
+        router: TenantRouter,
+        addr: impl ToSocketAddrs,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let handle = spawn_accept(client, listener, cfg)?;
+        let handle = spawn_accept(router, listener, cfg)?;
         Ok(NetServerHandle {
             local_addr: Some(local),
             #[cfg(unix)]
@@ -217,17 +284,27 @@ impl NetServer {
     }
 
     /// Serves `client`'s deployment over a Unix-domain socket at `path`
-    /// (removed on [`NetServerHandle::shutdown`]). Binding fails if the
-    /// path exists.
+    /// (removed on [`NetServerHandle::shutdown`]) as tenant 0. Binding
+    /// fails if the path exists.
     #[cfg(unix)]
     pub fn serve_uds(
         client: DmsClient,
         path: impl Into<std::path::PathBuf>,
         cfg: NetServerConfig,
     ) -> io::Result<NetServerHandle> {
+        Self::serve_uds_router(TenantRouter::single(client), path, cfg)
+    }
+
+    /// Serves every tenant of `router` over one Unix-domain socket.
+    #[cfg(unix)]
+    pub fn serve_uds_router(
+        router: TenantRouter,
+        path: impl Into<std::path::PathBuf>,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServerHandle> {
         let path = path.into();
         let listener = std::os::unix::net::UnixListener::bind(&path)?;
-        let handle = spawn_accept(client, listener, cfg)?;
+        let handle = spawn_accept(router, listener, cfg)?;
         Ok(NetServerHandle {
             uds_path: Some(path),
             ..handle
@@ -236,18 +313,25 @@ impl NetServer {
 }
 
 fn spawn_accept<L: NetListener>(
-    client: DmsClient,
+    router: TenantRouter,
     listener: L,
     cfg: NetServerConfig,
 ) -> io::Result<NetServerHandle> {
     let counters = Arc::new(NetCounters::new());
-    // Attach to the deployment's registry so `Request::Metrics` (from any
-    // client, local or remote) reports wire traffic. First listener wins;
-    // later listeners keep their own counters but snapshots follow the
-    // first — one deployment, one wire plane, is the intended topology.
-    client.metrics_registry().attach_net(Arc::clone(&counters));
+    // Attach to every tenant's registry so `Request::Metrics` (from any
+    // client, local or remote, against any tenant) reports wire traffic.
+    // The wire counters are deliberately *shared* across tenants — one
+    // listener, one set of sockets — while everything else in a tenant's
+    // snapshot stays isolated. First listener wins per registry; later
+    // listeners keep their own counters but snapshots follow the first —
+    // one deployment, one wire plane, is the intended topology.
+    for tenant in router.tenants() {
+        if let Some(client) = router.client(tenant) {
+            client.metrics_registry().attach_net(Arc::clone(&counters));
+        }
+    }
     let shared = Arc::new(NetShared {
-        client,
+        router,
         cfg,
         counters: Arc::clone(&counters),
         shutting_down: AtomicBool::new(false),
@@ -334,7 +418,7 @@ fn reap_finished(shared: &NetShared) {
 fn reject_busy<S: NetStream>(shared: &NetShared, mut stream: S) {
     shared.counters.busy_rejected();
     let mut buf = Vec::with_capacity(LEN_PREFIX + BODY_HEADER);
-    let n = write_frame(&mut buf, 0, FrameKind::Busy, &[]);
+    let n = write_frame(&mut buf, 0, 0, FrameKind::Busy, &[]);
     if stream.write_all(&buf).and_then(|()| stream.flush()).is_ok() {
         shared.counters.frame_out(n as u64);
     }
@@ -371,8 +455,20 @@ fn spawn_connection<S: NetStream>(
             .name(format!("dms-net-w{conn_id}"))
             .stack_size(CONN_STACK)
             .spawn(move || {
-                writer_loop(&shared, write_half, out_rx, &state);
-                finished.store(true, Ordering::SeqCst);
+                // Armed before the first byte moves: the admission slot
+                // (`connections_active`) and the reap flag are released on
+                // *every* exit path, including a panic inside the writer
+                // (say, a codec assertion while encoding a reply). Without
+                // the guard a panicking writer leaked its slot forever;
+                // enough of them and the accept loop answers Busy to every
+                // future peer — a permanent brown-out from transient
+                // failures.
+                let mut teardown = ConnTeardown {
+                    shared: &shared,
+                    finished: &finished,
+                    graceful: false,
+                };
+                teardown.graceful = writer_loop(&shared, write_half, out_rx, &state);
             })
     };
     let writer = match writer {
@@ -418,6 +514,7 @@ fn reader_loop<S: NetStream>(
                 shared.counters.decode_error();
                 let _ = out_tx.send(OutMsg::Fatal {
                     seq: 0,
+                    tenant: 0,
                     msg: e.to_string(),
                 });
                 break;
@@ -440,30 +537,53 @@ fn reader_loop<S: NetStream>(
 /// Dispatches one decoded frame, or returns the fatal message that ends
 /// the connection.
 fn handle_frame(shared: &NetShared, frame: Frame, out_tx: &Sender<OutMsg>) -> Result<(), OutMsg> {
-    let Frame { seq, kind, payload } = frame;
+    let Frame {
+        seq,
+        tenant,
+        kind,
+        payload,
+    } = frame;
     if kind != FrameKind::Request {
         return Err(OutMsg::Fatal {
             seq,
+            tenant,
             msg: format!("unexpected {kind:?} frame from client"),
         });
     }
     let req = crate::net::codec::decode_request(&payload).map_err(|e| OutMsg::Fatal {
         seq,
+        tenant,
         msg: e.to_string(),
     })?;
+    let Some(client) = shared.router.client(tenant) else {
+        // Unknown tenant: a well-formed request to a mis-addressed (or
+        // already retired) tenant is the *request's* problem, not the
+        // connection's — answer `Invalid` and keep the socket up, so one
+        // typo'd tenant id in a pipelined stream doesn't kill the other
+        // tenants sharing the connection.
+        let _ = out_tx.send(OutMsg::Ready {
+            seq,
+            tenant,
+            result: Box::new(Err(ServiceError::Invalid(format!(
+                "unknown tenant {tenant}"
+            )))),
+        });
+        return Ok(());
+    };
     if shared.cfg.inline_reads && req.is_read_only() {
         // Fast path: answer on this thread from the read snapshot. The
         // writer receives a resolved reply and never parks for it.
-        let result = shared.client.serve_read_inline(req);
+        let result = client.serve_read_inline(req);
         let _ = out_tx.send(OutMsg::Ready {
             seq,
+            tenant,
             result: Box::new(result),
         });
         return Ok(());
     }
-    match shared.client.dispatch(req) {
+    match client.dispatch(req) {
         Ok(rx) => {
-            let _ = out_tx.send(OutMsg::Reply { seq, rx });
+            let _ = out_tx.send(OutMsg::Reply { seq, tenant, rx });
             Ok(())
         }
         Err(e) => {
@@ -471,20 +591,39 @@ fn handle_frame(shared: &NetShared, frame: Frame, out_tx: &Sender<OutMsg>) -> Re
             // request with the error; the connection itself stays up.
             let (tx, rx) = crossbeam_channel::bounded(1);
             let _ = tx.send(Err(e));
-            let _ = out_tx.send(OutMsg::Reply { seq, rx });
+            let _ = out_tx.send(OutMsg::Reply { seq, tenant, rx });
             Ok(())
         }
     }
 }
 
+/// Releases one connection's admission accounting exactly once, on every
+/// writer exit path — normal return *and* unwind. `graceful` is updated
+/// from [`writer_loop`]'s return value on the normal path and stays
+/// `false` (abrupt) when the writer panics.
+struct ConnTeardown<'a> {
+    shared: &'a NetShared,
+    finished: &'a AtomicBool,
+    graceful: bool,
+}
+
+impl Drop for ConnTeardown<'_> {
+    fn drop(&mut self) {
+        self.shared.counters.conn_closed(self.graceful);
+        self.finished.store(true, Ordering::SeqCst);
+    }
+}
+
 /// Writes replies in dispatch order, flushing when the queue goes idle —
-/// the sequencing half of the connection.
+/// the sequencing half of the connection. Returns whether the close was
+/// graceful (every accepted request answered and flushed); the caller's
+/// [`ConnTeardown`] guard does the accounting.
 fn writer_loop<S: NetStream>(
     shared: &NetShared,
     stream: S,
     out_rx: Receiver<OutMsg>,
     state: &ConnState,
-) {
+) -> bool {
     let mut w = io::BufWriter::with_capacity(64 * 1024, stream);
     let mut buf = Vec::with_capacity(4 * 1024);
     let mut broken = false;
@@ -519,14 +658,13 @@ fn writer_loop<S: NetStream>(
             let _ = stream.shut(Shutdown::Both);
         }
         while out_rx.recv().is_ok() {}
-        shared.counters.conn_closed(false);
+        false
     } else {
         let _ = w.flush();
         if let Ok(stream) = w.into_inner() {
             let _ = stream.shut(Shutdown::Both);
         }
-        let graceful = state.clean_eof.load(Ordering::SeqCst);
-        shared.counters.conn_closed(graceful);
+        state.clean_eof.load(Ordering::SeqCst)
     }
 }
 
@@ -540,19 +678,25 @@ fn write_msg<W: Write>(
 ) -> io::Result<()> {
     buf.clear();
     let n = match msg {
-        OutMsg::Reply { seq, rx } => {
+        OutMsg::Reply { seq, tenant, rx } => {
             let result = rx.recv().unwrap_or(Err(ServiceError::Unavailable));
             match result {
-                Ok(reply) => write_frame(buf, seq, FrameKind::ReplyOk, &encode_reply(&reply)),
-                Err(err) => write_frame(buf, seq, FrameKind::ReplyErr, &encode_error(&err)),
+                Ok(reply) => {
+                    write_frame(buf, seq, tenant, FrameKind::ReplyOk, &encode_reply(&reply))
+                }
+                Err(err) => write_frame(buf, seq, tenant, FrameKind::ReplyErr, &encode_error(&err)),
             }
         }
-        OutMsg::Ready { seq, result } => match *result {
-            Ok(reply) => write_frame(buf, seq, FrameKind::ReplyOk, &encode_reply(&reply)),
-            Err(err) => write_frame(buf, seq, FrameKind::ReplyErr, &encode_error(&err)),
+        OutMsg::Ready {
+            seq,
+            tenant,
+            result,
+        } => match *result {
+            Ok(reply) => write_frame(buf, seq, tenant, FrameKind::ReplyOk, &encode_reply(&reply)),
+            Err(err) => write_frame(buf, seq, tenant, FrameKind::ReplyErr, &encode_error(&err)),
         },
-        OutMsg::Fatal { seq, msg } => {
-            write_frame(buf, seq, FrameKind::ProtocolError, msg.as_bytes())
+        OutMsg::Fatal { seq, tenant, msg } => {
+            write_frame(buf, seq, tenant, FrameKind::ProtocolError, msg.as_bytes())
         }
     };
     w.write_all(buf)?;

@@ -51,7 +51,7 @@ use fairdms_core::fairms::{ModelManager, ZooSnapshot};
 use fairdms_core::reuse::EmbedCacheConfig;
 use fairdms_core::workflow::{RapidTrainer, TrainedUpdate, UpdatePlan};
 use fairdms_core::ZooEntry;
-use fairdms_flows::jobs::{CancelToken, JobPool};
+use fairdms_flows::jobs::{CancelToken, JobPool, TenantId, TenantQueueConfig, DEFAULT_TENANT};
 use fairdms_nn::checkpoint;
 use fairdms_nn::trainer::TrainControl;
 use fairdms_tensor::Tensor;
@@ -101,6 +101,12 @@ pub struct DmsServerConfig {
     /// bench baseline and for deployments that need the synchronous
     /// retrain-before-ack contract).
     pub training_pool_size: usize,
+    /// Maximum training jobs queued (admitted but not yet picked up by an
+    /// executor worker) for this deployment's tenant before new training
+    /// triggers answer [`ServiceError::Busy`] — bounded, observable
+    /// admission instead of unbounded queue growth (DESIGN.md §14). The
+    /// gauge is `training_jobs_queued` in the metrics snapshot.
+    pub training_queue_capacity: usize,
     /// Total entry budget of the embedding-reuse cache (the data-reuse
     /// plane, DESIGN.md §8): repeated frames served to `DatasetPdf`,
     /// `Certainty`, `PseudoLabel` and the ingest path skip the encoder
@@ -121,6 +127,7 @@ impl Default for DmsServerConfig {
             retrain_embed_cfg: EmbedTrainConfig::default(),
             read_pool_size: 0,
             training_pool_size: 1,
+            training_queue_capacity: 64,
             embed_cache_capacity: EmbedCacheConfig::default().capacity,
             embed_cache_shards: EmbedCacheConfig::default().shards,
         }
@@ -244,8 +251,14 @@ struct InFlight {
 /// for a plane cancels the previous one's token.
 struct TrainingExec {
     /// `None` ⇒ serialized mode (`training_pool_size: 0`): training runs
-    /// inline on the actor.
-    pool: Option<JobPool>,
+    /// inline on the actor. `Arc` because the pool may be shared by every
+    /// tenant of a multi-tenant deployment (DESIGN.md §14); a solo server
+    /// holds the only strong reference and still joins the workers at
+    /// shutdown.
+    pool: Option<Arc<JobPool>>,
+    /// The tenant this actor submits training work as; queue bounds and
+    /// round-robin fairness in the shared pool key off it.
+    tenant: TenantId,
     done_tx: Sender<TrainOutcome>,
     wake_tx: Sender<Msg>,
     next_job: u64,
@@ -254,6 +267,16 @@ struct TrainingExec {
 }
 
 impl TrainingExec {
+    /// Whether the tenant's training queue can admit one more job. `true`
+    /// in serialized mode (inline training has no queue). Race-free as an
+    /// admission pre-check because this actor is the only thread that
+    /// enqueues under its tenant id.
+    fn has_queue_capacity(&self) -> bool {
+        self.pool
+            .as_ref()
+            .is_none_or(|p| p.has_capacity(self.tenant))
+    }
+
     /// Cancels the in-flight update (a newer trigger supersedes it) and
     /// counts the supersession.
     fn supersede_update(&mut self, metrics: &Metrics) {
@@ -293,7 +316,7 @@ impl TrainingExec {
         self.pool
             .as_ref()
             .expect("submit_update requires the executor")
-            .spawn_with(token, move |ctl| {
+            .try_spawn_for(self.tenant, token, move |ctl| {
                 let ctl = TrainControl::from_flag(ctl.flag());
                 let trained =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.train(&ctl)))
@@ -306,7 +329,8 @@ impl TrainingExec {
                     trained,
                 });
                 let _ = wake.try_send(Msg::Wake);
-            });
+            })
+            .expect("caller checked has_queue_capacity before preparing the plan");
     }
 
     /// Submits a prepared system-plane retrain to the executor.
@@ -323,7 +347,7 @@ impl TrainingExec {
         self.pool
             .as_ref()
             .expect("submit_retrain requires the executor")
-            .spawn_with(token, move |ctl| {
+            .try_spawn_for(self.tenant, token, move |ctl| {
                 let ctl = TrainControl::from_flag(ctl.flag());
                 let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     rjob.train(&embed_cfg, &ctl)
@@ -334,7 +358,8 @@ impl TrainingExec {
                 };
                 let _ = done.send(TrainOutcome::Retrain { job, result });
                 let _ = wake.try_send(Msg::Wake);
-            });
+            })
+            .expect("caller checked has_queue_capacity before preparing the job");
     }
 
     /// Shutdown path: cancel whatever is in flight (jobs wind down at
@@ -422,9 +447,39 @@ impl DmsServer {
     /// Zoo, and the recommendation policy; `labeler` is the conventional
     /// (expensive) labeling fallback.
     pub fn spawn(
+        trainer: RapidTrainer,
+        labeler: FallbackLabeler,
+        cfg: DmsServerConfig,
+    ) -> (DmsClient, ServerHandle) {
+        let pool = (cfg.training_pool_size > 0).then(|| {
+            let pool = Arc::new(JobPool::new(cfg.training_pool_size, "fairdms-train"));
+            pool.configure_tenant(
+                DEFAULT_TENANT,
+                TenantQueueConfig {
+                    weight: 1,
+                    capacity: cfg.training_queue_capacity,
+                },
+            );
+            pool
+        });
+        Self::spawn_shared(trainer, labeler, cfg, pool, DEFAULT_TENANT)
+    }
+
+    /// Spawns a deployment that submits its training work to a caller-owned
+    /// [`JobPool`] under `tenant` — the multi-tenant building block
+    /// (DESIGN.md §14): N deployments share one pool (fair deficit-weighted
+    /// round-robin across tenants) while keeping their own actor, read
+    /// pool, snapshots, caches and metrics. The caller configures the
+    /// tenant's weight and queue capacity on the pool
+    /// ([`JobPool::configure_tenant`]) and keeps the pool alive for the
+    /// deployments' lifetime; `pool: None` selects serialized mode exactly
+    /// like `training_pool_size: 0`.
+    pub fn spawn_shared(
         mut trainer: RapidTrainer,
         labeler: FallbackLabeler,
         cfg: DmsServerConfig,
+        pool: Option<Arc<JobPool>>,
+        tenant: TenantId,
     ) -> (DmsClient, ServerHandle) {
         let (write_tx, write_rx) = bounded::<Msg>(cfg.queue_capacity);
         let (read_tx, read_rx) = bounded::<Msg>(cfg.queue_capacity);
@@ -438,6 +493,11 @@ impl DmsServer {
         let metrics = Arc::new(Metrics::new());
         metrics.attach_embed_cache(Arc::clone(trainer.fairds.embed_cache()));
         metrics.attach_read_index(Arc::clone(trainer.fairds.read_index_counters()));
+        if let Some(pool) = &pool {
+            // Weak: the registry must not keep pool workers alive past the
+            // owner's shutdown; the gauge just reads 0 afterwards.
+            metrics.attach_training_pool(Arc::downgrade(pool), tenant);
+        }
         let shared = Arc::new(Shared {
             view: SnapshotCell::new(Arc::new(ServiceView::of(&trainer))),
             metrics: Arc::clone(&metrics),
@@ -449,7 +509,18 @@ impl DmsServer {
         let wake_tx = write_tx.clone();
         let actor = std::thread::Builder::new()
             .name("fairdms-actor".into())
-            .spawn(move || actor_loop(trainer, labeler, cfg, write_rx, wake_tx, actor_shared))
+            .spawn(move || {
+                actor_loop(
+                    trainer,
+                    labeler,
+                    cfg,
+                    pool,
+                    tenant,
+                    write_rx,
+                    wake_tx,
+                    actor_shared,
+                )
+            })
             .expect("failed to spawn fairdms-actor thread");
 
         let readers = (0..read_pool)
@@ -656,10 +727,13 @@ impl Drop for PoisonOnPanic {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn actor_loop(
     mut trainer: RapidTrainer,
     mut labeler: FallbackLabeler,
     cfg: DmsServerConfig,
+    pool: Option<Arc<JobPool>>,
+    tenant: TenantId,
     rx: Receiver<Msg>,
     wake_tx: Sender<Msg>,
     shared: Arc<Shared>,
@@ -667,8 +741,8 @@ fn actor_loop(
     let mut monitor = MonitorState::default();
     let (done_tx, done_rx) = unbounded::<TrainOutcome>();
     let mut exec = TrainingExec {
-        pool: (cfg.training_pool_size > 0)
-            .then(|| JobPool::new(cfg.training_pool_size, "fairdms-train")),
+        pool,
+        tenant,
         done_tx,
         wake_tx,
         next_job: 0,
@@ -918,6 +992,12 @@ fn monitor_and_maybe_retrain(
         // the next monitored batch re-checks immediately after install.
         return false;
     }
+    if async_mode && !exec.has_queue_capacity() {
+        // Bounded admission (DESIGN.md §14): the tenant's training queue
+        // is full, so skip this trigger rather than grow the queue. The
+        // counter stays advanced; the next monitored batch re-checks.
+        return false;
+    }
     if !trainer.fairds.needs_system_update(images) {
         return false;
     }
@@ -1088,6 +1168,14 @@ fn handle_write(
             }
             if !trainer.fairds.is_ready() {
                 return WriteOutcome::Reply(reply, Err(ServiceError::NotReady));
+            }
+            if exec.pool.is_some() && !exec.has_queue_capacity() {
+                // Bounded admission (DESIGN.md §14): answer `Busy` before
+                // the inline monitor, the O(ms) bookend work, and — most
+                // importantly — before superseding: a flood answered
+                // `Busy` must not cancel the legitimately in-flight
+                // update. The client retries after backoff.
+                return WriteOutcome::Reply(reply, Err(ServiceError::Busy));
             }
             // The monitor runs *inline* for updates (even in executor
             // mode): the update's PDF and pseudo-labels must be computed

@@ -17,7 +17,7 @@ use fairdms_core::embedding::EmbedTrainConfig;
 use fairdms_service::net::codec::{
     decode_error, decode_reply, decode_request, encode_error, encode_reply, encode_request,
 };
-use fairdms_service::net::frame::{read_frame, write_frame, FrameError, FrameKind};
+use fairdms_service::net::frame::{read_frame, write_frame, FrameError, FrameKind, BODY_HEADER};
 use fairdms_service::{Reply, Request, ServiceError};
 use fairdms_tensor::Tensor;
 use proptest::prelude::*;
@@ -65,7 +65,11 @@ fn arb_request(variant: u8, rows: usize, cols: usize, bits: &[u32], text: &str) 
         4 => Request::LookupMatching { pdf, count: rows },
         5 => Request::Recommend {
             pdf,
-            top_k: if rows.is_multiple_of(2) { None } else { Some(rows) },
+            top_k: if rows.is_multiple_of(2) {
+                None
+            } else {
+                Some(rows)
+            },
         },
         6 => Request::UpdateModel {
             images: arb_tensor(rows, cols, bits),
@@ -202,7 +206,7 @@ proptest! {
         match read_frame(&mut cursor, max_len) {
             Ok(f) => {
                 // Whatever decoded must satisfy the declared bounds.
-                prop_assert!(f.payload.len() + 9 <= max_len as usize);
+                prop_assert!(f.payload.len() + BODY_HEADER <= max_len as usize);
             }
             Err(FrameError::TooLong { len, max }) => {
                 prop_assert!(len > max);
@@ -218,15 +222,15 @@ proptest! {
 #[test]
 fn frame_length_boundary_is_exact() {
     let max = 64u32;
-    let payload = vec![7u8; (max as usize) - 9];
+    let payload = vec![7u8; (max as usize) - BODY_HEADER];
     let mut buf = Vec::new();
-    write_frame(&mut buf, 5, FrameKind::Request, &payload);
+    write_frame(&mut buf, 5, 0, FrameKind::Request, &payload);
     let f = read_frame(&mut std::io::Cursor::new(&buf), max).expect("at-limit frame accepted");
     assert_eq!(f.payload, payload);
 
-    let over = vec![7u8; (max as usize) - 8];
+    let over = vec![7u8; (max as usize) - BODY_HEADER + 1];
     let mut buf = Vec::new();
-    write_frame(&mut buf, 5, FrameKind::Request, &over);
+    write_frame(&mut buf, 5, 0, FrameKind::Request, &over);
     match read_frame(&mut std::io::Cursor::new(&buf), max) {
         Err(FrameError::TooLong { len, max: m }) => {
             assert_eq!(len, max + 1);

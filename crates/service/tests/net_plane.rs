@@ -210,7 +210,7 @@ fn abrupt_disconnect_mid_pipeline_does_not_disturb_others() {
     {
         let mut raw = TcpStream::connect(addr).unwrap();
         let mut frame = Vec::new();
-        write_frame(&mut frame, 1, FrameKind::Request, &[10]); // Metrics
+        write_frame(&mut frame, 1, 0, FrameKind::Request, &[10]); // Metrics
         raw.write_all(&frame).unwrap();
         raw.write_all(&[0xFF, 0xFF]).unwrap(); // torn prefix
         drop(raw);
@@ -221,7 +221,7 @@ fn abrupt_disconnect_mid_pipeline_does_not_disturb_others() {
         let mut raw = TcpStream::connect(addr).unwrap();
         let mut bytes = Vec::new();
         for seq in 1..=8u64 {
-            write_frame(&mut bytes, seq, FrameKind::Request, &[10]);
+            write_frame(&mut bytes, seq, 0, FrameKind::Request, &[10]);
         }
         raw.write_all(&bytes).unwrap();
         drop(raw);
@@ -307,6 +307,89 @@ fn graceful_drain_answers_every_dispatched_request() {
     );
 
     drop(pipe);
+    drop(client);
+    server.shutdown();
+}
+
+/// Regression: a kill-storm of half-open connections must never
+/// permanently consume admission slots. Every teardown path — torn frame,
+/// peer dead before its first byte, peer dead with unread replies queued —
+/// has to decrement `connections_active`, or the accept loop eventually
+/// answers Busy to every future peer. (The writer-side accounting now
+/// lives in a drop guard, so even a panicking connection thread releases
+/// its slot.)
+#[test]
+fn kill_storm_of_half_open_connections_releases_admission_slots() {
+    let (client, server) = spawn_deployment(9);
+    let net = serve(
+        &client,
+        NetServerConfig {
+            max_connections: 2,
+            ..NetServerConfig::default()
+        },
+    );
+    let addr = net.local_addr().unwrap();
+
+    for wave in 0..20u64 {
+        // Variant A: connect and vanish without a byte.
+        drop(TcpStream::connect(addr).unwrap());
+        // Variant B: torn length prefix, then gone.
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let _ = raw.write_all(&[0x12, 0x34]);
+            drop(raw);
+        }
+        // Variant C: pipeline real requests, never read a reply, die with
+        // the server's answers still queued in its writer.
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let mut bytes = Vec::new();
+            for seq in 1..=4u64 {
+                write_frame(&mut bytes, seq, 0, FrameKind::Request, &[10]);
+            }
+            let _ = raw.write_all(&bytes);
+            drop(raw);
+        }
+        // Let each wave's corpses get reaped before the next, so the storm
+        // exercises teardown repeatedly rather than just tripping the
+        // connection limit. (Over-limit rejects are fine — they are
+        // answered Busy and never occupy a slot — but they would make the
+        // test vacuous if every wave hit them.)
+        if wave % 4 == 3 {
+            wait_until("storm wave reaped", || {
+                net.counters().snapshot().connections_active == 0
+            });
+        }
+    }
+
+    // `connections_active == 0` alone is not enough: the kernel's accept
+    // backlog can still hold storm corpses the accept loop hasn't pulled
+    // yet, and admitting them briefly re-occupies the slots. Every storm
+    // socket ends up either admitted or busy-rejected, so wait until all
+    // 60 are accounted for *and* the slots are free again.
+    wait_until("storm fully reaped", || {
+        let s = net.counters().snapshot();
+        s.connections_opened + s.connections_busy_rejected >= 60 && s.connections_active == 0
+    });
+    let stats = net.counters().snapshot();
+    assert_eq!(
+        stats.connections_opened,
+        stats.drains_graceful + stats.drains_abrupt,
+        "every admitted connection must be accounted closed: {stats:?}"
+    );
+
+    // Both admission slots are usable again: two concurrent clients get
+    // served, so no slot leaked anywhere in the storm.
+    let a = PipelinedClient::connect_tcp(addr).unwrap();
+    let ra = a.call(&Request::Metrics);
+    assert!(ra.is_ok(), "slot leaked? {ra:?}");
+    let b = PipelinedClient::connect_tcp(addr).unwrap();
+    let rb = b.call(&Request::Metrics);
+    assert!(rb.is_ok(), "slot leaked? {rb:?}");
+
+    drop(a);
+    drop(b);
+    net.shutdown();
     drop(client);
     server.shutdown();
 }
